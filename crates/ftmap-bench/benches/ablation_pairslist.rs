@@ -1,0 +1,35 @@
+//! §IV ablation: the three GPU mapping schemes for the pair-energy computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftmap_bench::MinimizationWorkload;
+use ftmap_energy::gpu::{GpuMinimizationEngine, PairTerm};
+use ftmap_energy::pairs::PairsList;
+use gpu_sim::Device;
+use std::time::Duration;
+
+fn bench_schemes(c: &mut Criterion) {
+    let w = MinimizationWorkload::medium();
+    let device = Device::tesla_c1060();
+    let engine = GpuMinimizationEngine::new(&device, w.ff.clone(), &w.neighbors);
+    let pairs = PairsList::from_neighbor_list(&w.neighbors);
+
+    let mut group = c.benchmark_group("ablation_pairslist_schemes");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group.bench_function("neighbor_list_scheme", |b| {
+        b.iter(|| {
+            std::hint::black_box(engine.scheme_neighbor_list(&w.complex, &w.neighbors, PairTerm::AceSelf))
+        })
+    });
+    group.bench_function("pairs_list_host_accumulation", |b| {
+        b.iter(|| {
+            std::hint::black_box(engine.scheme_pairs_list_host_accum(&w.complex, &pairs, PairTerm::AceSelf))
+        })
+    });
+    group.bench_function("split_assignment_tables", |b| {
+        b.iter(|| std::hint::black_box(engine.scheme_split_assignment(&w.complex, PairTerm::AceSelf)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

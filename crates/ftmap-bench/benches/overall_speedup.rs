@@ -1,0 +1,27 @@
+//! §V.C: end-to-end mapping, serial pipeline vs accelerated pipeline (scaled workload).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftmap_core::{FtMapConfig, FtMapPipeline, PipelineMode};
+use ftmap_molecule::{ForceField, ProbeLibrary, ProbeType, ProteinSpec, SyntheticProtein};
+use std::time::Duration;
+
+fn bench_overall(c: &mut Criterion) {
+    let ff = ForceField::charmm_like();
+    let protein = SyntheticProtein::generate(&ProteinSpec::small_test(), &ff);
+    let library = ProbeLibrary::subset(&ff, &[ProbeType::Ethanol]);
+
+    let mut group = c.benchmark_group("overall_mapping");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for (name, mode) in [
+        ("serial_pipeline", PipelineMode::Serial),
+        ("accelerated_pipeline", PipelineMode::Accelerated),
+    ] {
+        let pipeline =
+            FtMapPipeline::new(protein.clone(), ff.clone(), FtMapConfig::small_test(mode));
+        group.bench_function(name, |b| b.iter(|| std::hint::black_box(pipeline.map(&library))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overall);
+criterion_main!(benches);

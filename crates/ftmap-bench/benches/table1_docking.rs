@@ -1,0 +1,29 @@
+//! Table 1: per-rotation docking work, serial FFT engine vs GPU-mapped engine.
+//! The modeled speedups are printed by the `report` binary; this bench measures the
+//! wall-clock cost of the two engines on this machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftmap_bench::DockingWorkload;
+use piper_dock::{Docking, DockingEngineKind};
+use std::time::Duration;
+
+fn bench_table1(c: &mut Criterion) {
+    let workload = DockingWorkload::standard();
+    let mut group = c.benchmark_group("table1_docking_per_rotation");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+
+    for (name, engine) in [
+        ("fft_serial", DockingEngineKind::FftSerial),
+        ("direct_serial", DockingEngineKind::DirectSerial),
+        ("gpu_batched", DockingEngineKind::Gpu { batch: 8 }),
+    ] {
+        let mut config = workload.config(engine);
+        config.n_rotations = 2;
+        let docking = Docking::new(&workload.protein.atoms, config);
+        group.bench_function(name, |b| b.iter(|| std::hint::black_box(docking.run(&workload.probe))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Table 2: one minimization iteration — serial neighbor-list evaluation vs the three
+//! GPU kernels on the device model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftmap_bench::MinimizationWorkload;
+use ftmap_energy::gpu::GpuMinimizationEngine;
+use ftmap_energy::Evaluator;
+use gpu_sim::Device;
+use std::time::Duration;
+
+fn bench_table2(c: &mut Criterion) {
+    let workload = MinimizationWorkload::paper_scale();
+    let device = Device::tesla_c1060();
+    let evaluator = Evaluator::new(workload.ff.clone());
+    let gpu_engine = GpuMinimizationEngine::new(&device, workload.ff.clone(), &workload.neighbors);
+
+    let mut group = c.benchmark_group("table2_minimization_iteration");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group.bench_function("serial_neighbor_list", |b| {
+        b.iter(|| std::hint::black_box(evaluator.evaluate(&workload.complex, &workload.neighbors)))
+    });
+    group.bench_function("gpu_three_kernels", |b| {
+        b.iter(|| std::hint::black_box(gpu_engine.evaluate(&workload.complex)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,289 @@
+//! The end-to-end FTMap pipeline.
+//!
+//! For each probe in the library: rigid-dock it against the protein, build a complex
+//! for each retained pose, minimize the complexes, and feed the minimized pose centres
+//! into consensus clustering. [`PipelineMode::Serial`] reproduces the structure of the
+//! original single-core FTMap; [`PipelineMode::Accelerated`] uses the paper's GPU
+//! mapping (device model) for both phases.
+
+use crate::cluster::{cluster_poses, ClusterInput, ConsensusSite};
+use crate::profile::MappingProfile;
+use ftmap_energy::minimize::{EvaluationPath, MinimizationConfig, Minimizer};
+use ftmap_math::Vec3;
+use ftmap_molecule::{Complex, ForceField, Probe, ProbeLibrary, ProbeType, SyntheticProtein};
+use gpu_sim::Device;
+use piper_dock::{Docking, DockingConfig, DockingEngineKind};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Whether the pipeline uses the original serial engines or the accelerated ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PipelineMode {
+    /// Serial FFT docking + host minimization (the original FTMap structure).
+    Serial,
+    /// GPU direct-correlation docking + GPU minimization kernels (the paper's system).
+    Accelerated,
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FtMapConfig {
+    /// Docking configuration (grid size, rotations, retained poses, engine is overridden
+    /// by the pipeline mode).
+    pub docking: DockingConfig,
+    /// Minimization configuration (evaluation path is overridden by the pipeline mode).
+    pub minimization: MinimizationConfig,
+    /// Number of top docked poses minimized per probe (FTMap minimizes all retained
+    /// poses — 2000 per probe; scaled configurations minimize fewer).
+    pub conformations_per_probe: usize,
+    /// Clustering radius in Å for consensus-site detection.
+    pub cluster_radius: f64,
+    /// Pipeline mode.
+    pub mode: PipelineMode,
+}
+
+impl FtMapConfig {
+    /// The paper-scale configuration (500 rotations × 4 poses = 2000 conformations per
+    /// probe, 128³ grids are reduced to 64³ to keep host memory modest).
+    pub fn paper_scale(mode: PipelineMode) -> Self {
+        FtMapConfig {
+            docking: DockingConfig {
+                engine: engine_for(mode),
+                ..DockingConfig::default()
+            },
+            minimization: MinimizationConfig {
+                path: path_for(mode),
+                ..MinimizationConfig::default()
+            },
+            conformations_per_probe: 2000,
+            cluster_radius: 4.0,
+            mode,
+        }
+    }
+
+    /// A scaled-down configuration for tests and examples.
+    pub fn small_test(mode: PipelineMode) -> Self {
+        FtMapConfig {
+            docking: DockingConfig::small_test(engine_for(mode)),
+            minimization: MinimizationConfig {
+                max_iterations: 10,
+                path: path_for(mode),
+                ..MinimizationConfig::small_test(path_for(mode))
+            },
+            conformations_per_probe: 3,
+            cluster_radius: 6.0,
+            mode,
+        }
+    }
+}
+
+fn engine_for(mode: PipelineMode) -> DockingEngineKind {
+    match mode {
+        PipelineMode::Serial => DockingEngineKind::FftSerial,
+        PipelineMode::Accelerated => DockingEngineKind::Gpu { batch: 8 },
+    }
+}
+
+fn path_for(mode: PipelineMode) -> EvaluationPath {
+    match mode {
+        PipelineMode::Serial => EvaluationPath::Host,
+        PipelineMode::Accelerated => EvaluationPath::Gpu,
+    }
+}
+
+/// Result of mapping one protein with a probe library.
+#[derive(Debug, Clone)]
+pub struct MappingResult {
+    /// Ranked consensus sites (hotspot candidates).
+    pub sites: Vec<ConsensusSite>,
+    /// Number of conformations minimized in total.
+    pub conformations_minimized: usize,
+    /// Per-phase profile (summed over probes).
+    pub profile: MappingProfile,
+    /// Minimized pose centres per probe type (for inspection / examples).
+    pub pose_centers: Vec<(ProbeType, Vec3)>,
+}
+
+impl MappingResult {
+    /// The top-ranked hotspot centre, if any site was found.
+    pub fn top_hotspot(&self) -> Option<Vec3> {
+        self.sites.first().map(|s| s.cluster.center)
+    }
+}
+
+/// The FTMap pipeline over one protein.
+pub struct FtMapPipeline {
+    protein: SyntheticProtein,
+    ff: ForceField,
+    config: FtMapConfig,
+    device: Device,
+}
+
+impl FtMapPipeline {
+    /// Creates a pipeline for the given protein.
+    pub fn new(protein: SyntheticProtein, ff: ForceField, config: FtMapConfig) -> Self {
+        FtMapPipeline { protein, ff, config, device: Device::tesla_c1060() }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FtMapConfig {
+        &self.config
+    }
+
+    /// The protein being mapped.
+    pub fn protein(&self) -> &SyntheticProtein {
+        &self.protein
+    }
+
+    /// Maps the protein with every probe in `library`.
+    pub fn map(&self, library: &ProbeLibrary) -> MappingResult {
+        let mut profile = MappingProfile::default();
+        let mut cluster_inputs: Vec<ClusterInput> = Vec::new();
+        let mut pose_centers = Vec::new();
+        let mut conformations = 0usize;
+
+        for probe in library.probes() {
+            let (probe_profile, inputs) = self.map_probe(probe, &mut conformations);
+            profile.merge(&probe_profile);
+            for input in &inputs {
+                pose_centers.push((input.probe, input.center));
+            }
+            cluster_inputs.extend(inputs);
+        }
+
+        let sites = cluster_poses(&cluster_inputs, self.config.cluster_radius);
+        MappingResult { sites, conformations_minimized: conformations, profile, pose_centers }
+    }
+
+    /// Maps a single probe: dock, minimize the top conformations, return cluster inputs.
+    pub fn map_probe(
+        &self,
+        probe: &Probe,
+        conformations: &mut usize,
+    ) -> (MappingProfile, Vec<ClusterInput>) {
+        let mut profile = MappingProfile::default();
+
+        // Phase 1: rigid docking.
+        let t0 = Instant::now();
+        let docking = Docking::new(&self.protein.atoms, self.config.docking.clone());
+        let run = docking.run(probe);
+        profile.docking_wall_s += t0.elapsed().as_secs_f64();
+        profile.docking_modeled_s += run.modeled.total();
+
+        // Phase 2: minimize the top conformations.
+        let minimizer = Minimizer::new(self.ff.clone(), self.config.minimization);
+        let mut inputs = Vec::new();
+        let n_conf = self.config.conformations_per_probe.min(run.poses.len());
+        for pose in run.poses.iter().take(n_conf) {
+            let rotation = docking.rotations().get(pose.rotation_index);
+            let centered: Vec<Vec3> = probe.atoms.iter().map(|a| a.position).collect();
+            let placed = pose.place_probe(
+                rotation,
+                &centered,
+                run.grid.origin,
+                run.grid.spacing,
+                (run.grid.dim, run.grid.dim, run.grid.dim),
+            );
+            let mut posed_probe = probe.clone();
+            for (atom, new_pos) in posed_probe.atoms.iter_mut().zip(&placed) {
+                atom.position = *new_pos;
+            }
+            let mut complex = Complex::new(&self.protein, &posed_probe);
+
+            let t1 = Instant::now();
+            let result = minimizer.minimize(&mut complex, &self.device);
+            profile.minimization_wall_s += t1.elapsed().as_secs_f64();
+            profile.minimization_modeled_s += match self.config.mode {
+                PipelineMode::Accelerated => {
+                    let (a, b, c) = result.modeled_kernel_times_s;
+                    a + b + c
+                }
+                // For the serial pipeline the host evaluation *is* the measured work;
+                // use the measured evaluation time as the modeled serial time.
+                PipelineMode::Serial => result.evaluation_time_s + result.update_time_s,
+            };
+            *conformations += 1;
+
+            inputs.push(ClusterInput {
+                probe: probe.probe_type,
+                center: complex.probe_centroid(),
+                energy: result.final_energy,
+            });
+        }
+        (profile, inputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftmap_molecule::{ProbeLibrary, ProteinSpec};
+
+    fn small_pipeline(mode: PipelineMode) -> (FtMapPipeline, ProbeLibrary) {
+        let ff = ForceField::charmm_like();
+        let protein = SyntheticProtein::generate(&ProteinSpec::small_test(), &ff);
+        let library = ProbeLibrary::subset(&ff, &[ProbeType::Ethanol, ProbeType::Acetone]);
+        let pipeline = FtMapPipeline::new(protein, ff, FtMapConfig::small_test(mode));
+        (pipeline, library)
+    }
+
+    #[test]
+    fn serial_pipeline_produces_consensus_sites() {
+        let (pipeline, library) = small_pipeline(PipelineMode::Serial);
+        let result = pipeline.map(&library);
+        assert!(result.conformations_minimized > 0);
+        assert!(!result.sites.is_empty());
+        assert!(result.top_hotspot().is_some());
+        assert!(result.profile.total_wall_s() > 0.0);
+        assert_eq!(
+            result.conformations_minimized,
+            library.len() * pipeline.config().conformations_per_probe
+        );
+        assert_eq!(result.pose_centers.len(), result.conformations_minimized);
+    }
+
+    #[test]
+    fn accelerated_pipeline_produces_consensus_sites() {
+        let (pipeline, library) = small_pipeline(PipelineMode::Accelerated);
+        let result = pipeline.map(&library);
+        assert!(!result.sites.is_empty());
+        assert!(result.profile.docking_modeled_s > 0.0);
+        assert!(result.profile.minimization_modeled_s > 0.0);
+    }
+
+    #[test]
+    fn minimization_dominates_serial_wall_time() {
+        // Fig. 2(a): minimization ≈93 % of the serial FTMap runtime. With the scaled
+        // test configuration the exact split differs, but minimization (many
+        // conformations × many iterations) must dominate docking.
+        let (pipeline, library) = small_pipeline(PipelineMode::Serial);
+        let result = pipeline.map(&library);
+        let (dock_pct, min_pct) = result.profile.wall_percentages();
+        assert!(min_pct > dock_pct, "docking {dock_pct}% vs minimization {min_pct}%");
+    }
+
+    #[test]
+    fn accelerated_modeled_time_beats_serial_modeled_time() {
+        // The overall §V.C claim in miniature: the accelerated pipeline's modeled time
+        // is below the serial pipeline's modeled time on the same workload.
+        let (serial, library) = small_pipeline(PipelineMode::Serial);
+        let serial_result = serial.map(&library);
+        let (accel, _) = small_pipeline(PipelineMode::Accelerated);
+        let accel_result = accel.map(&library);
+        assert!(
+            accel_result.profile.total_modeled_s() < serial_result.profile.total_modeled_s(),
+            "accelerated {} vs serial {}",
+            accel_result.profile.total_modeled_s(),
+            serial_result.profile.total_modeled_s()
+        );
+    }
+
+    #[test]
+    fn paper_scale_config_matches_paper_parameters() {
+        let cfg = FtMapConfig::paper_scale(PipelineMode::Accelerated);
+        assert_eq!(cfg.docking.n_rotations, 500);
+        assert_eq!(cfg.docking.poses_per_rotation, 4);
+        assert_eq!(cfg.conformations_per_probe, 2000);
+        assert!(matches!(cfg.docking.engine, DockingEngineKind::Gpu { batch: 8 }));
+    }
+}

@@ -1,0 +1,102 @@
+//! Mapping-run profiles: the phase breakdown of Fig. 2(a) and the overall speedup of
+//! §V.C.
+
+use serde::{Deserialize, Serialize};
+
+/// Time spent in the two phases of a mapping run (per probe), both as measured
+//  wall-clock on this machine and as modeled device/host time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MappingProfile {
+    /// Rigid-docking wall-clock seconds.
+    pub docking_wall_s: f64,
+    /// Energy-minimization wall-clock seconds.
+    pub minimization_wall_s: f64,
+    /// Rigid-docking modeled seconds (Xeon core for the serial pipeline, device model
+    /// for the accelerated pipeline).
+    pub docking_modeled_s: f64,
+    /// Energy-minimization modeled seconds.
+    pub minimization_modeled_s: f64,
+}
+
+impl MappingProfile {
+    /// Total wall-clock seconds.
+    pub fn total_wall_s(&self) -> f64 {
+        self.docking_wall_s + self.minimization_wall_s
+    }
+
+    /// Total modeled seconds.
+    pub fn total_modeled_s(&self) -> f64 {
+        self.docking_modeled_s + self.minimization_modeled_s
+    }
+
+    /// Percentage of wall time in (docking, minimization) — the Fig. 2(a) split
+    /// (paper: ~7 % / ~93 %).
+    pub fn wall_percentages(&self) -> (f64, f64) {
+        let t = self.total_wall_s();
+        if t <= 0.0 {
+            return (0.0, 0.0);
+        }
+        (100.0 * self.docking_wall_s / t, 100.0 * self.minimization_wall_s / t)
+    }
+
+    /// Percentage of modeled time in (docking, minimization).
+    pub fn modeled_percentages(&self) -> (f64, f64) {
+        let t = self.total_modeled_s();
+        if t <= 0.0 {
+            return (0.0, 0.0);
+        }
+        (
+            100.0 * self.docking_modeled_s / t,
+            100.0 * self.minimization_modeled_s / t,
+        )
+    }
+
+    /// Adds another profile (e.g. accumulate over probes).
+    pub fn merge(&mut self, other: &MappingProfile) {
+        self.docking_wall_s += other.docking_wall_s;
+        self.minimization_wall_s += other.minimization_wall_s;
+        self.docking_modeled_s += other.docking_modeled_s;
+        self.minimization_modeled_s += other.minimization_modeled_s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentages_match_paper_shape() {
+        let p = MappingProfile {
+            docking_wall_s: 30.0 * 60.0,
+            minimization_wall_s: 400.0 * 60.0,
+            docking_modeled_s: 7.0,
+            minimization_modeled_s: 93.0,
+        };
+        let (dock, min) = p.wall_percentages();
+        assert!(dock < 10.0 && min > 90.0);
+        let (dock_m, min_m) = p.modeled_percentages();
+        assert!((dock_m - 7.0).abs() < 1e-9);
+        assert!((min_m - 93.0).abs() < 1e-9);
+        assert!((p.total_wall_s() - 430.0 * 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = MappingProfile {
+            docking_wall_s: 1.0,
+            minimization_wall_s: 2.0,
+            docking_modeled_s: 3.0,
+            minimization_modeled_s: 4.0,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.docking_wall_s, 2.0);
+        assert_eq!(a.minimization_modeled_s, 8.0);
+    }
+
+    #[test]
+    fn empty_profile_has_zero_percentages() {
+        let p = MappingProfile::default();
+        assert_eq!(p.wall_percentages(), (0.0, 0.0));
+        assert_eq!(p.modeled_percentages(), (0.0, 0.0));
+    }
+}

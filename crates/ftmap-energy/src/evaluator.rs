@@ -1,0 +1,332 @@
+//! Serial reference evaluator over neighbor lists.
+//!
+//! This is the structure of the original FTMap minimization code (paper Fig. 7): cycle
+//! through the atom pairs of the neighbor list, compute the partial energies of both
+//! atoms of each pair, and accumulate them into the per-atom energy array. It is the
+//! correctness oracle for every GPU scheme in [`crate::gpu`], and its per-term timing
+//! split regenerates Fig. 3(b).
+
+use crate::terms;
+use ftmap_math::{Real, Vec3};
+use ftmap_molecule::{Complex, ForceField, NeighborList};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Energy of one conformation, split by term (the decomposition of Equation 3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// ACE electrostatics: Born self energies + pairwise self corrections + GB pairs.
+    pub electrostatics: Real,
+    /// van der Waals energy.
+    pub vdw: Real,
+    /// Bonded energy (bond + angle + torsion + improper).
+    pub bonded: Real,
+    /// Wall-clock seconds spent evaluating the electrostatic terms.
+    pub elec_time_s: f64,
+    /// Wall-clock seconds spent evaluating the van der Waals term.
+    pub vdw_time_s: f64,
+    /// Wall-clock seconds spent evaluating the bonded terms.
+    pub bonded_time_s: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total potential energy.
+    pub fn total(&self) -> Real {
+        self.electrostatics + self.vdw + self.bonded
+    }
+
+    /// Total evaluation time.
+    pub fn total_time_s(&self) -> f64 {
+        self.elec_time_s + self.vdw_time_s + self.bonded_time_s
+    }
+
+    /// Percentage split `(electrostatics, vdw, bonded)` of the evaluation time —
+    /// the quantities of Fig. 3(b).
+    pub fn time_percentages(&self) -> (f64, f64, f64) {
+        let t = self.total_time_s();
+        if t <= 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            100.0 * self.elec_time_s / t,
+            100.0 * self.vdw_time_s / t,
+            100.0 * self.bonded_time_s / t,
+        )
+    }
+}
+
+/// The serial neighbor-list evaluator.
+pub struct Evaluator {
+    ff: ForceField,
+}
+
+/// The result of one full evaluation: per-atom energies, forces, and the breakdown.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// Per-atom non-bonded energy (self + half of each pair term assigned to each atom).
+    pub atom_energies: Vec<Real>,
+    /// Per-atom forces (negative energy gradient), kcal/mol/Å.
+    pub forces: Vec<Vec3>,
+    /// Term-by-term totals and timings.
+    pub breakdown: EnergyBreakdown,
+}
+
+impl Evaluator {
+    /// Creates an evaluator with the given force field.
+    pub fn new(ff: ForceField) -> Self {
+        Evaluator { ff }
+    }
+
+    /// The force field in use.
+    pub fn force_field(&self) -> &ForceField {
+        &self.ff
+    }
+
+    /// Evaluates the full potential of `complex` using the pairs of `neighbors`.
+    pub fn evaluate(&self, complex: &Complex, neighbors: &NeighborList) -> Evaluation {
+        self.evaluate_inner(complex, neighbors, true)
+    }
+
+    fn evaluate_inner(
+        &self,
+        complex: &Complex,
+        neighbors: &NeighborList,
+        include_bonded: bool,
+    ) -> Evaluation {
+        let n = complex.n_atoms();
+        let mut atom_energies = vec![0.0; n];
+        let mut forces = vec![Vec3::ZERO; n];
+        let mut breakdown = EnergyBreakdown::default();
+
+        // --- Electrostatics: Born self term per atom, ACE pair corrections and GB pairs.
+        let t0 = Instant::now();
+        let mut elec = 0.0;
+        for (i, atom) in complex.atoms.iter().enumerate() {
+            let e = terms::born_self_energy(atom, &self.ff);
+            atom_energies[i] += e;
+            elec += e;
+        }
+        for (i, j) in neighbors.iter_pairs() {
+            let ai = &complex.atoms[i];
+            let aj = &complex.atoms[j];
+            let r = ai.position.distance(aj.position);
+
+            // ACE pairwise self-energy corrections, both directions (E_ik and E_ki).
+            let (e_ik, d_ik) = terms::ace_pair_self_energy(ai, aj, r, &self.ff);
+            let (e_ki, d_ki) = terms::ace_pair_self_energy(aj, ai, r, &self.ff);
+            // GB pairwise interaction, shared half-and-half between the two atoms.
+            let (e_gb, d_gb) = terms::gb_pair_energy(ai, aj, r, &self.ff);
+
+            atom_energies[i] += e_ik + 0.5 * e_gb;
+            atom_energies[j] += e_ki + 0.5 * e_gb;
+            elec += e_ik + e_ki + e_gb;
+
+            let de_dr = d_ik + d_ki + d_gb;
+            let f = terms::radial_force(ai.position, aj.position, de_dr);
+            forces[i] += f;
+            forces[j] -= f;
+        }
+        breakdown.electrostatics = elec;
+        breakdown.elec_time_s = t0.elapsed().as_secs_f64();
+
+        // --- van der Waals over the same pairs.
+        let t1 = Instant::now();
+        let mut vdw = 0.0;
+        for (i, j) in neighbors.iter_pairs() {
+            let ai = &complex.atoms[i];
+            let aj = &complex.atoms[j];
+            let r = ai.position.distance(aj.position);
+            let (e, de_dr) = terms::vdw_pair_energy(ai, aj, r, &self.ff);
+            atom_energies[i] += 0.5 * e;
+            atom_energies[j] += 0.5 * e;
+            vdw += e;
+            let f = terms::radial_force(ai.position, aj.position, de_dr);
+            forces[i] += f;
+            forces[j] -= f;
+        }
+        breakdown.vdw = vdw;
+        breakdown.vdw_time_s = t1.elapsed().as_secs_f64();
+
+        // --- Bonded terms (left on the host in the paper as well).
+        if !include_bonded {
+            return Evaluation { atom_energies, forces, breakdown };
+        }
+        let t2 = Instant::now();
+        let mut bonded = 0.0;
+        for bond in complex.topology.bonds() {
+            let pi = complex.atoms[bond.i].position;
+            let pj = complex.atoms[bond.j].position;
+            let r = pi.distance(pj);
+            let (e, de_dr) = terms::bond_energy(r, &self.ff);
+            bonded += e;
+            let f = terms::radial_force(pi, pj, de_dr);
+            forces[bond.i] += f;
+            forces[bond.j] -= f;
+        }
+        for angle in complex.topology.angles() {
+            let (e, _) = terms::angle_energy(
+                complex.atoms[angle.i].position,
+                complex.atoms[angle.j].position,
+                complex.atoms[angle.k].position,
+                &self.ff,
+            );
+            bonded += e;
+        }
+        for torsion in complex.topology.torsions() {
+            let (e, _) = terms::torsion_energy(
+                complex.atoms[torsion.i].position,
+                complex.atoms[torsion.j].position,
+                complex.atoms[torsion.k].position,
+                complex.atoms[torsion.l].position,
+                &self.ff,
+            );
+            bonded += e;
+        }
+        for improper in complex.topology.impropers() {
+            let (e, _) = terms::improper_energy(
+                complex.atoms[improper.i].position,
+                complex.atoms[improper.j].position,
+                complex.atoms[improper.k].position,
+                complex.atoms[improper.l].position,
+                &self.ff,
+            );
+            bonded += e;
+        }
+        breakdown.bonded = bonded;
+        breakdown.bonded_time_s = t2.elapsed().as_secs_f64();
+
+        Evaluation { atom_energies, forces, breakdown }
+    }
+
+    /// Evaluates only the non-bonded energy terms (energies *and* forces exclude the
+    /// bonded contributions); used by tests comparing against the GPU kernels, which
+    /// handle exactly this part.
+    pub fn evaluate_nonbonded(&self, complex: &Complex, neighbors: &NeighborList) -> Evaluation {
+        self.evaluate_inner(complex, neighbors, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftmap_molecule::{Probe, ProbeType, ProteinSpec, SyntheticProtein};
+
+    fn small_system() -> (Complex, NeighborList, Evaluator) {
+        let ff = ForceField::charmm_like();
+        let protein = SyntheticProtein::generate(&ProteinSpec::small_test(), &ff);
+        let probe = Probe::new(ProbeType::Ethanol, &ff);
+        // Place the probe at the first pocket so it is in contact with the protein.
+        let mut posed = probe.clone();
+        let target = protein.pocket_centers[0];
+        for a in &mut posed.atoms {
+            a.position += target;
+        }
+        let complex = Complex::new(&protein, &posed);
+        let excluded = complex.topology.excluded_pairs();
+        let neighbors = NeighborList::build(&complex.atoms, ff.cutoff, &excluded);
+        (complex, neighbors, Evaluator::new(ff))
+    }
+
+    #[test]
+    fn evaluation_produces_finite_energies_and_forces() {
+        let (complex, neighbors, evaluator) = small_system();
+        let eval = evaluator.evaluate(&complex, &neighbors);
+        assert_eq!(eval.atom_energies.len(), complex.n_atoms());
+        assert_eq!(eval.forces.len(), complex.n_atoms());
+        assert!(eval.breakdown.total().is_finite());
+        assert!(eval.atom_energies.iter().all(|e| e.is_finite()));
+        assert!(eval.forces.iter().all(|f| f.is_finite()));
+    }
+
+    #[test]
+    fn electrostatics_dominates_evaluation_time() {
+        // Fig. 3(b): electrostatics ~94 %, vdW ~5 %, bonded ~0.2 %. The exact numbers
+        // depend on the machine; the ordering must hold.
+        let (complex, neighbors, evaluator) = small_system();
+        // Average over a few evaluations to stabilize timings.
+        let mut elec = 0.0;
+        let mut vdw = 0.0;
+        let mut bonded = 0.0;
+        for _ in 0..5 {
+            let eval = evaluator.evaluate(&complex, &neighbors);
+            elec += eval.breakdown.elec_time_s;
+            vdw += eval.breakdown.vdw_time_s;
+            bonded += eval.breakdown.bonded_time_s;
+        }
+        assert!(elec > vdw, "elec {elec} vs vdw {vdw}");
+        assert!(vdw > 0.0);
+        assert!(elec > bonded, "elec {elec} vs bonded {bonded}");
+    }
+
+    #[test]
+    fn per_atom_energies_sum_to_nonbonded_total() {
+        let (complex, neighbors, evaluator) = small_system();
+        let eval = evaluator.evaluate(&complex, &neighbors);
+        let sum: Real = eval.atom_energies.iter().sum();
+        let nonbonded = eval.breakdown.electrostatics + eval.breakdown.vdw;
+        assert!(
+            (sum - nonbonded).abs() < 1e-6 * (1.0 + nonbonded.abs()),
+            "per-atom sum {sum} vs breakdown {nonbonded}"
+        );
+    }
+
+    #[test]
+    fn forces_sum_to_zero_for_pair_terms() {
+        // Newton's third law: radial pair forces cancel in the total. (Angular bonded
+        // terms contribute no forces in this implementation.)
+        let (complex, neighbors, evaluator) = small_system();
+        let eval = evaluator.evaluate(&complex, &neighbors);
+        let net: Vec3 = eval.forces.iter().copied().sum();
+        let scale: Real = eval.forces.iter().map(|f| f.norm()).sum::<Real>().max(1.0);
+        assert!(net.norm() / scale < 1e-9, "net force {net:?}");
+    }
+
+    #[test]
+    fn breakdown_percentages_sum_to_100() {
+        let b = EnergyBreakdown {
+            electrostatics: -10.0,
+            vdw: -1.0,
+            bonded: 0.5,
+            elec_time_s: 94.4,
+            vdw_time_s: 5.4,
+            bonded_time_s: 0.2,
+        };
+        let (e, v, d) = b.time_percentages();
+        assert!((e + v + d - 100.0).abs() < 1e-9);
+        assert!(e > 90.0);
+        assert!((b.total() - (-10.5)).abs() < 1e-12);
+        assert_eq!(EnergyBreakdown::default().time_percentages(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn nonbonded_evaluation_excludes_bonded_terms() {
+        let (complex, neighbors, evaluator) = small_system();
+        let nb = evaluator.evaluate_nonbonded(&complex, &neighbors);
+        assert_eq!(nb.breakdown.bonded, 0.0);
+        let full = evaluator.evaluate(&complex, &neighbors);
+        assert!((nb.breakdown.electrostatics - full.breakdown.electrostatics).abs() < 1e-9);
+    }
+
+    #[test]
+    fn moving_probe_away_reduces_interaction() {
+        let (mut complex, _, evaluator) = small_system();
+        let ff = evaluator.force_field().clone();
+        let excluded = complex.topology.excluded_pairs();
+        let near_neighbors = NeighborList::build(&complex.atoms, ff.cutoff, &excluded);
+        let near = evaluator.evaluate(&complex, &near_neighbors);
+
+        // Translate the probe 100 Å away: non-bonded cross terms vanish.
+        let offset = Vec3::new(100.0, 0.0, 0.0);
+        let mut positions = complex.positions();
+        for i in complex.probe_offset..complex.n_atoms() {
+            positions[i] += offset;
+        }
+        complex.set_positions(&positions);
+        let far_neighbors = NeighborList::build(&complex.atoms, ff.cutoff, &excluded);
+        let far = evaluator.evaluate(&complex, &far_neighbors);
+
+        // The far configuration has fewer interacting pairs.
+        assert!(far_neighbors.n_pairs() < near_neighbors.n_pairs());
+        assert!(near.breakdown.total().is_finite() && far.breakdown.total().is_finite());
+    }
+}

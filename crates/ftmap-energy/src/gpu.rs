@@ -1,0 +1,577 @@
+//! GPU mapping of the energy-minimization kernels (paper §IV), on the device model.
+//!
+//! The per-iteration work is split into the paper's three kernels:
+//!
+//! * **self-energy kernel** — Born self energies plus the ACE pairwise self-energy
+//!   corrections and their gradients;
+//! * **pairwise + van der Waals kernel** — generalized-Born pair interactions and the
+//!   smoothed Lennard-Jones term, with gradients;
+//! * **force-update kernel** — combines the accumulated gradients into per-atom forces.
+//!
+//! Each pair kernel runs twice — once over the **forward** assignment table and once
+//! over the **reverse** table — so that only the first atom of each pair is updated per
+//! pass and accumulation can happen in shared memory (the paper's final scheme). The
+//! module also implements the two earlier schemes (§IV.A neighbor-list mapping and the
+//! single pairs-list with host accumulation) so the ablation benches can compare them.
+
+use crate::pairs::{AssignmentTable, PairsList, SplitPairsLists};
+use crate::terms;
+use ftmap_math::{Real, Vec3};
+use ftmap_molecule::{Complex, ForceField, NeighborList};
+use gpu_sim::{BlockContext, BlockKernel, Device, KernelStats, LaunchConfig, Transfer};
+use parking_lot::Mutex;
+
+/// Which non-bonded contribution a kernel pass evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairTerm {
+    /// ACE pairwise self-energy corrections (part of the self-energy kernel).
+    AceSelf,
+    /// Generalized-Born pair interactions + van der Waals (the fused second kernel).
+    PairwiseAndVdw,
+}
+
+/// Flops charged per pair for each term (exp/sqrt-heavy ACE term is the most expensive,
+/// matching the Table 2 ordering where the self-energy kernel dominates).
+fn flops_per_pair(term: PairTerm) -> u64 {
+    match term {
+        PairTerm::AceSelf => 60,
+        PairTerm::PairwiseAndVdw => 45,
+    }
+}
+
+/// Evaluates one ordered pair for the given term: returns the energy credited to the
+/// *first* atom and the **full** radial derivative dE/dr of the pair's contribution to
+/// the total energy (the force on the first atom depends on every term the pair
+/// contributes, even when only part of the energy is credited to it in this pass).
+fn pair_energy(term: PairTerm, complex: &Complex, ff: &ForceField, first: usize, second: usize) -> (Real, Real) {
+    let ai = &complex.atoms[first];
+    let aj = &complex.atoms[second];
+    let r = ai.position.distance(aj.position);
+    match term {
+        PairTerm::AceSelf => {
+            let (e_ij, d_ij) = terms::ace_pair_self_energy(ai, aj, r, ff);
+            let (_, d_ji) = terms::ace_pair_self_energy(aj, ai, r, ff);
+            (e_ij, d_ij + d_ji)
+        }
+        PairTerm::PairwiseAndVdw => {
+            let (e_gb, d_gb) = terms::gb_pair_energy(ai, aj, r, ff);
+            let (e_vdw, d_vdw) = terms::vdw_pair_energy(ai, aj, r, ff);
+            // Half of each symmetric pair term is credited to the first atom; the other
+            // half is credited when the reverse list processes the mirrored pair. The
+            // force uses the full derivative.
+            (0.5 * (e_gb + e_vdw), d_gb + d_vdw)
+        }
+    }
+}
+
+/// Per-iteration outputs of the GPU evaluation path.
+#[derive(Debug, Clone)]
+pub struct GpuIterationResult {
+    /// Per-atom non-bonded energies (self + pair contributions).
+    pub atom_energies: Vec<Real>,
+    /// Per-atom forces from the non-bonded terms.
+    pub forces: Vec<Vec3>,
+    /// Stats of the self-energy kernel (forward + reverse passes merged).
+    pub self_energy_stats: KernelStats,
+    /// Stats of the pairwise + van der Waals kernel (forward + reverse passes merged).
+    pub pairwise_vdw_stats: KernelStats,
+    /// Stats of the force-update kernel.
+    pub force_update_stats: KernelStats,
+}
+
+impl GpuIterationResult {
+    /// Total non-bonded energy.
+    pub fn total_energy(&self) -> Real {
+        self.atom_energies.iter().sum()
+    }
+
+    /// Total modeled device time of one iteration.
+    pub fn modeled_time_s(&self) -> f64 {
+        self.self_energy_stats.modeled_time_s
+            + self.pairwise_vdw_stats.modeled_time_s
+            + self.force_update_stats.modeled_time_s
+    }
+}
+
+/// The GPU minimization engine: owns the assignment tables for one complex and runs the
+/// three kernels per iteration.
+pub struct GpuMinimizationEngine<'a> {
+    device: &'a Device,
+    ff: ForceField,
+    threads_per_block: usize,
+    forward_table: AssignmentTable,
+    reverse_table: AssignmentTable,
+}
+
+impl<'a> GpuMinimizationEngine<'a> {
+    /// Builds the engine: splits the neighbor list, builds the forward/reverse
+    /// assignment tables and charges their one-time transfer to the device ("there is
+    /// no further data transfer per iteration, unless the neighbor list is updated",
+    /// §IV.B).
+    pub fn new(device: &'a Device, ff: ForceField, neighbors: &NeighborList) -> Self {
+        let threads_per_block = 64;
+        let split = SplitPairsLists::from_neighbor_list(neighbors);
+        let forward_table = AssignmentTable::build(&split.forward, split.n_atoms, threads_per_block);
+        let reverse_table = AssignmentTable::build(&split.reverse, split.n_atoms, threads_per_block);
+        let words = forward_table.transfer_words() + reverse_table.transfer_words();
+        device.record_transfer(Transfer::upload((words * std::mem::size_of::<Real>()) as u64));
+        GpuMinimizationEngine { device, ff, threads_per_block, forward_table, reverse_table }
+    }
+
+    /// Number of pairs covered per pass (forward list length).
+    pub fn n_pairs(&self) -> usize {
+        self.forward_table.work_rows()
+    }
+
+    /// Rebuilds the assignment tables after a neighbor-list update (happens only a few
+    /// times per 1000 iterations) and charges the re-transfer.
+    pub fn refresh_neighbor_list(&mut self, neighbors: &NeighborList) {
+        let split = SplitPairsLists::from_neighbor_list(neighbors);
+        self.forward_table =
+            AssignmentTable::build(&split.forward, split.n_atoms, self.threads_per_block);
+        self.reverse_table =
+            AssignmentTable::build(&split.reverse, split.n_atoms, self.threads_per_block);
+        let words = self.forward_table.transfer_words() + self.reverse_table.transfer_words();
+        self.device
+            .record_transfer(Transfer::upload((words * std::mem::size_of::<Real>()) as u64));
+    }
+
+    /// Runs one pass of a pair kernel over an assignment table using the paper's final
+    /// scheme: pair energies land in shared memory, master threads accumulate their
+    /// group and add the sum to the global per-atom arrays.
+    fn run_table_pass(
+        &self,
+        complex: &Complex,
+        term: PairTerm,
+        table: &AssignmentTable,
+        energies: &Mutex<Vec<Real>>,
+        forces: &Mutex<Vec<Vec3>>,
+    ) -> KernelStats {
+        if table.n_blocks() == 0 {
+            return KernelStats::zero();
+        }
+        let kernel = TablePassKernel { complex, ff: &self.ff, term, table, energies, forces };
+        let config = LaunchConfig::new(table.n_blocks(), self.threads_per_block)
+            .with_shared_mem_words(self.threads_per_block * 2);
+        self.device.launch(&config, &kernel)
+    }
+
+    /// Runs one full GPU iteration: self-energy kernel, pairwise+vdW kernel (each as a
+    /// forward and a reverse table pass) and the force-update kernel.
+    pub fn evaluate(&self, complex: &Complex) -> GpuIterationResult {
+        let n = complex.n_atoms();
+        let energies = Mutex::new(vec![0.0; n]);
+        let forces = Mutex::new(vec![Vec3::ZERO; n]);
+
+        // Kernel (a): atom self energies. The Born term is per-atom; the ACE pairwise
+        // corrections come from the two table passes.
+        let mut self_stats = KernelStats::zero();
+        {
+            let born_kernel = BornSelfKernel { complex, ff: &self.ff, energies: &energies };
+            let blocks = n.div_ceil(self.threads_per_block).max(1);
+            let stats = self
+                .device
+                .launch(&LaunchConfig::new(blocks, self.threads_per_block), &born_kernel);
+            self_stats.accumulate(&stats);
+        }
+        self_stats.accumulate(&self.run_table_pass(complex, PairTerm::AceSelf, &self.forward_table, &energies, &forces));
+        self_stats.accumulate(&self.run_table_pass(complex, PairTerm::AceSelf, &self.reverse_table, &energies, &forces));
+
+        // Kernel (b): pairwise GB + van der Waals.
+        let mut pair_stats = KernelStats::zero();
+        pair_stats.accumulate(&self.run_table_pass(complex, PairTerm::PairwiseAndVdw, &self.forward_table, &energies, &forces));
+        pair_stats.accumulate(&self.run_table_pass(complex, PairTerm::PairwiseAndVdw, &self.reverse_table, &energies, &forces));
+
+        // Kernel (c): force update — per-atom pass combining the accumulated gradients.
+        let force_kernel = ForceUpdateKernel { n_atoms: n };
+        let blocks = n.div_ceil(self.threads_per_block).max(1);
+        let force_stats = self
+            .device
+            .launch(&LaunchConfig::new(blocks, self.threads_per_block), &force_kernel);
+
+        GpuIterationResult {
+            atom_energies: energies.into_inner(),
+            forces: forces.into_inner(),
+            self_energy_stats: self_stats,
+            pairwise_vdw_stats: pair_stats,
+            force_update_stats: force_stats,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The two earlier schemes, kept for the §IV ablation.
+    // ------------------------------------------------------------------
+
+    /// Scheme of §IV.A: one "first" atom per thread block over the raw neighbor list.
+    /// Produces the same ACE-self energies as the table passes, with the extra global
+    /// traffic of copying the per-block second-atom arrays to global memory for merging.
+    pub fn scheme_neighbor_list(
+        &self,
+        complex: &Complex,
+        neighbors: &NeighborList,
+        term: PairTerm,
+    ) -> (Vec<Real>, KernelStats) {
+        let n = complex.n_atoms();
+        let energies = Mutex::new(vec![0.0; n]);
+        let kernel = NeighborSchemeKernel { complex, ff: &self.ff, term, neighbors, energies: &energies };
+        // One block per first atom — heavily uneven work, under-filled blocks.
+        let config = LaunchConfig::new(n.max(1), 32).with_shared_mem_words(512);
+        let stats = self.device.launch(&config, &kernel);
+        (energies.into_inner(), stats)
+    }
+
+    /// Scheme of §IV.B (first variant): a single flat pairs-list processed on the
+    /// device, partial energies written to global memory, accumulation on the **host**
+    /// after transferring the two energy arrays back every iteration.
+    pub fn scheme_pairs_list_host_accum(
+        &self,
+        complex: &Complex,
+        pairs: &PairsList,
+        term: PairTerm,
+    ) -> (Vec<Real>, KernelStats) {
+        let n = complex.n_atoms();
+        let partials = Mutex::new(vec![(0.0, 0.0); pairs.len()]);
+        let kernel = PairsListKernel { complex, ff: &self.ff, term, pairs, partials: &partials };
+        let blocks = pairs.len().div_ceil(self.threads_per_block).max(1);
+        let config = LaunchConfig::new(blocks, self.threads_per_block);
+        let mut stats = self.device.launch(&config, &kernel);
+
+        // Per-iteration transfer of the two partial-energy arrays back to the host.
+        let bytes = (2 * pairs.len() * std::mem::size_of::<Real>()) as u64;
+        let transfer_s = self.device.record_transfer(Transfer::download(bytes));
+        // Serial host accumulation, modeled on the Xeon core.
+        let host_counters = gpu_sim::MemoryCounters {
+            flops: 2 * pairs.len() as u64,
+            global_reads: 2 * pairs.len() as u64,
+            global_writes: 2 * pairs.len() as u64,
+            ..Default::default()
+        };
+        let host_model = gpu_sim::CostModel::new(gpu_sim::DeviceSpec::xeon_core());
+        stats.modeled_time_s += transfer_s + host_model.serial_time(&host_counters);
+
+        let partials = partials.into_inner();
+        let mut energies = vec![0.0; n];
+        for (pair, (e_first, e_second)) in pairs.pairs.iter().zip(&partials) {
+            energies[pair.first] += *e_first;
+            energies[pair.second] += *e_second;
+        }
+        (energies, stats)
+    }
+
+    /// Scheme of §IV.B (final variant): the split-list assignment-table passes used by
+    /// [`GpuMinimizationEngine::evaluate`], exposed separately for the ablation bench.
+    pub fn scheme_split_assignment(
+        &self,
+        complex: &Complex,
+        term: PairTerm,
+    ) -> (Vec<Real>, KernelStats) {
+        let n = complex.n_atoms();
+        let energies = Mutex::new(vec![0.0; n]);
+        let forces = Mutex::new(vec![Vec3::ZERO; n]);
+        let mut stats = KernelStats::zero();
+        stats.accumulate(&self.run_table_pass(complex, term, &self.forward_table, &energies, &forces));
+        stats.accumulate(&self.run_table_pass(complex, term, &self.reverse_table, &energies, &forces));
+        (energies.into_inner(), stats)
+    }
+}
+
+/// Kernel: per-atom Born self energies.
+struct BornSelfKernel<'a> {
+    complex: &'a Complex,
+    ff: &'a ForceField,
+    energies: &'a Mutex<Vec<Real>>,
+}
+
+impl BlockKernel for BornSelfKernel<'_> {
+    fn execute_block(&self, ctx: &mut BlockContext) {
+        let range = ctx.block_range(self.complex.n_atoms());
+        if range.is_empty() {
+            return;
+        }
+        let mut local = Vec::with_capacity(range.len());
+        for i in range.clone() {
+            local.push(terms::born_self_energy(&self.complex.atoms[i], self.ff));
+        }
+        ctx.record_global_reads(2 * range.len() as u64);
+        ctx.record_flops(5 * range.len() as u64);
+        ctx.record_global_writes(range.len() as u64);
+        let mut out = self.energies.lock();
+        for (offset, e) in local.into_iter().enumerate() {
+            out[range.start + offset] += e;
+        }
+    }
+}
+
+/// Kernel: one assignment-table block pass (the paper's final scheme).
+struct TablePassKernel<'a> {
+    complex: &'a Complex,
+    ff: &'a ForceField,
+    term: PairTerm,
+    table: &'a AssignmentTable,
+    energies: &'a Mutex<Vec<Real>>,
+    forces: &'a Mutex<Vec<Vec3>>,
+}
+
+impl BlockKernel for TablePassKernel<'_> {
+    fn execute_block(&self, ctx: &mut BlockContext) {
+        let rows = self.table.block_rows(ctx.block_idx);
+        // Phase 1: every thread computes its pair's energy into shared memory.
+        let mut shared_energy = vec![0.0; rows.len()];
+        let mut shared_force = vec![Vec3::ZERO; rows.len()];
+        let mut work_rows = 0u64;
+        for (slot, row) in rows.iter().enumerate() {
+            if row.is_padding() {
+                continue;
+            }
+            work_rows += 1;
+            let (e, de_dr) = pair_energy(self.term, self.complex, self.ff, row.atom_first, row.atom_second);
+            shared_energy[slot] = e;
+            shared_force[slot] = terms::radial_force(
+                self.complex.atoms[row.atom_first].position,
+                self.complex.atoms[row.atom_second].position,
+                de_dr,
+            );
+        }
+        // Accounting: table row + two atoms' data from global, compute, store to shared.
+        ctx.record_global_reads(work_rows * 13);
+        ctx.record_flops(work_rows * flops_per_pair(self.term));
+        ctx.record_shared_accesses(work_rows * 2);
+        ctx.sync_threads();
+
+        // Phase 2: master threads accumulate their group from shared memory and add the
+        // totals to the global per-atom arrays.
+        let mut energies = self.energies.lock();
+        let mut forces = self.forces.lock();
+        for (slot, row) in rows.iter().enumerate() {
+            if row.is_padding() || !row.master {
+                continue;
+            }
+            let group = row.group_size;
+            let e_sum: Real = shared_energy[slot..slot + group].iter().sum();
+            let f_sum: Vec3 = shared_force[slot..slot + group].iter().copied().sum();
+            ctx.record_shared_accesses(group as u64);
+            ctx.record_global_writes(2);
+            energies[row.atom_first] += e_sum;
+            forces[row.atom_first] += f_sum;
+        }
+    }
+}
+
+/// Kernel: per-atom force update (kernel (c) of §IV).
+struct ForceUpdateKernel {
+    n_atoms: usize,
+}
+
+impl BlockKernel for ForceUpdateKernel {
+    fn execute_block(&self, ctx: &mut BlockContext) {
+        let range = ctx.block_range(self.n_atoms);
+        // Combine gradient accumulators into the force array: read the three gradient
+        // components and the mass/constraint flags, write the force.
+        ctx.record_global_reads(4 * range.len() as u64);
+        ctx.record_flops(6 * range.len() as u64);
+        ctx.record_global_writes(3 * range.len() as u64);
+    }
+}
+
+/// Kernel implementing the §IV.A neighbor-list scheme (one first atom per block).
+struct NeighborSchemeKernel<'a> {
+    complex: &'a Complex,
+    ff: &'a ForceField,
+    term: PairTerm,
+    neighbors: &'a NeighborList,
+    energies: &'a Mutex<Vec<Real>>,
+}
+
+impl BlockKernel for NeighborSchemeKernel<'_> {
+    fn execute_block(&self, ctx: &mut BlockContext) {
+        let i = ctx.block_idx;
+        if i >= self.complex.n_atoms() {
+            return;
+        }
+        let partners = self.neighbors.neighbors(i);
+        if partners.is_empty() {
+            return;
+        }
+        let mut first_energy = 0.0;
+        let mut second_energies = Vec::with_capacity(partners.len());
+        for &j in partners {
+            let (e_ij, _) = pair_energy(self.term, self.complex, self.ff, i, j);
+            let (e_ji, _) = pair_energy(self.term, self.complex, self.ff, j, i);
+            first_energy += e_ij;
+            second_energies.push((j, e_ji));
+        }
+        let n_pairs = partners.len() as u64;
+        // Two energy evaluations per pair, both staged in shared memory first.
+        ctx.record_global_reads(n_pairs * 13);
+        ctx.record_flops(2 * n_pairs * flops_per_pair(self.term));
+        ctx.record_shared_accesses(2 * n_pairs);
+        ctx.sync_threads();
+        // The second-atom partial array must be copied to global memory and merged —
+        // the transfer the paper identifies as this scheme's main cost.
+        ctx.record_global_writes(n_pairs + 1);
+        ctx.record_global_reads(n_pairs);
+
+        let mut energies = self.energies.lock();
+        energies[i] += first_energy;
+        for (j, e) in second_energies {
+            energies[j] += e;
+        }
+    }
+}
+
+/// Kernel implementing the single pairs-list scheme (partial energies to global memory).
+struct PairsListKernel<'a> {
+    complex: &'a Complex,
+    ff: &'a ForceField,
+    term: PairTerm,
+    pairs: &'a PairsList,
+    partials: &'a Mutex<Vec<(Real, Real)>>,
+}
+
+impl BlockKernel for PairsListKernel<'_> {
+    fn execute_block(&self, ctx: &mut BlockContext) {
+        let range = ctx.block_range(self.pairs.len());
+        if range.is_empty() {
+            return;
+        }
+        let mut local = Vec::with_capacity(range.len());
+        for idx in range.clone() {
+            let pair = self.pairs.pairs[idx];
+            let (e_first, _) = pair_energy(self.term, self.complex, self.ff, pair.first, pair.second);
+            let (e_second, _) = pair_energy(self.term, self.complex, self.ff, pair.second, pair.first);
+            local.push((e_first, e_second));
+        }
+        let n = range.len() as u64;
+        ctx.record_global_reads(n * 13);
+        ctx.record_flops(2 * n * flops_per_pair(self.term));
+        // Partial energies are written straight to global memory (no shared staging).
+        ctx.record_global_writes(2 * n);
+        let mut out = self.partials.lock();
+        for (offset, v) in local.into_iter().enumerate() {
+            out[range.start + offset] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::Evaluator;
+    use ftmap_molecule::{Probe, ProbeType, ProteinSpec, SyntheticProtein};
+
+    fn system() -> (Complex, NeighborList, ForceField) {
+        let ff = ForceField::charmm_like();
+        let protein = SyntheticProtein::generate(&ProteinSpec::small_test(), &ff);
+        let probe = Probe::new(ProbeType::Ethanol, &ff);
+        let mut posed = probe.clone();
+        let target = protein.pocket_centers[0];
+        for a in &mut posed.atoms {
+            a.position += target;
+        }
+        let complex = Complex::new(&protein, &posed);
+        let excluded = complex.topology.excluded_pairs();
+        let neighbors = NeighborList::build(&complex.atoms, ff.cutoff, &excluded);
+        (complex, neighbors, ff)
+    }
+
+    #[test]
+    fn gpu_iteration_matches_host_nonbonded_energy() {
+        let (complex, neighbors, ff) = system();
+        let device = Device::tesla_c1060();
+        let gpu = GpuMinimizationEngine::new(&device, ff.clone(), &neighbors);
+        let result = gpu.evaluate(&complex);
+
+        let host = Evaluator::new(ff).evaluate_nonbonded(&complex, &neighbors);
+        let host_total = host.breakdown.electrostatics + host.breakdown.vdw;
+        let gpu_total = result.total_energy();
+        assert!(
+            (host_total - gpu_total).abs() < 1e-6 * (1.0 + host_total.abs()),
+            "host {host_total} vs gpu {gpu_total}"
+        );
+        // Per-atom energies agree too.
+        for (h, g) in host.atom_energies.iter().zip(&result.atom_energies) {
+            assert!((h - g).abs() < 1e-6 * (1.0 + h.abs()), "{h} vs {g}");
+        }
+        assert!(result.modeled_time_s() > 0.0);
+        assert_eq!(result.forces.len(), complex.n_atoms());
+    }
+
+    #[test]
+    fn gpu_forces_match_host_pair_forces() {
+        let (complex, neighbors, ff) = system();
+        let device = Device::tesla_c1060();
+        let gpu = GpuMinimizationEngine::new(&device, ff.clone(), &neighbors);
+        let result = gpu.evaluate(&complex);
+        let host = Evaluator::new(ff).evaluate_nonbonded(&complex, &neighbors);
+        for (h, g) in host.forces.iter().zip(&result.forces) {
+            assert!(
+                (*h - *g).norm() < 1e-6 * (1.0 + h.norm()),
+                "host {h:?} vs gpu {g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_stats_reflect_paper_ordering() {
+        // Table 2: the self-energy kernel is the most expensive, then pairwise+vdW,
+        // then the force update.
+        let (complex, neighbors, ff) = system();
+        let device = Device::tesla_c1060();
+        let gpu = GpuMinimizationEngine::new(&device, ff, &neighbors);
+        let result = gpu.evaluate(&complex);
+        assert!(result.self_energy_stats.modeled_time_s > result.force_update_stats.modeled_time_s);
+        assert!(result.pairwise_vdw_stats.modeled_time_s > result.force_update_stats.modeled_time_s);
+        assert!(result.self_energy_stats.counters.flops > result.pairwise_vdw_stats.counters.flops / 2);
+    }
+
+    #[test]
+    fn all_three_schemes_agree_on_energies() {
+        let (complex, neighbors, ff) = system();
+        let device = Device::tesla_c1060();
+        let gpu = GpuMinimizationEngine::new(&device, ff, &neighbors);
+        let pairs = PairsList::from_neighbor_list(&neighbors);
+
+        let (e_neighbor, s_neighbor) = gpu.scheme_neighbor_list(&complex, &neighbors, PairTerm::AceSelf);
+        let (e_pairs, s_pairs) = gpu.scheme_pairs_list_host_accum(&complex, &pairs, PairTerm::AceSelf);
+        let (e_split, s_split) = gpu.scheme_split_assignment(&complex, PairTerm::AceSelf);
+
+        for ((a, b), c) in e_neighbor.iter().zip(&e_pairs).zip(&e_split) {
+            assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()), "{a} vs {b}");
+            assert!((a - c).abs() < 1e-9 * (1.0 + a.abs()), "{a} vs {c}");
+        }
+        // The final scheme must beat the single pairs-list with host accumulation (the
+        // paper quotes only ~3× for that scheme before the restructuring).
+        assert!(
+            s_split.modeled_time_s < s_pairs.modeled_time_s,
+            "split {} vs pairs {}",
+            s_split.modeled_time_s,
+            s_pairs.modeled_time_s
+        );
+        // The neighbor-list scheme computes every pair twice and moves every partial
+        // energy through global memory; per pair covered it must generate more global
+        // traffic than the final scheme. (The merged-counter cost model cannot see the
+        // intra-block load imbalance that is this scheme's other problem — see
+        // EXPERIMENTS.md — so the comparison here is on traffic, not modeled time.)
+        let split_traffic_per_pair =
+            s_split.counters.global_accesses() as f64 / (2.0 * neighbors.n_pairs() as f64);
+        let neighbor_traffic_per_pair =
+            s_neighbor.counters.global_accesses() as f64 / neighbors.n_pairs() as f64;
+        assert!(
+            neighbor_traffic_per_pair > split_traffic_per_pair,
+            "neighbor {neighbor_traffic_per_pair} vs split {split_traffic_per_pair}"
+        );
+    }
+
+    #[test]
+    fn refresh_neighbor_list_charges_transfer() {
+        let (_, neighbors, ff) = system();
+        let device = Device::tesla_c1060();
+        let before_bytes = device.total_transfer_bytes();
+        let mut gpu = GpuMinimizationEngine::new(&device, ff, &neighbors);
+        let after_build = device.total_transfer_bytes();
+        assert!(after_build > before_bytes);
+        gpu.refresh_neighbor_list(&neighbors);
+        assert!(device.total_transfer_bytes() > after_build);
+        assert!(gpu.n_pairs() > 0);
+    }
+}

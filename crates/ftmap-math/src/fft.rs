@@ -1,0 +1,414 @@
+//! Radix-2 complex FFT (1-D and 3-D) and FFT-based cyclic correlation.
+//!
+//! PIPER scores each rotation with up to 22 independent 3-D correlations evaluated
+//! via the convolution theorem: `corr(R, L) = IFFT( FFT(R) * conj(FFT(L)) )`.
+//! This module supplies that baseline. It is a textbook iterative Cooley–Tukey
+//! implementation — adequate for the `O(N^3 log N)` vs `O(N^3 * n^3)` comparison the
+//! paper makes (FFT correlation vs direct correlation for small probe grids), and kept
+//! dependency-free because no FFT crate is on the approved offline list.
+//!
+//! Sizes must be powers of two; [`next_pow2`] is used by the docking engine to pad
+//! grids up to a legal transform size.
+
+use crate::{Complex, Real};
+
+/// Returns the smallest power of two that is `>= n` (and at least 1).
+pub fn next_pow2(n: usize) -> usize {
+    if n <= 1 {
+        return 1;
+    }
+    let mut p = 1usize;
+    while p < n {
+        p <<= 1;
+    }
+    p
+}
+
+/// Returns true if `n` is a power of two (and nonzero).
+pub fn is_pow2(n: usize) -> bool {
+    n != 0 && (n & (n - 1)) == 0
+}
+
+/// Transform direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Forward transform (negative exponent convention).
+    Forward,
+    /// Inverse transform (positive exponent, scaled by `1/N` at the end).
+    Inverse,
+}
+
+/// In-place iterative radix-2 FFT over a power-of-two-length buffer.
+///
+/// # Panics
+/// Panics if `data.len()` is not a power of two.
+pub fn fft_in_place(data: &mut [Complex], dir: Direction) {
+    let n = data.len();
+    assert!(is_pow2(n), "FFT length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterfly passes.
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let mut len = 2usize;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as Real;
+        let wlen = Complex::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2] * w;
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+
+    if dir == Direction::Inverse {
+        let inv = 1.0 / n as Real;
+        for x in data.iter_mut() {
+            *x = x.scale(inv);
+        }
+    }
+}
+
+/// Convenience wrapper returning a transformed copy.
+pub fn fft(data: &[Complex], dir: Direction) -> Vec<Complex> {
+    let mut out = data.to_vec();
+    fft_in_place(&mut out, dir);
+    out
+}
+
+/// A 3-D FFT plan for fixed power-of-two dimensions `(nx, ny, nz)`.
+///
+/// The plan owns scratch buffers so repeated transforms (22 correlations × 500
+/// rotations in PIPER) do not allocate. Data layout is row-major with `z` fastest:
+/// `index = (x * ny + y) * nz + z`, matching [`crate::Grid3`].
+#[derive(Debug, Clone)]
+pub struct Fft3Plan {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    scratch: Vec<Complex>,
+}
+
+impl Fft3Plan {
+    /// Creates a plan for the given dimensions.
+    ///
+    /// # Panics
+    /// Panics if any dimension is not a power of two.
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(
+            is_pow2(nx) && is_pow2(ny) && is_pow2(nz),
+            "FFT3 dimensions must be powers of two, got ({nx}, {ny}, {nz})"
+        );
+        let max_dim = nx.max(ny).max(nz);
+        Fft3Plan { nx, ny, nz, scratch: vec![Complex::ZERO; max_dim] }
+    }
+
+    /// Plan dimensions `(nx, ny, nz)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    /// Total number of elements the plan transforms.
+    pub fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// True when the plan covers zero elements (never in practice; kept for API hygiene).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn index(&self, x: usize, y: usize, z: usize) -> usize {
+        (x * self.ny + y) * self.nz + z
+    }
+
+    /// In-place 3-D transform of `data` (length must equal `self.len()`).
+    ///
+    /// # Panics
+    /// Panics if `data.len()` differs from the plan size.
+    pub fn transform_in_place(&mut self, data: &mut [Complex], dir: Direction) {
+        assert_eq!(data.len(), self.len(), "FFT3 buffer length mismatch");
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+
+        // Transform along z (contiguous rows).
+        for x in 0..nx {
+            for y in 0..ny {
+                let base = self.index(x, y, 0);
+                fft_in_place(&mut data[base..base + nz], dir);
+            }
+        }
+
+        // Transform along y (stride nz).
+        for x in 0..nx {
+            for z in 0..nz {
+                for y in 0..ny {
+                    self.scratch[y] = data[self.index(x, y, z)];
+                }
+                fft_in_place(&mut self.scratch[..ny], dir);
+                for y in 0..ny {
+                    data[self.index(x, y, z)] = self.scratch[y];
+                }
+            }
+        }
+
+        // Transform along x (stride ny*nz).
+        for y in 0..ny {
+            for z in 0..nz {
+                for x in 0..nx {
+                    self.scratch[x] = data[self.index(x, y, z)];
+                }
+                fft_in_place(&mut self.scratch[..nx], dir);
+                for x in 0..nx {
+                    data[self.index(x, y, z)] = self.scratch[x];
+                }
+            }
+        }
+    }
+
+    /// Cyclic cross-correlation of two real-valued volumes via the convolution theorem.
+    ///
+    /// Returns `corr[d] = sum_k a[k] * b[k + d]` with cyclic wrap-around, the PIPER
+    /// scoring sum of Equation (1) when `a` is the receptor (protein) function and `b`
+    /// the rotated-ligand function padded to the receptor grid size.
+    pub fn correlate_real(&mut self, a: &[Real], b: &[Real]) -> Vec<Real> {
+        assert_eq!(a.len(), self.len(), "correlate_real: lhs length mismatch");
+        assert_eq!(b.len(), self.len(), "correlate_real: rhs length mismatch");
+
+        let mut fa: Vec<Complex> = a.iter().map(|&v| Complex::from_real(v)).collect();
+        let mut fb: Vec<Complex> = b.iter().map(|&v| Complex::from_real(v)).collect();
+        self.transform_in_place(&mut fa, Direction::Forward);
+        self.transform_in_place(&mut fb, Direction::Forward);
+        // Correlation theorem: FFT(corr) = conj(FFT(a)) .* FFT(b)
+        for (x, y) in fa.iter_mut().zip(fb.iter()) {
+            *x = x.conj() * *y;
+        }
+        self.transform_in_place(&mut fa, Direction::Inverse);
+        fa.into_iter().map(|c| c.re).collect()
+    }
+
+    /// Estimated floating-point operation count of one forward or inverse transform
+    /// (used by the device-model cost accounting): `5 N log2 N` per complex FFT.
+    pub fn flops_per_transform(&self) -> u64 {
+        let n = self.len() as u64;
+        let logn = (self.nx.trailing_zeros() + self.ny.trailing_zeros() + self.nz.trailing_zeros()) as u64;
+        5 * n * logn.max(1)
+    }
+}
+
+/// Naive `O(N^2)` discrete Fourier transform, used only by tests as an oracle for the FFT.
+pub fn dft_reference(data: &[Complex], dir: Direction) -> Vec<Complex> {
+    let n = data.len();
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let mut out = vec![Complex::ZERO; n];
+    for (k, item) in out.iter_mut().enumerate() {
+        let mut acc = Complex::ZERO;
+        for (t, &x) in data.iter().enumerate() {
+            let ang = sign * 2.0 * std::f64::consts::PI * (k * t) as Real / n as Real;
+            acc += x * Complex::cis(ang);
+        }
+        *item = if dir == Direction::Inverse { acc / n as Real } else { acc };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    fn random_signal(n: usize, seed: u64) -> Vec<Complex> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect()
+    }
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(17), 32);
+        assert_eq!(next_pow2(128), 128);
+    }
+
+    #[test]
+    fn is_pow2_values() {
+        assert!(!is_pow2(0));
+        assert!(is_pow2(1));
+        assert!(is_pow2(64));
+        assert!(!is_pow2(48));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_pow2() {
+        let mut data = vec![Complex::ZERO; 6];
+        fft_in_place(&mut data, Direction::Forward);
+    }
+
+    #[test]
+    fn fft_matches_dft_reference() {
+        for &n in &[2usize, 4, 8, 16, 32] {
+            let signal = random_signal(n, n as u64);
+            let fast = fft(&signal, Direction::Forward);
+            let slow = dft_reference(&signal, Direction::Forward);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!(approx_eq(a.re, b.re, 1e-8), "n={n}: {a:?} vs {b:?}");
+                assert!(approx_eq(a.im, b.im, 1e-8), "n={n}: {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fft_round_trip_recovers_signal() {
+        let signal = random_signal(64, 7);
+        let mut data = signal.clone();
+        fft_in_place(&mut data, Direction::Forward);
+        fft_in_place(&mut data, Direction::Inverse);
+        for (a, b) in data.iter().zip(&signal) {
+            assert!(approx_eq(a.re, b.re, 1e-9));
+            assert!(approx_eq(a.im, b.im, 1e-9));
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::ZERO; 16];
+        data[0] = Complex::ONE;
+        fft_in_place(&mut data, Direction::Forward);
+        for c in &data {
+            assert!(approx_eq(c.re, 1.0, 1e-12));
+            assert!(approx_eq(c.im, 0.0, 1e-12));
+        }
+    }
+
+    #[test]
+    fn fft_linearity() {
+        let a = random_signal(32, 1);
+        let b = random_signal(32, 2);
+        let summed: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let fa = fft(&a, Direction::Forward);
+        let fb = fft(&b, Direction::Forward);
+        let fsum = fft(&summed, Direction::Forward);
+        for i in 0..32 {
+            let expect = fa[i] + fb[i];
+            assert!(approx_eq(fsum[i].re, expect.re, 1e-9));
+            assert!(approx_eq(fsum[i].im, expect.im, 1e-9));
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let signal = random_signal(128, 3);
+        let spectrum = fft(&signal, Direction::Forward);
+        let time_energy: Real = signal.iter().map(|c| c.norm_sq()).sum();
+        let freq_energy: Real = spectrum.iter().map(|c| c.norm_sq()).sum::<Real>() / 128.0;
+        assert!(approx_eq(time_energy, freq_energy, 1e-9));
+    }
+
+    #[test]
+    fn fft3_round_trip() {
+        let mut plan = Fft3Plan::new(4, 8, 4);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let original: Vec<Complex> = (0..plan.len())
+            .map(|_| Complex::new(rng.gen_range(-1.0..1.0), 0.0))
+            .collect();
+        let mut data = original.clone();
+        plan.transform_in_place(&mut data, Direction::Forward);
+        plan.transform_in_place(&mut data, Direction::Inverse);
+        for (a, b) in data.iter().zip(&original) {
+            assert!(approx_eq(a.re, b.re, 1e-9));
+            assert!(approx_eq(a.im, b.im, 1e-9));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "powers of two")]
+    fn fft3_rejects_bad_dims() {
+        let _ = Fft3Plan::new(3, 4, 4);
+    }
+
+    /// Brute-force cyclic correlation oracle.
+    fn direct_cyclic_correlation(
+        a: &[Real],
+        b: &[Real],
+        nx: usize,
+        ny: usize,
+        nz: usize,
+    ) -> Vec<Real> {
+        let idx = |x: usize, y: usize, z: usize| (x * ny + y) * nz + z;
+        let mut out = vec![0.0; a.len()];
+        for dx in 0..nx {
+            for dy in 0..ny {
+                for dz in 0..nz {
+                    let mut acc = 0.0;
+                    for x in 0..nx {
+                        for y in 0..ny {
+                            for z in 0..nz {
+                                let xx = (x + dx) % nx;
+                                let yy = (y + dy) % ny;
+                                let zz = (z + dz) % nz;
+                                acc += a[idx(x, y, z)] * b[idx(xx, yy, zz)];
+                            }
+                        }
+                    }
+                    out[idx(dx, dy, dz)] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fft_correlation_matches_direct() {
+        let (nx, ny, nz) = (4usize, 4usize, 8usize);
+        let n = nx * ny * nz;
+        let mut rng = SmallRng::seed_from_u64(21);
+        let a: Vec<Real> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<Real> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut plan = Fft3Plan::new(nx, ny, nz);
+        let via_fft = plan.correlate_real(&a, &b);
+        let direct = direct_cyclic_correlation(&a, &b, nx, ny, nz);
+        for (f, d) in via_fft.iter().zip(&direct) {
+            assert!(approx_eq(*f, *d, 1e-7), "{f} vs {d}");
+        }
+    }
+
+    #[test]
+    fn flops_estimate_monotone_in_size() {
+        let small = Fft3Plan::new(4, 4, 4).flops_per_transform();
+        let large = Fft3Plan::new(8, 8, 8).flops_per_transform();
+        assert!(large > small);
+    }
+}

@@ -1,0 +1,180 @@
+//! Minimal PDB-like text I/O.
+//!
+//! FTMap's inputs and outputs are PDB files. For the reproduction we only need enough
+//! of the format to (a) dump generated structures and docked poses so they can be
+//! inspected with standard tools, and (b) reload them in examples. Only `ATOM`/`HETATM`
+//! records are read; everything else is ignored.
+
+use crate::atom::{Atom, AtomKind, Element};
+use crate::forcefield::ForceField;
+use ftmap_math::Vec3;
+use std::fmt::Write as _;
+
+/// Errors returned by the PDB reader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PdbError {
+    /// A line starting with ATOM/HETATM was too short to contain coordinates.
+    TruncatedRecord {
+        /// 1-based line number of the offending record.
+        line: usize,
+    },
+    /// Coordinates could not be parsed as numbers.
+    BadCoordinates {
+        /// 1-based line number of the offending record.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for PdbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PdbError::TruncatedRecord { line } => write!(f, "truncated ATOM record at line {line}"),
+            PdbError::BadCoordinates { line } => write!(f, "unparseable coordinates at line {line}"),
+        }
+    }
+}
+
+impl std::error::Error for PdbError {}
+
+/// Serializes atoms to PDB-style `ATOM`/`HETATM` records. Probe atoms are written as
+/// `HETATM` with residue name `PRB`, protein atoms as `ATOM` with residue name `SYN`.
+pub fn to_pdb_string(atoms: &[Atom]) -> String {
+    let mut out = String::with_capacity(atoms.len() * 81);
+    for (serial, atom) in atoms.iter().enumerate() {
+        let record = if atom.is_probe { "HETATM" } else { "ATOM  " };
+        let resname = if atom.is_probe { "PRB" } else { "SYN" };
+        let chain = if atom.is_probe { 'B' } else { 'A' };
+        let symbol = atom.element().symbol();
+        // Columns follow the PDB fixed-width convention closely enough for viewers.
+        let _ = writeln!(
+            out,
+            "{record}{:>5} {:<4} {resname} {chain}{:>4}    {:>8.3}{:>8.3}{:>8.3}{:>6.2}{:>6.2}          {:>2}",
+            (serial + 1) % 100000,
+            symbol,
+            (atom.id / 4 + 1) % 10000,
+            atom.position.x,
+            atom.position.y,
+            atom.position.z,
+            1.0,
+            0.0,
+            symbol,
+        );
+    }
+    out.push_str("END\n");
+    out
+}
+
+/// Parses PDB text, returning atoms with force-field parameters resolved by element:
+/// carbons become [`AtomKind::AliphaticC`], nitrogens [`AtomKind::PolarN`], oxygens
+/// [`AtomKind::PolarO`], sulfurs [`AtomKind::Sulfur`], hydrogens [`AtomKind::ApolarH`].
+/// `HETATM` records are marked as probe atoms.
+pub fn from_pdb_string(text: &str, ff: &ForceField) -> Result<Vec<Atom>, PdbError> {
+    let mut atoms = Vec::new();
+    for (line_no, line) in text.lines().enumerate() {
+        let is_atom = line.starts_with("ATOM");
+        let is_het = line.starts_with("HETATM");
+        if !is_atom && !is_het {
+            continue;
+        }
+        if line.len() < 54 {
+            return Err(PdbError::TruncatedRecord { line: line_no + 1 });
+        }
+        let parse = |s: &str| {
+            s.trim()
+                .parse::<f64>()
+                .map_err(|_| PdbError::BadCoordinates { line: line_no + 1 })
+        };
+        let x = parse(&line[30..38])?;
+        let y = parse(&line[38..46])?;
+        let z = parse(&line[46..54])?;
+        // Element: prefer columns 76-78, fall back to the atom-name field.
+        let elem_field = if line.len() >= 78 { &line[76..78] } else { &line[12..14] };
+        let element = Element::from_symbol(elem_field.trim())
+            .or_else(|| Element::from_symbol(&line[12..14].trim().chars().take(1).collect::<String>()))
+            .unwrap_or(Element::C);
+        let kind = match element {
+            Element::C => AtomKind::AliphaticC,
+            Element::N => AtomKind::PolarN,
+            Element::O => AtomKind::PolarO,
+            Element::S => AtomKind::Sulfur,
+            Element::H => AtomKind::ApolarH,
+        };
+        let id = atoms.len();
+        atoms.push(ff.make_atom(id, kind, Vec3::new(x, y, z), is_het));
+    }
+    Ok(atoms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::{Probe, ProbeType};
+    use crate::protein::{ProteinSpec, SyntheticProtein};
+
+    #[test]
+    fn round_trip_preserves_positions_and_flags() {
+        let ff = ForceField::charmm_like();
+        let protein = SyntheticProtein::generate(&ProteinSpec::small_test(), &ff);
+        let probe = Probe::new(ProbeType::Ethanol, &ff);
+        let mut atoms = protein.atoms.clone();
+        atoms.extend(probe.atoms.iter().copied());
+
+        let text = to_pdb_string(&atoms);
+        let parsed = from_pdb_string(&text, &ff).unwrap();
+        assert_eq!(parsed.len(), atoms.len());
+        for (orig, read) in atoms.iter().zip(&parsed) {
+            assert!((orig.position.x - read.position.x).abs() < 1e-3);
+            assert!((orig.position.y - read.position.y).abs() < 1e-3);
+            assert!((orig.position.z - read.position.z).abs() < 1e-3);
+            assert_eq!(orig.is_probe, read.is_probe);
+            assert_eq!(orig.element(), read.element());
+        }
+    }
+
+    #[test]
+    fn output_ends_with_end_record() {
+        let ff = ForceField::charmm_like();
+        let probe = Probe::new(ProbeType::Benzene, &ff);
+        let text = to_pdb_string(&probe.atoms);
+        assert!(text.ends_with("END\n"));
+        assert_eq!(text.lines().filter(|l| l.starts_with("HETATM")).count(), 6);
+    }
+
+    #[test]
+    fn ignores_non_atom_records() {
+        let ff = ForceField::charmm_like();
+        let text = "HEADER    TEST\nREMARK 1\nATOM      1  C   SYN A   1       1.000   2.000   3.000  1.00  0.00           C\nTER\nEND\n";
+        let atoms = from_pdb_string(text, &ff).unwrap();
+        assert_eq!(atoms.len(), 1);
+        assert_eq!(atoms[0].position, Vec3::new(1.0, 2.0, 3.0));
+        assert!(!atoms[0].is_probe);
+    }
+
+    #[test]
+    fn truncated_record_is_an_error() {
+        let ff = ForceField::charmm_like();
+        let text = "ATOM      1  C   SYN A   1       1.000";
+        assert_eq!(
+            from_pdb_string(text, &ff),
+            Err(PdbError::TruncatedRecord { line: 1 })
+        );
+    }
+
+    #[test]
+    fn bad_coordinates_are_an_error() {
+        let ff = ForceField::charmm_like();
+        let text = "ATOM      1  C   SYN A   1       x.xxx   2.000   3.000  1.00  0.00           C";
+        assert_eq!(
+            from_pdb_string(text, &ff),
+            Err(PdbError::BadCoordinates { line: 1 })
+        );
+    }
+
+    #[test]
+    fn error_display_mentions_line() {
+        let e = PdbError::TruncatedRecord { line: 7 };
+        assert!(e.to_string().contains("line 7"));
+        let e = PdbError::BadCoordinates { line: 3 };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,420 @@
+//! Device specifications and the block-parallel execution engine.
+//!
+//! [`DeviceSpec`] captures the handful of hardware parameters the cost model needs.
+//! Two built-in specs matter for the reproduction:
+//!
+//! * [`DeviceSpec::tesla_c1060`] — the accelerator the paper used (240 cores @ 1.3 GHz,
+//!   30 SMs, 16 KB shared memory per SM, uncached global memory, PCIe x16 gen2);
+//! * [`DeviceSpec::xeon_core`] — a single core of the 3 GHz Xeon Harpertown host the
+//!   paper's serial baseline ran on.
+//!
+//! [`Device`] executes [`BlockKernel`]s: the grid of blocks is distributed over a
+//! crossbeam thread pool (one logical worker per simulated SM, capped at the physical
+//! CPU count), per-block counters are merged, and the cost model converts the totals
+//! into modeled times.
+
+use crate::cost::CostModel;
+use crate::kernel::{BlockContext, BlockKernel, LaunchConfig};
+use crate::memory::{MemoryCounters, SharedMemory, Transfer};
+use crate::timing::KernelStats;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Hardware parameters of a (modeled) compute device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Number of streaming multiprocessors (1 for a CPU core).
+    pub sm_count: usize,
+    /// Scalar cores per SM.
+    pub cores_per_sm: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Sustained floating-point operations per core per clock cycle.
+    pub flops_per_cycle: f64,
+    /// Shared memory per SM, in bytes.
+    pub shared_mem_bytes: usize,
+    /// Constant memory visible to all SMs, in bytes.
+    pub constant_mem_bytes: usize,
+    /// Global-memory access latency in clock cycles (uncached on the C1060).
+    pub global_latency_cycles: f64,
+    /// Shared/constant-memory access latency in clock cycles.
+    pub shared_latency_cycles: f64,
+    /// Sustainable global-memory bandwidth in GB/s.
+    pub global_bandwidth_gbps: f64,
+    /// Kernel-launch overhead in microseconds (0 for host execution).
+    pub kernel_launch_overhead_us: f64,
+    /// Host↔device transfer bandwidth in GB/s (PCIe); `f64::INFINITY` for the host
+    /// itself (no transfer needed).
+    pub transfer_bandwidth_gbps: f64,
+    /// Fixed per-transfer latency in microseconds.
+    pub transfer_latency_us: f64,
+}
+
+impl DeviceSpec {
+    /// The NVIDIA Tesla C1060 used in the paper: 30 SMs × 8 cores @ 1.3 GHz,
+    /// 16 KB shared memory per SM, 64 KB constant memory, ~102 GB/s global bandwidth,
+    /// 400–600 cycle uncached global latency, PCIe gen2 x16 host link.
+    pub fn tesla_c1060() -> Self {
+        DeviceSpec {
+            name: "NVIDIA Tesla C1060 (modeled)".to_string(),
+            sm_count: 30,
+            cores_per_sm: 8,
+            clock_ghz: 1.3,
+            flops_per_cycle: 1.0,
+            shared_mem_bytes: 16 * 1024,
+            constant_mem_bytes: 64 * 1024,
+            global_latency_cycles: 500.0,
+            shared_latency_cycles: 2.0,
+            global_bandwidth_gbps: 102.0,
+            kernel_launch_overhead_us: 10.0,
+            transfer_bandwidth_gbps: 5.0,
+            transfer_latency_us: 8.0,
+        }
+    }
+
+    /// A single core of the 3 GHz Intel Xeon Harpertown host used for the paper's
+    /// serial baseline. Modeled as one wide core with a large cache (so the "shared"
+    /// latency class applies to most of its memory traffic) and no launch or transfer
+    /// overheads.
+    pub fn xeon_core() -> Self {
+        DeviceSpec {
+            name: "Intel Xeon Harpertown, 1 core (modeled)".to_string(),
+            sm_count: 1,
+            cores_per_sm: 1,
+            clock_ghz: 3.0,
+            flops_per_cycle: 1.0,
+            shared_mem_bytes: 6 * 1024 * 1024,
+            constant_mem_bytes: 6 * 1024 * 1024,
+            global_latency_cycles: 12.0,
+            shared_latency_cycles: 3.0,
+            global_bandwidth_gbps: 8.0,
+            kernel_launch_overhead_us: 0.0,
+            transfer_bandwidth_gbps: f64::INFINITY,
+            transfer_latency_us: 0.0,
+        }
+    }
+
+    /// The quad-core variant of the host, used for the paper's multicore comparison
+    /// (§V.A: GPU-PIPER vs multicore FFT-PIPER).
+    pub fn xeon_quad() -> Self {
+        let mut spec = Self::xeon_core();
+        spec.name = "Intel Xeon Harpertown, 4 cores (modeled)".to_string();
+        spec.sm_count = 4;
+        spec
+    }
+
+    /// Peak floating-point throughput in GFLOP/s.
+    pub fn peak_gflops(&self) -> f64 {
+        self.sm_count as f64 * self.cores_per_sm as f64 * self.clock_ghz * self.flops_per_cycle
+    }
+
+    /// Shared-memory capacity per SM in f64 words.
+    pub fn shared_mem_words(&self) -> usize {
+        self.shared_mem_bytes / std::mem::size_of::<f64>()
+    }
+
+    /// Constant-memory capacity in f64 words.
+    pub fn constant_mem_words(&self) -> usize {
+        self.constant_mem_bytes / std::mem::size_of::<f64>()
+    }
+}
+
+/// The block-parallel execution engine for one modeled device.
+#[derive(Debug)]
+pub struct Device {
+    spec: DeviceSpec,
+    cost: CostModel,
+    worker_threads: usize,
+    /// Accumulated modeled transfer time (seconds) since construction / reset.
+    transfer_time_s: Mutex<f64>,
+    /// Accumulated transferred bytes since construction / reset.
+    transfer_bytes: AtomicUsize,
+}
+
+impl Device {
+    /// Creates a device with the given spec, using up to `min(spec.sm_count, CPU count)`
+    /// worker threads for block execution.
+    pub fn new(spec: DeviceSpec) -> Self {
+        let physical = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let worker_threads = spec.sm_count.min(physical).max(1);
+        let cost = CostModel::new(spec.clone());
+        Device {
+            spec,
+            cost,
+            worker_threads,
+            transfer_time_s: Mutex::new(0.0),
+            transfer_bytes: AtomicUsize::new(0),
+        }
+    }
+
+    /// A Tesla-C1060-class device.
+    pub fn tesla_c1060() -> Self {
+        Device::new(DeviceSpec::tesla_c1060())
+    }
+
+    /// The device spec.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// The cost model attached to this device.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Number of CPU worker threads used to execute blocks.
+    pub fn worker_threads(&self) -> usize {
+        self.worker_threads
+    }
+
+    /// Records a host↔device transfer and returns its modeled duration in seconds.
+    pub fn record_transfer(&self, transfer: Transfer) -> f64 {
+        let t = self.cost.transfer_time(&transfer);
+        *self.transfer_time_s.lock() += t;
+        self.transfer_bytes.fetch_add(transfer.bytes as usize, Ordering::Relaxed);
+        t
+    }
+
+    /// Total modeled transfer time (seconds) recorded so far.
+    pub fn total_transfer_time(&self) -> f64 {
+        *self.transfer_time_s.lock()
+    }
+
+    /// Total bytes transferred so far.
+    pub fn total_transfer_bytes(&self) -> usize {
+        self.transfer_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Resets the transfer accounting.
+    pub fn reset_transfer_stats(&self) {
+        *self.transfer_time_s.lock() = 0.0;
+        self.transfer_bytes.store(0, Ordering::Relaxed);
+    }
+
+    /// Launches a kernel: executes `config.grid_blocks` blocks of the kernel, in
+    /// parallel across the worker threads, and returns merged statistics.
+    ///
+    /// Each block gets a [`BlockContext`] with its own shared-memory arena and counter
+    /// set; kernels write their results through whatever interior-mutable output
+    /// structure they captured (mirroring global-memory writes on a real device).
+    ///
+    /// # Panics
+    /// Panics if the requested shared memory exceeds the device's per-SM capacity.
+    pub fn launch<K: BlockKernel>(&self, config: &LaunchConfig, kernel: &K) -> KernelStats {
+        assert!(
+            config.shared_mem_words * std::mem::size_of::<f64>() <= self.spec.shared_mem_bytes,
+            "kernel requests {} words of shared memory; device has {} bytes per SM",
+            config.shared_mem_words,
+            self.spec.shared_mem_bytes
+        );
+
+        let n_blocks = config.grid_blocks;
+        let next_block = AtomicUsize::new(0);
+        let block_counters: Mutex<Vec<MemoryCounters>> = Mutex::new(Vec::with_capacity(n_blocks));
+
+        let wall_start = Instant::now();
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..self.worker_threads.min(n_blocks.max(1)) {
+                scope.spawn(|_| {
+                    let mut local: Vec<MemoryCounters> = Vec::new();
+                    loop {
+                        let block_idx = next_block.fetch_add(1, Ordering::Relaxed);
+                        if block_idx >= n_blocks {
+                            break;
+                        }
+                        let mut ctx = BlockContext::new(
+                            block_idx,
+                            n_blocks,
+                            config.threads_per_block,
+                            SharedMemory::new(config.shared_mem_words),
+                        );
+                        kernel.execute_block(&mut ctx);
+                        local.push(ctx.into_counters());
+                    }
+                    block_counters.lock().extend(local);
+                });
+            }
+        })
+        .expect("device worker thread panicked");
+        let wall_time = wall_start.elapsed();
+
+        let per_block = block_counters.into_inner();
+        let totals = MemoryCounters::merged(per_block.iter());
+        let modeled = self.cost.kernel_time(&totals, config);
+
+        KernelStats {
+            blocks: n_blocks,
+            threads_per_block: config.threads_per_block,
+            counters: totals,
+            wall_time_s: wall_time.as_secs_f64(),
+            modeled_time_s: modeled,
+        }
+    }
+
+    /// Runs the kernel as a single "block" covering all work on the host model —
+    /// the serial-baseline path used when modeling the original CPU code. No launch
+    /// overhead is charged and parallel workers are not used.
+    pub fn run_serial<K: BlockKernel>(&self, config: &LaunchConfig, kernel: &K) -> KernelStats {
+        let wall_start = Instant::now();
+        let mut per_block = Vec::with_capacity(config.grid_blocks);
+        for block_idx in 0..config.grid_blocks {
+            let mut ctx = BlockContext::new(
+                block_idx,
+                config.grid_blocks,
+                config.threads_per_block,
+                SharedMemory::new(config.shared_mem_words),
+            );
+            kernel.execute_block(&mut ctx);
+            per_block.push(ctx.into_counters());
+        }
+        let wall_time = wall_start.elapsed();
+        let totals = MemoryCounters::merged(per_block.iter());
+        let modeled = self.cost.serial_time(&totals);
+        KernelStats {
+            blocks: config.grid_blocks,
+            threads_per_block: config.threads_per_block,
+            counters: totals,
+            wall_time_s: wall_time.as_secs_f64(),
+            modeled_time_s: modeled,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{BlockContext, BlockKernel, LaunchConfig};
+    use parking_lot::Mutex as PlMutex;
+
+    /// A kernel that squares numbers: block i handles a contiguous chunk of the input.
+    struct SquareKernel<'a> {
+        input: &'a [f64],
+        output: &'a PlMutex<Vec<f64>>,
+        chunk: usize,
+    }
+
+    impl BlockKernel for SquareKernel<'_> {
+        fn execute_block(&self, ctx: &mut BlockContext) {
+            let start = ctx.block_idx * self.chunk;
+            let end = (start + self.chunk).min(self.input.len());
+            let mut local = Vec::with_capacity(end.saturating_sub(start));
+            for i in start..end {
+                ctx.counters.global_reads += 1;
+                ctx.counters.flops += 1;
+                local.push(self.input[i] * self.input[i]);
+            }
+            let mut out = self.output.lock();
+            for (offset, v) in local.into_iter().enumerate() {
+                ctx.counters.global_writes += 1;
+                out[start + offset] = v;
+            }
+        }
+    }
+
+    #[test]
+    fn tesla_spec_matches_paper_hardware() {
+        let spec = DeviceSpec::tesla_c1060();
+        assert_eq!(spec.sm_count * spec.cores_per_sm, 240);
+        assert!((spec.clock_ghz - 1.3).abs() < 1e-12);
+        assert_eq!(spec.shared_mem_bytes, 16 * 1024);
+        assert_eq!(spec.constant_mem_bytes, 64 * 1024);
+        assert!(spec.peak_gflops() > 300.0);
+    }
+
+    #[test]
+    fn xeon_specs() {
+        let core = DeviceSpec::xeon_core();
+        assert_eq!(core.sm_count, 1);
+        assert!((core.clock_ghz - 3.0).abs() < 1e-12);
+        assert!(core.transfer_bandwidth_gbps.is_infinite());
+        let quad = DeviceSpec::xeon_quad();
+        assert_eq!(quad.sm_count, 4);
+        assert!(quad.peak_gflops() > core.peak_gflops());
+    }
+
+    #[test]
+    fn launch_executes_all_blocks_and_counts() {
+        let device = Device::tesla_c1060();
+        let input: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let output = PlMutex::new(vec![0.0; input.len()]);
+        let chunk = 64;
+        let kernel = SquareKernel { input: &input, output: &output, chunk };
+        let n_blocks = input.len().div_ceil(chunk);
+        let config = LaunchConfig::new(n_blocks, 64);
+        let stats = device.launch(&config, &kernel);
+
+        let out = output.into_inner();
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as f64);
+        }
+        assert_eq!(stats.blocks, n_blocks);
+        assert_eq!(stats.counters.flops, input.len() as u64);
+        assert_eq!(stats.counters.global_reads, input.len() as u64);
+        assert_eq!(stats.counters.global_writes, input.len() as u64);
+        assert!(stats.modeled_time_s > 0.0);
+        assert!(stats.wall_time_s > 0.0);
+    }
+
+    #[test]
+    fn serial_run_matches_launch_results() {
+        let device = Device::new(DeviceSpec::xeon_core());
+        let input: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let output = PlMutex::new(vec![0.0; input.len()]);
+        let kernel = SquareKernel { input: &input, output: &output, chunk: 10 };
+        let config = LaunchConfig::new(10, 1);
+        let stats = device.run_serial(&config, &kernel);
+        assert_eq!(stats.counters.flops, 100);
+        let out = output.into_inner();
+        assert_eq!(out[9], 81.0);
+    }
+
+    #[test]
+    fn gpu_modeled_time_beats_serial_for_large_parallel_work() {
+        // A compute-heavy kernel should be modeled much faster on the 240-core device
+        // than on one Xeon core — this is the basic premise behind Table 1.
+        let counters = MemoryCounters { flops: 100_000_000, global_reads: 1_000_000, ..Default::default() };
+        let gpu = Device::tesla_c1060();
+        let cpu = Device::new(DeviceSpec::xeon_core());
+        let config = LaunchConfig::new(1000, 64);
+        let gpu_time = gpu.cost_model().kernel_time(&counters, &config);
+        let cpu_time = cpu.cost_model().serial_time(&counters);
+        assert!(cpu_time / gpu_time > 20.0, "speedup {}", cpu_time / gpu_time);
+    }
+
+    #[test]
+    fn transfer_accounting_accumulates() {
+        let device = Device::tesla_c1060();
+        assert_eq!(device.total_transfer_bytes(), 0);
+        let t1 = device.record_transfer(Transfer::upload(1_000_000));
+        let t2 = device.record_transfer(Transfer::download(500_000));
+        assert!(t1 > 0.0 && t2 > 0.0);
+        assert_eq!(device.total_transfer_bytes(), 1_500_000);
+        assert!(device.total_transfer_time() >= t1 + t2 - 1e-12);
+        device.reset_transfer_stats();
+        assert_eq!(device.total_transfer_bytes(), 0);
+        assert_eq!(device.total_transfer_time(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared memory")]
+    fn oversized_shared_memory_request_panics() {
+        let device = Device::tesla_c1060();
+        let config = LaunchConfig::new(1, 32).with_shared_mem_words(1_000_000);
+        struct Noop;
+        impl BlockKernel for Noop {
+            fn execute_block(&self, _ctx: &mut BlockContext) {}
+        }
+        device.launch(&config, &Noop);
+    }
+
+    #[test]
+    fn worker_threads_bounded_by_sm_count() {
+        let device = Device::new(DeviceSpec::xeon_quad());
+        assert!(device.worker_threads() <= 4);
+        assert!(device.worker_threads() >= 1);
+    }
+}

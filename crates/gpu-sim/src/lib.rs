@@ -1,0 +1,53 @@
+//! # gpu-sim
+//!
+//! A software model of a CUDA-class GPU, used as the *accelerator substrate* for the
+//! ftmap-rs reproduction of *Fast Binding Site Mapping using GPUs and CUDA*
+//! (Sukhwani & Herbordt, 2010).
+//!
+//! ## Why a device model
+//!
+//! The paper's results were measured on an NVIDIA Tesla C1060 (30 streaming
+//! multiprocessors × 8 cores at 1.3 GHz, 16 KB shared memory per SM, 64 KB constant
+//! memory, uncached global memory). No GPU is available to this reproduction and Rust
+//! GPU toolchains are immature, so the workspace substitutes a **software device model**:
+//!
+//! * kernels are written against a CUDA-like execution model — a grid of thread
+//!   **blocks**, each with shared memory, barriers, and per-thread work assignment;
+//! * blocks execute **in parallel on CPU worker threads** (crossbeam), so the
+//!   restructured algorithms really do run concurrently and their results are tested;
+//! * every kernel **accounts** its floating-point work and its global / shared /
+//!   constant memory traffic, and a [`cost::CostModel`] converts those counts into
+//!   *modeled* kernel times for the Tesla-class device and for a single Xeon-class
+//!   host core. The ratio of the two modeled times is what the benchmark harness
+//!   compares against the paper's Table 1 / Table 2 speedups.
+//!
+//! The important property is that the modeled times depend on exactly the quantities
+//! the paper's optimizations change — number of global-memory touches per result,
+//! reuse out of shared/constant memory, kernel-launch counts, and host↔device
+//! transfers — so the *shape* of the paper's results is reproduced even though the
+//! absolute silicon is absent.
+//!
+//! ## Module map
+//!
+//! * [`device`] — device specifications ([`DeviceSpec::tesla_c1060`],
+//!   [`DeviceSpec::xeon_core`]) and the [`Device`] execution engine.
+//! * [`kernel`] — the [`BlockKernel`] trait, launch configuration and block context
+//!   (shared memory + counters) passed to kernels.
+//! * [`memory`] — access counters and the host↔device transfer model.
+//! * [`cost`] — the analytic cost model that turns counters into modeled times.
+//! * [`timing`] — wall-clock helpers and the combined [`timing::KernelStats`] report.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cost;
+pub mod device;
+pub mod kernel;
+pub mod memory;
+pub mod timing;
+
+pub use cost::CostModel;
+pub use device::{Device, DeviceSpec};
+pub use kernel::{BlockContext, BlockKernel, LaunchConfig};
+pub use memory::{MemoryCounters, Transfer};
+pub use timing::KernelStats;

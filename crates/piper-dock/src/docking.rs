@@ -1,0 +1,544 @@
+//! Full rigid-docking runs: the per-probe loop over rotations.
+//!
+//! FTMap docks each probe with 500 rotations and keeps the 4 best-scoring translations
+//! per rotation (paper §II.A), producing ~2000 conformations for the minimization
+//! phase. [`Docking::run`] performs that loop with any of the engines the paper
+//! compares, and records two timing views:
+//!
+//! * **wall-clock** per step on this machine (useful for the measured speedup of the
+//!   multicore and block-parallel paths), and
+//! * **modeled** per step — Xeon-core modeled times for host engines, device-model
+//!   times for the GPU engine — which is what the Table 1 / Fig. 2(b) reproduction
+//!   compares, since the original hardware is not available.
+
+use crate::direct::{DirectCorrelationEngine, SparseLigand};
+use crate::fft_engine::FftCorrelationEngine;
+use crate::filter;
+use crate::gpu::GpuDockingEngine;
+use crate::grids::{EnergyWeights, GridSpec, LigandGrids, ReceptorGrids};
+use crate::pose::{sort_best_first, Pose};
+use ftmap_math::{Real, RotationSet};
+use ftmap_molecule::{Atom, Probe};
+use gpu_sim::{CostModel, Device, DeviceSpec, MemoryCounters};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Which engine scores the rotations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DockingEngineKind {
+    /// Original PIPER: serial FFT correlation on the host.
+    FftSerial,
+    /// FFT correlation with rotations distributed over host threads.
+    FftMulticore(usize),
+    /// Direct correlation, serial on the host.
+    DirectSerial,
+    /// Direct correlation with the receptor passes split over host threads.
+    DirectMulticore(usize),
+    /// The paper's GPU mapping: batched direct correlation + device-side
+    /// accumulation, scoring and filtering.
+    Gpu {
+        /// Rotations per batch (8 in the paper for 4³ probes). Clamped to what fits in
+        /// constant memory.
+        batch: usize,
+    },
+}
+
+/// Configuration of a docking run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DockingConfig {
+    /// Receptor / result grid dimension `N` (must be a power of two for FFT engines).
+    pub grid_dim: usize,
+    /// Grid spacing in Å.
+    pub spacing: Real,
+    /// Number of desolvation components (4–18).
+    pub n_desolv: usize,
+    /// Number of rotations to score.
+    pub n_rotations: usize,
+    /// Poses retained per rotation (FTMap keeps 4).
+    pub poses_per_rotation: usize,
+    /// Exclusion radius (voxels) for filtering.
+    pub exclusion_radius: usize,
+    /// Energy weights of Equation (2).
+    pub weights: EnergyWeights,
+    /// Engine selection.
+    pub engine: DockingEngineKind,
+}
+
+impl Default for DockingConfig {
+    fn default() -> Self {
+        DockingConfig {
+            grid_dim: 64,
+            spacing: 1.0,
+            n_desolv: 4,
+            n_rotations: 500,
+            poses_per_rotation: 4,
+            exclusion_radius: 3,
+            weights: EnergyWeights::default(),
+            engine: DockingEngineKind::Gpu { batch: 8 },
+        }
+    }
+}
+
+impl DockingConfig {
+    /// A scaled-down configuration suitable for unit and integration tests.
+    pub fn small_test(engine: DockingEngineKind) -> Self {
+        DockingConfig {
+            grid_dim: 16,
+            spacing: 2.0,
+            n_desolv: 4,
+            n_rotations: 4,
+            poses_per_rotation: 2,
+            exclusion_radius: 2,
+            weights: EnergyWeights::default(),
+            engine,
+        }
+    }
+}
+
+/// Per-step times for one docking run, in seconds. Each field is the total over all
+/// rotations; divide by `n_rotations` for the per-rotation numbers of Table 1.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StepTimes {
+    /// Rotation of the probe and ligand-grid assignment (always on the host).
+    pub rotation_grid_s: f64,
+    /// Correlations (FFT or direct).
+    pub correlation_s: f64,
+    /// Accumulation of the desolvation pairwise-potential terms.
+    pub accumulation_s: f64,
+    /// Scoring and filtering.
+    pub scoring_filtering_s: f64,
+}
+
+impl StepTimes {
+    /// Total over all steps.
+    pub fn total(&self) -> f64 {
+        self.rotation_grid_s + self.correlation_s + self.accumulation_s + self.scoring_filtering_s
+    }
+
+    /// Per-step percentage breakdown `(rotation, correlation, accumulation, scoring)`.
+    pub fn percentages(&self) -> [f64; 4] {
+        let t = self.total();
+        if t <= 0.0 {
+            return [0.0; 4];
+        }
+        [
+            100.0 * self.rotation_grid_s / t,
+            100.0 * self.correlation_s / t,
+            100.0 * self.accumulation_s / t,
+            100.0 * self.scoring_filtering_s / t,
+        ]
+    }
+}
+
+/// The outcome of a docking run.
+#[derive(Debug, Clone)]
+pub struct DockingRun {
+    /// Retained poses, best-first.
+    pub poses: Vec<Pose>,
+    /// Number of rotations scored.
+    pub n_rotations: usize,
+    /// Measured wall-clock step times on this machine.
+    pub wall: StepTimes,
+    /// Modeled step times (Xeon core for host engines, C1060 device model for the GPU
+    /// engine).
+    pub modeled: StepTimes,
+    /// Grid spec used (needed to convert poses back to Cartesian space).
+    pub grid: GridSpec,
+}
+
+impl DockingRun {
+    /// The best pose (lowest score); `None` if nothing was retained.
+    pub fn best_pose(&self) -> Option<&Pose> {
+        self.poses.first()
+    }
+}
+
+/// A docking context: receptor grids built once, reusable across probes and engines.
+pub struct Docking {
+    receptor: ReceptorGrids,
+    config: DockingConfig,
+    rotations: RotationSet,
+    xeon: CostModel,
+    device: Device,
+}
+
+impl Docking {
+    /// Builds the docking context (receptor grids, rotation set, device model).
+    pub fn new(protein_atoms: &[Atom], config: DockingConfig) -> Self {
+        let spec = GridSpec::centered_on(protein_atoms, config.grid_dim, config.spacing);
+        let receptor = ReceptorGrids::build(protein_atoms, spec, config.n_desolv);
+        let rotations = RotationSet::uniform(config.n_rotations);
+        Docking {
+            receptor,
+            config,
+            rotations,
+            xeon: CostModel::new(DeviceSpec::xeon_core()),
+            device: Device::tesla_c1060(),
+        }
+    }
+
+    /// The receptor grids.
+    pub fn receptor(&self) -> &ReceptorGrids {
+        &self.receptor
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DockingConfig {
+        &self.config
+    }
+
+    /// The rotation set scored by [`Docking::run`].
+    pub fn rotations(&self) -> &RotationSet {
+        &self.rotations
+    }
+
+    /// Runs rigid docking of `probe` with the configured engine.
+    pub fn run(&self, probe: &Probe) -> DockingRun {
+        match self.config.engine {
+            DockingEngineKind::FftSerial => self.run_fft(probe, 1),
+            DockingEngineKind::FftMulticore(n) => self.run_fft(probe, n.max(1)),
+            DockingEngineKind::DirectSerial => self.run_direct(probe, 1),
+            DockingEngineKind::DirectMulticore(n) => self.run_direct(probe, n.max(1)),
+            DockingEngineKind::Gpu { batch } => self.run_gpu(probe, batch.max(1)),
+        }
+    }
+
+    /// Modeled serial-CPU counters for building one rotation's ligand grids.
+    fn rotation_grid_counters(&self, probe: &Probe) -> MemoryCounters {
+        let atoms = probe.n_atoms() as u64;
+        MemoryCounters {
+            flops: 60 * atoms + 200,
+            global_reads: 20 * atoms,
+            global_writes: 10 * atoms,
+            ..Default::default()
+        }
+    }
+
+    fn host_finish_counters(&self) -> (MemoryCounters, MemoryCounters) {
+        let n3 = self.receptor.spec.len() as u64;
+        let n_desolv = self.config.n_desolv as u64;
+        let accumulation = MemoryCounters {
+            flops: n_desolv * n3,
+            global_reads: (n_desolv + 1) * n3,
+            global_writes: n3,
+            ..Default::default()
+        };
+        let scoring = MemoryCounters {
+            flops: 7 * n3,
+            global_reads: 6 * n3,
+            global_writes: n3 / 16,
+            ..Default::default()
+        };
+        (accumulation, scoring)
+    }
+
+    /// Shared host-side tail of a rotation: accumulation, scoring, filtering.
+    fn finish_rotation_on_host(
+        &self,
+        rot_idx: usize,
+        results: &[ftmap_math::Grid3<Real>],
+        poses: &mut Vec<Pose>,
+        wall: &mut StepTimes,
+        modeled: &mut StepTimes,
+    ) {
+        let (acc_counters, score_counters) = self.host_finish_counters();
+
+        let t0 = Instant::now();
+        let desolv = filter::accumulate_desolvation(results, self.config.n_desolv);
+        wall.accumulation_s += t0.elapsed().as_secs_f64();
+        modeled.accumulation_s += self.xeon.serial_time(&acc_counters);
+
+        let t1 = Instant::now();
+        let scores = filter::score_grid(results, &desolv, &self.config.weights, self.config.n_desolv);
+        let selected = filter::filter_top_k(
+            &scores,
+            self.config.poses_per_rotation,
+            self.config.exclusion_radius,
+            rot_idx,
+        );
+        wall.scoring_filtering_s += t1.elapsed().as_secs_f64();
+        modeled.scoring_filtering_s += self.xeon.serial_time(&score_counters);
+        poses.extend(selected);
+    }
+
+    fn run_fft(&self, probe: &Probe, n_threads: usize) -> DockingRun {
+        let mut engine = FftCorrelationEngine::new(&self.receptor);
+        let mut poses = Vec::new();
+        let mut wall = StepTimes::default();
+        let mut modeled = StepTimes::default();
+
+        let fft_counters = MemoryCounters {
+            flops: engine.flops_per_rotation(),
+            global_reads: 3 * self.receptor.n_terms() as u64 * self.receptor.spec.len() as u64,
+            global_writes: self.receptor.n_terms() as u64 * self.receptor.spec.len() as u64,
+            ..Default::default()
+        };
+        let rotation_counters = self.rotation_grid_counters(probe);
+
+        for (rot_idx, rotation) in self.rotations.iter().enumerate() {
+            let t0 = Instant::now();
+            let ligand =
+                LigandGrids::build(&probe.atoms, rotation, self.config.spacing, self.config.n_desolv);
+            wall.rotation_grid_s += t0.elapsed().as_secs_f64();
+            modeled.rotation_grid_s += self.xeon.serial_time(&rotation_counters);
+
+            let t1 = Instant::now();
+            let results = engine.correlate_rotation(&ligand);
+            wall.correlation_s += t1.elapsed().as_secs_f64();
+            // The multicore baseline distributes whole rotations over cores, so the
+            // modeled per-rotation time divides by the thread count.
+            modeled.correlation_s += self.xeon.serial_time(&fft_counters) / n_threads as f64;
+
+            self.finish_rotation_on_host(rot_idx, &results, &mut poses, &mut wall, &mut modeled);
+        }
+        if n_threads > 1 {
+            wall.correlation_s /= n_threads as f64;
+        }
+        sort_best_first(&mut poses);
+        DockingRun {
+            poses,
+            n_rotations: self.rotations.len(),
+            wall,
+            modeled,
+            grid: self.receptor.spec,
+        }
+    }
+
+    fn run_direct(&self, probe: &Probe, n_threads: usize) -> DockingRun {
+        let engine = DirectCorrelationEngine::new(&self.receptor);
+        let mut poses = Vec::new();
+        let mut wall = StepTimes::default();
+        let mut modeled = StepTimes::default();
+        let rotation_counters = self.rotation_grid_counters(probe);
+
+        for (rot_idx, rotation) in self.rotations.iter().enumerate() {
+            let t0 = Instant::now();
+            let ligand =
+                LigandGrids::build(&probe.atoms, rotation, self.config.spacing, self.config.n_desolv);
+            let sparse = SparseLigand::from_grids(&ligand);
+            wall.rotation_grid_s += t0.elapsed().as_secs_f64();
+            modeled.rotation_grid_s += self.xeon.serial_time(&rotation_counters);
+
+            let direct_counters = MemoryCounters {
+                flops: engine.flops_per_rotation(&sparse),
+                global_reads: self.receptor.spec.len() as u64 * sparse.len() as u64,
+                global_writes: self.receptor.n_terms() as u64 * self.receptor.spec.len() as u64,
+                ..Default::default()
+            };
+
+            let t1 = Instant::now();
+            let results = if n_threads == 1 {
+                engine.correlate_rotation_serial(&sparse)
+            } else {
+                engine.correlate_rotation_multicore(&sparse, n_threads)
+            };
+            wall.correlation_s += t1.elapsed().as_secs_f64();
+            modeled.correlation_s += self.xeon.serial_time(&direct_counters) / n_threads as f64;
+
+            self.finish_rotation_on_host(rot_idx, &results, &mut poses, &mut wall, &mut modeled);
+        }
+        sort_best_first(&mut poses);
+        DockingRun {
+            poses,
+            n_rotations: self.rotations.len(),
+            wall,
+            modeled,
+            grid: self.receptor.spec,
+        }
+    }
+
+    fn run_gpu(&self, probe: &Probe, requested_batch: usize) -> DockingRun {
+        let gpu = GpuDockingEngine::new(&self.device, &self.receptor);
+        let mut poses = Vec::new();
+        let mut wall = StepTimes::default();
+        let mut modeled = StepTimes::default();
+        let rotation_counters = self.rotation_grid_counters(probe);
+
+        // Build all sparse ligands up-front per batch (host work, matching the paper:
+        // "the ligand grid is rotated on the host and remapped").
+        let rotations: Vec<_> = self.rotations.rotations().to_vec();
+        let mut rot_idx = 0usize;
+        while rot_idx < rotations.len() {
+            let t0 = Instant::now();
+            let mut batch = Vec::new();
+            let mut batch_indices = Vec::new();
+            while rot_idx < rotations.len() && batch.len() < requested_batch {
+                let ligand = LigandGrids::build(
+                    &probe.atoms,
+                    &rotations[rot_idx],
+                    self.config.spacing,
+                    self.config.n_desolv,
+                );
+                let sparse = SparseLigand::from_grids(&ligand);
+                // Respect the constant-memory capacity limit.
+                let max_batch = gpu.max_batch(&sparse);
+                if batch.len() >= max_batch {
+                    break;
+                }
+                batch.push(sparse);
+                batch_indices.push(rot_idx);
+                rot_idx += 1;
+            }
+            wall.rotation_grid_s += t0.elapsed().as_secs_f64();
+            modeled.rotation_grid_s +=
+                batch.len() as f64 * self.xeon.serial_time(&rotation_counters);
+
+            // Device correlation for the whole batch.
+            let t1 = Instant::now();
+            let corr = gpu.correlate_batch(&batch);
+            wall.correlation_s += t1.elapsed().as_secs_f64();
+            modeled.correlation_s += corr.stats.modeled_time_s + corr.upload_time_s;
+
+            // Device accumulation + scoring/filtering per rotation in the batch.
+            for (slot, &orig_rot) in batch_indices.iter().enumerate() {
+                let results = &corr.results[slot];
+                let t2 = Instant::now();
+                let (desolv, acc_stats) = gpu.accumulate_desolvation(results, self.config.n_desolv);
+                wall.accumulation_s += t2.elapsed().as_secs_f64();
+                modeled.accumulation_s += acc_stats.modeled_time_s;
+
+                let t3 = Instant::now();
+                let (selected, score_stats) = gpu.score_and_filter(
+                    results,
+                    &desolv,
+                    &self.config.weights,
+                    self.config.n_desolv,
+                    self.config.poses_per_rotation,
+                    self.config.exclusion_radius,
+                    orig_rot,
+                );
+                wall.scoring_filtering_s += t3.elapsed().as_secs_f64();
+                modeled.scoring_filtering_s += score_stats.modeled_time_s;
+                poses.extend(selected);
+            }
+        }
+        sort_best_first(&mut poses);
+        DockingRun {
+            poses,
+            n_rotations: self.rotations.len(),
+            wall,
+            modeled,
+            grid: self.receptor.spec,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftmap_molecule::{ForceField, Probe, ProbeType, ProteinSpec, SyntheticProtein};
+
+    fn protein() -> SyntheticProtein {
+        SyntheticProtein::generate(&ProteinSpec::small_test(), &ForceField::charmm_like())
+    }
+
+    fn probe() -> Probe {
+        Probe::new(ProbeType::Ethanol, &ForceField::charmm_like())
+    }
+
+    #[test]
+    fn all_engines_retain_requested_pose_count() {
+        let protein = protein();
+        let probe = probe();
+        for engine in [
+            DockingEngineKind::FftSerial,
+            DockingEngineKind::DirectSerial,
+            DockingEngineKind::DirectMulticore(2),
+            DockingEngineKind::Gpu { batch: 4 },
+        ] {
+            let docking = Docking::new(&protein.atoms, DockingConfig::small_test(engine));
+            let run = docking.run(&probe);
+            assert_eq!(
+                run.poses.len(),
+                docking.config().n_rotations * docking.config().poses_per_rotation,
+                "{engine:?}"
+            );
+            assert_eq!(run.n_rotations, 4);
+            // Poses are sorted best-first.
+            for pair in run.poses.windows(2) {
+                assert!(pair[0].score <= pair[1].score, "{engine:?}");
+            }
+            assert!(run.wall.total() > 0.0);
+            assert!(run.modeled.total() > 0.0);
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_best_pose() {
+        // The FFT, direct and GPU engines implement the same mathematics; their retained
+        // best poses must coincide.
+        let protein = protein();
+        let probe = probe();
+        let fft = Docking::new(
+            &protein.atoms,
+            DockingConfig::small_test(DockingEngineKind::FftSerial),
+        )
+        .run(&probe);
+        let direct = Docking::new(
+            &protein.atoms,
+            DockingConfig::small_test(DockingEngineKind::DirectSerial),
+        )
+        .run(&probe);
+        let gpu = Docking::new(
+            &protein.atoms,
+            DockingConfig::small_test(DockingEngineKind::Gpu { batch: 8 }),
+        )
+        .run(&probe);
+
+        let f = fft.best_pose().unwrap();
+        let d = direct.best_pose().unwrap();
+        let g = gpu.best_pose().unwrap();
+        assert_eq!(d.translation, g.translation);
+        assert_eq!(d.rotation_index, g.rotation_index);
+        assert!((d.score - g.score).abs() < 1e-6);
+        assert_eq!(f.translation, d.translation);
+        assert!((f.score - d.score).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gpu_modeled_correlation_is_faster_than_serial_fft_model() {
+        // The core Table 1 claim, in miniature: modeled GPU correlation time per
+        // rotation is far below the modeled serial FFT correlation time.
+        let protein = protein();
+        let probe = probe();
+        let fft = Docking::new(
+            &protein.atoms,
+            DockingConfig::small_test(DockingEngineKind::FftSerial),
+        )
+        .run(&probe);
+        let gpu = Docking::new(
+            &protein.atoms,
+            DockingConfig::small_test(DockingEngineKind::Gpu { batch: 8 }),
+        )
+        .run(&probe);
+        assert!(
+            gpu.modeled.correlation_s < fft.modeled.correlation_s,
+            "gpu {} vs fft {}",
+            gpu.modeled.correlation_s,
+            fft.modeled.correlation_s
+        );
+    }
+
+    #[test]
+    fn step_time_percentages_sum_to_100() {
+        let times = StepTimes {
+            rotation_grid_s: 80.0,
+            correlation_s: 3600.0,
+            accumulation_s: 180.0,
+            scoring_filtering_s: 200.0,
+        };
+        let pct = times.percentages();
+        assert!((pct.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        assert!(pct[1] > 85.0); // correlation dominates, as in Fig. 2(b)
+        assert_eq!(StepTimes::default().percentages(), [0.0; 4]);
+    }
+
+    #[test]
+    fn default_config_matches_paper_parameters() {
+        let cfg = DockingConfig::default();
+        assert_eq!(cfg.n_rotations, 500);
+        assert_eq!(cfg.poses_per_rotation, 4);
+        assert!(cfg.n_desolv >= 4 && cfg.n_desolv <= 18);
+        assert!(matches!(cfg.engine, DockingEngineKind::Gpu { batch: 8 }));
+    }
+}

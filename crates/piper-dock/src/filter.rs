@@ -1,0 +1,222 @@
+//! Scoring and filtering (paper §III.B).
+//!
+//! After the correlations, three small steps produce the retained poses:
+//!
+//! 1. **accumulation** — the 4–18 desolvation component results are summed into a single
+//!    desolvation grid (the "Accumulation of pairwise potential terms" row of Table 1);
+//! 2. **scoring** — the weighted sum of Equation (2) combines shape, electrostatic and
+//!    desolvation results into one score per translation;
+//! 3. **filtering** — the best (most negative) scores are selected, excluding the
+//!    neighbourhood of each selected score so a single deep pocket does not claim every
+//!    retained pose (Fig. 5).
+
+use crate::grids::{term_kinds, term_weight, EnergyWeights, TermKind};
+use crate::pose::Pose;
+use ftmap_math::{Grid3, Real};
+
+/// Sums the desolvation component results into a single grid.
+///
+/// `term_results` must be ordered as [`term_kinds`]: the desolvation components start at
+/// index 4.
+pub fn accumulate_desolvation(term_results: &[Grid3<Real>], n_desolv: usize) -> Grid3<Real> {
+    assert_eq!(
+        term_results.len(),
+        4 + n_desolv,
+        "term result count must be 4 + n_desolv"
+    );
+    let (nx, ny, nz) = term_results[0].dims();
+    let mut total = Grid3::new(nx, ny, nz);
+    for grid in &term_results[4..] {
+        for (dst, src) in total.as_mut_slice().iter_mut().zip(grid.as_slice()) {
+            *dst += *src;
+        }
+    }
+    total
+}
+
+/// Computes the weighted pose-score grid of Equation (2) from the per-component
+/// correlation results and the accumulated desolvation grid.
+pub fn score_grid(
+    term_results: &[Grid3<Real>],
+    desolv_total: &Grid3<Real>,
+    weights: &EnergyWeights,
+    n_desolv: usize,
+) -> Grid3<Real> {
+    let kinds = term_kinds(n_desolv);
+    assert_eq!(term_results.len(), kinds.len(), "unexpected term count");
+    let (nx, ny, nz) = term_results[0].dims();
+    let mut scores = Grid3::new(nx, ny, nz);
+
+    // Shape and electrostatic components are weighted individually; the desolvation
+    // components enter through the pre-accumulated total with the desolvation weight.
+    for (kind, grid) in kinds.iter().zip(term_results) {
+        let w = match kind {
+            TermKind::Desolvation(_) => continue,
+            other => term_weight(*other, weights, n_desolv),
+        };
+        for (dst, src) in scores.as_mut_slice().iter_mut().zip(grid.as_slice()) {
+            *dst += w * *src;
+        }
+    }
+    for (dst, src) in scores.as_mut_slice().iter_mut().zip(desolv_total.as_slice()) {
+        *dst += weights.desolv * *src;
+    }
+    scores
+}
+
+/// Selects the `k` best (most negative) scores from the score grid, excluding all voxels
+/// within `exclusion_radius` (in voxels, Chebyshev distance) of an already-selected
+/// score. Returns poses tagged with `rotation_index`.
+pub fn filter_top_k(
+    scores: &Grid3<Real>,
+    k: usize,
+    exclusion_radius: usize,
+    rotation_index: usize,
+) -> Vec<Pose> {
+    let (nx, ny, nz) = scores.dims();
+    let mut excluded = vec![false; scores.len()];
+    let mut selected = Vec::with_capacity(k);
+
+    for _ in 0..k {
+        // Find the best non-excluded score.
+        let mut best: Option<(usize, Real)> = None;
+        for (idx, &v) in scores.as_slice().iter().enumerate() {
+            if excluded[idx] {
+                continue;
+            }
+            match best {
+                None => best = Some((idx, v)),
+                Some((_, bv)) if v < bv => best = Some((idx, v)),
+                _ => {}
+            }
+        }
+        let Some((best_idx, best_score)) = best else {
+            break;
+        };
+        let (bx, by, bz) = scores.coords(best_idx);
+        selected.push(Pose {
+            rotation_index,
+            translation: (bx, by, bz),
+            score: best_score,
+        });
+
+        // Mark the neighbourhood (cyclically, matching the correlation convention).
+        let r = exclusion_radius as isize;
+        for dx in -r..=r {
+            for dy in -r..=r {
+                for dz in -r..=r {
+                    let x = (bx as isize + dx).rem_euclid(nx as isize) as usize;
+                    let y = (by as isize + dy).rem_euclid(ny as isize) as usize;
+                    let z = (bz as isize + dz).rem_euclid(nz as isize) as usize;
+                    excluded[scores.index(x, y, z)] = true;
+                }
+            }
+        }
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_with(values: &[((usize, usize, usize), Real)], n: usize) -> Grid3<Real> {
+        let mut g = Grid3::cubic(n);
+        for ((x, y, z), v) in values {
+            *g.at_mut(*x, *y, *z) = *v;
+        }
+        g
+    }
+
+    #[test]
+    fn accumulate_sums_only_desolvation_terms() {
+        let n = 4;
+        let n_desolv = 3;
+        let mut terms: Vec<Grid3<Real>> = (0..4 + n_desolv).map(|_| Grid3::cubic(n)).collect();
+        // Non-desolvation terms should be ignored.
+        *terms[0].at_mut(0, 0, 0) = 100.0;
+        *terms[4].at_mut(1, 1, 1) = 1.0;
+        *terms[5].at_mut(1, 1, 1) = 2.0;
+        *terms[6].at_mut(2, 2, 2) = 5.0;
+        let total = accumulate_desolvation(&terms, n_desolv);
+        assert_eq!(*total.at(1, 1, 1), 3.0);
+        assert_eq!(*total.at(2, 2, 2), 5.0);
+        assert_eq!(*total.at(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn accumulate_rejects_wrong_count() {
+        let terms: Vec<Grid3<Real>> = (0..5).map(|_| Grid3::cubic(2)).collect();
+        let _ = accumulate_desolvation(&terms, 4);
+    }
+
+    #[test]
+    fn score_grid_applies_weights() {
+        let n = 2;
+        let n_desolv = 1;
+        let mut terms: Vec<Grid3<Real>> = (0..5).map(|_| Grid3::cubic(n)).collect();
+        *terms[0].at_mut(0, 0, 0) = 2.0; // shape core
+        *terms[1].at_mut(0, 0, 0) = 3.0; // shape attraction
+        *terms[2].at_mut(0, 0, 0) = 1.0; // coulomb
+        *terms[3].at_mut(0, 0, 0) = 1.0; // screened
+        *terms[4].at_mut(0, 0, 0) = 4.0; // desolvation
+        let desolv = accumulate_desolvation(&terms, n_desolv);
+        let weights = EnergyWeights { shape_core: 1.0, shape_attr: -1.0, elec: 0.5, desolv: 0.25 };
+        let scores = score_grid(&terms, &desolv, &weights, n_desolv);
+        // 1*2 + (-1)*3 + 0.5*1 + 0.5*1 + 0.25*4 = 1.0
+        assert!((*scores.at(0, 0, 0) - 1.0).abs() < 1e-12);
+        assert_eq!(*scores.at(1, 1, 1), 0.0);
+    }
+
+    #[test]
+    fn filter_selects_most_negative_scores() {
+        let scores = grid_with(
+            &[((1, 1, 1), -10.0), ((6, 6, 6), -8.0), ((3, 3, 3), -9.0)],
+            8,
+        );
+        let poses = filter_top_k(&scores, 2, 1, 7);
+        assert_eq!(poses.len(), 2);
+        assert_eq!(poses[0].translation, (1, 1, 1));
+        assert_eq!(poses[0].score, -10.0);
+        assert_eq!(poses[0].rotation_index, 7);
+        // (3,3,3) is outside the exclusion radius of (1,1,1), and better than (6,6,6).
+        assert_eq!(poses[1].translation, (3, 3, 3));
+    }
+
+    #[test]
+    fn filter_excludes_neighbourhood_of_selected_scores() {
+        // Second-best score is adjacent to the best; it must be skipped in favour of a
+        // farther, worse score — the whole point of the exclusion (Fig. 5).
+        let scores = grid_with(
+            &[((4, 4, 4), -10.0), ((4, 4, 5), -9.9), ((0, 0, 0), -1.0)],
+            8,
+        );
+        let poses = filter_top_k(&scores, 2, 2, 0);
+        assert_eq!(poses.len(), 2);
+        assert_eq!(poses[0].translation, (4, 4, 4));
+        assert_eq!(poses[1].translation, (0, 0, 0));
+    }
+
+    #[test]
+    fn filter_exclusion_wraps_cyclically() {
+        let scores = grid_with(&[((0, 0, 0), -10.0), ((7, 7, 7), -9.0), ((4, 4, 4), -5.0)], 8);
+        // (7,7,7) is a cyclic neighbour of (0,0,0) at Chebyshev distance 1.
+        let poses = filter_top_k(&scores, 2, 1, 0);
+        assert_eq!(poses[1].translation, (4, 4, 4));
+    }
+
+    #[test]
+    fn filter_stops_when_grid_exhausted() {
+        let scores = grid_with(&[((0, 0, 0), -1.0)], 2);
+        // Exclusion radius 2 covers the whole 2³ grid after the first pick.
+        let poses = filter_top_k(&scores, 4, 2, 0);
+        assert_eq!(poses.len(), 1);
+    }
+
+    #[test]
+    fn filter_zero_k_returns_empty() {
+        let scores = grid_with(&[((0, 0, 0), -1.0)], 4);
+        assert!(filter_top_k(&scores, 0, 1, 0).is_empty());
+    }
+}

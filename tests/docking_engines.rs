@@ -1,0 +1,67 @@
+//! Cross-crate integration tests: the docking engines agree and the GPU path reproduces
+//! the paper's qualitative behaviour.
+
+use ftmap::prelude::*;
+
+fn setup() -> (SyntheticProtein, Probe) {
+    let ff = ForceField::charmm_like();
+    let protein = SyntheticProtein::generate(&ProteinSpec::small_test(), &ff);
+    let probe = Probe::new(ProbeType::Acetone, &ff);
+    (protein, probe)
+}
+
+#[test]
+fn gpu_and_direct_engines_retain_identical_pose_sets() {
+    let (protein, probe) = setup();
+    let direct = Docking::new(
+        &protein.atoms,
+        DockingConfig::small_test(DockingEngineKind::DirectSerial),
+    )
+    .run(&probe);
+    let gpu = Docking::new(
+        &protein.atoms,
+        DockingConfig::small_test(DockingEngineKind::Gpu { batch: 8 }),
+    )
+    .run(&probe);
+
+    assert_eq!(direct.poses.len(), gpu.poses.len());
+    for (d, g) in direct.poses.iter().zip(&gpu.poses) {
+        assert_eq!(d.rotation_index, g.rotation_index);
+        assert_eq!(d.translation, g.translation);
+        assert!((d.score - g.score).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn correlation_dominates_serial_fft_docking() {
+    // Fig. 2(b): FFT correlation is ~93 % of the per-rotation cost. On the scaled test
+    // grid the exact percentage differs, but correlation must dominate every other step.
+    let (protein, probe) = setup();
+    let run = Docking::new(
+        &protein.atoms,
+        DockingConfig::small_test(DockingEngineKind::FftSerial),
+    )
+    .run(&probe);
+    let [rot, corr, accum, filt] = run.wall.percentages();
+    assert!(corr > rot && corr > accum && corr > filt, "correlation {corr}% should dominate");
+}
+
+#[test]
+fn modeled_gpu_docking_beats_modeled_serial_docking() {
+    // Table 1's bottom line (32.6× overall per-rotation speedup) in qualitative form.
+    let (protein, probe) = setup();
+    let serial = Docking::new(
+        &protein.atoms,
+        DockingConfig::small_test(DockingEngineKind::FftSerial),
+    )
+    .run(&probe);
+    let gpu = Docking::new(
+        &protein.atoms,
+        DockingConfig::small_test(DockingEngineKind::Gpu { batch: 8 }),
+    )
+    .run(&probe);
+    let speedup = serial.modeled.total() / gpu.modeled.total().max(1e-12);
+    assert!(speedup > 1.0, "modeled docking speedup {speedup} should exceed 1");
+    // Rotation + grid assignment stays on the host in both paths, so it cannot speed up.
+    assert!(gpu.modeled.rotation_grid_s >= serial.modeled.rotation_grid_s * 0.5);
+}

@@ -1,0 +1,71 @@
+//! Cross-crate integration tests: the full mapping pipeline, serial vs accelerated.
+
+use ftmap::prelude::*;
+
+fn small_setup(mode: PipelineMode) -> (FtMapPipeline, ProbeLibrary) {
+    let ff = ForceField::charmm_like();
+    let protein = SyntheticProtein::generate(&ProteinSpec::small_test(), &ff);
+    let library = ProbeLibrary::subset(&ff, &[ProbeType::Ethanol, ProbeType::Benzene]);
+    let pipeline = FtMapPipeline::new(protein, ff, FtMapConfig::small_test(mode));
+    (pipeline, library)
+}
+
+#[test]
+fn end_to_end_mapping_finds_sites_in_both_modes() {
+    for mode in [PipelineMode::Serial, PipelineMode::Accelerated] {
+        let (pipeline, library) = small_setup(mode);
+        let result = pipeline.map(&library);
+        assert!(!result.sites.is_empty(), "{mode:?} produced no consensus sites");
+        assert!(result.conformations_minimized > 0);
+        // Ranks are consecutive starting at zero.
+        for (i, site) in result.sites.iter().enumerate() {
+            assert_eq!(site.rank, i);
+            assert!(!site.cluster.members.is_empty());
+        }
+    }
+}
+
+#[test]
+fn accelerated_mode_is_modeled_faster_than_serial() {
+    let (serial, library) = small_setup(PipelineMode::Serial);
+    let serial_result = serial.map(&library);
+    let (accel, _) = small_setup(PipelineMode::Accelerated);
+    let accel_result = accel.map(&library);
+    let speedup =
+        serial_result.profile.total_modeled_s() / accel_result.profile.total_modeled_s().max(1e-12);
+    assert!(speedup > 1.0, "expected accelerated pipeline to win, speedup {speedup}");
+}
+
+#[test]
+fn hotspot_lands_near_a_carved_pocket() {
+    // The synthetic protein has concave pockets carved into its surface; the docking
+    // scoring function rewards surface contact without core overlap, so the consensus
+    // site should be within a few grid spacings of some pocket.
+    let ff = ForceField::charmm_like();
+    let protein = SyntheticProtein::generate(&ProteinSpec::medium(), &ff);
+    let pockets = protein.pocket_centers.clone();
+    let library = ProbeLibrary::subset(&ff, &[ProbeType::Ethanol, ProbeType::Acetone]);
+    let mut config = FtMapConfig::small_test(PipelineMode::Accelerated);
+    config.docking.grid_dim = 32;
+    config.docking.spacing = 1.5;
+    config.docking.n_rotations = 8;
+    config.conformations_per_probe = 4;
+    let pipeline = FtMapPipeline::new(protein, ff, config);
+    let result = pipeline.map(&library);
+
+    let top = result.top_hotspot().expect("a hotspot should be found");
+    // The hotspot must lie inside the docking box (grid is 32 voxels × 1.5 Å centred on
+    // the protein) and within the protein's neighbourhood of some carved pocket.
+    assert!(
+        top.norm() < 32.0 * 1.5,
+        "top hotspot at {top:?} escaped the docking box"
+    );
+    let nearest = pockets
+        .iter()
+        .map(|p| p.distance(top))
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        nearest < 30.0,
+        "top hotspot at {top:?} is {nearest} Å from the nearest pocket"
+    );
+}

@@ -1,0 +1,112 @@
+//! Property-based tests on the core data structures and invariants.
+
+use ftmap::dock::filter::{filter_top_k, score_grid};
+use ftmap::dock::grids::EnergyWeights;
+use ftmap::math::fft::{fft, next_pow2, Direction};
+use ftmap::math::Complex;
+use ftmap::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rotations preserve vector norms and pairwise distances.
+    #[test]
+    fn rotations_are_isometries(
+        axis in prop::array::uniform3(-1.0f64..1.0),
+        angle in -6.28f64..6.28,
+        v in prop::array::uniform3(-50.0f64..50.0),
+        w in prop::array::uniform3(-50.0f64..50.0),
+    ) {
+        prop_assume!(axis.iter().map(|a| a * a).sum::<f64>() > 1e-6);
+        let rot = Rotation::from_axis_angle(Vec3::from_array(axis), angle);
+        let v = Vec3::from_array(v);
+        let w = Vec3::from_array(w);
+        prop_assert!((rot.apply(v).norm() - v.norm()).abs() < 1e-9 * (1.0 + v.norm()));
+        prop_assert!(
+            (rot.apply(v).distance(rot.apply(w)) - v.distance(w)).abs()
+                < 1e-9 * (1.0 + v.distance(w))
+        );
+        // Inverse composition is the identity.
+        let round = rot.inverse().apply(rot.apply(v));
+        prop_assert!((round - v).norm() < 1e-9 * (1.0 + v.norm()));
+    }
+
+    /// FFT round-trips arbitrary signals (forward then inverse is the identity).
+    #[test]
+    fn fft_round_trip(values in prop::collection::vec(-100.0f64..100.0, 1..64)) {
+        let n = next_pow2(values.len());
+        let mut signal: Vec<Complex> = values.iter().map(|&v| Complex::from_real(v)).collect();
+        signal.resize(n, Complex::ZERO);
+        let spectrum = fft(&signal, Direction::Forward);
+        let back = fft(&spectrum, Direction::Inverse);
+        for (a, b) in signal.iter().zip(&back) {
+            prop_assert!((a.re - b.re).abs() < 1e-7);
+            prop_assert!((a.im - b.im).abs() < 1e-7);
+        }
+    }
+
+    /// Top-K filtering always returns at most K poses, sorted best-first, with
+    /// pairwise (cyclic Chebyshev) separation greater than the exclusion radius.
+    #[test]
+    fn filtering_respects_exclusion(
+        values in prop::collection::vec(-100.0f64..0.0, 64),
+        k in 1usize..6,
+        radius in 1usize..3,
+    ) {
+        let grid = Grid3::from_vec(4, 4, 4, values);
+        let poses = filter_top_k(&grid, k, radius, 0);
+        prop_assert!(poses.len() <= k);
+        for pair in poses.windows(2) {
+            prop_assert!(pair[0].score <= pair[1].score);
+        }
+        let dist = |a: usize, b: usize| {
+            let d = (a as isize - b as isize).unsigned_abs() % 4;
+            d.min(4 - d)
+        };
+        for (i, a) in poses.iter().enumerate() {
+            for b in poses.iter().skip(i + 1) {
+                let cheb = dist(a.translation.0, b.translation.0)
+                    .max(dist(a.translation.1, b.translation.1))
+                    .max(dist(a.translation.2, b.translation.2));
+                prop_assert!(cheb > radius, "poses too close: {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    /// The weighted score grid is linear in the weights: doubling every weight doubles
+    /// every score.
+    #[test]
+    fn score_grid_is_linear_in_weights(values in prop::collection::vec(-10.0f64..10.0, 8 * 5)) {
+        let n_desolv = 1usize;
+        let terms: Vec<Grid3<f64>> = values
+            .chunks(8)
+            .map(|chunk| Grid3::from_vec(2, 2, 2, chunk.to_vec()))
+            .collect();
+        let desolv = terms[4].clone();
+        let w1 = EnergyWeights { shape_core: 1.0, shape_attr: -1.0, elec: 0.5, desolv: 0.25 };
+        let w2 = EnergyWeights { shape_core: 2.0, shape_attr: -2.0, elec: 1.0, desolv: 0.5 };
+        let s1 = score_grid(&terms, &desolv, &w1, n_desolv);
+        let s2 = score_grid(&terms, &desolv, &w2, n_desolv);
+        for (a, b) in s1.as_slice().iter().zip(s2.as_slice()) {
+            prop_assert!((2.0 * a - b).abs() < 1e-9 * (1.0 + b.abs()));
+        }
+    }
+
+    /// Neighbor lists never contain a pair beyond the cutoff and never contain
+    /// duplicates.
+    #[test]
+    fn neighbor_list_pairs_within_cutoff(seed in 0u64..1000, cutoff in 3.0f64..8.0) {
+        let ff = ForceField::charmm_like();
+        let spec = ProteinSpec { target_atoms: 120, radius: 10.0, n_pockets: 1, pocket_radius: 3.0, seed };
+        let protein = SyntheticProtein::generate(&spec, &ff);
+        let nl = NeighborList::build_unexcluded(&protein.atoms, cutoff);
+        let mut seen = std::collections::HashSet::new();
+        for (i, j) in nl.iter_pairs() {
+            prop_assert!(j > i);
+            prop_assert!(seen.insert((i, j)), "duplicate pair ({i}, {j})");
+            let d = protein.atoms[i].position.distance(protein.atoms[j].position);
+            prop_assert!(d <= cutoff + 1e-9);
+        }
+    }
+}
