@@ -17,16 +17,26 @@ fn bench_schemes(c: &mut Criterion) {
     group.sample_size(10).measurement_time(Duration::from_secs(4));
     group.bench_function("neighbor_list_scheme", |b| {
         b.iter(|| {
-            std::hint::black_box(engine.scheme_neighbor_list(&w.complex, &w.neighbors, PairTerm::AceSelf))
+            std::hint::black_box(engine.scheme_neighbor_list(
+                &w.complex,
+                &w.neighbors,
+                PairTerm::AceSelf,
+            ))
         })
     });
     group.bench_function("pairs_list_host_accumulation", |b| {
         b.iter(|| {
-            std::hint::black_box(engine.scheme_pairs_list_host_accum(&w.complex, &pairs, PairTerm::AceSelf))
+            std::hint::black_box(engine.scheme_pairs_list_host_accum(
+                &w.complex,
+                &pairs,
+                PairTerm::AceSelf,
+            ))
         })
     });
     group.bench_function("split_assignment_tables", |b| {
-        b.iter(|| std::hint::black_box(engine.scheme_split_assignment(&w.complex, PairTerm::AceSelf)))
+        b.iter(|| {
+            std::hint::black_box(engine.scheme_split_assignment(&w.complex, PairTerm::AceSelf))
+        })
     });
     group.finish();
 }

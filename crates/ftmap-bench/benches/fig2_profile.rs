@@ -2,10 +2,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ftmap_bench::DockingWorkload;
+use ftmap_math::Rotation;
 use piper_dock::direct::SparseLigand;
 use piper_dock::fft_engine::FftCorrelationEngine;
 use piper_dock::grids::{GridSpec, LigandGrids, ReceptorGrids};
-use ftmap_math::Rotation;
 use std::time::Duration;
 
 fn bench_fig2(c: &mut Criterion) {
@@ -29,8 +29,7 @@ fn bench_fig2(c: &mut Criterion) {
     group.bench_function("accumulation_and_scoring", |b| {
         b.iter(|| {
             let desolv = piper_dock::filter::accumulate_desolvation(&results, 4);
-            let scores =
-                piper_dock::filter::score_grid(&results, &desolv, &Default::default(), 4);
+            let scores = piper_dock::filter::score_grid(&results, &desolv, &Default::default(), 4);
             std::hint::black_box(piper_dock::filter::filter_top_k(&scores, 4, 3, 0))
         })
     });

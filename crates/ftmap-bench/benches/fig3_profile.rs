@@ -41,9 +41,7 @@ fn bench_fig3(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0;
             for bond in w.complex.topology.bonds() {
-                let r = w.complex.atoms[bond.i]
-                    .position
-                    .distance(w.complex.atoms[bond.j].position);
+                let r = w.complex.atoms[bond.i].position.distance(w.complex.atoms[bond.j].position);
                 acc += terms::bond_energy(r, ff).0;
             }
             std::hint::black_box(acc)

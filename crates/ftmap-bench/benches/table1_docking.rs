@@ -20,7 +20,9 @@ fn bench_table1(c: &mut Criterion) {
         let mut config = workload.config(engine);
         config.n_rotations = 2;
         let docking = Docking::new(&workload.protein.atoms, config);
-        group.bench_function(name, |b| b.iter(|| std::hint::black_box(docking.run(&workload.probe))));
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(docking.run(&workload.probe)))
+        });
     }
     group.finish();
 }

@@ -113,7 +113,8 @@ fn fig3() {
     let w = MinimizationWorkload::paper_scale();
     let device = Device::tesla_c1060();
     let (eval_frac, elec, vdw, bonded) = w.minimization_profile(EvaluationPath::Host, &device);
-    let rows_a = vec![ComparisonRow::new("Energy evaluation share of iteration", 98.98, 100.0 * eval_frac)];
+    let rows_a =
+        vec![ComparisonRow::new("Energy evaluation share of iteration", 98.98, 100.0 * eval_frac)];
     println!("{}", format_table("Fig. 3(a)", "%", &rows_a));
     let rows_b = vec![
         ComparisonRow::new("Electrostatics", 94.4, elec),
@@ -137,7 +138,11 @@ fn table2() {
     let serial_force_ms = 0.1 * (serial_self_ms + serial_pair_ms); // host update pass, ~10 %
     let rows = vec![
         ComparisonRow::new("Self energies", 26.7, serial_self_ms / gpu_self_ms.max(1e-12)),
-        ComparisonRow::new("Pairwise + van der Waals", 17.0, serial_pair_ms / gpu_pair_ms.max(1e-12)),
+        ComparisonRow::new(
+            "Pairwise + van der Waals",
+            17.0,
+            serial_pair_ms / gpu_pair_ms.max(1e-12),
+        ),
         ComparisonRow::new("Force updates", 6.7, serial_force_ms / gpu_force_ms.max(1e-12)),
     ];
     println!("{}", format_table("Speedup per minimization kernel", "x", &rows));
@@ -195,10 +200,16 @@ fn batching() {
 
 fn crossover() {
     println!("=== §III ablation: direct vs FFT correlation crossover ===");
-    println!("{:<12}{:>18}{:>16}{:>14}{:>10}", "footprint", "occupied voxels", "direct (ms)", "FFT (ms)", "winner");
+    println!(
+        "{:<12}{:>18}{:>16}{:>14}{:>10}",
+        "footprint", "occupied voxels", "direct (ms)", "FFT (ms)", "winner"
+    );
     for (dim, occupied, direct_ms, fft_ms) in ftmap_bench::crossover_sweep() {
         let winner = if direct_ms < fft_ms { "direct" } else { "FFT" };
-        println!("{:<12}{occupied:>18}{direct_ms:>16.2}{fft_ms:>14.2}{winner:>10}", format!("{dim}^3"));
+        println!(
+            "{:<12}{occupied:>18}{direct_ms:>16.2}{fft_ms:>14.2}{winner:>10}",
+            format!("{dim}^3")
+        );
     }
     println!("paper: direct correlation wins below a ligand-grid-size threshold; FTMap probes (<=4^3) are below it.\n");
 }
@@ -207,11 +218,10 @@ fn multicore() {
     println!("=== §V.A: GPU vs multicore docking (modeled) ===");
     let w = DockingWorkload::standard();
     let serial: f64 = w.per_rotation_modeled_ms(DockingEngineKind::FftSerial).iter().sum();
-    let multicore_fft: f64 = w.per_rotation_modeled_ms(DockingEngineKind::FftMulticore(4)).iter().sum();
-    let multicore_direct: f64 = w
-        .per_rotation_modeled_ms(DockingEngineKind::DirectMulticore(4))
-        .iter()
-        .sum();
+    let multicore_fft: f64 =
+        w.per_rotation_modeled_ms(DockingEngineKind::FftMulticore(4)).iter().sum();
+    let multicore_direct: f64 =
+        w.per_rotation_modeled_ms(DockingEngineKind::DirectMulticore(4)).iter().sum();
     let gpu: f64 = w.per_rotation_modeled_ms(DockingEngineKind::Gpu { batch: 8 }).iter().sum();
     let rows = vec![
         ComparisonRow::new("GPU vs serial FFT PIPER", 32.6, serial / gpu),
@@ -242,7 +252,8 @@ fn overall() {
 
     let min_speedup =
         serial.profile.minimization_modeled_s / accel.profile.minimization_modeled_s.max(1e-12);
-    let overall_speedup = serial.profile.total_modeled_s() / accel.profile.total_modeled_s().max(1e-12);
+    let overall_speedup =
+        serial.profile.total_modeled_s() / accel.profile.total_modeled_s().max(1e-12);
     let rows = vec![
         ComparisonRow::new("Energy minimization phase", 12.5, min_speedup),
         ComparisonRow::new("Overall mapping per probe", 13.0, overall_speedup),

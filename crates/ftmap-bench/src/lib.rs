@@ -144,9 +144,9 @@ impl MinimizationWorkload {
         let engine = GpuMinimizationEngine::new(device, self.ff.clone(), &self.neighbors);
         let result = engine.evaluate(&self.complex);
         (
-            1e3 * result.self_energy_stats.modeled_time_s,
-            1e3 * result.pairwise_vdw_stats.modeled_time_s,
-            1e3 * result.force_update_stats.modeled_time_s,
+            1e3 * result.self_energy_stats().modeled_time_s,
+            1e3 * result.pairwise_vdw_stats().modeled_time_s,
+            1e3 * result.force_update_stats().modeled_time_s,
         )
     }
 
@@ -164,9 +164,14 @@ impl MinimizationWorkload {
 
     /// Runs a short minimization on the given path and returns
     /// `(evaluation fraction, electrostatics %, vdW %, bonded %)` — Fig. 3(a)/(b).
-    pub fn minimization_profile(&self, path: EvaluationPath, device: &Device) -> (f64, f64, f64, f64) {
+    pub fn minimization_profile(
+        &self,
+        path: EvaluationPath,
+        device: &Device,
+    ) -> (f64, f64, f64, f64) {
         let mut complex = self.complex.clone();
-        let config = MinimizationConfig { max_iterations: 15, path, ..MinimizationConfig::default() };
+        let config =
+            MinimizationConfig { max_iterations: 15, path, ..MinimizationConfig::default() };
         let result = Minimizer::new(self.ff.clone(), config).minimize(&mut complex, device);
         let (e, v, b) = result.breakdown.time_percentages();
         (result.evaluation_fraction(), e, v, b)
@@ -193,7 +198,12 @@ impl ComparisonRow {
 
 /// Formats comparison rows as an aligned text table.
 pub fn format_table(title: &str, unit: &str, rows: &[ComparisonRow]) -> String {
-    let mut out = format!("{title}\n{:<38}{:>14}{:>16}\n", "", format!("paper ({unit})"), format!("reproduced ({unit})"));
+    let mut out = format!(
+        "{title}\n{:<38}{:>14}{:>16}\n",
+        "",
+        format!("paper ({unit})"),
+        format!("reproduced ({unit})")
+    );
     for row in rows {
         out.push_str(&format!("{:<38}{:>14.2}{:>16.2}\n", row.label, row.paper, row.reproduced));
     }
@@ -212,7 +222,8 @@ pub fn crossover_sweep() -> Vec<(usize, usize, f64, f64)> {
     let direct = piper_dock::direct::DirectCorrelationEngine::new(&receptor);
     let xeon = CostModel::new(DeviceSpec::xeon_core());
     let fft_ms = 1e3
-        * xeon.serial_time(&MemoryCounters { flops: fft.flops_per_rotation(), ..Default::default() });
+        * xeon
+            .serial_time(&MemoryCounters { flops: fft.flops_per_rotation(), ..Default::default() });
 
     let probe = Probe::new(ProbeType::Benzene, &ff);
     let mut out = Vec::new();

@@ -41,10 +41,7 @@ impl ConsensusCluster {
 
     /// The lowest member energy.
     pub fn best_energy(&self) -> Real {
-        self.members
-            .iter()
-            .map(|m| m.energy)
-            .fold(Real::INFINITY, Real::min)
+        self.members.iter().map(|m| m.energy).fold(Real::INFINITY, Real::min)
     }
 }
 
@@ -68,10 +65,7 @@ pub fn cluster_poses(poses: &[ClusterInput], radius: Real) -> Vec<ConsensusSite>
 
     let mut clusters: Vec<ConsensusCluster> = Vec::new();
     for pose in sorted {
-        match clusters
-            .iter_mut()
-            .find(|c| c.center.distance(pose.center) <= radius)
-        {
+        match clusters.iter_mut().find(|c| c.center.distance(pose.center) <= radius) {
             Some(cluster) => {
                 cluster.members.push(pose);
                 let positions: Vec<Vec3> = cluster.members.iter().map(|m| m.center).collect();
@@ -135,10 +129,7 @@ mod tests {
 
     #[test]
     fn best_energy_and_centroid() {
-        let poses = vec![
-            pose(ProbeType::Ethanol, 0.0, -5.0),
-            pose(ProbeType::Acetone, 2.0, -10.0),
-        ];
+        let poses = vec![pose(ProbeType::Ethanol, 0.0, -5.0), pose(ProbeType::Acetone, 2.0, -10.0)];
         let sites = cluster_poses(&poses, 5.0);
         assert_eq!(sites.len(), 1);
         let c = &sites[0].cluster;

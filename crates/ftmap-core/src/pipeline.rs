@@ -5,14 +5,18 @@
 //! into consensus clustering. [`PipelineMode::Serial`] reproduces the structure of the
 //! original single-core FTMap; [`PipelineMode::Accelerated`] uses the paper's GPU
 //! mapping (device model) for both phases.
+//!
+//! Both phases choose their engine through one seam: a [`PipelineMode`] maps to a
+//! [`gpu_sim::ExecutionBackend`], and each phase's engine enum implements
+//! [`gpu_sim::BackendSelect`] — the pipeline never hand-picks per-phase engines.
 
 use crate::cluster::{cluster_poses, ClusterInput, ConsensusSite};
 use crate::profile::MappingProfile;
-use ftmap_energy::minimize::{EvaluationPath, MinimizationConfig, Minimizer};
+use ftmap_energy::minimize::{MinimizationConfig, Minimizer};
 use ftmap_math::Vec3;
 use ftmap_molecule::{Complex, ForceField, Probe, ProbeLibrary, ProbeType, SyntheticProtein};
-use gpu_sim::Device;
-use piper_dock::{Docking, DockingConfig, DockingEngineKind};
+use gpu_sim::{BackendSelect, Device, ExecutionBackend};
+use piper_dock::{Docking, DockingConfig};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -23,6 +27,30 @@ pub enum PipelineMode {
     Serial,
     /// GPU direct-correlation docking + GPU minimization kernels (the paper's system).
     Accelerated,
+}
+
+impl PipelineMode {
+    /// The execution backend this mode runs both phases on.
+    pub fn backend(self) -> ExecutionBackend {
+        match self {
+            PipelineMode::Serial => ExecutionBackend::Cpu,
+            PipelineMode::Accelerated => ExecutionBackend::Gpu,
+        }
+    }
+
+    /// Selects a phase engine for this mode through the backend seam.
+    pub fn select<T: BackendSelect>(self) -> T {
+        T::for_backend(self.backend())
+    }
+}
+
+impl From<ExecutionBackend> for PipelineMode {
+    fn from(backend: ExecutionBackend) -> Self {
+        match backend {
+            ExecutionBackend::Cpu => PipelineMode::Serial,
+            ExecutionBackend::Gpu => PipelineMode::Accelerated,
+        }
+    }
 }
 
 /// Pipeline configuration.
@@ -47,12 +75,9 @@ impl FtMapConfig {
     /// probe, 128³ grids are reduced to 64³ to keep host memory modest).
     pub fn paper_scale(mode: PipelineMode) -> Self {
         FtMapConfig {
-            docking: DockingConfig {
-                engine: engine_for(mode),
-                ..DockingConfig::default()
-            },
+            docking: DockingConfig { engine: mode.select(), ..DockingConfig::default() },
             minimization: MinimizationConfig {
-                path: path_for(mode),
+                path: mode.select(),
                 ..MinimizationConfig::default()
             },
             conformations_per_probe: 2000,
@@ -64,30 +89,20 @@ impl FtMapConfig {
     /// A scaled-down configuration for tests and examples.
     pub fn small_test(mode: PipelineMode) -> Self {
         FtMapConfig {
-            docking: DockingConfig::small_test(engine_for(mode)),
+            docking: DockingConfig::small_test(mode.select()),
             minimization: MinimizationConfig {
                 max_iterations: 10,
-                path: path_for(mode),
-                ..MinimizationConfig::small_test(path_for(mode))
+                ..MinimizationConfig::small_test(mode.select())
             },
             conformations_per_probe: 3,
             cluster_radius: 6.0,
             mode,
         }
     }
-}
 
-fn engine_for(mode: PipelineMode) -> DockingEngineKind {
-    match mode {
-        PipelineMode::Serial => DockingEngineKind::FftSerial,
-        PipelineMode::Accelerated => DockingEngineKind::Gpu { batch: 8 },
-    }
-}
-
-fn path_for(mode: PipelineMode) -> EvaluationPath {
-    match mode {
-        PipelineMode::Serial => EvaluationPath::Host,
-        PipelineMode::Accelerated => EvaluationPath::Gpu,
+    /// A scaled-down configuration addressed by backend rather than mode.
+    pub fn small_test_on(backend: ExecutionBackend) -> Self {
+        Self::small_test(backend.into())
     }
 }
 
@@ -218,6 +233,7 @@ impl FtMapPipeline {
 mod tests {
     use super::*;
     use ftmap_molecule::{ProbeLibrary, ProteinSpec};
+    use piper_dock::DockingEngineKind;
 
     fn small_pipeline(mode: PipelineMode) -> (FtMapPipeline, ProbeLibrary) {
         let ff = ForceField::charmm_like();
@@ -276,6 +292,30 @@ mod tests {
             accel_result.profile.total_modeled_s(),
             serial_result.profile.total_modeled_s()
         );
+    }
+
+    #[test]
+    fn backend_seam_selects_both_phase_engines() {
+        use ftmap_energy::minimize::EvaluationPath;
+        // One ExecutionBackend value drives both per-phase engine choices.
+        assert_eq!(PipelineMode::Serial.backend(), ExecutionBackend::Cpu);
+        assert_eq!(PipelineMode::Accelerated.backend(), ExecutionBackend::Gpu);
+        assert_eq!(
+            PipelineMode::Serial.select::<DockingEngineKind>(),
+            DockingEngineKind::FftSerial
+        );
+        assert!(matches!(
+            PipelineMode::Accelerated.select::<DockingEngineKind>(),
+            DockingEngineKind::Gpu { batch: piper_dock::docking::DEFAULT_GPU_BATCH }
+        ));
+        assert_eq!(PipelineMode::Serial.select::<EvaluationPath>(), EvaluationPath::Host);
+        assert_eq!(PipelineMode::Accelerated.select::<EvaluationPath>(), EvaluationPath::Gpu);
+        // Round-trips through the backend.
+        for backend in ExecutionBackend::ALL {
+            assert_eq!(PipelineMode::from(backend).backend(), backend);
+            let cfg = FtMapConfig::small_test_on(backend);
+            assert_eq!(cfg.mode.backend(), backend);
+        }
     }
 
     #[test]

@@ -45,10 +45,7 @@ impl MappingProfile {
         if t <= 0.0 {
             return (0.0, 0.0);
         }
-        (
-            100.0 * self.docking_modeled_s / t,
-            100.0 * self.minimization_modeled_s / t,
-        )
+        (100.0 * self.docking_modeled_s / t, 100.0 * self.minimization_modeled_s / t)
     }
 
     /// Adds another profile (e.g. accumulate over probes).

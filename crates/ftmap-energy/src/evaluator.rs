@@ -47,11 +47,7 @@ impl EnergyBreakdown {
         if t <= 0.0 {
             return (0.0, 0.0, 0.0);
         }
-        (
-            100.0 * self.elec_time_s / t,
-            100.0 * self.vdw_time_s / t,
-            100.0 * self.bonded_time_s / t,
-        )
+        (100.0 * self.elec_time_s / t, 100.0 * self.vdw_time_s / t, 100.0 * self.bonded_time_s / t)
     }
 }
 
@@ -318,8 +314,8 @@ mod tests {
         // Translate the probe 100 Å away: non-bonded cross terms vanish.
         let offset = Vec3::new(100.0, 0.0, 0.0);
         let mut positions = complex.positions();
-        for i in complex.probe_offset..complex.n_atoms() {
-            positions[i] += offset;
+        for pos in positions.iter_mut().skip(complex.probe_offset) {
+            *pos += offset;
         }
         complex.set_positions(&positions);
         let far_neighbors = NeighborList::build(&complex.atoms, ff.cutoff, &excluded);

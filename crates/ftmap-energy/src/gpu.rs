@@ -18,8 +18,17 @@ use crate::pairs::{AssignmentTable, PairsList, SplitPairsLists};
 use crate::terms;
 use ftmap_math::{Real, Vec3};
 use ftmap_molecule::{Complex, ForceField, NeighborList};
-use gpu_sim::{BlockContext, BlockKernel, Device, KernelStats, LaunchConfig, Transfer};
-use parking_lot::Mutex;
+use gpu_sim::{BlockContext, BlockKernel, Device, KernelLaunch, KernelStats, Staged, StatsLedger};
+
+/// Ledger phase names for the kernels of one GPU minimization iteration.
+pub mod phases {
+    /// Kernel (a): Born self energies + ACE pairwise self-energy corrections.
+    pub const SELF_ENERGY: &str = "self_energy";
+    /// Kernel (b): generalized-Born pair interactions + van der Waals.
+    pub const PAIRWISE_VDW: &str = "pairwise_vdw";
+    /// Kernel (c): per-atom force update.
+    pub const FORCE_UPDATE: &str = "force_update";
+}
 
 /// Which non-bonded contribution a kernel pass evaluates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,7 +52,13 @@ fn flops_per_pair(term: PairTerm) -> u64 {
 /// *first* atom and the **full** radial derivative dE/dr of the pair's contribution to
 /// the total energy (the force on the first atom depends on every term the pair
 /// contributes, even when only part of the energy is credited to it in this pass).
-fn pair_energy(term: PairTerm, complex: &Complex, ff: &ForceField, first: usize, second: usize) -> (Real, Real) {
+fn pair_energy(
+    term: PairTerm,
+    complex: &Complex,
+    ff: &ForceField,
+    first: usize,
+    second: usize,
+) -> (Real, Real) {
     let ai = &complex.atoms[first];
     let aj = &complex.atoms[second];
     let r = ai.position.distance(aj.position);
@@ -64,19 +79,17 @@ fn pair_energy(term: PairTerm, complex: &Complex, ff: &ForceField, first: usize,
     }
 }
 
-/// Per-iteration outputs of the GPU evaluation path.
+/// Per-iteration outputs of the GPU evaluation path. Per-kernel statistics live
+/// in the [`StatsLedger`] under the [`phases`] names; the accessors below are
+/// the conventional views.
 #[derive(Debug, Clone)]
 pub struct GpuIterationResult {
     /// Per-atom non-bonded energies (self + pair contributions).
     pub atom_energies: Vec<Real>,
     /// Per-atom forces from the non-bonded terms.
     pub forces: Vec<Vec3>,
-    /// Stats of the self-energy kernel (forward + reverse passes merged).
-    pub self_energy_stats: KernelStats,
-    /// Stats of the pairwise + van der Waals kernel (forward + reverse passes merged).
-    pub pairwise_vdw_stats: KernelStats,
-    /// Stats of the force-update kernel.
-    pub force_update_stats: KernelStats,
+    /// The per-phase ledger the iteration's launches were recorded into.
+    pub ledger: StatsLedger,
 }
 
 impl GpuIterationResult {
@@ -87,9 +100,22 @@ impl GpuIterationResult {
 
     /// Total modeled device time of one iteration.
     pub fn modeled_time_s(&self) -> f64 {
-        self.self_energy_stats.modeled_time_s
-            + self.pairwise_vdw_stats.modeled_time_s
-            + self.force_update_stats.modeled_time_s
+        self.ledger.total_modeled_s()
+    }
+
+    /// Stats of the self-energy kernel (forward + reverse passes merged).
+    pub fn self_energy_stats(&self) -> KernelStats {
+        self.ledger.phase(phases::SELF_ENERGY)
+    }
+
+    /// Stats of the pairwise + van der Waals kernel (forward + reverse passes merged).
+    pub fn pairwise_vdw_stats(&self) -> KernelStats {
+        self.ledger.phase(phases::PAIRWISE_VDW)
+    }
+
+    /// Stats of the force-update kernel.
+    pub fn force_update_stats(&self) -> KernelStats {
+        self.ledger.phase(phases::FORCE_UPDATE)
     }
 }
 
@@ -111,10 +137,12 @@ impl<'a> GpuMinimizationEngine<'a> {
     pub fn new(device: &'a Device, ff: ForceField, neighbors: &NeighborList) -> Self {
         let threads_per_block = 64;
         let split = SplitPairsLists::from_neighbor_list(neighbors);
-        let forward_table = AssignmentTable::build(&split.forward, split.n_atoms, threads_per_block);
-        let reverse_table = AssignmentTable::build(&split.reverse, split.n_atoms, threads_per_block);
+        let forward_table =
+            AssignmentTable::build(&split.forward, split.n_atoms, threads_per_block);
+        let reverse_table =
+            AssignmentTable::build(&split.reverse, split.n_atoms, threads_per_block);
         let words = forward_table.transfer_words() + reverse_table.transfer_words();
-        device.record_transfer(Transfer::upload((words * std::mem::size_of::<Real>()) as u64));
+        device.upload_bytes((words * std::mem::size_of::<Real>()) as u64);
         GpuMinimizationEngine { device, ff, threads_per_block, forward_table, reverse_table }
     }
 
@@ -132,70 +160,87 @@ impl<'a> GpuMinimizationEngine<'a> {
         self.reverse_table =
             AssignmentTable::build(&split.reverse, split.n_atoms, self.threads_per_block);
         let words = self.forward_table.transfer_words() + self.reverse_table.transfer_words();
-        self.device
-            .record_transfer(Transfer::upload((words * std::mem::size_of::<Real>()) as u64));
+        self.device.upload_bytes((words * std::mem::size_of::<Real>()) as u64);
     }
 
     /// Runs one pass of a pair kernel over an assignment table using the paper's final
     /// scheme: pair energies land in shared memory, master threads accumulate their
-    /// group and add the sum to the global per-atom arrays.
+    /// group and add the sum to the global per-atom arrays. The launch is recorded into
+    /// `ledger` under `phase` (empty tables launch nothing).
+    #[allow(clippy::too_many_arguments)]
     fn run_table_pass(
         &self,
         complex: &Complex,
         term: PairTerm,
         table: &AssignmentTable,
-        energies: &Mutex<Vec<Real>>,
-        forces: &Mutex<Vec<Vec3>>,
-    ) -> KernelStats {
+        energies: &Staged<Vec<Real>>,
+        forces: &Staged<Vec<Vec3>>,
+        ledger: &mut StatsLedger,
+        phase: &str,
+    ) {
         if table.n_blocks() == 0 {
-            return KernelStats::zero();
+            return;
         }
         let kernel = TablePassKernel { complex, ff: &self.ff, term, table, energies, forces };
-        let config = LaunchConfig::new(table.n_blocks(), self.threads_per_block)
-            .with_shared_mem_words(self.threads_per_block * 2);
-        self.device.launch(&config, &kernel)
+        KernelLaunch::on(self.device)
+            .grid(table.n_blocks())
+            .threads(self.threads_per_block)
+            .shared_mem_words(self.threads_per_block * 2)
+            .run_recorded(ledger, phase, &kernel);
     }
 
     /// Runs one full GPU iteration: self-energy kernel, pairwise+vdW kernel (each as a
-    /// forward and a reverse table pass) and the force-update kernel.
+    /// forward and a reverse table pass) and the force-update kernel. Per-kernel stats
+    /// are merged by a [`StatsLedger`] under the [`phases`] names.
     pub fn evaluate(&self, complex: &Complex) -> GpuIterationResult {
         let n = complex.n_atoms();
-        let energies = Mutex::new(vec![0.0; n]);
-        let forces = Mutex::new(vec![Vec3::ZERO; n]);
+        let energies: Staged<Vec<Real>> = Staged::zeroed(n);
+        let forces: Staged<Vec<Vec3>> = Staged::zeroed(n);
+        let mut ledger = StatsLedger::new();
 
         // Kernel (a): atom self energies. The Born term is per-atom; the ACE pairwise
         // corrections come from the two table passes.
-        let mut self_stats = KernelStats::zero();
         {
             let born_kernel = BornSelfKernel { complex, ff: &self.ff, energies: &energies };
-            let blocks = n.div_ceil(self.threads_per_block).max(1);
-            let stats = self
-                .device
-                .launch(&LaunchConfig::new(blocks, self.threads_per_block), &born_kernel);
-            self_stats.accumulate(&stats);
+            KernelLaunch::on(self.device)
+                .threads(self.threads_per_block)
+                .for_items(n)
+                .run_recorded(&mut ledger, phases::SELF_ENERGY, &born_kernel);
         }
-        self_stats.accumulate(&self.run_table_pass(complex, PairTerm::AceSelf, &self.forward_table, &energies, &forces));
-        self_stats.accumulate(&self.run_table_pass(complex, PairTerm::AceSelf, &self.reverse_table, &energies, &forces));
+        for table in [&self.forward_table, &self.reverse_table] {
+            self.run_table_pass(
+                complex,
+                PairTerm::AceSelf,
+                table,
+                &energies,
+                &forces,
+                &mut ledger,
+                phases::SELF_ENERGY,
+            );
+        }
 
         // Kernel (b): pairwise GB + van der Waals.
-        let mut pair_stats = KernelStats::zero();
-        pair_stats.accumulate(&self.run_table_pass(complex, PairTerm::PairwiseAndVdw, &self.forward_table, &energies, &forces));
-        pair_stats.accumulate(&self.run_table_pass(complex, PairTerm::PairwiseAndVdw, &self.reverse_table, &energies, &forces));
+        for table in [&self.forward_table, &self.reverse_table] {
+            self.run_table_pass(
+                complex,
+                PairTerm::PairwiseAndVdw,
+                table,
+                &energies,
+                &forces,
+                &mut ledger,
+                phases::PAIRWISE_VDW,
+            );
+        }
 
         // Kernel (c): force update — per-atom pass combining the accumulated gradients.
         let force_kernel = ForceUpdateKernel { n_atoms: n };
-        let blocks = n.div_ceil(self.threads_per_block).max(1);
-        let force_stats = self
-            .device
-            .launch(&LaunchConfig::new(blocks, self.threads_per_block), &force_kernel);
+        KernelLaunch::on(self.device).threads(self.threads_per_block).for_items(n).run_recorded(
+            &mut ledger,
+            phases::FORCE_UPDATE,
+            &force_kernel,
+        );
 
-        GpuIterationResult {
-            atom_energies: energies.into_inner(),
-            forces: forces.into_inner(),
-            self_energy_stats: self_stats,
-            pairwise_vdw_stats: pair_stats,
-            force_update_stats: force_stats,
-        }
+        GpuIterationResult { atom_energies: energies.take(), forces: forces.take(), ledger }
     }
 
     // ------------------------------------------------------------------
@@ -212,12 +257,16 @@ impl<'a> GpuMinimizationEngine<'a> {
         term: PairTerm,
     ) -> (Vec<Real>, KernelStats) {
         let n = complex.n_atoms();
-        let energies = Mutex::new(vec![0.0; n]);
-        let kernel = NeighborSchemeKernel { complex, ff: &self.ff, term, neighbors, energies: &energies };
+        let energies: Staged<Vec<Real>> = Staged::zeroed(n);
+        let kernel =
+            NeighborSchemeKernel { complex, ff: &self.ff, term, neighbors, energies: &energies };
         // One block per first atom — heavily uneven work, under-filled blocks.
-        let config = LaunchConfig::new(n.max(1), 32).with_shared_mem_words(512);
-        let stats = self.device.launch(&config, &kernel);
-        (energies.into_inner(), stats)
+        let stats = KernelLaunch::on(self.device)
+            .grid(n.max(1))
+            .threads(32)
+            .shared_mem_words(512)
+            .run(&kernel);
+        (energies.take(), stats)
     }
 
     /// Scheme of §IV.B (first variant): a single flat pairs-list processed on the
@@ -230,15 +279,16 @@ impl<'a> GpuMinimizationEngine<'a> {
         term: PairTerm,
     ) -> (Vec<Real>, KernelStats) {
         let n = complex.n_atoms();
-        let partials = Mutex::new(vec![(0.0, 0.0); pairs.len()]);
+        let partials: Staged<Vec<(Real, Real)>> = Staged::new(vec![(0.0, 0.0); pairs.len()]);
         let kernel = PairsListKernel { complex, ff: &self.ff, term, pairs, partials: &partials };
-        let blocks = pairs.len().div_ceil(self.threads_per_block).max(1);
-        let config = LaunchConfig::new(blocks, self.threads_per_block);
-        let mut stats = self.device.launch(&config, &kernel);
+        let mut stats = KernelLaunch::on(self.device)
+            .threads(self.threads_per_block)
+            .for_items(pairs.len())
+            .run(&kernel);
+        let partials = partials.take();
 
         // Per-iteration transfer of the two partial-energy arrays back to the host.
-        let bytes = (2 * pairs.len() * std::mem::size_of::<Real>()) as u64;
-        let transfer_s = self.device.record_transfer(Transfer::download(bytes));
+        let transfer_s = self.device.download_slice(&partials);
         // Serial host accumulation, modeled on the Xeon core.
         let host_counters = gpu_sim::MemoryCounters {
             flops: 2 * pairs.len() as u64,
@@ -249,7 +299,6 @@ impl<'a> GpuMinimizationEngine<'a> {
         let host_model = gpu_sim::CostModel::new(gpu_sim::DeviceSpec::xeon_core());
         stats.modeled_time_s += transfer_s + host_model.serial_time(&host_counters);
 
-        let partials = partials.into_inner();
         let mut energies = vec![0.0; n];
         for (pair, (e_first, e_second)) in pairs.pairs.iter().zip(&partials) {
             energies[pair.first] += *e_first;
@@ -266,12 +315,13 @@ impl<'a> GpuMinimizationEngine<'a> {
         term: PairTerm,
     ) -> (Vec<Real>, KernelStats) {
         let n = complex.n_atoms();
-        let energies = Mutex::new(vec![0.0; n]);
-        let forces = Mutex::new(vec![Vec3::ZERO; n]);
-        let mut stats = KernelStats::zero();
-        stats.accumulate(&self.run_table_pass(complex, term, &self.forward_table, &energies, &forces));
-        stats.accumulate(&self.run_table_pass(complex, term, &self.reverse_table, &energies, &forces));
-        (energies.into_inner(), stats)
+        let energies: Staged<Vec<Real>> = Staged::zeroed(n);
+        let forces: Staged<Vec<Vec3>> = Staged::zeroed(n);
+        let mut ledger = StatsLedger::new();
+        for table in [&self.forward_table, &self.reverse_table] {
+            self.run_table_pass(complex, term, table, &energies, &forces, &mut ledger, "split");
+        }
+        (energies.take(), ledger.total())
     }
 }
 
@@ -279,7 +329,7 @@ impl<'a> GpuMinimizationEngine<'a> {
 struct BornSelfKernel<'a> {
     complex: &'a Complex,
     ff: &'a ForceField,
-    energies: &'a Mutex<Vec<Real>>,
+    energies: &'a Staged<Vec<Real>>,
 }
 
 impl BlockKernel for BornSelfKernel<'_> {
@@ -295,7 +345,7 @@ impl BlockKernel for BornSelfKernel<'_> {
         ctx.record_global_reads(2 * range.len() as u64);
         ctx.record_flops(5 * range.len() as u64);
         ctx.record_global_writes(range.len() as u64);
-        let mut out = self.energies.lock();
+        let mut out = self.energies.write();
         for (offset, e) in local.into_iter().enumerate() {
             out[range.start + offset] += e;
         }
@@ -308,8 +358,8 @@ struct TablePassKernel<'a> {
     ff: &'a ForceField,
     term: PairTerm,
     table: &'a AssignmentTable,
-    energies: &'a Mutex<Vec<Real>>,
-    forces: &'a Mutex<Vec<Vec3>>,
+    energies: &'a Staged<Vec<Real>>,
+    forces: &'a Staged<Vec<Vec3>>,
 }
 
 impl BlockKernel for TablePassKernel<'_> {
@@ -324,7 +374,8 @@ impl BlockKernel for TablePassKernel<'_> {
                 continue;
             }
             work_rows += 1;
-            let (e, de_dr) = pair_energy(self.term, self.complex, self.ff, row.atom_first, row.atom_second);
+            let (e, de_dr) =
+                pair_energy(self.term, self.complex, self.ff, row.atom_first, row.atom_second);
             shared_energy[slot] = e;
             shared_force[slot] = terms::radial_force(
                 self.complex.atoms[row.atom_first].position,
@@ -340,8 +391,8 @@ impl BlockKernel for TablePassKernel<'_> {
 
         // Phase 2: master threads accumulate their group from shared memory and add the
         // totals to the global per-atom arrays.
-        let mut energies = self.energies.lock();
-        let mut forces = self.forces.lock();
+        let mut energies = self.energies.write();
+        let mut forces = self.forces.write();
         for (slot, row) in rows.iter().enumerate() {
             if row.is_padding() || !row.master {
                 continue;
@@ -379,7 +430,7 @@ struct NeighborSchemeKernel<'a> {
     ff: &'a ForceField,
     term: PairTerm,
     neighbors: &'a NeighborList,
-    energies: &'a Mutex<Vec<Real>>,
+    energies: &'a Staged<Vec<Real>>,
 }
 
 impl BlockKernel for NeighborSchemeKernel<'_> {
@@ -411,7 +462,7 @@ impl BlockKernel for NeighborSchemeKernel<'_> {
         ctx.record_global_writes(n_pairs + 1);
         ctx.record_global_reads(n_pairs);
 
-        let mut energies = self.energies.lock();
+        let mut energies = self.energies.write();
         energies[i] += first_energy;
         for (j, e) in second_energies {
             energies[j] += e;
@@ -425,7 +476,7 @@ struct PairsListKernel<'a> {
     ff: &'a ForceField,
     term: PairTerm,
     pairs: &'a PairsList,
-    partials: &'a Mutex<Vec<(Real, Real)>>,
+    partials: &'a Staged<Vec<(Real, Real)>>,
 }
 
 impl BlockKernel for PairsListKernel<'_> {
@@ -437,8 +488,10 @@ impl BlockKernel for PairsListKernel<'_> {
         let mut local = Vec::with_capacity(range.len());
         for idx in range.clone() {
             let pair = self.pairs.pairs[idx];
-            let (e_first, _) = pair_energy(self.term, self.complex, self.ff, pair.first, pair.second);
-            let (e_second, _) = pair_energy(self.term, self.complex, self.ff, pair.second, pair.first);
+            let (e_first, _) =
+                pair_energy(self.term, self.complex, self.ff, pair.first, pair.second);
+            let (e_second, _) =
+                pair_energy(self.term, self.complex, self.ff, pair.second, pair.first);
             local.push((e_first, e_second));
         }
         let n = range.len() as u64;
@@ -446,7 +499,7 @@ impl BlockKernel for PairsListKernel<'_> {
         ctx.record_flops(2 * n * flops_per_pair(self.term));
         // Partial energies are written straight to global memory (no shared staging).
         ctx.record_global_writes(2 * n);
-        let mut out = self.partials.lock();
+        let mut out = self.partials.write();
         for (offset, v) in local.into_iter().enumerate() {
             out[range.start + offset] = v;
         }
@@ -504,10 +557,7 @@ mod tests {
         let result = gpu.evaluate(&complex);
         let host = Evaluator::new(ff).evaluate_nonbonded(&complex, &neighbors);
         for (h, g) in host.forces.iter().zip(&result.forces) {
-            assert!(
-                (*h - *g).norm() < 1e-6 * (1.0 + h.norm()),
-                "host {h:?} vs gpu {g:?}"
-            );
+            assert!((*h - *g).norm() < 1e-6 * (1.0 + h.norm()), "host {h:?} vs gpu {g:?}");
         }
     }
 
@@ -519,9 +569,16 @@ mod tests {
         let device = Device::tesla_c1060();
         let gpu = GpuMinimizationEngine::new(&device, ff, &neighbors);
         let result = gpu.evaluate(&complex);
-        assert!(result.self_energy_stats.modeled_time_s > result.force_update_stats.modeled_time_s);
-        assert!(result.pairwise_vdw_stats.modeled_time_s > result.force_update_stats.modeled_time_s);
-        assert!(result.self_energy_stats.counters.flops > result.pairwise_vdw_stats.counters.flops / 2);
+        assert!(
+            result.self_energy_stats().modeled_time_s > result.force_update_stats().modeled_time_s
+        );
+        assert!(
+            result.pairwise_vdw_stats().modeled_time_s > result.force_update_stats().modeled_time_s
+        );
+        assert!(
+            result.self_energy_stats().counters.flops
+                > result.pairwise_vdw_stats().counters.flops / 2
+        );
     }
 
     #[test]
@@ -531,8 +588,10 @@ mod tests {
         let gpu = GpuMinimizationEngine::new(&device, ff, &neighbors);
         let pairs = PairsList::from_neighbor_list(&neighbors);
 
-        let (e_neighbor, s_neighbor) = gpu.scheme_neighbor_list(&complex, &neighbors, PairTerm::AceSelf);
-        let (e_pairs, s_pairs) = gpu.scheme_pairs_list_host_accum(&complex, &pairs, PairTerm::AceSelf);
+        let (e_neighbor, s_neighbor) =
+            gpu.scheme_neighbor_list(&complex, &neighbors, PairTerm::AceSelf);
+        let (e_pairs, s_pairs) =
+            gpu.scheme_pairs_list_host_accum(&complex, &pairs, PairTerm::AceSelf);
         let (e_split, s_split) = gpu.scheme_split_assignment(&complex, PairTerm::AceSelf);
 
         for ((a, b), c) in e_neighbor.iter().zip(&e_pairs).zip(&e_split) {

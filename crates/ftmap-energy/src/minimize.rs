@@ -12,7 +12,7 @@ use crate::evaluator::{EnergyBreakdown, Evaluator};
 use crate::gpu::GpuMinimizationEngine;
 use ftmap_math::{Real, Vec3};
 use ftmap_molecule::{Complex, ForceField, NeighborList};
-use gpu_sim::Device;
+use gpu_sim::{BackendSelect, Device, ExecutionBackend};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -23,6 +23,16 @@ pub enum EvaluationPath {
     Host,
     /// The three GPU kernels over the split pairs-lists (the paper's contribution).
     Gpu,
+}
+
+impl BackendSelect for EvaluationPath {
+    /// The evaluation path the pipeline's execution-backend seam selects.
+    fn for_backend(backend: ExecutionBackend) -> Self {
+        match backend {
+            ExecutionBackend::Cpu => EvaluationPath::Host,
+            ExecutionBackend::Gpu => EvaluationPath::Gpu,
+        }
+    }
 }
 
 /// Minimization parameters.
@@ -127,7 +137,9 @@ impl Minimizer {
         let excluded = complex.topology.excluded_pairs();
         let mut neighbors = NeighborList::build(&complex.atoms, self.ff.cutoff, &excluded);
         let mut gpu_engine = match self.config.path {
-            EvaluationPath::Gpu => Some(GpuMinimizationEngine::new(device, self.ff.clone(), &neighbors)),
+            EvaluationPath::Gpu => {
+                Some(GpuMinimizationEngine::new(device, self.ff.clone(), &neighbors))
+            }
             EvaluationPath::Host => None,
         };
 
@@ -161,9 +173,9 @@ impl Minimizer {
             let forces: Vec<Vec3> = match (&self.config.path, gpu_engine.as_ref()) {
                 (EvaluationPath::Gpu, Some(engine)) => {
                     let result = engine.evaluate(complex);
-                    kernel_times.0 += result.self_energy_stats.modeled_time_s;
-                    kernel_times.1 += result.pairwise_vdw_stats.modeled_time_s;
-                    kernel_times.2 += result.force_update_stats.modeled_time_s;
+                    kernel_times.0 += result.self_energy_stats().modeled_time_s;
+                    kernel_times.1 += result.pairwise_vdw_stats().modeled_time_s;
+                    kernel_times.2 += result.force_update_stats().modeled_time_s;
                     result.forces
                 }
                 _ => evaluator.evaluate(complex, &neighbors).forces,

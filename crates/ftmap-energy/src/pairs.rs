@@ -39,10 +39,7 @@ pub struct PairsList {
 impl PairsList {
     /// Flattens a neighbor list into a pairs-list.
     pub fn from_neighbor_list(neighbors: &NeighborList) -> Self {
-        let pairs = neighbors
-            .iter_pairs()
-            .map(|(i, j)| AtomPair { first: i, second: j })
-            .collect();
+        let pairs = neighbors.iter_pairs().map(|(i, j)| AtomPair { first: i, second: j }).collect();
         PairsList { pairs, n_atoms: neighbors.n_atoms() }
     }
 
@@ -235,7 +232,9 @@ impl AssignmentTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ftmap_molecule::{Complex, ForceField, NeighborList, Probe, ProbeType, ProteinSpec, SyntheticProtein};
+    use ftmap_molecule::{
+        Complex, ForceField, NeighborList, Probe, ProbeType, ProteinSpec, SyntheticProtein,
+    };
 
     fn neighbor_list() -> NeighborList {
         let ff = ForceField::charmm_like();
@@ -344,7 +343,14 @@ mod tests {
         assert_eq!(table.rows.len(), 8);
         assert_eq!(table.work_rows(), 2);
         assert!(table.rows[7].is_padding());
-        assert!(!AssignmentRow { pair_index: 0, atom_first: 0, atom_second: 1, master: true, group_size: 1 }.is_padding());
+        assert!(!AssignmentRow {
+            pair_index: 0,
+            atom_first: 0,
+            atom_second: 1,
+            master: true,
+            group_size: 1
+        }
+        .is_padding());
         assert!(table.transfer_words() >= 40);
     }
 

@@ -36,7 +36,12 @@ pub fn born_self_energy(atom: &Atom, ff: &ForceField) -> Real {
 /// ACE pairwise self-energy correction `E_ik^self` of Equation (6) for the ordered pair
 /// (i, k), together with its derivative with respect to `r`.
 #[inline]
-pub fn ace_pair_self_energy(atom_i: &Atom, atom_k: &Atom, r: Real, ff: &ForceField) -> (Real, Real) {
+pub fn ace_pair_self_energy(
+    atom_i: &Atom,
+    atom_k: &Atom,
+    r: Real,
+    ff: &ForceField,
+) -> (Real, Real) {
     let qi2 = atom_i.charge * atom_i.charge;
     let sigma = ff.ace_sigma * 0.5 * (atom_i.born_radius + atom_k.born_radius);
     let mu = ff.ace_mu * 0.5 * (atom_i.born_radius + atom_k.born_radius);
@@ -310,22 +315,11 @@ mod tests {
     #[test]
     fn improper_energy_zero_for_planar() {
         let ff = ForceField::charmm_like();
-        let (e, psi) = improper_energy(
-            Vec3::new(1.0, 1.0, 0.0),
-            Vec3::ZERO,
-            Vec3::X,
-            Vec3::Y,
-            &ff,
-        );
+        let (e, psi) = improper_energy(Vec3::new(1.0, 1.0, 0.0), Vec3::ZERO, Vec3::X, Vec3::Y, &ff);
         assert!(psi.abs() < 1e-9);
         assert!(e.abs() < 1e-12);
-        let (e_out, _) = improper_energy(
-            Vec3::new(1.0, 1.0, 0.8),
-            Vec3::ZERO,
-            Vec3::X,
-            Vec3::Y,
-            &ff,
-        );
+        let (e_out, _) =
+            improper_energy(Vec3::new(1.0, 1.0, 0.8), Vec3::ZERO, Vec3::X, Vec3::Y, &ff);
         assert!(e_out > 0.0);
     }
 

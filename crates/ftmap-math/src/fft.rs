@@ -215,7 +215,8 @@ impl Fft3Plan {
     /// (used by the device-model cost accounting): `5 N log2 N` per complex FFT.
     pub fn flops_per_transform(&self) -> u64 {
         let n = self.len() as u64;
-        let logn = (self.nx.trailing_zeros() + self.ny.trailing_zeros() + self.nz.trailing_zeros()) as u64;
+        let logn =
+            (self.nx.trailing_zeros() + self.ny.trailing_zeros() + self.nz.trailing_zeros()) as u64;
         5 * n * logn.max(1)
     }
 }
@@ -247,9 +248,7 @@ mod tests {
 
     fn random_signal(n: usize, seed: u64) -> Vec<Complex> {
         let mut rng = SmallRng::seed_from_u64(seed);
-        (0..n)
-            .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
-            .collect()
+        (0..n).map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
     }
 
     #[test]
@@ -341,9 +340,8 @@ mod tests {
     fn fft3_round_trip() {
         let mut plan = Fft3Plan::new(4, 8, 4);
         let mut rng = SmallRng::seed_from_u64(11);
-        let original: Vec<Complex> = (0..plan.len())
-            .map(|_| Complex::new(rng.gen_range(-1.0..1.0), 0.0))
-            .collect();
+        let original: Vec<Complex> =
+            (0..plan.len()).map(|_| Complex::new(rng.gen_range(-1.0..1.0), 0.0)).collect();
         let mut data = original.clone();
         plan.transform_in_place(&mut data, Direction::Forward);
         plan.transform_in_place(&mut data, Direction::Inverse);

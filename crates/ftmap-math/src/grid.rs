@@ -43,14 +43,7 @@ impl<T: Clone + Default> Grid3<T> {
 
     /// Creates a grid filled with a specific value.
     pub fn filled(nx: usize, ny: usize, nz: usize, value: T) -> Self {
-        Grid3 {
-            nx,
-            ny,
-            nz,
-            spacing: 1.0,
-            origin: Vec3::ZERO,
-            data: vec![value; nx * ny * nz],
-        }
+        Grid3 { nx, ny, nz, spacing: 1.0, origin: Vec3::ZERO, data: vec![value; nx * ny * nz] }
     }
 
     /// Resets every voxel to `T::default()` without reallocating.
@@ -151,8 +144,7 @@ impl<T> Grid3<T> {
     /// Physical position (Å) of the center of voxel `(x, y, z)`.
     #[inline]
     pub fn voxel_center(&self, x: usize, y: usize, z: usize) -> Vec3 {
-        self.origin
-            + Vec3::new(x as Real, y as Real, z as Real) * self.spacing
+        self.origin + Vec3::new(x as Real, y as Real, z as Real) * self.spacing
     }
 
     /// Maps a physical position to the containing voxel, if inside the grid.
@@ -199,15 +191,11 @@ impl Grid3<Real> {
     /// Index and value of the minimum voxel; `None` for an empty grid.
     /// PIPER-style scoring takes the *most negative* (best) correlation value.
     pub fn argmin(&self) -> Option<(usize, Real)> {
-        self.data
-            .iter()
-            .copied()
-            .enumerate()
-            .fold(None, |best, (i, v)| match best {
-                None => Some((i, v)),
-                Some((_, bv)) if v < bv => Some((i, v)),
-                other => other,
-            })
+        self.data.iter().copied().enumerate().fold(None, |best, (i, v)| match best {
+            None => Some((i, v)),
+            Some((_, bv)) if v < bv => Some((i, v)),
+            other => other,
+        })
     }
 
     /// Number of voxels whose absolute value exceeds `threshold`.

@@ -295,18 +295,16 @@ mod tests {
         // Double-cover: q and -q are the same rotation.
         let q = Quaternion::from_axis_angle(Vec3::Y, 1.0);
         let negq = Quaternion::new(-q.w, -q.x, -q.y, -q.z);
-        assert!(Rotation::from_quaternion(q)
-            .angle_to(&Rotation::from_quaternion(negq))
-            .abs()
-            < 1e-9);
+        assert!(
+            Rotation::from_quaternion(q).angle_to(&Rotation::from_quaternion(negq)).abs() < 1e-9
+        );
     }
 
     #[test]
     fn apply_all_into_matches_apply() {
         let r = Rotation::from_euler_zyz(0.2, 0.9, 1.4);
-        let pts: Vec<Vec3> = (0..10)
-            .map(|i| Vec3::new(i as Real, (i * 2) as Real, -(i as Real)))
-            .collect();
+        let pts: Vec<Vec3> =
+            (0..10).map(|i| Vec3::new(i as Real, (i * 2) as Real, -(i as Real))).collect();
         let mut out = vec![Vec3::ZERO; pts.len()];
         r.apply_all_into(&pts, &mut out);
         for (o, &p) in out.iter().zip(&pts) {

@@ -203,10 +203,7 @@ mod tests {
         for (ra, rb) in a.iter().zip(b.iter()) {
             assert!(ra.angle_to(rb) < 1e-12);
         }
-        let any_different = a
-            .iter()
-            .zip(c.iter())
-            .any(|(ra, rc)| ra.angle_to(rc) > 1e-6);
+        let any_different = a.iter().zip(c.iter()).any(|(ra, rc)| ra.angle_to(rc) > 1e-6);
         assert!(any_different);
     }
 

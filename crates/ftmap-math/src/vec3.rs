@@ -8,7 +8,9 @@
 use crate::Real;
 use serde::{Deserialize, Serialize};
 use std::iter::Sum;
-use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::ops::{
+    Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign,
+};
 
 /// A 3-component vector of [`Real`] values.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -151,9 +153,9 @@ impl Vec3 {
     pub fn bounding_box(points: &[Vec3]) -> (Vec3, Vec3) {
         match points.first() {
             None => (Vec3::ZERO, Vec3::ZERO),
-            Some(&first) => points
-                .iter()
-                .fold((first, first), |(lo, hi), &p| (lo.min(p), hi.max(p))),
+            Some(&first) => {
+                points.iter().fold((first, first), |(lo, hi), &p| (lo.min(p), hi.max(p)))
+            }
         }
     }
 }
@@ -340,11 +342,7 @@ mod tests {
 
     #[test]
     fn centroid_and_bbox() {
-        let pts = [
-            Vec3::new(0.0, 0.0, 0.0),
-            Vec3::new(2.0, 2.0, 2.0),
-            Vec3::new(4.0, -2.0, 1.0),
-        ];
+        let pts = [Vec3::new(0.0, 0.0, 0.0), Vec3::new(2.0, 2.0, 2.0), Vec3::new(4.0, -2.0, 1.0)];
         let c = Vec3::centroid(&pts);
         assert!(approx_eq(c.x, 2.0, 1e-12));
         assert!(approx_eq(c.y, 0.0, 1e-12));

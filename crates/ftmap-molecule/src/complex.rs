@@ -153,12 +153,8 @@ mod tests {
     fn topology_merged_with_offsets() {
         let complex = small_complex();
         // Probe bonds must reference only probe atoms.
-        let probe_bond_count = complex
-            .topology
-            .bonds()
-            .iter()
-            .filter(|b| b.i >= complex.probe_offset)
-            .count();
+        let probe_bond_count =
+            complex.topology.bonds().iter().filter(|b| b.i >= complex.probe_offset).count();
         assert!(probe_bond_count > 0);
         for b in complex.topology.bonds() {
             // No bond may cross the protein/probe boundary.

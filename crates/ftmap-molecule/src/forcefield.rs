@@ -116,21 +116,111 @@ impl ForceField {
         // environments; the probe kinds carry slightly larger charges so probe-protein
         // electrostatics dominate the non-bonded budget as in Fig. 3(b).
         match kind {
-            AtomKind::BackboneN => NonbondedParams { charge: -0.47, lj_eps: 0.20, lj_rmin: 1.85, ace_volume: 13.0, born_radius: 1.75 },
-            AtomKind::BackboneCA => NonbondedParams { charge: 0.07, lj_eps: 0.11, lj_rmin: 2.27, ace_volume: 22.0, born_radius: 2.10 },
-            AtomKind::BackboneC => NonbondedParams { charge: 0.51, lj_eps: 0.11, lj_rmin: 2.00, ace_volume: 15.0, born_radius: 1.95 },
-            AtomKind::BackboneO => NonbondedParams { charge: -0.51, lj_eps: 0.12, lj_rmin: 1.70, ace_volume: 16.0, born_radius: 1.60 },
-            AtomKind::AliphaticC => NonbondedParams { charge: -0.09, lj_eps: 0.08, lj_rmin: 2.17, ace_volume: 24.0, born_radius: 2.15 },
-            AtomKind::AromaticC => NonbondedParams { charge: -0.11, lj_eps: 0.07, lj_rmin: 1.99, ace_volume: 20.0, born_radius: 2.00 },
-            AtomKind::PolarO => NonbondedParams { charge: -0.66, lj_eps: 0.15, lj_rmin: 1.77, ace_volume: 17.0, born_radius: 1.55 },
-            AtomKind::PolarN => NonbondedParams { charge: -0.62, lj_eps: 0.20, lj_rmin: 1.85, ace_volume: 14.0, born_radius: 1.70 },
-            AtomKind::Sulfur => NonbondedParams { charge: -0.23, lj_eps: 0.45, lj_rmin: 2.00, ace_volume: 30.0, born_radius: 1.90 },
-            AtomKind::ApolarH => NonbondedParams { charge: 0.09, lj_eps: 0.03, lj_rmin: 1.32, ace_volume: 6.0, born_radius: 1.20 },
-            AtomKind::PolarH => NonbondedParams { charge: 0.31, lj_eps: 0.05, lj_rmin: 0.90, ace_volume: 4.0, born_radius: 1.00 },
-            AtomKind::ProbeCarbonyl => NonbondedParams { charge: 0.55, lj_eps: 0.11, lj_rmin: 2.00, ace_volume: 16.0, born_radius: 1.95 },
-            AtomKind::ProbeHydroxylO => NonbondedParams { charge: -0.65, lj_eps: 0.15, lj_rmin: 1.77, ace_volume: 18.0, born_radius: 1.55 },
-            AtomKind::ProbeMethylC => NonbondedParams { charge: -0.18, lj_eps: 0.08, lj_rmin: 2.06, ace_volume: 25.0, born_radius: 2.10 },
-            AtomKind::ProbeN => NonbondedParams { charge: -0.60, lj_eps: 0.20, lj_rmin: 1.85, ace_volume: 14.0, born_radius: 1.70 },
+            AtomKind::BackboneN => NonbondedParams {
+                charge: -0.47,
+                lj_eps: 0.20,
+                lj_rmin: 1.85,
+                ace_volume: 13.0,
+                born_radius: 1.75,
+            },
+            AtomKind::BackboneCA => NonbondedParams {
+                charge: 0.07,
+                lj_eps: 0.11,
+                lj_rmin: 2.27,
+                ace_volume: 22.0,
+                born_radius: 2.10,
+            },
+            AtomKind::BackboneC => NonbondedParams {
+                charge: 0.51,
+                lj_eps: 0.11,
+                lj_rmin: 2.00,
+                ace_volume: 15.0,
+                born_radius: 1.95,
+            },
+            AtomKind::BackboneO => NonbondedParams {
+                charge: -0.51,
+                lj_eps: 0.12,
+                lj_rmin: 1.70,
+                ace_volume: 16.0,
+                born_radius: 1.60,
+            },
+            AtomKind::AliphaticC => NonbondedParams {
+                charge: -0.09,
+                lj_eps: 0.08,
+                lj_rmin: 2.17,
+                ace_volume: 24.0,
+                born_radius: 2.15,
+            },
+            AtomKind::AromaticC => NonbondedParams {
+                charge: -0.11,
+                lj_eps: 0.07,
+                lj_rmin: 1.99,
+                ace_volume: 20.0,
+                born_radius: 2.00,
+            },
+            AtomKind::PolarO => NonbondedParams {
+                charge: -0.66,
+                lj_eps: 0.15,
+                lj_rmin: 1.77,
+                ace_volume: 17.0,
+                born_radius: 1.55,
+            },
+            AtomKind::PolarN => NonbondedParams {
+                charge: -0.62,
+                lj_eps: 0.20,
+                lj_rmin: 1.85,
+                ace_volume: 14.0,
+                born_radius: 1.70,
+            },
+            AtomKind::Sulfur => NonbondedParams {
+                charge: -0.23,
+                lj_eps: 0.45,
+                lj_rmin: 2.00,
+                ace_volume: 30.0,
+                born_radius: 1.90,
+            },
+            AtomKind::ApolarH => NonbondedParams {
+                charge: 0.09,
+                lj_eps: 0.03,
+                lj_rmin: 1.32,
+                ace_volume: 6.0,
+                born_radius: 1.20,
+            },
+            AtomKind::PolarH => NonbondedParams {
+                charge: 0.31,
+                lj_eps: 0.05,
+                lj_rmin: 0.90,
+                ace_volume: 4.0,
+                born_radius: 1.00,
+            },
+            AtomKind::ProbeCarbonyl => NonbondedParams {
+                charge: 0.55,
+                lj_eps: 0.11,
+                lj_rmin: 2.00,
+                ace_volume: 16.0,
+                born_radius: 1.95,
+            },
+            AtomKind::ProbeHydroxylO => NonbondedParams {
+                charge: -0.65,
+                lj_eps: 0.15,
+                lj_rmin: 1.77,
+                ace_volume: 18.0,
+                born_radius: 1.55,
+            },
+            AtomKind::ProbeMethylC => NonbondedParams {
+                charge: -0.18,
+                lj_eps: 0.08,
+                lj_rmin: 2.06,
+                ace_volume: 25.0,
+                born_radius: 2.10,
+            },
+            AtomKind::ProbeN => NonbondedParams {
+                charge: -0.60,
+                lj_eps: 0.20,
+                lj_rmin: 1.85,
+                ace_volume: 14.0,
+                born_radius: 1.70,
+            },
         }
     }
 
@@ -177,11 +267,7 @@ mod tests {
     #[test]
     fn tau_consistent_with_dielectrics() {
         let ff = ForceField::charmm_like();
-        assert!(approx_eq(
-            ff.tau,
-            1.0 / ff.solute_dielectric - 1.0 / ff.solvent_dielectric,
-            1e-12
-        ));
+        assert!(approx_eq(ff.tau, 1.0 / ff.solute_dielectric - 1.0 / ff.solvent_dielectric, 1e-12));
         assert!(ff.tau > 0.0 && ff.tau < 1.0);
     }
 

@@ -108,10 +108,7 @@ impl NeighborList {
 
     /// Iterates over all `(i, j)` pairs.
     pub fn iter_pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.lists
-            .iter()
-            .enumerate()
-            .flat_map(|(i, l)| l.iter().map(move |&j| (i, j)))
+        self.lists.iter().enumerate().flat_map(|(i, l)| l.iter().map(move |&j| (i, j)))
     }
 
     /// The distribution of per-atom neighbour counts `(min, mean, max)` — the paper
@@ -198,8 +195,8 @@ mod tests {
         let excluded = protein.topology.excluded_pairs();
         let fast = NeighborList::build(&protein.atoms, 6.0, &excluded);
         let slow = build_reference(&protein.atoms, 6.0, &excluded);
-        for i in 0..protein.n_atoms() {
-            assert_eq!(fast.neighbors(i), slow[i].as_slice(), "atom {i}");
+        for (i, reference) in slow.iter().enumerate() {
+            assert_eq!(fast.neighbors(i), reference.as_slice(), "atom {i}");
         }
     }
 

@@ -29,7 +29,9 @@ impl std::fmt::Display for PdbError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PdbError::TruncatedRecord { line } => write!(f, "truncated ATOM record at line {line}"),
-            PdbError::BadCoordinates { line } => write!(f, "unparseable coordinates at line {line}"),
+            PdbError::BadCoordinates { line } => {
+                write!(f, "unparseable coordinates at line {line}")
+            }
         }
     }
 }
@@ -80,9 +82,7 @@ pub fn from_pdb_string(text: &str, ff: &ForceField) -> Result<Vec<Atom>, PdbErro
             return Err(PdbError::TruncatedRecord { line: line_no + 1 });
         }
         let parse = |s: &str| {
-            s.trim()
-                .parse::<f64>()
-                .map_err(|_| PdbError::BadCoordinates { line: line_no + 1 })
+            s.trim().parse::<f64>().map_err(|_| PdbError::BadCoordinates { line: line_no + 1 })
         };
         let x = parse(&line[30..38])?;
         let y = parse(&line[38..46])?;
@@ -90,7 +90,9 @@ pub fn from_pdb_string(text: &str, ff: &ForceField) -> Result<Vec<Atom>, PdbErro
         // Element: prefer columns 76-78, fall back to the atom-name field.
         let elem_field = if line.len() >= 78 { &line[76..78] } else { &line[12..14] };
         let element = Element::from_symbol(elem_field.trim())
-            .or_else(|| Element::from_symbol(&line[12..14].trim().chars().take(1).collect::<String>()))
+            .or_else(|| {
+                Element::from_symbol(&line[12..14].trim().chars().take(1).collect::<String>())
+            })
             .unwrap_or(Element::C);
         let kind = match element {
             Element::C => AtomKind::AliphaticC,
@@ -154,20 +156,14 @@ mod tests {
     fn truncated_record_is_an_error() {
         let ff = ForceField::charmm_like();
         let text = "ATOM      1  C   SYN A   1       1.000";
-        assert_eq!(
-            from_pdb_string(text, &ff),
-            Err(PdbError::TruncatedRecord { line: 1 })
-        );
+        assert_eq!(from_pdb_string(text, &ff), Err(PdbError::TruncatedRecord { line: 1 }));
     }
 
     #[test]
     fn bad_coordinates_are_an_error() {
         let ff = ForceField::charmm_like();
         let text = "ATOM      1  C   SYN A   1       x.xxx   2.000   3.000  1.00  0.00           C";
-        assert_eq!(
-            from_pdb_string(text, &ff),
-            Err(PdbError::BadCoordinates { line: 1 })
-        );
+        assert_eq!(from_pdb_string(text, &ff), Err(PdbError::BadCoordinates { line: 1 }));
     }
 
     #[test]

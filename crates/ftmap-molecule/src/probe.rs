@@ -138,10 +138,9 @@ impl ProbeType {
                 (ProbeMethylC, v(1.4, 0.0, 0.0)),
             ],
             ProbeType::Cyclohexane => hexagon(AliphaticC, 1.53),
-            ProbeType::Ethane => vec![
-                (ProbeMethylC, v(0.0, 0.0, 0.0)),
-                (ProbeMethylC, v(1.53, 0.0, 0.0)),
-            ],
+            ProbeType::Ethane => {
+                vec![(ProbeMethylC, v(0.0, 0.0, 0.0)), (ProbeMethylC, v(1.53, 0.0, 0.0))]
+            }
             ProbeType::Acetonitrile => vec![
                 (ProbeMethylC, v(-1.46, 0.0, 0.0)),
                 (ProbeCarbonyl, v(0.0, 0.0, 0.0)),
@@ -153,10 +152,9 @@ impl ProbeType {
                 (ProbeN, v(1.2, 0.7, 0.0)),
                 (ProbeHydroxylO, v(0.0, -1.25, 0.0)),
             ],
-            ProbeType::Methylamine => vec![
-                (ProbeMethylC, v(0.0, 0.0, 0.0)),
-                (ProbeN, v(1.47, 0.0, 0.0)),
-            ],
+            ProbeType::Methylamine => {
+                vec![(ProbeMethylC, v(0.0, 0.0, 0.0)), (ProbeN, v(1.47, 0.0, 0.0))]
+            }
             ProbeType::Phenol => {
                 let mut atoms = hexagon(AromaticC, 1.39);
                 atoms.push((ProbeHydroxylO, Vec3::new(2.75, 0.0, 0.0)));
@@ -246,7 +244,10 @@ impl Probe {
         }
         if matches!(
             probe_type,
-            ProbeType::Cyclohexane | ProbeType::Benzene | ProbeType::Phenol | ProbeType::Benzaldehyde
+            ProbeType::Cyclohexane
+                | ProbeType::Benzene
+                | ProbeType::Phenol
+                | ProbeType::Benzaldehyde
         ) {
             topology.add_bond(0, 5);
         }
@@ -263,10 +264,7 @@ impl Probe {
     /// The maximum distance of any atom from the probe centroid (Å) — controls the
     /// voxel footprint of the probe grid.
     pub fn radius(&self) -> Real {
-        self.atoms
-            .iter()
-            .map(|a| a.position.norm())
-            .fold(0.0, Real::max)
+        self.atoms.iter().map(|a| a.position.norm()).fold(0.0, Real::max)
     }
 
     /// Returns a copy of the probe rotated by `rotation` (about its centroid) and
@@ -294,17 +292,13 @@ pub struct ProbeLibrary {
 impl ProbeLibrary {
     /// Builds the standard 16-probe library.
     pub fn standard(ff: &ForceField) -> Self {
-        ProbeLibrary {
-            probes: ProbeType::ALL.iter().map(|&t| Probe::new(t, ff)).collect(),
-        }
+        ProbeLibrary { probes: ProbeType::ALL.iter().map(|&t| Probe::new(t, ff)).collect() }
     }
 
     /// Builds a library containing only the requested probe types (used by scaled-down
     /// benchmark configurations).
     pub fn subset(ff: &ForceField, types: &[ProbeType]) -> Self {
-        ProbeLibrary {
-            probes: types.iter().map(|&t| Probe::new(t, ff)).collect(),
-        }
+        ProbeLibrary { probes: types.iter().map(|&t| Probe::new(t, ff)).collect() }
     }
 
     /// The probes.

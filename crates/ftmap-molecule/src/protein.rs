@@ -117,13 +117,28 @@ impl SyntheticProtein {
 
             // Backbone: N, CA, C, O in a small tetrahedral arrangement.
             let n_id = atoms.len();
-            atoms.push(ff.make_atom(n_id, AtomKind::BackboneN, center + Vec3::new(-0.7, 0.5, 0.0), false));
+            atoms.push(ff.make_atom(
+                n_id,
+                AtomKind::BackboneN,
+                center + Vec3::new(-0.7, 0.5, 0.0),
+                false,
+            ));
             let ca_id = atoms.len();
             atoms.push(ff.make_atom(ca_id, AtomKind::BackboneCA, center, false));
             let c_id = atoms.len();
-            atoms.push(ff.make_atom(c_id, AtomKind::BackboneC, center + Vec3::new(0.8, -0.6, 0.4), false));
+            atoms.push(ff.make_atom(
+                c_id,
+                AtomKind::BackboneC,
+                center + Vec3::new(0.8, -0.6, 0.4),
+                false,
+            ));
             let o_id = atoms.len();
-            atoms.push(ff.make_atom(o_id, AtomKind::BackboneO, center + Vec3::new(1.0, -0.5, 1.5), false));
+            atoms.push(ff.make_atom(
+                o_id,
+                AtomKind::BackboneO,
+                center + Vec3::new(1.0, -0.5, 1.5),
+                false,
+            ));
             topology_bonds.push((n_id, ca_id));
             topology_bonds.push((ca_id, c_id));
             topology_bonds.push((c_id, o_id));
@@ -165,11 +180,7 @@ impl SyntheticProtein {
         //    centers (which sit on the surface), leaving concave sites.
         let keep: Vec<bool> = atoms
             .iter()
-            .map(|a| {
-                !pocket_centers
-                    .iter()
-                    .any(|pc| a.position.distance(*pc) < spec.pocket_radius)
-            })
+            .map(|a| !pocket_centers.iter().any(|pc| a.position.distance(*pc) < spec.pocket_radius))
             .collect();
 
         // Remap indices after deletion.
@@ -255,11 +266,8 @@ mod tests {
         spec_b.seed = 2;
         let a = SyntheticProtein::generate(&spec_a, &ff);
         let b = SyntheticProtein::generate(&spec_b, &ff);
-        let differs = a
-            .atoms
-            .iter()
-            .zip(&b.atoms)
-            .any(|(x, y)| x.position.distance(y.position) > 1e-6);
+        let differs =
+            a.atoms.iter().zip(&b.atoms).any(|(x, y)| x.position.distance(y.position) > 1e-6);
         assert!(differs);
     }
 

@@ -192,10 +192,7 @@ impl Topology {
     /// Merges another topology whose atom indices are offset by `offset`
     /// (used to combine a protein topology with a probe topology into a complex).
     pub fn merge_offset(&mut self, other: &Topology, offset: usize) {
-        assert!(
-            offset + other.n_atoms <= self.n_atoms,
-            "merged topology exceeds atom count"
-        );
+        assert!(offset + other.n_atoms <= self.n_atoms, "merged topology exceeds atom count");
         for b in &other.bonds {
             self.bonds.push(Bond { i: b.i + offset, j: b.j + offset });
         }

@@ -91,10 +91,7 @@ impl CostModel {
         // Latency-bound term: coalesced transactions, overlapped across however many
         // threads the launch actually has in flight.
         let transactions = counters.global_accesses() as f64 / self.coalescing_factor.max(1.0);
-        let in_flight = self
-            .memory_parallelism
-            .min(config.total_threads() as f64)
-            .max(1.0);
+        let in_flight = self.memory_parallelism.min(config.total_threads() as f64).max(1.0);
         let latency_s = transactions * self.spec.global_latency_cycles * self.cycle_s() / in_flight;
         let global_s = bandwidth_s.max(latency_s);
 
@@ -117,8 +114,9 @@ impl CostModel {
         let compute_s = counters.flops as f64 / core_flops;
         // On a cache-based host core most of the working set of these kernels fits in
         // L1/L2, so memory costs a few cycles per access.
-        let mem_s = (counters.global_accesses() + counters.shared_accesses + counters.constant_reads)
-            as f64
+        let mem_s = (counters.global_accesses()
+            + counters.shared_accesses
+            + counters.constant_reads) as f64
             * self.spec.shared_latency_cycles
             * self.cycle_s();
         compute_s + mem_s
@@ -177,7 +175,8 @@ mod tests {
         // speedup must be far smaller than for a full-grid launch.
         let gpu = CostModel::new(DeviceSpec::tesla_c1060());
         let cpu = CostModel::new(DeviceSpec::xeon_core());
-        let counters = MemoryCounters { flops: 4_000_000, global_reads: 2_000_000, ..Default::default() };
+        let counters =
+            MemoryCounters { flops: 4_000_000, global_reads: 2_000_000, ..Default::default() };
         let full = gpu.speedup_vs(&cpu, &counters, &LaunchConfig::new(480, 64));
         let single = gpu.speedup_vs(&cpu, &counters, &LaunchConfig::new(1, 64));
         assert!(single < full / 3.0, "single-block {single} vs full {full}");
@@ -208,12 +207,11 @@ mod tests {
         let gpu = CostModel::new(DeviceSpec::tesla_c1060());
         let config = LaunchConfig::new(256, 64);
         let compute_only = MemoryCounters { flops: 10_000_000, ..Default::default() };
-        let with_traffic = MemoryCounters {
-            flops: 10_000_000,
-            global_reads: 50_000_000,
-            ..Default::default()
-        };
-        assert!(gpu.kernel_time(&with_traffic, &config) > 2.0 * gpu.kernel_time(&compute_only, &config));
+        let with_traffic =
+            MemoryCounters { flops: 10_000_000, global_reads: 50_000_000, ..Default::default() };
+        assert!(
+            gpu.kernel_time(&with_traffic, &config) > 2.0 * gpu.kernel_time(&compute_only, &config)
+        );
     }
 
     #[test]
@@ -244,8 +242,10 @@ mod tests {
         // than through global memory — the premise of the paper's §IV.B accumulation.
         let gpu = CostModel::new(DeviceSpec::tesla_c1060());
         let config = LaunchConfig::new(64, 64);
-        let via_global = MemoryCounters { flops: 1_000_000, global_reads: 5_000_000, ..Default::default() };
-        let via_shared = MemoryCounters { flops: 1_000_000, shared_accesses: 5_000_000, ..Default::default() };
+        let via_global =
+            MemoryCounters { flops: 1_000_000, global_reads: 5_000_000, ..Default::default() };
+        let via_shared =
+            MemoryCounters { flops: 1_000_000, shared_accesses: 5_000_000, ..Default::default() };
         assert!(gpu.kernel_time(&via_shared, &config) < gpu.kernel_time(&via_global, &config));
     }
 }

@@ -179,6 +179,36 @@ impl Device {
         t
     }
 
+    // --- Transfer-accounted upload/download helpers (the launch layer's API ---
+    // for charging host↔device traffic without spelling out `Transfer` values).
+
+    /// Charges an upload of `bytes` bytes and returns its modeled duration.
+    pub fn upload_bytes(&self, bytes: u64) -> f64 {
+        self.record_transfer(Transfer::upload(bytes))
+    }
+
+    /// Charges an upload of `items` (sized by `std::mem::size_of::<T>()`) and
+    /// returns its modeled duration.
+    pub fn upload_slice<T>(&self, items: &[T]) -> f64 {
+        self.upload_bytes(std::mem::size_of_val(items) as u64)
+    }
+
+    /// Charges an upload of `words` f64 words and returns its modeled duration.
+    pub fn upload_words(&self, words: usize) -> f64 {
+        self.upload_bytes((words * std::mem::size_of::<f64>()) as u64)
+    }
+
+    /// Charges a download of `bytes` bytes and returns its modeled duration.
+    pub fn download_bytes(&self, bytes: u64) -> f64 {
+        self.record_transfer(Transfer::download(bytes))
+    }
+
+    /// Charges a download of `items` (sized by `std::mem::size_of::<T>()`) and
+    /// returns its modeled duration.
+    pub fn download_slice<T>(&self, items: &[T]) -> f64 {
+        self.download_bytes(std::mem::size_of_val(items) as u64)
+    }
+
     /// Total modeled transfer time (seconds) recorded so far.
     pub fn total_transfer_time(&self) -> f64 {
         *self.transfer_time_s.lock()
@@ -376,7 +406,8 @@ mod tests {
     fn gpu_modeled_time_beats_serial_for_large_parallel_work() {
         // A compute-heavy kernel should be modeled much faster on the 240-core device
         // than on one Xeon core — this is the basic premise behind Table 1.
-        let counters = MemoryCounters { flops: 100_000_000, global_reads: 1_000_000, ..Default::default() };
+        let counters =
+            MemoryCounters { flops: 100_000_000, global_reads: 1_000_000, ..Default::default() };
         let gpu = Device::tesla_c1060();
         let cpu = Device::new(DeviceSpec::xeon_core());
         let config = LaunchConfig::new(1000, 64);

@@ -11,6 +11,25 @@
 
 use crate::memory::{MemoryCounters, SharedMemory};
 
+/// Splits a problem of `n_items` evenly over `n_blocks` and returns block
+/// `block_idx`'s `start..end` slice (CUDA's usual `blockIdx * chunk` pattern).
+/// Every item belongs to exactly one block; trailing blocks may be empty when
+/// the grid is larger than the problem.
+///
+/// This is the partition used both by [`BlockContext::block_range`] during
+/// execution and by [`crate::KernelLaunch::item_range`] when the host reasons
+/// about block ownership.
+pub fn partition_range(
+    block_idx: usize,
+    n_blocks: usize,
+    n_items: usize,
+) -> std::ops::Range<usize> {
+    let chunk = n_items.div_ceil(n_blocks.max(1));
+    let start = (block_idx * chunk).min(n_items);
+    let end = (start + chunk).min(n_items);
+    start..end
+}
+
 /// Launch configuration: how many blocks, how many threads per block, and how much
 /// shared memory each block gets.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,16 +85,19 @@ impl BlockContext {
         threads_per_block: usize,
         shared: SharedMemory,
     ) -> Self {
-        BlockContext { block_idx, n_blocks, threads_per_block, shared, counters: MemoryCounters::new() }
+        BlockContext {
+            block_idx,
+            n_blocks,
+            threads_per_block,
+            shared,
+            counters: MemoryCounters::new(),
+        }
     }
 
     /// Splits a problem of `n_items` evenly over the launch grid and returns this
     /// block's `start..end` range (CUDA's usual `blockIdx * chunk` pattern).
     pub fn block_range(&self, n_items: usize) -> std::ops::Range<usize> {
-        let chunk = n_items.div_ceil(self.n_blocks);
-        let start = (self.block_idx * chunk).min(n_items);
-        let end = (start + chunk).min(n_items);
-        start..end
+        partition_range(self.block_idx, self.n_blocks, n_items)
     }
 
     /// Records a block-wide barrier (`__syncthreads()` in CUDA).

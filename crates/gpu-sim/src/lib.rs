@@ -33,6 +33,11 @@
 //!   [`DeviceSpec::xeon_core`]) and the [`Device`] execution engine.
 //! * [`kernel`] — the [`BlockKernel`] trait, launch configuration and block context
 //!   (shared memory + counters) passed to kernels.
+//! * [`launch`] — the shared kernel-execution layer every consumer crate goes
+//!   through: the [`KernelLaunch`] builder, [`launch::Staged`] output buffers and
+//!   the [`StatsLedger`] multi-kernel statistics accumulator.
+//! * [`backend`] — the [`ExecutionBackend`] (CPU vs GPU) seam and the
+//!   [`BackendSelect`] trait phase crates implement for engine selection.
 //! * [`memory`] — access counters and the host↔device transfer model.
 //! * [`cost`] — the analytic cost model that turns counters into modeled times.
 //! * [`timing`] — wall-clock helpers and the combined [`timing::KernelStats`] report.
@@ -40,14 +45,18 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod backend;
 pub mod cost;
 pub mod device;
 pub mod kernel;
+pub mod launch;
 pub mod memory;
 pub mod timing;
 
+pub use backend::{BackendSelect, ExecutionBackend};
 pub use cost::CostModel;
 pub use device::{Device, DeviceSpec};
 pub use kernel::{BlockContext, BlockKernel, LaunchConfig};
+pub use launch::{KernelLaunch, Staged, StatsLedger};
 pub use memory::{MemoryCounters, Transfer};
 pub use timing::KernelStats;

@@ -150,8 +150,22 @@ mod tests {
 
     #[test]
     fn counters_merge_additively() {
-        let a = MemoryCounters { flops: 10, global_reads: 4, global_writes: 2, shared_accesses: 7, constant_reads: 3, barriers: 1 };
-        let b = MemoryCounters { flops: 5, global_reads: 1, global_writes: 1, shared_accesses: 2, constant_reads: 0, barriers: 1 };
+        let a = MemoryCounters {
+            flops: 10,
+            global_reads: 4,
+            global_writes: 2,
+            shared_accesses: 7,
+            constant_reads: 3,
+            barriers: 1,
+        };
+        let b = MemoryCounters {
+            flops: 5,
+            global_reads: 1,
+            global_writes: 1,
+            shared_accesses: 2,
+            constant_reads: 0,
+            barriers: 1,
+        };
         let mut m = a;
         m.merge(&b);
         assert_eq!(m.flops, 15);
@@ -167,7 +181,8 @@ mod tests {
 
     #[test]
     fn arithmetic_intensity() {
-        let c = MemoryCounters { flops: 100, global_reads: 20, global_writes: 5, ..Default::default() };
+        let c =
+            MemoryCounters { flops: 100, global_reads: 20, global_writes: 5, ..Default::default() };
         assert!((c.arithmetic_intensity() - 4.0).abs() < 1e-12);
         let pure_compute = MemoryCounters { flops: 10, ..Default::default() };
         assert!(pure_compute.arithmetic_intensity().is_infinite());

@@ -96,10 +96,7 @@ impl PhaseTimer {
         if total <= 0.0 {
             return Vec::new();
         }
-        self.phases
-            .iter()
-            .map(|(k, v)| (k.clone(), 100.0 * v / total))
-            .collect()
+        self.phases.iter().map(|(k, v)| (k.clone(), 100.0 * v / total)).collect()
     }
 
     /// Merges another timer into this one.

@@ -1,0 +1,79 @@
+//! Property tests on the launch layer: the block partition a `KernelLaunch`
+//! describes must cover every work item exactly once, for any grid shape —
+//! the property the unit test `block_range_partitions_work` checks for one
+//! fixed shape.
+
+use gpu_sim::kernel::partition_range;
+use gpu_sim::{BlockContext, Device, KernelLaunch, StatsLedger};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every item 0..n_items appears in exactly one block's `item_range`, and
+    /// the launch-side partition agrees with the context the executing kernel
+    /// sees.
+    #[test]
+    fn kernel_launch_partition_covers_every_item_exactly_once(
+        n_items in 0usize..2000,
+        grid in 1usize..64,
+        threads in 1usize..256,
+    ) {
+        let device = Device::tesla_c1060();
+        let launch = KernelLaunch::on(&device).grid(grid).threads(threads);
+        let mut covered = vec![0u32; n_items];
+        for block in 0..grid {
+            let range = launch.item_range(block, n_items);
+            prop_assert!(range.end <= n_items);
+            prop_assert_eq!(range.clone(), partition_range(block, grid, n_items));
+            for i in range {
+                covered[i] += 1;
+            }
+        }
+        prop_assert!(
+            covered.iter().all(|&c| c == 1),
+            "items covered other than exactly once: {:?}",
+            covered.iter().enumerate().filter(|(_, &c)| c != 1).take(5).collect::<Vec<_>>()
+        );
+    }
+
+    /// `for_items` sizes the grid so the one-thread-one-item convention covers
+    /// the problem: enough threads in total, and the partition stays exact.
+    #[test]
+    fn for_items_grid_covers_the_problem(
+        n_items in 0usize..5000,
+        threads in 1usize..256,
+    ) {
+        let device = Device::tesla_c1060();
+        let launch = KernelLaunch::on(&device).threads(threads).for_items(n_items);
+        let config = launch.config();
+        prop_assert!(config.grid_blocks * config.threads_per_block >= n_items);
+        // A one-block-smaller grid would be short of threads (when any work exists).
+        if n_items > threads {
+            prop_assert!((config.grid_blocks - 1) * config.threads_per_block < n_items);
+        }
+        let total: usize = (0..config.grid_blocks)
+            .map(|b| launch.item_range(b, n_items).len())
+            .sum();
+        prop_assert_eq!(total, n_items);
+    }
+
+    /// The executing kernel's `block_range` matches the host-side partition and
+    /// the counters it records survive the ledger round-trip.
+    #[test]
+    fn executed_blocks_see_the_same_partition(
+        n_items in 1usize..1000,
+        grid in 1usize..32,
+    ) {
+        let device = Device::tesla_c1060();
+        let launch = KernelLaunch::on(&device).grid(grid);
+        let mut ledger = StatsLedger::new();
+        let kernel = |ctx: &mut BlockContext| {
+            let span = ctx.block_range(n_items);
+            ctx.record_flops(span.len() as u64);
+        };
+        launch.run_recorded(&mut ledger, "partition", &kernel);
+        // Total recorded flops == one per item => blocks partitioned exactly.
+        prop_assert_eq!(ledger.phase("partition").counters.flops, n_items as u64);
+    }
+}

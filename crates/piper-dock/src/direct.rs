@@ -88,8 +88,7 @@ impl<'a> DirectCorrelationEngine<'a> {
     /// cyclic convention exactly.
     pub fn correlate_rotation_serial(&self, ligand: &SparseLigand) -> Vec<Grid3<Real>> {
         let n = self.dim();
-        let mut results: Vec<Grid3<Real>> =
-            (0..ligand.n_terms).map(|_| Grid3::cubic(n)).collect();
+        let mut results: Vec<Grid3<Real>> = (0..ligand.n_terms).map(|_| Grid3::cubic(n)).collect();
         for dx in 0..n {
             for dy in 0..n {
                 for dz in 0..n {
@@ -148,10 +147,7 @@ impl<'a> DirectCorrelationEngine<'a> {
         })
         .expect("multicore correlation thread panicked");
 
-        results
-            .into_iter()
-            .map(|m| m.into_inner().expect("result lock poisoned"))
-            .collect()
+        results.into_iter().map(|m| m.into_inner().expect("result lock poisoned")).collect()
     }
 
     /// Scores a single translation `d` for every component, accumulating into `results`.

@@ -19,7 +19,7 @@ use crate::grids::{EnergyWeights, GridSpec, LigandGrids, ReceptorGrids};
 use crate::pose::{sort_best_first, Pose};
 use ftmap_math::{Real, RotationSet};
 use ftmap_molecule::{Atom, Probe};
-use gpu_sim::{CostModel, Device, DeviceSpec, MemoryCounters};
+use gpu_sim::{BackendSelect, CostModel, Device, DeviceSpec, ExecutionBackend, MemoryCounters};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -41,6 +41,22 @@ pub enum DockingEngineKind {
         /// constant memory.
         batch: usize,
     },
+}
+
+/// The paper-default batching factor for the GPU engine (8 rotations of a 4³
+/// probe fit in the C1060's 64 KB of constant memory together).
+pub const DEFAULT_GPU_BATCH: usize = 8;
+
+impl BackendSelect for DockingEngineKind {
+    /// The docking engine the pipeline's execution-backend seam selects: serial
+    /// FFT correlation (original PIPER) on the CPU, batched direct correlation
+    /// on the GPU.
+    fn for_backend(backend: ExecutionBackend) -> Self {
+        match backend {
+            ExecutionBackend::Cpu => DockingEngineKind::FftSerial,
+            ExecutionBackend::Gpu => DockingEngineKind::Gpu { batch: DEFAULT_GPU_BATCH },
+        }
+    }
 }
 
 /// Configuration of a docking run.
@@ -249,7 +265,8 @@ impl Docking {
         modeled.accumulation_s += self.xeon.serial_time(&acc_counters);
 
         let t1 = Instant::now();
-        let scores = filter::score_grid(results, &desolv, &self.config.weights, self.config.n_desolv);
+        let scores =
+            filter::score_grid(results, &desolv, &self.config.weights, self.config.n_desolv);
         let selected = filter::filter_top_k(
             &scores,
             self.config.poses_per_rotation,
@@ -277,8 +294,12 @@ impl Docking {
 
         for (rot_idx, rotation) in self.rotations.iter().enumerate() {
             let t0 = Instant::now();
-            let ligand =
-                LigandGrids::build(&probe.atoms, rotation, self.config.spacing, self.config.n_desolv);
+            let ligand = LigandGrids::build(
+                &probe.atoms,
+                rotation,
+                self.config.spacing,
+                self.config.n_desolv,
+            );
             wall.rotation_grid_s += t0.elapsed().as_secs_f64();
             modeled.rotation_grid_s += self.xeon.serial_time(&rotation_counters);
 
@@ -313,8 +334,12 @@ impl Docking {
 
         for (rot_idx, rotation) in self.rotations.iter().enumerate() {
             let t0 = Instant::now();
-            let ligand =
-                LigandGrids::build(&probe.atoms, rotation, self.config.spacing, self.config.n_desolv);
+            let ligand = LigandGrids::build(
+                &probe.atoms,
+                rotation,
+                self.config.spacing,
+                self.config.n_desolv,
+            );
             let sparse = SparseLigand::from_grids(&ligand);
             wall.rotation_grid_s += t0.elapsed().as_secs_f64();
             modeled.rotation_grid_s += self.xeon.serial_time(&rotation_counters);
@@ -469,11 +494,9 @@ mod tests {
         // best poses must coincide.
         let protein = protein();
         let probe = probe();
-        let fft = Docking::new(
-            &protein.atoms,
-            DockingConfig::small_test(DockingEngineKind::FftSerial),
-        )
-        .run(&probe);
+        let fft =
+            Docking::new(&protein.atoms, DockingConfig::small_test(DockingEngineKind::FftSerial))
+                .run(&probe);
         let direct = Docking::new(
             &protein.atoms,
             DockingConfig::small_test(DockingEngineKind::DirectSerial),
@@ -501,11 +524,9 @@ mod tests {
         // rotation is far below the modeled serial FFT correlation time.
         let protein = protein();
         let probe = probe();
-        let fft = Docking::new(
-            &protein.atoms,
-            DockingConfig::small_test(DockingEngineKind::FftSerial),
-        )
-        .run(&probe);
+        let fft =
+            Docking::new(&protein.atoms, DockingConfig::small_test(DockingEngineKind::FftSerial))
+                .run(&probe);
         let gpu = Docking::new(
             &protein.atoms,
             DockingConfig::small_test(DockingEngineKind::Gpu { batch: 8 }),

@@ -32,11 +32,8 @@ impl FftCorrelationEngine {
             .terms
             .iter()
             .map(|grid| {
-                let mut data: Vec<Complex> = grid
-                    .as_slice()
-                    .iter()
-                    .map(|&v| Complex::from_real(v))
-                    .collect();
+                let mut data: Vec<Complex> =
+                    grid.as_slice().iter().map(|&v| Complex::from_real(v)).collect();
                 plan.transform_in_place(&mut data, Direction::Forward);
                 data
             })
@@ -64,21 +61,14 @@ impl FftCorrelationEngine {
     /// # Panics
     /// Panics if the ligand has a different number of components than the receptor.
     pub fn correlate_rotation(&mut self, ligand: &LigandGrids) -> Vec<Grid3<Real>> {
-        assert_eq!(
-            ligand.n_terms(),
-            self.n_terms,
-            "ligand term count must match receptor"
-        );
+        assert_eq!(ligand.n_terms(), self.n_terms, "ligand term count must match receptor");
         let n = self.dim;
         let mut results = Vec::with_capacity(self.n_terms);
         for (term_idx, lgrid) in ligand.terms.iter().enumerate() {
             // Pad ligand into the full grid.
             let padded = lgrid.zero_padded(n, n, n);
-            let mut freq: Vec<Complex> = padded
-                .as_slice()
-                .iter()
-                .map(|&v| Complex::from_real(v))
-                .collect();
+            let mut freq: Vec<Complex> =
+                padded.as_slice().iter().map(|&v| Complex::from_real(v)).collect();
             self.plan.transform_in_place(&mut freq, Direction::Forward);
             // Correlation theorem: FFT(corr) = conj(FFT(ligand)) .* FFT(receptor).
             for (l, r) in freq.iter_mut().zip(&self.receptor_ffts[term_idx]) {
@@ -178,11 +168,7 @@ mod tests {
         let engine16 = FftCorrelationEngine::new(&receptor);
         let ff = ForceField::charmm_like();
         let protein = SyntheticProtein::generate(&ProteinSpec::small_test(), &ff);
-        let spec = GridSpec {
-            dim: 32,
-            spacing: 1.5,
-            origin: Vec3::splat(-24.0),
-        };
+        let spec = GridSpec { dim: 32, spacing: 1.5, origin: Vec3::splat(-24.0) };
         let receptor32 = ReceptorGrids::build(&protein.atoms, spec, 4);
         let engine32 = FftCorrelationEngine::new(&receptor32);
         assert!(engine32.flops_per_rotation() > engine16.flops_per_rotation());

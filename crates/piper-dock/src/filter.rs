@@ -19,11 +19,7 @@ use ftmap_math::{Grid3, Real};
 /// `term_results` must be ordered as [`term_kinds`]: the desolvation components start at
 /// index 4.
 pub fn accumulate_desolvation(term_results: &[Grid3<Real>], n_desolv: usize) -> Grid3<Real> {
-    assert_eq!(
-        term_results.len(),
-        4 + n_desolv,
-        "term result count must be 4 + n_desolv"
-    );
+    assert_eq!(term_results.len(), 4 + n_desolv, "term result count must be 4 + n_desolv");
     let (nx, ny, nz) = term_results[0].dims();
     let mut total = Grid3::new(nx, ny, nz);
     for grid in &term_results[4..] {
@@ -94,11 +90,7 @@ pub fn filter_top_k(
             break;
         };
         let (bx, by, bz) = scores.coords(best_idx);
-        selected.push(Pose {
-            rotation_index,
-            translation: (bx, by, bz),
-            score: best_score,
-        });
+        selected.push(Pose { rotation_index, translation: (bx, by, bz), score: best_score });
 
         // Mark the neighbourhood (cyclically, matching the correlation convention).
         let r = exclusion_radius as isize;
@@ -171,10 +163,7 @@ mod tests {
 
     #[test]
     fn filter_selects_most_negative_scores() {
-        let scores = grid_with(
-            &[((1, 1, 1), -10.0), ((6, 6, 6), -8.0), ((3, 3, 3), -9.0)],
-            8,
-        );
+        let scores = grid_with(&[((1, 1, 1), -10.0), ((6, 6, 6), -8.0), ((3, 3, 3), -9.0)], 8);
         let poses = filter_top_k(&scores, 2, 1, 7);
         assert_eq!(poses.len(), 2);
         assert_eq!(poses[0].translation, (1, 1, 1));
@@ -188,10 +177,7 @@ mod tests {
     fn filter_excludes_neighbourhood_of_selected_scores() {
         // Second-best score is adjacent to the best; it must be skipped in favour of a
         // farther, worse score — the whole point of the exclusion (Fig. 5).
-        let scores = grid_with(
-            &[((4, 4, 4), -10.0), ((4, 4, 5), -9.9), ((0, 0, 0), -1.0)],
-            8,
-        );
+        let scores = grid_with(&[((4, 4, 4), -10.0), ((4, 4, 5), -9.9), ((0, 0, 0), -1.0)], 8);
         let poses = filter_top_k(&scores, 2, 2, 0);
         assert_eq!(poses.len(), 2);
         assert_eq!(poses[0].translation, (4, 4, 4));

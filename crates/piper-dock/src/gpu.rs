@@ -25,8 +25,7 @@ use crate::filter;
 use crate::grids::{EnergyWeights, ReceptorGrids};
 use crate::pose::Pose;
 use ftmap_math::{Grid3, Real};
-use gpu_sim::{BlockContext, BlockKernel, Device, KernelStats, LaunchConfig, Transfer};
-use parking_lot::Mutex;
+use gpu_sim::{BlockContext, BlockKernel, Device, KernelLaunch, KernelStats, Staged};
 use std::collections::HashSet;
 
 /// GPU-mapped rigid docking over a fixed receptor.
@@ -52,9 +51,8 @@ impl<'a> GpuDockingEngine<'a> {
     /// device's transfer accounting (the protein grid transfer "is done only once",
     /// §III.A).
     pub fn new(device: &'a Device, receptor: &'a ReceptorGrids) -> Self {
-        let bytes =
-            (receptor.n_terms() * receptor.spec.len() * std::mem::size_of::<Real>()) as u64;
-        device.record_transfer(Transfer::upload(bytes));
+        let words = receptor.n_terms() * receptor.spec.len();
+        device.upload_bytes((words * std::mem::size_of::<Real>()) as u64);
         GpuDockingEngine { device, receptor, threads_per_block: 64 }
     }
 
@@ -72,46 +70,40 @@ impl<'a> GpuDockingEngine<'a> {
         let n_terms = self.receptor.n_terms();
 
         // Upload the batch's ligand entries (constant memory).
-        let upload_bytes: u64 = batch
-            .iter()
-            .map(|l| (l.constant_mem_words() * std::mem::size_of::<Real>()) as u64)
-            .sum();
-        let upload_time_s = self.device.record_transfer(Transfer::upload(upload_bytes));
+        let upload_words: usize = batch.iter().map(|l| l.constant_mem_words()).sum();
+        let upload_time_s =
+            self.device.upload_bytes((upload_words * std::mem::size_of::<Real>()) as u64);
 
         // The set of distinct (term, offset) pairs across the batch: each is fetched
         // from global memory once per result voxel and reused across rotations.
-        let unique_fetches: HashSet<(usize, (usize, usize, usize))> = batch
-            .iter()
-            .flat_map(|l| l.entries.iter().map(|e| (e.term, e.offset)))
-            .collect();
+        let unique_fetches: HashSet<(usize, (usize, usize, usize))> =
+            batch.iter().flat_map(|l| l.entries.iter().map(|e| (e.term, e.offset))).collect();
         let unique_fetches_per_voxel = unique_fetches.len() as u64;
         let entries_per_voxel: u64 = batch.iter().map(|l| l.len() as u64).sum();
 
-        // Output: per rotation, per term; blocks own disjoint x-plane slabs and merge
-        // their slabs under a mutex (disjoint regions, so order does not matter).
-        let output: Vec<Vec<Mutex<Grid3<Real>>>> = batch
+        // Output: per rotation, per term; blocks own disjoint x-plane slabs, staged
+        // through the launch layer (disjoint regions, so write order does not matter).
+        let output: Vec<Vec<Staged<Grid3<Real>>>> = batch
             .iter()
-            .map(|_| (0..n_terms).map(|_| Mutex::new(Grid3::cubic(n))).collect())
+            .map(|_| (0..n_terms).map(|_| Staged::new(Grid3::cubic(n))).collect())
             .collect();
 
-        let n_blocks = n; // one block per x-plane (Fig. 4, second scheme)
-        let receptor = self.receptor;
         let kernel = CorrelationKernel {
-            receptor,
+            receptor: self.receptor,
             batch,
             output: &output,
             n,
             unique_fetches_per_voxel,
             entries_per_voxel,
         };
-        let config = LaunchConfig::new(n_blocks, self.threads_per_block)
-            .with_shared_mem_words((batch.len() * n_terms).min(self.device.spec().shared_mem_words()));
-        let stats = self.device.launch(&config, &kernel);
+        let stats = KernelLaunch::on(self.device)
+            .grid(n) // one block per x-plane (Fig. 4, second scheme)
+            .threads(self.threads_per_block)
+            .shared_mem_capped(batch.len() * n_terms)
+            .run(&kernel);
 
-        let results = output
-            .into_iter()
-            .map(|terms| terms.into_iter().map(|m| m.into_inner()).collect())
-            .collect();
+        let results =
+            output.into_iter().map(|terms| terms.into_iter().map(Staged::take).collect()).collect();
         BatchCorrelationResult { results, stats, upload_time_s }
     }
 
@@ -123,11 +115,11 @@ impl<'a> GpuDockingEngine<'a> {
     ) -> (Grid3<Real>, KernelStats) {
         assert_eq!(term_results.len(), 4 + n_desolv, "unexpected term count");
         let n = self.receptor.spec.dim;
-        let output = Mutex::new(Grid3::cubic(n));
+        let output = Staged::new(Grid3::cubic(n));
         let kernel = AccumulationKernel { term_results, n_desolv, output: &output, n };
-        let config = LaunchConfig::new(n, self.threads_per_block);
-        let stats = self.device.launch(&config, &kernel);
-        (output.into_inner(), stats)
+        let stats =
+            KernelLaunch::on(self.device).grid(n).threads(self.threads_per_block).run(&kernel);
+        (output.take(), stats)
     }
 
     /// Device-side scoring + filtering on a single block.
@@ -146,7 +138,7 @@ impl<'a> GpuDockingEngine<'a> {
         exclusion_radius: usize,
         rotation_index: usize,
     ) -> (Vec<Pose>, KernelStats) {
-        let poses = Mutex::new(Vec::new());
+        let poses = Staged::new(Vec::new());
         let kernel = ScoreFilterKernel {
             term_results,
             desolv_total,
@@ -158,13 +150,11 @@ impl<'a> GpuDockingEngine<'a> {
             poses: &poses,
         };
         // Single thread block, as in the paper.
-        let config = LaunchConfig::new(1, 256)
-            .with_shared_mem_words(256.min(self.device.spec().shared_mem_words()));
-        let stats = self.device.launch(&config, &kernel);
-        let poses = poses.into_inner();
+        let stats =
+            KernelLaunch::on(self.device).grid(1).threads(256).shared_mem_capped(256).run(&kernel);
+        let poses = poses.take();
         // Download only the retained poses.
-        let bytes = (poses.len() * std::mem::size_of::<Pose>()) as u64;
-        self.device.record_transfer(Transfer::download(bytes));
+        self.device.download_slice(&poses);
         (poses, stats)
     }
 }
@@ -174,7 +164,7 @@ impl<'a> GpuDockingEngine<'a> {
 struct CorrelationKernel<'a> {
     receptor: &'a ReceptorGrids,
     batch: &'a [SparseLigand],
-    output: &'a [Vec<Mutex<Grid3<Real>>>],
+    output: &'a [Vec<Staged<Grid3<Real>>>],
     n: usize,
     unique_fetches_per_voxel: u64,
     entries_per_voxel: u64,
@@ -189,11 +179,8 @@ impl BlockKernel for CorrelationKernel<'_> {
         }
         let n_terms = self.receptor.n_terms();
         // Local slab: [rotation][term] -> plane of n*n scores.
-        let mut slab: Vec<Vec<Vec<Real>>> = self
-            .batch
-            .iter()
-            .map(|_| (0..n_terms).map(|_| vec![0.0; n * n]).collect())
-            .collect();
+        let mut slab: Vec<Vec<Vec<Real>>> =
+            self.batch.iter().map(|_| (0..n_terms).map(|_| vec![0.0; n * n]).collect()).collect();
 
         for dy in 0..n {
             for dz in 0..n {
@@ -220,7 +207,7 @@ impl BlockKernel for CorrelationKernel<'_> {
         for (rot_idx, rot_slab) in slab.into_iter().enumerate() {
             for (term, plane) in rot_slab.into_iter().enumerate() {
                 ctx.record_global_writes((n * n) as u64);
-                let mut grid = self.output[rot_idx][term].lock();
+                let mut grid = self.output[rot_idx][term].write();
                 for dy in 0..n {
                     for dz in 0..n {
                         *grid.at_mut(dx, dy, dz) = plane[dy * n + dz];
@@ -237,7 +224,7 @@ impl BlockKernel for CorrelationKernel<'_> {
 struct AccumulationKernel<'a> {
     term_results: &'a [Grid3<Real>],
     n_desolv: usize,
-    output: &'a Mutex<Grid3<Real>>,
+    output: &'a Staged<Grid3<Real>>,
     n: usize,
 }
 
@@ -259,7 +246,7 @@ impl BlockKernel for AccumulationKernel<'_> {
         ctx.record_global_reads((self.n_desolv * n * n) as u64);
         ctx.record_flops((self.n_desolv * n * n) as u64);
         ctx.record_global_writes((n * n) as u64);
-        let mut out = self.output.lock();
+        let mut out = self.output.write();
         for y in 0..n {
             for z in 0..n {
                 *out.at_mut(x, y, z) = plane[y * n + z];
@@ -278,7 +265,7 @@ struct ScoreFilterKernel<'a> {
     k: usize,
     exclusion_radius: usize,
     rotation_index: usize,
-    poses: &'a Mutex<Vec<Pose>>,
+    poses: &'a Staged<Vec<Pose>>,
 }
 
 impl BlockKernel for ScoreFilterKernel<'_> {
@@ -286,7 +273,8 @@ impl BlockKernel for ScoreFilterKernel<'_> {
         if ctx.block_idx != 0 {
             return;
         }
-        let scores = filter::score_grid(self.term_results, self.desolv_total, &self.weights, self.n_desolv);
+        let scores =
+            filter::score_grid(self.term_results, self.desolv_total, &self.weights, self.n_desolv);
         let n3 = scores.len() as u64;
         // Weighted sum: 5 reads + ~6 flops per voxel, distributed over the block's threads.
         ctx.record_global_reads(5 * n3);
@@ -295,7 +283,8 @@ impl BlockKernel for ScoreFilterKernel<'_> {
         ctx.record_shared_accesses(ctx.threads_per_block as u64 * (self.k as u64 + 1));
         ctx.sync_threads();
 
-        let selected = filter::filter_top_k(&scores, self.k, self.exclusion_radius, self.rotation_index);
+        let selected =
+            filter::filter_top_k(&scores, self.k, self.exclusion_radius, self.rotation_index);
         // Each filtering round rescans the candidate array and marks the exclusion
         // neighbourhood in a global-memory exclusion array (it does not fit in shared
         // memory at N = 128, §III.B).
@@ -303,7 +292,7 @@ impl BlockKernel for ScoreFilterKernel<'_> {
         ctx.record_global_reads(self.k as u64 * n3 / ctx.threads_per_block.max(1) as u64);
         ctx.record_global_writes(self.k as u64 * excl);
         ctx.record_global_writes(selected.len() as u64);
-        self.poses.lock().extend(selected);
+        self.poses.write().extend(selected);
     }
 }
 
@@ -392,7 +381,8 @@ mod tests {
         let device = Device::tesla_c1060();
         let gpu = GpuDockingEngine::new(&device, &receptor);
         let sparse = sparse_for(&probe, &Rotation::identity());
-        let host_results = DirectCorrelationEngine::new(&receptor).correlate_rotation_serial(&sparse);
+        let host_results =
+            DirectCorrelationEngine::new(&receptor).correlate_rotation_serial(&sparse);
 
         let (gpu_total, stats) = gpu.accumulate_desolvation(&host_results, 4);
         let host_total = filter::accumulate_desolvation(&host_results, 4);

@@ -151,7 +151,7 @@ impl ReceptorGrids {
     /// * Desolvation component `k` is an indicator-like smeared density of the atoms
     ///   whose kind index ≡ k (mod n_desolv), weighted by their ACE volumes.
     pub fn build(atoms: &[Atom], spec: GridSpec, n_desolv: usize) -> Self {
-        assert!(n_desolv >= 1 && n_desolv <= MAX_DESOLV_TERMS, "n_desolv out of range");
+        assert!((1..=MAX_DESOLV_TERMS).contains(&n_desolv), "n_desolv out of range");
         let kinds = term_kinds(n_desolv);
         let mut terms: Vec<Grid3<Real>> = kinds
             .iter()
@@ -185,8 +185,8 @@ impl ReceptorGrids {
                         if x >= spec.dim || y >= spec.dim || z >= spec.dim {
                             continue;
                         }
-                        let voxel_pos = spec.origin
-                            + Vec3::new(x as Real, y as Real, z as Real) * spec.spacing;
+                        let voxel_pos =
+                            spec.origin + Vec3::new(x as Real, y as Real, z as Real) * spec.spacing;
                         let r = voxel_pos.distance(atom.position);
                         if r > reach {
                             continue;
@@ -247,10 +247,7 @@ impl LigandGrids {
         n_desolv: usize,
     ) -> Self {
         assert!(!probe_atoms.is_empty(), "ligand grids need at least one atom");
-        let rotated: Vec<Vec3> = probe_atoms
-            .iter()
-            .map(|a| rotation.apply(a.position))
-            .collect();
+        let rotated: Vec<Vec3> = probe_atoms.iter().map(|a| rotation.apply(a.position)).collect();
         let radius = rotated.iter().map(|p| p.norm()).fold(0.0, Real::max);
         let dim = (((2.0 * radius) / spacing).ceil() as usize + 1).max(2);
 
@@ -288,10 +285,7 @@ impl LigandGrids {
     /// Total non-zero voxels over all terms — the work per translation in direct
     /// correlation.
     pub fn nonzero_voxels(&self) -> usize {
-        self.terms
-            .iter()
-            .map(|g| g.as_slice().iter().filter(|v| **v != 0.0).count())
-            .sum()
+        self.terms.iter().map(|g| g.as_slice().iter().filter(|v| **v != 0.0).count()).sum()
     }
 }
 

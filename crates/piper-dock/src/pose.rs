@@ -68,10 +68,7 @@ impl Pose {
         dims: (usize, usize, usize),
     ) -> Vec<Vec3> {
         let center = self.probe_center(grid_origin, spacing, dims);
-        centered_positions
-            .iter()
-            .map(|&p| rotation.apply(p) + center)
-            .collect()
+        centered_positions.iter().map(|&p| rotation.apply(p) + center).collect()
     }
 }
 

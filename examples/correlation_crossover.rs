@@ -23,7 +23,9 @@ fn main() {
     let fft_counters = MemoryCounters { flops: fft.flops_per_rotation(), ..Default::default() };
     let fft_time = xeon.serial_time(&fft_counters);
 
-    println!("Receptor grid 64³, 8 energy terms. FFT correlation cost is independent of probe size.");
+    println!(
+        "Receptor grid 64³, 8 energy terms. FFT correlation cost is independent of probe size."
+    );
     println!("{:<28}{:>16}{:>16}{:>10}", "ligand", "direct (ms)", "FFT (ms)", "winner");
 
     // Sweep effective ligand footprints by scaling a benzene probe.
@@ -35,10 +37,8 @@ fn main() {
         }
         let ligand = LigandGrids::build(&scaled.atoms, &Rotation::identity(), 1.0, 4);
         let sparse = SparseLigand::from_grids(&ligand);
-        let direct_counters = MemoryCounters {
-            flops: direct.flops_per_rotation(&sparse),
-            ..Default::default()
-        };
+        let direct_counters =
+            MemoryCounters { flops: direct.flops_per_rotation(&sparse), ..Default::default() };
         let direct_time = xeon.serial_time(&direct_counters);
         let winner = if direct_time < fft_time { "direct" } else { "FFT" };
         println!(

@@ -18,9 +18,12 @@ fn main() {
 
     let device = Device::tesla_c1060();
 
-    for (label, path) in [("host (serial FTMap)", EvaluationPath::Host), ("GPU kernels", EvaluationPath::Gpu)] {
+    for (label, path) in
+        [("host (serial FTMap)", EvaluationPath::Host), ("GPU kernels", EvaluationPath::Gpu)]
+    {
         let mut complex = Complex::new(&protein, &posed);
-        let config = MinimizationConfig { max_iterations: 40, path, ..MinimizationConfig::default() };
+        let config =
+            MinimizationConfig { max_iterations: 40, path, ..MinimizationConfig::default() };
         let minimizer = Minimizer::new(ff.clone(), config);
         let result = minimizer.minimize(&mut complex, &device);
 

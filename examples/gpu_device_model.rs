@@ -32,8 +32,16 @@ fn main() {
 
     let gpu = Device::tesla_c1060();
     let cpu = Device::new(DeviceSpec::xeon_core());
-    println!("Device: {} ({} worker threads on this machine)", gpu.spec().name, gpu.worker_threads());
-    println!("Peak throughput: {:.0} GFLOP/s vs host core {:.0} GFLOP/s\n", gpu.spec().peak_gflops(), cpu.spec().peak_gflops());
+    println!(
+        "Device: {} ({} worker threads on this machine)",
+        gpu.spec().name,
+        gpu.worker_threads()
+    );
+    println!(
+        "Peak throughput: {:.0} GFLOP/s vs host core {:.0} GFLOP/s\n",
+        gpu.spec().peak_gflops(),
+        cpu.spec().peak_gflops()
+    );
 
     let blocks = 240;
     let partials = Mutex::new(vec![0.0; blocks]);
@@ -51,10 +59,7 @@ fn main() {
 
     let serial = cpu.run_serial(&LaunchConfig::new(blocks, 1), &kernel);
     println!("serial modeled (Xeon):   {:.3} ms", 1e3 * serial.modeled_time_s);
-    println!(
-        "modeled speedup:         {:.1}x",
-        serial.modeled_time_s / stats.modeled_time_s
-    );
+    println!("modeled speedup:         {:.1}x", serial.modeled_time_s / stats.modeled_time_s);
     println!(
         "\ncounters: {} flops, {} global reads, arithmetic intensity {:.2} flops/access",
         stats.counters.flops,

@@ -52,13 +52,8 @@ fn main() {
     }
 
     if let Some(top) = result.top_hotspot() {
-        let nearest_pocket = pocket_centers
-            .iter()
-            .map(|p| p.distance(top))
-            .fold(f64::INFINITY, f64::min);
-        println!(
-            "\nTop hotspot is {:.1} Å from the nearest carved pocket center",
-            nearest_pocket
-        );
+        let nearest_pocket =
+            pocket_centers.iter().map(|p| p.distance(top)).fold(f64::INFINITY, f64::min);
+        println!("\nTop hotspot is {:.1} Å from the nearest carved pocket center", nearest_pocket);
     }
 }

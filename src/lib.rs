@@ -18,13 +18,13 @@
 //! use ftmap::prelude::*;
 //!
 //! // Generate a small synthetic protein and dock an ethanol probe against it.
+//! // Engines are selected through the ExecutionBackend seam: `Gpu` picks the
+//! // paper's batched direct-correlation engine on the modeled device.
 //! let ff = ForceField::charmm_like();
 //! let protein = SyntheticProtein::generate(&ProteinSpec::small_test(), &ff);
 //! let probe = Probe::new(ProbeType::Ethanol, &ff);
-//! let docking = Docking::new(
-//!     &protein.atoms,
-//!     DockingConfig::small_test(DockingEngineKind::Gpu { batch: 8 }),
-//! );
+//! let engine = DockingEngineKind::for_backend(ExecutionBackend::Gpu);
+//! let docking = Docking::new(&protein.atoms, DockingConfig::small_test(engine));
 //! let run = docking.run(&probe);
 //! assert!(!run.poses.is_empty());
 //! ```
@@ -50,6 +50,8 @@ pub mod prelude {
         Complex, ForceField, NeighborList, Probe, ProbeLibrary, ProbeType, ProteinSpec,
         SyntheticProtein,
     };
-    pub use gpu_sim::{Device, DeviceSpec};
+    pub use gpu_sim::{
+        BackendSelect, Device, DeviceSpec, ExecutionBackend, KernelLaunch, StatsLedger,
+    };
     pub use piper_dock::{Docking, DockingConfig, DockingEngineKind, EnergyWeights, Pose};
 }

@@ -1,0 +1,51 @@
+//! Cross-crate integration test: both execution backends drive the full pipeline
+//! through the single `ExecutionBackend` seam.
+
+use ftmap::prelude::*;
+
+/// Runs the end-to-end mapping on each backend, with every engine choice flowing
+/// from one `ExecutionBackend` value through `BackendSelect`.
+#[test]
+fn both_backends_map_end_to_end_through_the_seam() {
+    let ff = ForceField::charmm_like();
+    let protein = SyntheticProtein::generate(&ProteinSpec::small_test(), &ff);
+    let library = ProbeLibrary::subset(&ff, &[ProbeType::Ethanol]);
+
+    let mut modeled = Vec::new();
+    for backend in ExecutionBackend::ALL {
+        let config = FtMapConfig::small_test_on(backend);
+        // The seam must have selected matching engines for both phases.
+        assert_eq!(config.mode.backend(), backend);
+        assert_eq!(
+            matches!(config.docking.engine, DockingEngineKind::Gpu { .. }),
+            backend.is_gpu(),
+            "{backend}: docking engine does not match backend"
+        );
+        assert_eq!(
+            config.minimization.path == EvaluationPath::Gpu,
+            backend.is_gpu(),
+            "{backend}: evaluation path does not match backend"
+        );
+
+        let pipeline = FtMapPipeline::new(protein.clone(), ff.clone(), config);
+        let result = pipeline.map(&library);
+        assert!(!result.sites.is_empty(), "{backend} produced no consensus sites");
+        assert!(result.conformations_minimized > 0);
+        modeled.push(result.profile.total_modeled_s());
+    }
+
+    // The GPU backend's modeled time beats the CPU backend's on the same workload
+    // (the paper's headline claim, exercised through the seam).
+    let (cpu_s, gpu_s) = (modeled[0], modeled[1]);
+    assert!(gpu_s < cpu_s, "modeled gpu {gpu_s} should beat cpu {cpu_s}");
+}
+
+/// The per-phase engine enums are selectable directly through `BackendSelect`,
+/// without going through `PipelineMode`.
+#[test]
+fn phase_engines_select_from_backend_directly() {
+    assert_eq!(DockingEngineKind::cpu(), DockingEngineKind::FftSerial);
+    assert!(matches!(DockingEngineKind::gpu(), DockingEngineKind::Gpu { .. }));
+    assert_eq!(EvaluationPath::cpu(), EvaluationPath::Host);
+    assert_eq!(EvaluationPath::gpu(), EvaluationPath::Gpu);
+}

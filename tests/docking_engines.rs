@@ -13,11 +13,9 @@ fn setup() -> (SyntheticProtein, Probe) {
 #[test]
 fn gpu_and_direct_engines_retain_identical_pose_sets() {
     let (protein, probe) = setup();
-    let direct = Docking::new(
-        &protein.atoms,
-        DockingConfig::small_test(DockingEngineKind::DirectSerial),
-    )
-    .run(&probe);
+    let direct =
+        Docking::new(&protein.atoms, DockingConfig::small_test(DockingEngineKind::DirectSerial))
+            .run(&probe);
     let gpu = Docking::new(
         &protein.atoms,
         DockingConfig::small_test(DockingEngineKind::Gpu { batch: 8 }),
@@ -37,11 +35,8 @@ fn correlation_dominates_serial_fft_docking() {
     // Fig. 2(b): FFT correlation is ~93 % of the per-rotation cost. On the scaled test
     // grid the exact percentage differs, but correlation must dominate every other step.
     let (protein, probe) = setup();
-    let run = Docking::new(
-        &protein.atoms,
-        DockingConfig::small_test(DockingEngineKind::FftSerial),
-    )
-    .run(&probe);
+    let run = Docking::new(&protein.atoms, DockingConfig::small_test(DockingEngineKind::FftSerial))
+        .run(&probe);
     let [rot, corr, accum, filt] = run.wall.percentages();
     assert!(corr > rot && corr > accum && corr > filt, "correlation {corr}% should dominate");
 }
@@ -50,11 +45,9 @@ fn correlation_dominates_serial_fft_docking() {
 fn modeled_gpu_docking_beats_modeled_serial_docking() {
     // Table 1's bottom line (32.6× overall per-rotation speedup) in qualitative form.
     let (protein, probe) = setup();
-    let serial = Docking::new(
-        &protein.atoms,
-        DockingConfig::small_test(DockingEngineKind::FftSerial),
-    )
-    .run(&probe);
+    let serial =
+        Docking::new(&protein.atoms, DockingConfig::small_test(DockingEngineKind::FftSerial))
+            .run(&probe);
     let gpu = Docking::new(
         &protein.atoms,
         DockingConfig::small_test(DockingEngineKind::Gpu { batch: 8 }),

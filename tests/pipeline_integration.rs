@@ -56,16 +56,7 @@ fn hotspot_lands_near_a_carved_pocket() {
     let top = result.top_hotspot().expect("a hotspot should be found");
     // The hotspot must lie inside the docking box (grid is 32 voxels × 1.5 Å centred on
     // the protein) and within the protein's neighbourhood of some carved pocket.
-    assert!(
-        top.norm() < 32.0 * 1.5,
-        "top hotspot at {top:?} escaped the docking box"
-    );
-    let nearest = pockets
-        .iter()
-        .map(|p| p.distance(top))
-        .fold(f64::INFINITY, f64::min);
-    assert!(
-        nearest < 30.0,
-        "top hotspot at {top:?} is {nearest} Å from the nearest pocket"
-    );
+    assert!(top.norm() < 32.0 * 1.5, "top hotspot at {top:?} escaped the docking box");
+    let nearest = pockets.iter().map(|p| p.distance(top)).fold(f64::INFINITY, f64::min);
+    assert!(nearest < 30.0, "top hotspot at {top:?} is {nearest} Å from the nearest pocket");
 }

@@ -14,7 +14,7 @@ proptest! {
     #[test]
     fn rotations_are_isometries(
         axis in prop::array::uniform3(-1.0f64..1.0),
-        angle in -6.28f64..6.28,
+        angle in -std::f64::consts::TAU..std::f64::consts::TAU,
         v in prop::array::uniform3(-50.0f64..50.0),
         w in prop::array::uniform3(-50.0f64..50.0),
     ) {

@@ -1,0 +1,260 @@
+//! Offline stand-in for `criterion`, providing the subset this workspace uses:
+//! [`Criterion`], benchmark groups with `sample_size` / `measurement_time`,
+//! [`BenchmarkId`], [`Bencher::iter`], and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical machinery, each benchmark runs one warmup
+//! iteration followed by up to `sample_size` timed iterations (bounded by
+//! `measurement_time`), then reports the minimum, mean, and maximum iteration
+//! time. Every result is also appended as a JSON line to
+//! `target/criterion-stub.jsonl` so baseline snapshots can be assembled from a
+//! machine-readable record.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// The benchmark driver (upstream `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10, measurement_time: Duration::from_secs(5) }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(name, self.sample_size, self.measurement_time, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_benchmark(&full, self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    /// Runs a parameterized benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        run_benchmark(&full, self.sample_size, self.measurement_time, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the stub; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies a parameterized benchmark (upstream `criterion::BenchmarkId`).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made from a function name and a parameter.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An id made from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    samples_ns: Vec<u128>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`: one warmup call, then up to `sample_size` timed calls
+    /// within the measurement-time budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine());
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            self.samples_ns.push(t.elapsed().as_nanos());
+            if budget_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: F,
+) {
+    let mut bencher = Bencher { samples_ns: Vec::new(), sample_size, measurement_time };
+    f(&mut bencher);
+    if bencher.samples_ns.is_empty() {
+        println!("{name:<60} (no samples)");
+        return;
+    }
+    let n = bencher.samples_ns.len();
+    let min = *bencher.samples_ns.iter().min().expect("nonempty");
+    let max = *bencher.samples_ns.iter().max().expect("nonempty");
+    let mean = bencher.samples_ns.iter().sum::<u128>() / n as u128;
+    println!(
+        "{name:<60} time: [{} {} {}]  ({n} samples)",
+        format_ns(min),
+        format_ns(mean),
+        format_ns(max)
+    );
+    append_jsonl(name, n, min, mean, max);
+}
+
+fn format_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.4} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.4} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.4} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn append_jsonl(name: &str, samples: usize, min: u128, mean: u128, max: u128) {
+    // Best-effort machine-readable record; benches must not fail on IO errors.
+    let dir = target_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    if let Ok(mut file) =
+        std::fs::OpenOptions::new().create(true).append(true).open(dir.join("criterion-stub.jsonl"))
+    {
+        let escaped = name.replace('\\', "\\\\").replace('"', "\\\"");
+        let _ = writeln!(
+            file,
+            "{{\"benchmark\":\"{escaped}\",\"samples\":{samples},\"min_ns\":{min},\"mean_ns\":{mean},\"max_ns\":{max}}}"
+        );
+    }
+}
+
+/// The workspace `target/` directory: the bench executable's ancestor named
+/// `target` (benches run from the *package* directory, so a relative `target/`
+/// would land inside the crate). Falls back to `./target`.
+fn target_dir() -> std::path::PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return dir.into();
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        if let Some(target) = exe.ancestors().find(|p| p.file_name().is_some_and(|n| n == "target"))
+        {
+            return target.to_path_buf();
+        }
+    }
+    "target".into()
+}
+
+/// Declares a function that runs the listed benchmark functions in order
+/// (upstream `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups (upstream `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub_test");
+        group.sample_size(3).measurement_time(Duration::from_millis(200));
+        let mut calls = 0u32;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.finish();
+        // 1 warmup + up to 3 samples.
+        assert!(calls >= 2);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("corr", 8).0, "corr/8");
+        assert_eq!(BenchmarkId::from_parameter(8).0, "8");
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(format_ns(500), "500 ns");
+        assert!(format_ns(1_500).contains("us"));
+        assert!(format_ns(2_500_000).contains("ms"));
+        assert!(format_ns(3_000_000_000).contains(" s"));
+    }
+}

@@ -1,0 +1,69 @@
+//! Offline stand-in for `crossbeam`, providing the scoped-thread API this
+//! workspace uses on top of `std::thread::scope` (stable since Rust 1.63, which
+//! post-dates crossbeam's scoped threads and makes them a thin wrapper).
+
+/// Scoped threads (`crossbeam::thread::scope` compatible).
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope handle passed to [`scope`]'s closure; spawned threads may borrow
+    /// from the enclosing stack frame and are joined when the scope ends.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the scope
+        /// handle (crossbeam's signature), allowing nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned; returns
+    /// `Ok` with the closure's result once every spawned thread has been joined.
+    ///
+    /// Unlike crossbeam, a panicking child thread propagates the panic out of
+    /// `scope` (std semantics) instead of surfacing it through the `Err` arm, so
+    /// the error type is only nominally inhabited — `.expect(..)` calls at the
+    /// call sites behave identically.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u64, 2, 3, 4];
+            let sums: Vec<u64> = super::scope(|s| {
+                let handles: Vec<_> =
+                    data.chunks(2).map(|c| s.spawn(move |_| c.iter().sum::<u64>())).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .expect("scope failed");
+            assert_eq!(sums, vec![3, 7]);
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_handle() {
+            let out = super::scope(|s| {
+                let h = s.spawn(|inner| {
+                    let h2 = inner.spawn(|_| 21u32);
+                    h2.join().unwrap() * 2
+                });
+                h.join().unwrap()
+            })
+            .expect("scope failed");
+            assert_eq!(out, 42);
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! Offline stand-in for `proptest`, providing the subset this workspace uses:
+//! the [`proptest!`] macro, `prop_assert!` / `prop_assert_eq!` / `prop_assume!`,
+//! range and collection strategies, and [`prelude::ProptestConfig`].
+//!
+//! Differences from upstream, by design of the stub:
+//!
+//! * cases are sampled from a deterministic per-test RNG (seeded from the test
+//!   name), so runs are reproducible without a persistence file;
+//! * there is **no shrinking** — a failing case panics with the sampled inputs
+//!   in the message instead of a minimized counterexample;
+//! * only the strategies the workspace needs are implemented (numeric ranges,
+//!   `prop::array::uniform3`, `prop::collection::vec`, `Just`, constants).
+
+pub mod strategy {
+    //! The [`Strategy`] trait and the strategy combinators the workspace uses.
+
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SampleRange};
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// A source of random values for one property-test argument.
+    pub trait Strategy {
+        /// The type of the generated values.
+        type Value: Debug;
+        /// Samples one value.
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        T: Copy + Debug,
+        Range<T>: SampleRange<Output = T>,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut SmallRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// A strategy that always produces the same value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Fixed-size array strategies (`prop::array`).
+    pub mod array {
+        use super::Strategy;
+        use rand::rngs::SmallRng;
+
+        /// Strategy producing `[S::Value; 3]` from three draws of `S`.
+        #[derive(Debug, Clone)]
+        pub struct Uniform3<S>(S);
+
+        /// Generates arrays of 3 values drawn from `strategy`.
+        pub fn uniform3<S: Strategy>(strategy: S) -> Uniform3<S> {
+            Uniform3(strategy)
+        }
+
+        impl<S: Strategy> Strategy for Uniform3<S> {
+            type Value = [S::Value; 3];
+            fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                [self.0.sample(rng), self.0.sample(rng), self.0.sample(rng)]
+            }
+        }
+    }
+
+    /// Collection strategies (`prop::collection`).
+    pub mod collection {
+        use super::Strategy;
+        use rand::rngs::SmallRng;
+        use rand::Rng;
+        use std::ops::Range;
+
+        /// Things usable as the size argument of [`vec`]: a fixed size or a
+        /// half-open range of sizes.
+        pub trait SizeRange {
+            /// Draws a concrete length.
+            fn sample_len(&self, rng: &mut SmallRng) -> usize;
+        }
+
+        impl SizeRange for usize {
+            fn sample_len(&self, _rng: &mut SmallRng) -> usize {
+                *self
+            }
+        }
+
+        impl SizeRange for Range<usize> {
+            fn sample_len(&self, rng: &mut SmallRng) -> usize {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        /// Strategy producing `Vec<S::Value>` with a length drawn from the size
+        /// range.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S, L> {
+            element: S,
+            len: L,
+        }
+
+        /// Generates vectors of values drawn from `element`, with length drawn
+        /// from `len`.
+        pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                let n = self.len.sample_len(rng);
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test-case outcome types and the deterministic per-test RNG.
+
+    use rand::SeedableRng;
+
+    /// Why a single sampled case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case was rejected by `prop_assume!`; it is re-drawn, not failed.
+        Reject(String),
+        /// An assertion failed; the whole property fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failing outcome with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejection (assumption violated) with the given message.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Shorthand result type produced by a single case closure.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration (`ProptestConfig` upstream).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of accepted cases required for the property to pass.
+        pub cases: u32,
+        /// Maximum rejected (assumption-violating) draws tolerated before the
+        /// run aborts, as a multiple of `cases`.
+        pub max_global_rejects: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases, max_global_rejects: cases.saturating_mul(16).max(256) }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config::with_cases(64)
+        }
+    }
+
+    /// Builds the deterministic RNG for one named test.
+    pub fn rng_for_test(name: &str) -> rand::rngs::SmallRng {
+        // FNV-1a over the test name gives a stable, well-mixed seed.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        rand::rngs::SmallRng::seed_from_u64(hash)
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*`.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+
+    /// The `prop` namespace (`prop::array`, `prop::collection`).
+    pub mod prop {
+        pub use crate::strategy::array;
+        pub use crate::strategy::collection;
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }` becomes
+/// a `#[test]` that samples the strategies for the configured number of cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::test_runner::rng_for_test(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut rejected: u32 = 0;
+                while accepted < config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);
+                    )*
+                    // Describe the inputs before the body gets a chance to move them.
+                    let inputs: String =
+                        [$(format!("{} = {:?}", stringify!($arg), &$arg)),*].join(", ");
+                    let case = (|| -> $crate::test_runner::TestCaseResult {
+                        $body
+                        Ok(())
+                    })();
+                    match case {
+                        Ok(()) => accepted += 1,
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                            rejected += 1;
+                            assert!(
+                                rejected <= config.max_global_rejects,
+                                "proptest '{}': too many rejected cases ({rejected})",
+                                stringify!($name),
+                            );
+                        }
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest '{}' failed after {} passing case(s): {}\n  inputs: {}",
+                                stringify!($name),
+                                accepted,
+                                msg,
+                                inputs,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property; on failure the case (and test) fails
+/// with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Discards the current case (re-drawing new inputs) when the assumption does
+/// not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -5.0f64..5.0, n in 1usize..10) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn arrays_and_vecs_have_requested_shapes(
+            a in prop::array::uniform3(0.0f64..1.0),
+            v in prop::collection::vec(0u64..100, 2..6),
+            w in prop::collection::vec(0u64..100, 4),
+        ) {
+            prop_assert_eq!(a.len(), 3);
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert_eq!(w.len(), 4);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest 'always_fails' failed")]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

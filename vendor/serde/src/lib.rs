@@ -1,0 +1,63 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build environment for this workspace has no access to crates.io, so this
+//! vendored crate provides just enough of serde's surface for the workspace to
+//! compile: the `Serialize` / `Deserialize` marker traits (blanket-implemented for
+//! every type) and the derive macros (which expand to nothing, since the blanket
+//! impls already cover every derived type).
+//!
+//! Nothing in the workspace currently serializes at runtime; types carry the
+//! derives so that swapping this stub for the real `serde` is a manifest-only
+//! change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized. Blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types that can be deserialized. Blanket-implemented for all sized
+/// types.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker for types deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_serialize<T: Serialize>() {}
+    fn assert_deserialize<T: for<'de> Deserialize<'de>>() {}
+
+    #[derive(Serialize, Deserialize)]
+    struct Plain {
+        _x: u32,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Generic<T> {
+        _x: T,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum Kind {
+        _A,
+        _B { _n: usize },
+    }
+
+    #[test]
+    fn derives_and_blanket_impls_cover_all_shapes() {
+        assert_serialize::<Plain>();
+        assert_serialize::<Generic<f64>>();
+        assert_serialize::<Kind>();
+        assert_deserialize::<Plain>();
+        assert_deserialize::<Generic<f64>>();
+        assert_deserialize::<Kind>();
+    }
+}

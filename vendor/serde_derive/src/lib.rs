@@ -1,0 +1,20 @@
+//! No-op derive macros for the vendored `serde` stub.
+//!
+//! The stub's `Serialize` / `Deserialize` traits are blanket-implemented for every
+//! type, so the derives have nothing to generate — they exist only so that
+//! `#[derive(Serialize, Deserialize)]` attributes across the workspace keep
+//! compiling unchanged.
+
+use proc_macro::TokenStream;
+
+/// Derives the (blanket-implemented) `Serialize` marker; expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives the (blanket-implemented) `Deserialize` marker; expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
