@@ -9,24 +9,42 @@
 //! Both phases choose their engine through one seam: a [`PipelineMode`] maps to a
 //! [`gpu_sim::ExecutionBackend`], and each phase's engine enum implements
 //! [`gpu_sim::BackendSelect`] — the pipeline never hand-picks per-phase engines.
+//!
+//! [`PipelineMode::Sharded`] adds the execution axis the single-device modes
+//! lack: the probe library is sharded over a [`DevicePool`] by the
+//! work-stealing [`ShardQueue`], so probe A's docking and minimization overlap
+//! with probe B's on another device, and each device's host↔device transfers
+//! overlap with its compute through the stream model. Results are bit-identical
+//! to [`PipelineMode::Accelerated`] — sharding changes where and when work
+//! runs, never what it computes.
 
 use crate::cluster::{cluster_poses, ClusterInput, ConsensusSite};
-use crate::profile::MappingProfile;
+use crate::profile::{DeviceLoad, MappingProfile};
 use ftmap_energy::minimize::{MinimizationConfig, Minimizer};
 use ftmap_math::Vec3;
 use ftmap_molecule::{Complex, ForceField, Probe, ProbeLibrary, ProbeType, SyntheticProtein};
+use gpu_sim::sched::{DevicePool, ShardQueue};
 use gpu_sim::{BackendSelect, Device, ExecutionBackend};
 use piper_dock::{Docking, DockingConfig};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::Instant;
 
-/// Whether the pipeline uses the original serial engines or the accelerated ones.
+/// Whether the pipeline uses the original serial engines, the accelerated ones,
+/// or the accelerated ones sharded over a device pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PipelineMode {
     /// Serial FFT docking + host minimization (the original FTMap structure).
     Serial,
     /// GPU direct-correlation docking + GPU minimization kernels (the paper's system).
     Accelerated,
+    /// The accelerated engines, with the probe library sharded over a pool of
+    /// devices (work-stealing, stream-overlapped transfers, deterministic
+    /// output order).
+    Sharded {
+        /// Number of Tesla-class devices in the default pool.
+        devices: usize,
+    },
 }
 
 impl PipelineMode {
@@ -34,7 +52,15 @@ impl PipelineMode {
     pub fn backend(self) -> ExecutionBackend {
         match self {
             PipelineMode::Serial => ExecutionBackend::Cpu,
-            PipelineMode::Accelerated => ExecutionBackend::Gpu,
+            PipelineMode::Accelerated | PipelineMode::Sharded { .. } => ExecutionBackend::Gpu,
+        }
+    }
+
+    /// Number of devices this mode runs on.
+    pub fn device_count(self) -> usize {
+        match self {
+            PipelineMode::Serial | PipelineMode::Accelerated => 1,
+            PipelineMode::Sharded { devices } => devices.max(1),
         }
     }
 
@@ -126,18 +152,41 @@ impl MappingResult {
     }
 }
 
+/// Everything one probe contributes to a mapping run (the shard unit).
+struct ProbeShard {
+    profile: MappingProfile,
+    inputs: Vec<ClusterInput>,
+    conformations: usize,
+    /// Pure modeled kernel seconds (transfers excluded) — what the shard
+    /// queue's stream model charges to the compute stage.
+    kernel_modeled_s: f64,
+}
+
 /// The FTMap pipeline over one protein.
 pub struct FtMapPipeline {
     protein: SyntheticProtein,
     ff: ForceField,
     config: FtMapConfig,
-    device: Device,
+    pool: DevicePool,
 }
 
 impl FtMapPipeline {
-    /// Creates a pipeline for the given protein.
+    /// Creates a pipeline for the given protein, with a Tesla-class pool sized
+    /// by the configured mode (1 device for the single-device modes,
+    /// `devices` for [`PipelineMode::Sharded`]).
     pub fn new(protein: SyntheticProtein, ff: ForceField, config: FtMapConfig) -> Self {
-        FtMapPipeline { protein, ff, config, device: Device::tesla_c1060() }
+        let pool = DevicePool::tesla(config.mode.device_count());
+        Self::with_pool(protein, ff, config, pool)
+    }
+
+    /// Creates a pipeline on an explicit (possibly heterogeneous) device pool.
+    pub fn with_pool(
+        protein: SyntheticProtein,
+        ff: ForceField,
+        config: FtMapConfig,
+        pool: DevicePool,
+    ) -> Self {
+        FtMapPipeline { protein, ff, config, pool }
     }
 
     /// The configuration.
@@ -150,22 +199,60 @@ impl FtMapPipeline {
         &self.protein
     }
 
+    /// The device pool this pipeline executes on.
+    pub fn pool(&self) -> &DevicePool {
+        &self.pool
+    }
+
     /// Maps the protein with every probe in `library`.
     pub fn map(&self, library: &ProbeLibrary) -> MappingResult {
+        // Pooled devices outlive runs: reset their transfer accounting so a
+        // previous run's transfers cannot leak into this run's overlap model.
+        self.pool.reset_transfer_stats();
+        match self.config.mode {
+            PipelineMode::Sharded { .. } => self.map_sharded(library),
+            PipelineMode::Serial | PipelineMode::Accelerated => self.map_single(library),
+        }
+    }
+
+    /// The single-device probe loop (serial and accelerated modes).
+    fn map_single(&self, library: &ProbeLibrary) -> MappingResult {
+        let device = self.pool.device(0);
+        let shards = library.probes().iter().map(|probe| self.map_probe_on(probe, device));
+        self.assemble(shards.collect(), Vec::new())
+    }
+
+    /// The sharded probe loop: one work-stealing worker per pooled device.
+    /// Results are assembled in library order regardless of which device
+    /// serviced each probe, so the output is identical to the single-device
+    /// accelerated run.
+    fn map_sharded(&self, library: &ProbeLibrary) -> MappingResult {
+        let queue = ShardQueue::new(&self.pool);
+        let items: Vec<&Probe> = library.probes().iter().collect();
+        let outcome = queue.execute(items, |ctx, probe| {
+            let shard = self.map_probe_on(probe, ctx.device);
+            let kernel_s = shard.kernel_modeled_s;
+            (shard, kernel_s)
+        });
+        let loads = outcome.reports.iter().map(DeviceLoad::from).collect();
+        self.assemble(outcome.results, loads)
+    }
+
+    /// Folds per-probe shards (in library order) into the mapping result.
+    fn assemble(&self, shards: Vec<ProbeShard>, device_loads: Vec<DeviceLoad>) -> MappingResult {
         let mut profile = MappingProfile::default();
         let mut cluster_inputs: Vec<ClusterInput> = Vec::new();
         let mut pose_centers = Vec::new();
         let mut conformations = 0usize;
-
-        for probe in library.probes() {
-            let (probe_profile, inputs) = self.map_probe(probe, &mut conformations);
-            profile.merge(&probe_profile);
-            for input in &inputs {
+        for shard in shards {
+            profile.merge(&shard.profile);
+            conformations += shard.conformations;
+            for input in &shard.inputs {
                 pose_centers.push((input.probe, input.center));
             }
-            cluster_inputs.extend(inputs);
+            cluster_inputs.extend(shard.inputs);
         }
-
+        profile.device_loads = device_loads;
         let sites = cluster_poses(&cluster_inputs, self.config.cluster_radius);
         MappingResult { sites, conformations_minimized: conformations, profile, pose_centers }
     }
@@ -176,18 +263,34 @@ impl FtMapPipeline {
         probe: &Probe,
         conformations: &mut usize,
     ) -> (MappingProfile, Vec<ClusterInput>) {
+        let shard = self.map_probe_on(probe, self.pool.device(0));
+        *conformations += shard.conformations;
+        (shard.profile, shard.inputs)
+    }
+
+    /// Maps a single probe on the given pooled device.
+    fn map_probe_on(&self, probe: &Probe, device: &Arc<Device>) -> ProbeShard {
         let mut profile = MappingProfile::default();
 
-        // Phase 1: rigid docking.
+        // Phase 1: rigid docking, on this shard's device.
         let t0 = Instant::now();
-        let docking = Docking::new(&self.protein.atoms, self.config.docking.clone());
+        let docking = Docking::with_device(
+            &self.protein.atoms,
+            self.config.docking.clone(),
+            Arc::clone(device),
+        );
         let run = docking.run(probe);
         profile.docking_wall_s += t0.elapsed().as_secs_f64();
         profile.docking_modeled_s += run.modeled.total();
+        // Pure kernel time for the stream model: the run reports how much
+        // transfer time it folded into its modeled steps, so those seconds are
+        // counted by the transfer stages, not the compute stage.
+        let mut kernel_modeled_s = run.modeled.total() - run.modeled_transfer_s;
 
         // Phase 2: minimize the top conformations.
         let minimizer = Minimizer::new(self.ff.clone(), self.config.minimization);
         let mut inputs = Vec::new();
+        let mut conformations = 0usize;
         let n_conf = self.config.conformations_per_probe.min(run.poses.len());
         for pose in run.poses.iter().take(n_conf) {
             let rotation = docking.rotations().get(pose.rotation_index);
@@ -206,18 +309,21 @@ impl FtMapPipeline {
             let mut complex = Complex::new(&self.protein, &posed_probe);
 
             let t1 = Instant::now();
-            let result = minimizer.minimize(&mut complex, &self.device);
+            let result = minimizer.minimize(&mut complex, device);
             profile.minimization_wall_s += t1.elapsed().as_secs_f64();
-            profile.minimization_modeled_s += match self.config.mode {
-                PipelineMode::Accelerated => {
-                    let (a, b, c) = result.modeled_kernel_times_s;
-                    a + b + c
+            let modeled_s = match self.config.mode {
+                PipelineMode::Accelerated | PipelineMode::Sharded { .. } => {
+                    result.modeled_kernel_total_s()
                 }
                 // For the serial pipeline the host evaluation *is* the measured work;
                 // use the measured evaluation time as the modeled serial time.
                 PipelineMode::Serial => result.evaluation_time_s + result.update_time_s,
             };
-            *conformations += 1;
+            profile.minimization_modeled_s += modeled_s;
+            // Minimization kernel times carry no transfers, so the stream
+            // model's compute stage gets the same figure.
+            kernel_modeled_s += modeled_s;
+            conformations += 1;
 
             inputs.push(ClusterInput {
                 probe: probe.probe_type,
@@ -225,7 +331,7 @@ impl FtMapPipeline {
                 energy: result.final_energy,
             });
         }
-        (profile, inputs)
+        ProbeShard { profile, inputs, conformations, kernel_modeled_s }
     }
 }
 
@@ -316,6 +422,58 @@ mod tests {
             let cfg = FtMapConfig::small_test_on(backend);
             assert_eq!(cfg.mode.backend(), backend);
         }
+    }
+
+    #[test]
+    fn sharded_mode_rides_the_gpu_backend() {
+        let mode = PipelineMode::Sharded { devices: 4 };
+        assert_eq!(mode.backend(), ExecutionBackend::Gpu);
+        assert_eq!(mode.device_count(), 4);
+        assert_eq!(PipelineMode::Sharded { devices: 0 }.device_count(), 1);
+        assert_eq!(PipelineMode::Accelerated.device_count(), 1);
+        // The engine seam picks the same accelerated engines as Accelerated.
+        assert!(matches!(
+            mode.select::<DockingEngineKind>(),
+            DockingEngineKind::Gpu { batch: piper_dock::docking::DEFAULT_GPU_BATCH }
+        ));
+    }
+
+    #[test]
+    fn sharded_pipeline_reports_per_device_loads() {
+        let (pipeline, library) = small_pipeline(PipelineMode::Sharded { devices: 2 });
+        assert_eq!(pipeline.pool().len(), 2);
+        let result = pipeline.map(&library);
+        assert!(!result.sites.is_empty());
+        let loads = &result.profile.device_loads;
+        assert_eq!(loads.len(), 2);
+        let serviced: usize = loads.iter().map(|l| l.probes).sum();
+        assert_eq!(serviced, library.len());
+        // Every probe was worked somewhere and the makespan is positive but no
+        // larger than the sum of the per-phase modeled totals.
+        assert!(result.profile.makespan_modeled_s() > 0.0);
+        assert!(
+            result.profile.makespan_modeled_s()
+                <= result.profile.total_modeled_s() + result.profile.overlap_saved_s() + 1e-9
+        );
+        assert!(result.profile.load_skew() >= 1.0 - 1e-12);
+        assert_eq!(result.profile.device_utilizations().len(), 2);
+    }
+
+    #[test]
+    fn repeated_runs_do_not_leak_transfer_stats() {
+        // Pooled devices are reused across runs; `map` must reset their
+        // transfer accounting so run 2 sees exactly run 1's transfer volume,
+        // not an accumulation (regression test for the pool-reset audit).
+        let (pipeline, library) = small_pipeline(PipelineMode::Accelerated);
+        pipeline.map(&library);
+        let after_first = pipeline.pool().total_transfer_time();
+        pipeline.map(&library);
+        let after_second = pipeline.pool().total_transfer_time();
+        assert!(after_first > 0.0);
+        assert!(
+            (after_first - after_second).abs() < 1e-12,
+            "transfer stats leaked across runs: {after_first} then {after_second}"
+        );
     }
 
     #[test]

@@ -1,11 +1,41 @@
-//! Mapping-run profiles: the phase breakdown of Fig. 2(a) and the overall speedup of
-//! §V.C.
+//! Mapping-run profiles: the phase breakdown of Fig. 2(a), the overall speedup of
+//! §V.C, and — for sharded runs — the per-device load report of the multi-device
+//! scheduler.
 
+use gpu_sim::sched::DeviceShardReport;
 use serde::{Deserialize, Serialize};
+
+/// What one pooled device contributed to a sharded mapping run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DeviceLoad {
+    /// Human-readable device name.
+    pub device: String,
+    /// Number of probes this device serviced.
+    pub probes: usize,
+    /// Modeled busy seconds with stream copy/compute overlap applied (the
+    /// device's overlapped stream makespan).
+    pub busy_modeled_s: f64,
+    /// Modeled busy seconds with every transfer serialized (no overlap).
+    pub serialized_modeled_s: f64,
+    /// Modeled transfer seconds hidden under kernel execution on this device.
+    pub overlap_saved_s: f64,
+}
+
+impl From<&DeviceShardReport> for DeviceLoad {
+    fn from(report: &DeviceShardReport) -> Self {
+        DeviceLoad {
+            device: report.device.clone(),
+            probes: report.items(),
+            busy_modeled_s: report.busy_s(),
+            serialized_modeled_s: report.stream.serialized_s,
+            overlap_saved_s: report.stream.savings_s(),
+        }
+    }
+}
 
 /// Time spent in the two phases of a mapping run (per probe), both as measured
 //  wall-clock on this machine and as modeled device/host time.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MappingProfile {
     /// Rigid-docking wall-clock seconds.
     pub docking_wall_s: f64,
@@ -16,6 +46,9 @@ pub struct MappingProfile {
     pub docking_modeled_s: f64,
     /// Energy-minimization modeled seconds.
     pub minimization_modeled_s: f64,
+    /// Per-device loads of a sharded run, in pool order (empty for the
+    /// single-device pipeline modes).
+    pub device_loads: Vec<DeviceLoad>,
 }
 
 impl MappingProfile {
@@ -48,12 +81,56 @@ impl MappingProfile {
         (100.0 * self.docking_modeled_s / t, 100.0 * self.minimization_modeled_s / t)
     }
 
-    /// Adds another profile (e.g. accumulate over probes).
+    /// Adds another profile (e.g. accumulate over probes). Per-device loads are
+    /// concatenated — per-probe profiles carry none; the pipeline attaches the
+    /// pool's loads once, after the sharded run completes.
     pub fn merge(&mut self, other: &MappingProfile) {
         self.docking_wall_s += other.docking_wall_s;
         self.minimization_wall_s += other.minimization_wall_s;
         self.docking_modeled_s += other.docking_modeled_s;
         self.minimization_modeled_s += other.minimization_modeled_s;
+        self.device_loads.extend(other.device_loads.iter().cloned());
+    }
+
+    // --- Multi-device views (meaningful when `device_loads` is populated).
+    // --- The load-balance math delegates to `gpu_sim::sched::shard` so the
+    // --- profile's report always agrees with the scheduler's own.
+
+    /// The per-device busy times, in pool order.
+    fn busy(&self) -> Vec<f64> {
+        self.device_loads.iter().map(|l| l.busy_modeled_s).collect()
+    }
+
+    /// Modeled makespan of the run: the busiest device's overlapped stream
+    /// time for a sharded run, or the phase-sum for single-device runs (one
+    /// device does everything back-to-back). This is the number multi-device
+    /// scaling is measured on.
+    pub fn makespan_modeled_s(&self) -> f64 {
+        if self.device_loads.is_empty() {
+            self.total_modeled_s()
+        } else {
+            gpu_sim::sched::shard::makespan_s(&self.busy())
+        }
+    }
+
+    /// Total modeled transfer seconds hidden under compute by stream overlap,
+    /// across devices (0 for single-device runs).
+    pub fn overlap_saved_s(&self) -> f64 {
+        self.device_loads.iter().map(|l| l.overlap_saved_s).sum()
+    }
+
+    /// Load-balance skew of a sharded run: busiest device's busy time over the
+    /// mean busy time. 1.0 means perfectly balanced; also 1.0 for
+    /// single-device runs and runs that did no work.
+    pub fn load_skew(&self) -> f64 {
+        gpu_sim::sched::shard::load_skew(&self.busy())
+    }
+
+    /// Per-device utilization `(name, busy / makespan)`, in pool order (empty
+    /// for single-device runs).
+    pub fn device_utilizations(&self) -> Vec<(String, f64)> {
+        let utilizations = gpu_sim::sched::shard::utilizations(&self.busy());
+        self.device_loads.iter().zip(utilizations).map(|(l, u)| (l.device.clone(), u)).collect()
     }
 }
 
@@ -68,6 +145,7 @@ mod tests {
             minimization_wall_s: 400.0 * 60.0,
             docking_modeled_s: 7.0,
             minimization_modeled_s: 93.0,
+            ..Default::default()
         };
         let (dock, min) = p.wall_percentages();
         assert!(dock < 10.0 && min > 90.0);
@@ -84,6 +162,7 @@ mod tests {
             minimization_wall_s: 2.0,
             docking_modeled_s: 3.0,
             minimization_modeled_s: 4.0,
+            ..Default::default()
         };
         a.merge(&a.clone());
         assert_eq!(a.docking_wall_s, 2.0);
@@ -95,5 +174,61 @@ mod tests {
         let p = MappingProfile::default();
         assert_eq!(p.wall_percentages(), (0.0, 0.0));
         assert_eq!(p.modeled_percentages(), (0.0, 0.0));
+    }
+
+    fn load(name: &str, busy: f64, serialized: f64, probes: usize) -> DeviceLoad {
+        DeviceLoad {
+            device: name.to_string(),
+            probes,
+            busy_modeled_s: busy,
+            serialized_modeled_s: serialized,
+            overlap_saved_s: serialized - busy,
+        }
+    }
+
+    #[test]
+    fn single_device_views_fall_back_to_phase_totals() {
+        let p = MappingProfile {
+            docking_modeled_s: 2.0,
+            minimization_modeled_s: 8.0,
+            ..Default::default()
+        };
+        assert!((p.makespan_modeled_s() - 10.0).abs() < 1e-12);
+        assert_eq!(p.overlap_saved_s(), 0.0);
+        assert_eq!(p.load_skew(), 1.0);
+        assert!(p.device_utilizations().is_empty());
+    }
+
+    #[test]
+    fn sharded_views_report_makespan_skew_and_overlap() {
+        let p = MappingProfile {
+            device_loads: vec![
+                load("tesla-0", 4.0, 4.5, 5),
+                load("tesla-1", 3.0, 3.4, 4),
+                load("tesla-2", 2.0, 2.3, 3),
+            ],
+            ..Default::default()
+        };
+        assert!((p.makespan_modeled_s() - 4.0).abs() < 1e-12);
+        assert!((p.overlap_saved_s() - (0.5 + 0.4 + 0.3)).abs() < 1e-12);
+        // Skew: max 4.0 over mean 3.0.
+        assert!((p.load_skew() - 4.0 / 3.0).abs() < 1e-12);
+        let utils = p.device_utilizations();
+        assert_eq!(utils.len(), 3);
+        assert!((utils[0].1 - 1.0).abs() < 1e-12);
+        assert!((utils[2].1 - 0.5).abs() < 1e-12);
+        assert_eq!(utils[1].0, "tesla-1");
+    }
+
+    #[test]
+    fn merge_concatenates_device_loads() {
+        let mut a = MappingProfile::default();
+        let b = MappingProfile {
+            device_loads: vec![load("tesla-0", 1.0, 1.0, 1)],
+            ..Default::default()
+        };
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.device_loads.len(), 2);
     }
 }

@@ -101,6 +101,14 @@ pub struct MinimizationResult {
 }
 
 impl MinimizationResult {
+    /// Total modeled device seconds over the three kernels — pure kernel time,
+    /// with host↔device transfers excluded (those are charged to the device's
+    /// transfer accounting and picked up by the scheduler's stream model).
+    pub fn modeled_kernel_total_s(&self) -> f64 {
+        let (a, b, c) = self.modeled_kernel_times_s;
+        a + b + c
+    }
+
     /// Fraction of wall time spent in energy evaluation — the Fig. 3(a) quantity
     /// (≈99 % in the paper).
     pub fn evaluation_fraction(&self) -> f64 {
@@ -132,6 +140,11 @@ impl Minimizer {
 
     /// Minimizes the probe atoms of `complex` in place and returns the run summary.
     /// `device` is only used when the configuration selects the GPU path.
+    ///
+    /// The minimizer never constructs a device of its own: callers hand it a
+    /// handle — the pipeline passes a member of its
+    /// [`gpu_sim::sched::DevicePool`], so a sharded run's per-iteration
+    /// transfers are charged to the device that actually serviced the shard.
     pub fn minimize(&self, complex: &mut Complex, device: &Device) -> MinimizationResult {
         let evaluator = Evaluator::new(self.ff.clone());
         let excluded = complex.topology.excluded_pairs();

@@ -15,7 +15,7 @@
 
 use crate::cost::CostModel;
 use crate::kernel::{BlockContext, BlockKernel, LaunchConfig};
-use crate::memory::{MemoryCounters, SharedMemory, Transfer};
+use crate::memory::{MemoryCounters, SharedMemory, Transfer, TransferDirection};
 use crate::timing::KernelStats;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -123,14 +123,48 @@ impl DeviceSpec {
     }
 }
 
+/// A point-in-time copy of a device's transfer accounting, split by direction.
+///
+/// Snapshots taken before and after a unit of work give exactly the transfer
+/// time that work caused ([`TransferSnapshot::delta_since`]) — this is how the
+/// scheduler's stream model ([`crate::sched::Stream`]) attributes upload and
+/// download seconds to individual work items without the device having to know
+/// about work items at all.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TransferSnapshot {
+    /// Accumulated modeled host→device transfer seconds.
+    pub upload_s: f64,
+    /// Accumulated modeled device→host transfer seconds.
+    pub download_s: f64,
+    /// Accumulated transferred bytes, both directions.
+    pub bytes: usize,
+}
+
+impl TransferSnapshot {
+    /// Total modeled transfer seconds, both directions.
+    pub fn total_s(&self) -> f64 {
+        self.upload_s + self.download_s
+    }
+
+    /// The transfers recorded between `earlier` and this snapshot.
+    pub fn delta_since(&self, earlier: &TransferSnapshot) -> TransferSnapshot {
+        TransferSnapshot {
+            upload_s: self.upload_s - earlier.upload_s,
+            download_s: self.download_s - earlier.download_s,
+            bytes: self.bytes - earlier.bytes,
+        }
+    }
+}
+
 /// The block-parallel execution engine for one modeled device.
 #[derive(Debug)]
 pub struct Device {
     spec: DeviceSpec,
     cost: CostModel,
     worker_threads: usize,
-    /// Accumulated modeled transfer time (seconds) since construction / reset.
-    transfer_time_s: Mutex<f64>,
+    /// Accumulated modeled transfer time (seconds) since construction / reset,
+    /// split as `(upload, download)`.
+    transfer_time_s: Mutex<(f64, f64)>,
     /// Accumulated transferred bytes since construction / reset.
     transfer_bytes: AtomicUsize,
 }
@@ -146,7 +180,7 @@ impl Device {
             spec,
             cost,
             worker_threads,
-            transfer_time_s: Mutex::new(0.0),
+            transfer_time_s: Mutex::new((0.0, 0.0)),
             transfer_bytes: AtomicUsize::new(0),
         }
     }
@@ -174,7 +208,13 @@ impl Device {
     /// Records a host↔device transfer and returns its modeled duration in seconds.
     pub fn record_transfer(&self, transfer: Transfer) -> f64 {
         let t = self.cost.transfer_time(&transfer);
-        *self.transfer_time_s.lock() += t;
+        {
+            let mut split = self.transfer_time_s.lock();
+            match transfer.direction {
+                TransferDirection::HostToDevice => split.0 += t,
+                TransferDirection::DeviceToHost => split.1 += t,
+            }
+        }
         self.transfer_bytes.fetch_add(transfer.bytes as usize, Ordering::Relaxed);
         t
     }
@@ -209,9 +249,11 @@ impl Device {
         self.download_bytes(std::mem::size_of_val(items) as u64)
     }
 
-    /// Total modeled transfer time (seconds) recorded so far.
+    /// Total modeled transfer time (seconds) recorded so far, both directions.
+    /// The per-direction split is read through [`Device::transfer_snapshot`].
     pub fn total_transfer_time(&self) -> f64 {
-        *self.transfer_time_s.lock()
+        let split = self.transfer_time_s.lock();
+        split.0 + split.1
     }
 
     /// Total bytes transferred so far.
@@ -219,9 +261,24 @@ impl Device {
         self.transfer_bytes.load(Ordering::Relaxed)
     }
 
+    /// A point-in-time copy of the transfer accounting, split by direction.
+    pub fn transfer_snapshot(&self) -> TransferSnapshot {
+        let (upload_s, download_s) = *self.transfer_time_s.lock();
+        TransferSnapshot {
+            upload_s,
+            download_s,
+            bytes: self.transfer_bytes.load(Ordering::Relaxed),
+        }
+    }
+
     /// Resets the transfer accounting.
+    ///
+    /// Pooled devices are reused across pipeline runs; callers that reuse a
+    /// device ([`crate::sched::DevicePool::reset_transfer_stats`], the mapping
+    /// pipeline) reset at the start of every run so one run's transfers never
+    /// leak into the next run's stream-overlap accounting.
     pub fn reset_transfer_stats(&self) {
-        *self.transfer_time_s.lock() = 0.0;
+        *self.transfer_time_s.lock() = (0.0, 0.0);
         self.transfer_bytes.store(0, Ordering::Relaxed);
     }
 
@@ -425,9 +482,28 @@ mod tests {
         assert!(t1 > 0.0 && t2 > 0.0);
         assert_eq!(device.total_transfer_bytes(), 1_500_000);
         assert!(device.total_transfer_time() >= t1 + t2 - 1e-12);
+        // Directions are tracked separately.
+        let snapshot = device.transfer_snapshot();
+        assert!((snapshot.upload_s - t1).abs() < 1e-12);
+        assert!((snapshot.download_s - t2).abs() < 1e-12);
         device.reset_transfer_stats();
         assert_eq!(device.total_transfer_bytes(), 0);
         assert_eq!(device.total_transfer_time(), 0.0);
+        assert_eq!(device.transfer_snapshot(), TransferSnapshot::default());
+    }
+
+    #[test]
+    fn transfer_snapshots_attribute_deltas() {
+        let device = Device::tesla_c1060();
+        device.upload_bytes(1 << 20);
+        let before = device.transfer_snapshot();
+        let up = device.upload_bytes(2 << 20);
+        let down = device.download_bytes(1 << 19);
+        let delta = device.transfer_snapshot().delta_since(&before);
+        assert!((delta.upload_s - up).abs() < 1e-12);
+        assert!((delta.download_s - down).abs() < 1e-12);
+        assert_eq!(delta.bytes, (2 << 20) + (1 << 19));
+        assert!((delta.total_s() - (up + down)).abs() < 1e-12);
     }
 
     #[test]

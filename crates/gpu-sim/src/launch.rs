@@ -221,6 +221,20 @@ impl<T: Clone + Default> Staged<Vec<T>> {
 struct PhaseRecord {
     launches: usize,
     stats: KernelStats,
+    /// Modeled host↔device transfer seconds charged to this phase. Kept in its
+    /// own bucket — **not** folded into `stats.modeled_time_s` — so kernel
+    /// totals stay transfer-free. This is the ledger-level counterpart of the
+    /// convention the scheduler enforces end to end (the pipeline's overlap
+    /// accounting itself runs on [`crate::TransferSnapshot`] deltas +
+    /// [`crate::sched::Stream`]): transfers are tracked beside kernel time,
+    /// never inside it, so they can be overlapped without double-counting.
+    transfer_s: f64,
+}
+
+impl PhaseRecord {
+    fn zero() -> Self {
+        PhaseRecord { launches: 0, stats: KernelStats::zero(), transfer_s: 0.0 }
+    }
 }
 
 /// Accumulates [`KernelStats`] across the launches of a multi-kernel phase (and
@@ -243,12 +257,35 @@ impl StatsLedger {
 
     /// Records one launch's stats under `phase`.
     pub fn record(&mut self, phase: &str, stats: &KernelStats) {
-        let entry = self
-            .phases
-            .entry(phase.to_string())
-            .or_insert(PhaseRecord { launches: 0, stats: KernelStats::zero() });
+        let entry = self.phases.entry(phase.to_string()).or_insert_with(PhaseRecord::zero);
         entry.launches += 1;
         entry.stats.accumulate(stats);
+    }
+
+    /// Charges `seconds` of modeled host↔device transfer time to `phase`
+    /// (kept separate from kernel time; see [`StatsLedger::total_transfer_s`]).
+    pub fn record_transfer_s(&mut self, phase: &str, seconds: f64) {
+        let entry = self.phases.entry(phase.to_string()).or_insert_with(PhaseRecord::zero);
+        entry.transfer_s += seconds;
+    }
+
+    /// Modeled transfer seconds charged to `phase` (0 if never recorded).
+    pub fn transfer_s(&self, phase: &str) -> f64 {
+        self.phases.get(phase).map(|r| r.transfer_s).unwrap_or(0.0)
+    }
+
+    /// Total modeled transfer seconds over all phases. Transfers live in their
+    /// own bucket so [`StatsLedger::total_modeled_s`] stays kernel-only; a
+    /// stream-overlap model that hides transfers under kernels reports the
+    /// overlapped makespan instead of `total_modeled_s() + total_transfer_s()`.
+    pub fn total_transfer_s(&self) -> f64 {
+        self.phases.values().map(|r| r.transfer_s).sum()
+    }
+
+    /// Total modeled seconds with transfers charged back-to-back (the
+    /// no-overlap upper bound a single synchronous stream would take).
+    pub fn total_serialized_s(&self) -> f64 {
+        self.total_modeled_s() + self.total_transfer_s()
     }
 
     /// The merged stats of a phase (zero if the phase was never recorded).
@@ -288,12 +325,10 @@ impl StatsLedger {
     /// Merges another ledger into this one, phase by phase.
     pub fn merge(&mut self, other: &StatsLedger) {
         for (name, record) in &other.phases {
-            let entry = self
-                .phases
-                .entry(name.clone())
-                .or_insert(PhaseRecord { launches: 0, stats: KernelStats::zero() });
+            let entry = self.phases.entry(name.clone()).or_insert_with(PhaseRecord::zero);
             entry.launches += record.launches;
             entry.stats.accumulate(&record.stats);
+            entry.transfer_s += record.transfer_s;
         }
     }
 
@@ -429,6 +464,26 @@ mod tests {
         assert!(ledger.is_empty());
         assert_eq!(ledger.phase("nope"), KernelStats::zero());
         assert_eq!(ledger.launches("nope"), 0);
+    }
+
+    #[test]
+    fn ledger_transfer_bucket_stays_separate_from_kernel_time() {
+        let mut ledger = StatsLedger::new();
+        ledger.record("corr", &stats(10, 100, 0.5));
+        ledger.record_transfer_s("corr", 0.2);
+        ledger.record_transfer_s("upload_only", 0.1);
+        // Kernel totals unchanged by transfer recording.
+        assert!((ledger.total_modeled_s() - 0.5).abs() < 1e-12);
+        assert!((ledger.transfer_s("corr") - 0.2).abs() < 1e-12);
+        assert!((ledger.total_transfer_s() - 0.3).abs() < 1e-12);
+        assert!((ledger.total_serialized_s() - 0.8).abs() < 1e-12);
+        // Transfer-only phases record no launches.
+        assert_eq!(ledger.launches("upload_only"), 0);
+        // Merge carries the transfer bucket along.
+        let mut other = StatsLedger::new();
+        other.record_transfer_s("corr", 0.4);
+        ledger.merge(&other);
+        assert!((ledger.transfer_s("corr") - 0.6).abs() < 1e-12);
     }
 
     #[test]

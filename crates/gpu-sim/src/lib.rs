@@ -38,6 +38,9 @@
 //!   the [`StatsLedger`] multi-kernel statistics accumulator.
 //! * [`backend`] — the [`ExecutionBackend`] (CPU vs GPU) seam and the
 //!   [`BackendSelect`] trait phase crates implement for engine selection.
+//! * [`sched`] — the multi-device scheduler: [`sched::DevicePool`],
+//!   the copy/compute-overlap [`sched::Stream`], and the work-stealing
+//!   [`sched::ShardQueue`] with deterministic result ordering.
 //! * [`memory`] — access counters and the host↔device transfer model.
 //! * [`cost`] — the analytic cost model that turns counters into modeled times.
 //! * [`timing`] — wall-clock helpers and the combined [`timing::KernelStats`] report.
@@ -51,12 +54,14 @@ pub mod device;
 pub mod kernel;
 pub mod launch;
 pub mod memory;
+pub mod sched;
 pub mod timing;
 
 pub use backend::{BackendSelect, ExecutionBackend};
 pub use cost::CostModel;
-pub use device::{Device, DeviceSpec};
+pub use device::{Device, DeviceSpec, TransferSnapshot};
 pub use kernel::{BlockContext, BlockKernel, LaunchConfig};
 pub use launch::{KernelLaunch, Staged, StatsLedger};
 pub use memory::{MemoryCounters, Transfer};
-pub use timing::KernelStats;
+pub use sched::{DevicePool, ShardQueue, Stream};
+pub use timing::{KernelStats, StreamOp, StreamStats};

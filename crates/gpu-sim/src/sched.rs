@@ -1,0 +1,33 @@
+//! The multi-device scheduler (the workspace's answer to "the workload is
+//! embarrassingly parallel across the probe library").
+//!
+//! The paper maps binding sites on a *single* Tesla C1060; its own profiling
+//! shows the work shards perfectly along the probe axis (16 probes × 500
+//! rotations). This module turns the single [`crate::Device`] into a pool and
+//! the serial per-probe loop into sharded, overlap-aware execution:
+//!
+//! * [`pool::DevicePool`] — owns N (possibly heterogeneous) devices behind
+//!   `Arc` handles that consumers borrow instead of constructing their own;
+//! * [`stream::Stream`] — models CUDA-stream copy/compute overlap: each work
+//!   item contributes an upload → kernel → download
+//!   [`crate::timing::StreamOp`], and the stream reports both the serialized
+//!   total and the overlapped makespan
+//!   ([`crate::cost::overlapped_stream_time`]), so overlapped transfer time is
+//!   counted once;
+//! * [`shard::ShardQueue`] — a work-stealing executor with one worker thread
+//!   per pooled device. Items are claimed from a shared queue (crossbeam
+//!   scoped threads + an atomic cursor), each worker drives its own device and
+//!   its own stream, and results land in per-item slots so the output order is
+//!   **deterministic** no matter which device serviced which shard.
+//!
+//! The scheduling follows the related GPU literature: van Meel et al. overlap
+//! host↔device transfers with compute, and Barros et al. partition lattice
+//! work across independent device contexts; `sched` composes both moves.
+
+pub mod pool;
+pub mod shard;
+pub mod stream;
+
+pub use pool::DevicePool;
+pub use shard::{DeviceShardReport, ShardCtx, ShardOutcome, ShardQueue};
+pub use stream::Stream;

@@ -1,0 +1,146 @@
+//! A pool of modeled devices shared by the scheduler's workers.
+
+use crate::device::{Device, DeviceSpec};
+use std::sync::Arc;
+
+/// Owns N modeled devices and hands out shared handles to them.
+///
+/// Devices sit behind [`Arc`] so phase engines (docking, minimization) can
+/// hold a pooled handle instead of constructing their own device — the pool is
+/// the single owner of accelerator state for a run. Pools may be
+/// heterogeneous: mixing [`DeviceSpec::tesla_c1060`] and
+/// [`DeviceSpec::xeon_quad`] specs models offloading shards to whatever
+/// silicon the host has.
+#[derive(Debug)]
+pub struct DevicePool {
+    devices: Vec<Arc<Device>>,
+}
+
+impl DevicePool {
+    /// A pool with one device per spec.
+    ///
+    /// # Panics
+    /// Panics if `specs` is empty — a pool must schedule onto something.
+    pub fn new(specs: Vec<DeviceSpec>) -> Self {
+        assert!(!specs.is_empty(), "a device pool needs at least one device");
+        DevicePool { devices: specs.into_iter().map(|s| Arc::new(Device::new(s))).collect() }
+    }
+
+    /// A pool of `n` identical devices.
+    pub fn homogeneous(spec: DeviceSpec, n: usize) -> Self {
+        assert!(n > 0, "a device pool needs at least one device");
+        Self::new(vec![spec; n])
+    }
+
+    /// A pool of `n` Tesla-C1060-class devices — the paper's accelerator,
+    /// multiplied.
+    pub fn tesla(n: usize) -> Self {
+        Self::homogeneous(DeviceSpec::tesla_c1060(), n)
+    }
+
+    /// A heterogeneous pool: `n_tesla` C1060-class devices plus `n_xeon`
+    /// quad-core-Xeon-class devices (the paper's multicore host pressed into
+    /// service as an extra, slower shard consumer).
+    pub fn mixed(n_tesla: usize, n_xeon: usize) -> Self {
+        let mut specs = vec![DeviceSpec::tesla_c1060(); n_tesla];
+        specs.extend(vec![DeviceSpec::xeon_quad(); n_xeon]);
+        Self::new(specs)
+    }
+
+    /// Number of devices in the pool.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True when the pool has no devices (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// A shared handle to device `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    pub fn device(&self, idx: usize) -> &Arc<Device> {
+        &self.devices[idx]
+    }
+
+    /// All device handles, in pool order.
+    pub fn devices(&self) -> &[Arc<Device>] {
+        &self.devices
+    }
+
+    /// Human-readable names of the pooled devices, in pool order.
+    pub fn device_names(&self) -> Vec<String> {
+        self.devices.iter().map(|d| d.spec().name.clone()).collect()
+    }
+
+    /// Sum of the pooled devices' peak GFLOP/s (a rough capacity figure for
+    /// load-balance reporting).
+    pub fn peak_gflops(&self) -> f64 {
+        self.devices.iter().map(|d| d.spec().peak_gflops()).sum()
+    }
+
+    /// Resets every pooled device's transfer accounting.
+    ///
+    /// Pools outlive pipeline runs; call this at the start of each run so a
+    /// previous run's transfers cannot leak into the next run's stream-overlap
+    /// accounting (see [`Device::reset_transfer_stats`]).
+    pub fn reset_transfer_stats(&self) {
+        for device in &self.devices {
+            device.reset_transfer_stats();
+        }
+    }
+
+    /// Total modeled transfer seconds accumulated across the pool since the
+    /// last reset.
+    pub fn total_transfer_time(&self) -> f64 {
+        self.devices.iter().map(|d| d.total_transfer_time()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tesla_pool_is_homogeneous() {
+        let pool = DevicePool::tesla(4);
+        assert_eq!(pool.len(), 4);
+        assert!(!pool.is_empty());
+        for device in pool.devices() {
+            assert_eq!(device.spec(), &DeviceSpec::tesla_c1060());
+        }
+        assert!((pool.peak_gflops() - 4.0 * DeviceSpec::tesla_c1060().peak_gflops()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_pool_is_heterogeneous() {
+        let pool = DevicePool::mixed(2, 1);
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool.device(0).spec(), &DeviceSpec::tesla_c1060());
+        assert_eq!(pool.device(2).spec(), &DeviceSpec::xeon_quad());
+        let names = pool.device_names();
+        assert!(names[0].contains("Tesla"));
+        assert!(names[2].contains("Xeon"));
+    }
+
+    #[test]
+    fn pool_reset_clears_every_device() {
+        let pool = DevicePool::tesla(2);
+        pool.device(0).upload_bytes(1 << 20);
+        pool.device(1).download_bytes(1 << 20);
+        assert!(pool.total_transfer_time() > 0.0);
+        pool.reset_transfer_stats();
+        assert_eq!(pool.total_transfer_time(), 0.0);
+        for device in pool.devices() {
+            assert_eq!(device.total_transfer_bytes(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_pool_panics() {
+        let _ = DevicePool::new(Vec::new());
+    }
+}

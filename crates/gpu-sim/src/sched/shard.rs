@@ -1,0 +1,281 @@
+//! The work-stealing shard executor: one worker per pooled device,
+//! deterministic result ordering.
+
+use crate::device::Device;
+use crate::sched::pool::DevicePool;
+use crate::sched::stream::Stream;
+use crate::timing::StreamStats;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Execution context handed to the shard closure for each work item.
+pub struct ShardCtx<'p> {
+    /// The pooled device servicing this item.
+    pub device: &'p Arc<Device>,
+    /// Index of that device in the pool.
+    pub device_index: usize,
+    /// Index of the item in the submitted work list.
+    pub item_index: usize,
+}
+
+/// What one pooled device did during a [`ShardQueue::execute`] run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceShardReport {
+    /// Human-readable device name (from its spec).
+    pub device: String,
+    /// Index of the device in the pool.
+    pub device_index: usize,
+    /// Indices of the work items this device serviced, in service order.
+    pub item_indices: Vec<usize>,
+    /// The device's stream summary (kernel/transfer split, overlap savings).
+    pub stream: StreamStats,
+}
+
+impl DeviceShardReport {
+    /// Number of items this device serviced.
+    pub fn items(&self) -> usize {
+        self.item_indices.len()
+    }
+
+    /// Modeled busy seconds: the device's overlapped stream makespan.
+    pub fn busy_s(&self) -> f64 {
+        self.stream.overlapped_s
+    }
+}
+
+// --- Load-balance math over per-device busy times, shared by every consumer
+// --- that reports on a pool (ShardOutcome here, MappingProfile downstream) so
+// --- the scheduler's report and the pipeline's report can never diverge.
+
+/// Makespan of a set of per-device busy times: the busiest device's time
+/// (0 when the set is empty). Devices work concurrently, so a pool finishes
+/// when its slowest member does.
+pub fn makespan_s(busy: &[f64]) -> f64 {
+    busy.iter().copied().fold(0.0, f64::max)
+}
+
+/// Load-balance skew: busiest device's busy time over the mean busy time
+/// (1.0 = perfectly balanced; also 1.0 for empty or fully idle sets).
+pub fn load_skew(busy: &[f64]) -> f64 {
+    if busy.is_empty() {
+        return 1.0;
+    }
+    let mean = busy.iter().sum::<f64>() / busy.len() as f64;
+    if mean <= 0.0 {
+        1.0
+    } else {
+        makespan_s(busy) / mean
+    }
+}
+
+/// Per-device utilization: busy seconds over the makespan, in input order
+/// (all zeros when nothing ran).
+pub fn utilizations(busy: &[f64]) -> Vec<f64> {
+    let makespan = makespan_s(busy);
+    busy.iter().map(|&b| if makespan <= 0.0 { 0.0 } else { b / makespan }).collect()
+}
+
+/// The outcome of a sharded execution: results in submission order plus a
+/// per-device load report.
+#[derive(Debug)]
+pub struct ShardOutcome<R> {
+    /// One result per submitted item, in **submission order** — independent of
+    /// which device serviced which shard.
+    pub results: Vec<R>,
+    /// Per-device reports, in pool order (idle devices report zero items).
+    pub reports: Vec<DeviceShardReport>,
+}
+
+impl<R> ShardOutcome<R> {
+    /// The per-device busy times, in pool order.
+    fn busy(&self) -> Vec<f64> {
+        self.reports.iter().map(DeviceShardReport::busy_s).collect()
+    }
+
+    /// Modeled makespan: the busiest device's overlapped stream time — the
+    /// multi-device modeled run time.
+    pub fn makespan_s(&self) -> f64 {
+        makespan_s(&self.busy())
+    }
+
+    /// Sum of every device's modeled busy seconds.
+    pub fn total_busy_s(&self) -> f64 {
+        self.busy().iter().sum()
+    }
+
+    /// Total modeled transfer seconds hidden under compute, across devices.
+    pub fn overlap_saved_s(&self) -> f64 {
+        self.reports.iter().map(|r| r.stream.savings_s()).sum()
+    }
+
+    /// Load-balance skew of this execution (see [`load_skew`]).
+    pub fn load_skew(&self) -> f64 {
+        load_skew(&self.busy())
+    }
+
+    /// Per-device utilization, in pool order (see [`utilizations`]).
+    pub fn utilizations(&self) -> Vec<f64> {
+        utilizations(&self.busy())
+    }
+}
+
+/// A work-stealing executor over a [`DevicePool`].
+///
+/// [`ShardQueue::execute`] spawns one crossbeam-scoped worker per pooled
+/// device. Workers *steal* items from a shared queue (an atomic cursor over
+/// the submitted list): a fast or lightly-loaded device simply claims the next
+/// item sooner, so heterogeneous pools balance themselves without a central
+/// planner. Two properties hold regardless of the interleaving:
+///
+/// * **exactly-once dispatch** — the atomic cursor hands every index to
+///   exactly one worker, no item is skipped or run twice;
+/// * **deterministic results** — each result is written to the slot of its
+///   item index, so `results[i]` always corresponds to `items[i]` even though
+///   the servicing device varies run to run.
+///
+/// Each worker drives its own [`Stream`]: the executor snapshots the device's
+/// transfer accounting around every item, so per-item upload/download seconds
+/// are attributed exactly and overlap savings are computed per device.
+pub struct ShardQueue<'p> {
+    pool: &'p DevicePool,
+}
+
+impl<'p> ShardQueue<'p> {
+    /// A queue executing on `pool`.
+    pub fn new(pool: &'p DevicePool) -> Self {
+        ShardQueue { pool }
+    }
+
+    /// The pool this queue schedules onto.
+    pub fn pool(&self) -> &'p DevicePool {
+        self.pool
+    }
+
+    /// Executes `work` over every item, one worker per pooled device.
+    ///
+    /// `work` receives the shard context (device handle, device index, item
+    /// index) and the item, and returns the result together with the item's
+    /// modeled **kernel** seconds (transfers are captured automatically from
+    /// the device's transfer accounting, so they must not be folded into the
+    /// returned figure — that is what keeps them from being double-counted).
+    pub fn execute<T, R, F>(&self, items: Vec<T>, work: F) -> ShardOutcome<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(&ShardCtx<'_>, T) -> (R, f64) + Sync,
+    {
+        let n_items = items.len();
+        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+        let results: Vec<Mutex<Option<R>>> = (0..n_items).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let reports: Mutex<Vec<Option<DeviceShardReport>>> =
+            Mutex::new((0..self.pool.len()).map(|_| None).collect());
+
+        crossbeam::thread::scope(|scope| {
+            for (device_index, device) in self.pool.devices().iter().enumerate() {
+                let slots = &slots;
+                let results = &results;
+                let cursor = &cursor;
+                let reports = &reports;
+                let work = &work;
+                scope.spawn(move |_| {
+                    let mut stream = Stream::new();
+                    let mut item_indices = Vec::new();
+                    loop {
+                        let item_index = cursor.fetch_add(1, Ordering::Relaxed);
+                        if item_index >= n_items {
+                            break;
+                        }
+                        let item = slots[item_index]
+                            .lock()
+                            .take()
+                            .expect("work item claimed twice — atomic cursor violated");
+                        let ctx = ShardCtx { device, device_index, item_index };
+                        let before = device.transfer_snapshot();
+                        let (result, kernel_s) = work(&ctx, item);
+                        stream.record_between(&before, &device.transfer_snapshot(), kernel_s);
+                        item_indices.push(item_index);
+                        *results[item_index].lock() = Some(result);
+                    }
+                    reports.lock()[device_index] = Some(DeviceShardReport {
+                        device: device.spec().name.clone(),
+                        device_index,
+                        item_indices,
+                        stream: stream.stats(),
+                    });
+                });
+            }
+        })
+        .expect("shard worker panicked");
+
+        let results = results
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("work item produced no result"))
+            .collect();
+        let reports = reports
+            .into_inner()
+            .into_iter()
+            .map(|r| r.expect("worker exited without reporting"))
+            .collect();
+        ShardOutcome { results, reports }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_submission_order() {
+        let pool = DevicePool::tesla(3);
+        let queue = ShardQueue::new(&pool);
+        let items: Vec<usize> = (0..20).collect();
+        let outcome = queue.execute(items, |ctx, item| {
+            assert_eq!(ctx.item_index, item);
+            (item * 2, 1e-3)
+        });
+        assert_eq!(outcome.results, (0..20).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(outcome.reports.len(), 3);
+        let serviced: usize = outcome.reports.iter().map(DeviceShardReport::items).sum();
+        assert_eq!(serviced, 20);
+    }
+
+    #[test]
+    fn per_device_streams_capture_transfers() {
+        let pool = DevicePool::tesla(2);
+        let queue = ShardQueue::new(&pool);
+        let outcome = queue.execute(vec![(); 8], |ctx, ()| {
+            ctx.device.upload_bytes(1 << 20);
+            ctx.device.download_bytes(1 << 18);
+            ((), 5e-3)
+        });
+        for report in &outcome.reports {
+            assert_eq!(report.stream.ops, report.items());
+            if report.items() > 0 {
+                assert!(report.stream.upload_s > 0.0);
+                assert!(report.stream.download_s > 0.0);
+                assert!(report.busy_s() <= report.stream.serialized_s + 1e-12);
+            }
+        }
+        assert!(outcome.makespan_s() > 0.0);
+        assert!(outcome.makespan_s() <= outcome.total_busy_s() + 1e-12);
+        assert!(outcome.load_skew() >= 1.0 - 1e-12);
+        let utils = outcome.utilizations();
+        assert_eq!(utils.len(), 2);
+        assert!(utils.iter().all(|&u| (0.0..=1.0 + 1e-12).contains(&u)));
+    }
+
+    #[test]
+    fn empty_work_list_reports_idle_devices() {
+        let pool = DevicePool::tesla(2);
+        let queue = ShardQueue::new(&pool);
+        let outcome: ShardOutcome<()> = queue.execute(Vec::new(), |_, ()| ((), 0.0));
+        assert!(outcome.results.is_empty());
+        assert_eq!(outcome.reports.len(), 2);
+        assert_eq!(outcome.makespan_s(), 0.0);
+        assert_eq!(outcome.load_skew(), 1.0);
+        assert_eq!(outcome.utilizations(), vec![0.0, 0.0]);
+    }
+}

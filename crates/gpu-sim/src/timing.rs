@@ -4,7 +4,10 @@
 //! blocks, the measured wall-clock time of the (CPU-parallel) execution and the modeled
 //! device time from the cost model. [`PhaseTimer`] accumulates named phase durations —
 //! it is how the docking and minimization pipelines regenerate the per-step breakdowns
-//! of the paper's Figure 2 and Figure 3.
+//! of the paper's Figure 2 and Figure 3. [`StreamOp`] / [`StreamStats`] are the
+//! stream-overlap view used by the multi-device scheduler ([`crate::sched`]): one
+//! upload → kernel → download triple per work item, summarized with and without
+//! copy/compute overlap so overlapped transfer time is never double-counted.
 
 use crate::memory::MemoryCounters;
 use serde::{Deserialize, Serialize};
@@ -46,6 +49,77 @@ impl KernelStats {
         self.counters.merge(&other.counters);
         self.wall_time_s += other.wall_time_s;
         self.modeled_time_s += other.modeled_time_s;
+    }
+}
+
+/// One stream work item: the modeled seconds of its host→device upload, its
+/// kernel (compute) work, and its device→host download.
+///
+/// The three stages are the overlappable intervals of the scheduler's stream
+/// model: on a device with asynchronous copy engines, item `i+1`'s upload can
+/// proceed while item `i`'s kernels run and item `i-1`'s results download.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamOp {
+    /// Modeled host→device transfer seconds for this item.
+    pub upload_s: f64,
+    /// Modeled kernel seconds for this item (transfers excluded).
+    pub kernel_s: f64,
+    /// Modeled device→host transfer seconds for this item.
+    pub download_s: f64,
+}
+
+impl StreamOp {
+    /// A stream op from its three stage durations.
+    pub fn new(upload_s: f64, kernel_s: f64, download_s: f64) -> Self {
+        StreamOp { upload_s, kernel_s, download_s }
+    }
+
+    /// The item's duration with no copy/compute overlap (synchronous
+    /// `cudaMemcpy` on both sides of the launch).
+    pub fn serialized_s(&self) -> f64 {
+        self.upload_s + self.kernel_s + self.download_s
+    }
+}
+
+/// Summary of one stream's work, with and without copy/compute overlap.
+///
+/// `serialized_s` is what a device without asynchronous copy engines would
+/// take (every stage back-to-back); `overlapped_s` is the makespan of the
+/// three-stage pipeline computed by [`crate::cost::overlapped_stream_time`].
+/// The difference ([`StreamStats::savings_s`]) is modeled transfer time hidden
+/// under kernel execution — time that must be counted **once**, which is why
+/// stream consumers report `overlapped_s` instead of adding transfer totals on
+/// top of kernel totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamStats {
+    /// Number of work items issued to the stream.
+    pub ops: usize,
+    /// Total upload seconds over all items.
+    pub upload_s: f64,
+    /// Total kernel seconds over all items.
+    pub kernel_s: f64,
+    /// Total download seconds over all items.
+    pub download_s: f64,
+    /// Total with no overlap (uploads + kernels + downloads, back-to-back).
+    pub serialized_s: f64,
+    /// Pipeline makespan with copy/compute overlap.
+    pub overlapped_s: f64,
+}
+
+impl StreamStats {
+    /// Modeled transfer seconds hidden under kernel execution (never negative).
+    pub fn savings_s(&self) -> f64 {
+        (self.serialized_s - self.overlapped_s).max(0.0)
+    }
+
+    /// Fraction of the serialized time saved by overlap (0 for an empty or
+    /// overlap-free stream).
+    pub fn overlap_fraction(&self) -> f64 {
+        if self.serialized_s <= 0.0 {
+            0.0
+        } else {
+            self.savings_s() / self.serialized_s
+        }
     }
 }
 
@@ -186,5 +260,29 @@ mod tests {
         let t = PhaseTimer::new();
         assert!(t.percentages().is_empty());
         assert_eq!(t.total(), 0.0);
+    }
+
+    #[test]
+    fn stream_op_serializes_stages() {
+        let op = StreamOp::new(1.0, 3.0, 0.5);
+        assert!((op.serialized_s() - 4.5).abs() < 1e-12);
+        assert_eq!(StreamOp::default().serialized_s(), 0.0);
+    }
+
+    #[test]
+    fn stream_stats_savings_and_fraction() {
+        let stats = StreamStats {
+            ops: 4,
+            upload_s: 2.0,
+            kernel_s: 10.0,
+            download_s: 1.0,
+            serialized_s: 13.0,
+            overlapped_s: 10.75,
+        };
+        assert!((stats.savings_s() - 2.25).abs() < 1e-12);
+        assert!((stats.overlap_fraction() - 2.25 / 13.0).abs() < 1e-12);
+        let empty = StreamStats::default();
+        assert_eq!(empty.savings_s(), 0.0);
+        assert_eq!(empty.overlap_fraction(), 0.0);
     }
 }

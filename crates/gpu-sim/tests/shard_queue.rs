@@ -1,0 +1,90 @@
+//! Property tests on the scheduler's shard queue: the work-stealing dispatch
+//! must hand every work item to exactly one device-worker — never skipping,
+//! never double-assigning — and re-assemble results in submission order, for
+//! any item count and pool size (the `launch_partition` properties, one layer
+//! up the stack).
+
+use gpu_sim::sched::{DevicePool, ShardQueue};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every submitted item is serviced exactly once: the union of the
+    /// per-device assignment lists is a permutation of 0..n_items, and each
+    /// worker's stream recorded exactly as many ops as it claimed items.
+    #[test]
+    fn every_item_dispatched_exactly_once(
+        n_items in 0usize..200,
+        pool_size in 1usize..6,
+    ) {
+        let pool = DevicePool::tesla(pool_size);
+        let queue = ShardQueue::new(&pool);
+        let outcome = queue.execute(vec![(); n_items], |_, ()| ((), 1e-6));
+
+        prop_assert_eq!(outcome.results.len(), n_items);
+        prop_assert_eq!(outcome.reports.len(), pool_size);
+        let mut covered = vec![0u32; n_items];
+        for report in &outcome.reports {
+            prop_assert_eq!(report.stream.ops, report.items());
+            for &idx in &report.item_indices {
+                prop_assert!(idx < n_items, "assigned out-of-range item {}", idx);
+                covered[idx] += 1;
+            }
+        }
+        prop_assert!(
+            covered.iter().all(|&c| c == 1),
+            "items covered other than exactly once: {:?}",
+            covered.iter().enumerate().filter(|(_, &c)| c != 1).take(5).collect::<Vec<_>>()
+        );
+    }
+
+    /// Results come back in submission order no matter which device serviced
+    /// which shard, and the shard context reports the item's true index.
+    #[test]
+    fn results_are_ordered_by_submission(
+        n_items in 0usize..150,
+        pool_size in 1usize..5,
+    ) {
+        let pool = DevicePool::tesla(pool_size);
+        let queue = ShardQueue::new(&pool);
+        let items: Vec<usize> = (0..n_items).collect();
+        let outcome =
+            queue.execute(items, |ctx, item| ((item, ctx.item_index, ctx.device_index), 1e-6));
+        for (i, &(item, item_index, device_index)) in outcome.results.iter().enumerate() {
+            prop_assert!(item == i, "result slot {} holds item {}", i, item);
+            prop_assert_eq!(item_index, i);
+            prop_assert!(device_index < pool_size);
+        }
+    }
+
+    /// Stream accounting invariants survive arbitrary work shapes: per-device
+    /// overlapped time never exceeds serialized time, the makespan is the max
+    /// of the per-device busy times, and skew is at least 1.
+    #[test]
+    fn stream_accounting_invariants(
+        n_items in 1usize..60,
+        pool_size in 1usize..5,
+        kernel_us in 1u32..50,
+    ) {
+        let pool = DevicePool::tesla(pool_size);
+        let queue = ShardQueue::new(&pool);
+        let kernel_s = kernel_us as f64 * 1e-6;
+        let outcome = queue.execute(vec![(); n_items], |ctx, ()| {
+            ctx.device.upload_bytes(64 << 10);
+            ctx.device.download_bytes(16 << 10);
+            ((), kernel_s)
+        });
+        let mut max_busy = 0.0_f64;
+        for report in &outcome.reports {
+            prop_assert!(report.busy_s() <= report.stream.serialized_s + 1e-12);
+            let expected_kernel_s = report.stream.ops as f64 * kernel_s;
+            prop_assert!((report.stream.kernel_s - expected_kernel_s).abs() < 1e-12);
+            max_busy = max_busy.max(report.busy_s());
+        }
+        prop_assert!((outcome.makespan_s() - max_busy).abs() < 1e-15);
+        prop_assert!(outcome.load_skew() >= 1.0 - 1e-12);
+        let total_ops: usize = outcome.reports.iter().map(|r| r.stream.ops).sum();
+        prop_assert_eq!(total_ops, n_items);
+    }
+}

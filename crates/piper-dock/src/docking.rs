@@ -21,6 +21,7 @@ use ftmap_math::{Real, RotationSet};
 use ftmap_molecule::{Atom, Probe};
 use gpu_sim::{BackendSelect, CostModel, Device, DeviceSpec, ExecutionBackend, MemoryCounters};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which engine scores the rotations.
@@ -158,6 +159,11 @@ pub struct DockingRun {
     /// Modeled step times (Xeon core for host engines, C1060 device model for the GPU
     /// engine).
     pub modeled: StepTimes,
+    /// Modeled host↔device transfer seconds *folded into* `modeled` (the
+    /// per-batch ligand uploads counted inside `modeled.correlation_s`; 0 for
+    /// the host engines). Stream-overlap accounting subtracts this to recover
+    /// pure kernel time, so the same transfer seconds are never counted twice.
+    pub modeled_transfer_s: f64,
     /// Grid spec used (needed to convert poses back to Cartesian space).
     pub grid: GridSpec,
 }
@@ -175,12 +181,20 @@ pub struct Docking {
     config: DockingConfig,
     rotations: RotationSet,
     xeon: CostModel,
-    device: Device,
+    device: Arc<Device>,
 }
 
 impl Docking {
-    /// Builds the docking context (receptor grids, rotation set, device model).
+    /// Builds the docking context (receptor grids, rotation set) with a private
+    /// Tesla-class device model for the GPU engine.
     pub fn new(protein_atoms: &[Atom], config: DockingConfig) -> Self {
+        Self::with_device(protein_atoms, config, Arc::new(Device::tesla_c1060()))
+    }
+
+    /// Builds the docking context on a shared (pooled) device handle instead of
+    /// constructing a private device — the entry point the multi-device
+    /// scheduler uses, so every shard's transfers land on its own pool member.
+    pub fn with_device(protein_atoms: &[Atom], config: DockingConfig, device: Arc<Device>) -> Self {
         let spec = GridSpec::centered_on(protein_atoms, config.grid_dim, config.spacing);
         let receptor = ReceptorGrids::build(protein_atoms, spec, config.n_desolv);
         let rotations = RotationSet::uniform(config.n_rotations);
@@ -189,8 +203,13 @@ impl Docking {
             config,
             rotations,
             xeon: CostModel::new(DeviceSpec::xeon_core()),
-            device: Device::tesla_c1060(),
+            device,
         }
+    }
+
+    /// The device this context launches GPU-engine kernels on.
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
     }
 
     /// The receptor grids.
@@ -321,6 +340,7 @@ impl Docking {
             n_rotations: self.rotations.len(),
             wall,
             modeled,
+            modeled_transfer_s: 0.0,
             grid: self.receptor.spec,
         }
     }
@@ -368,6 +388,7 @@ impl Docking {
             n_rotations: self.rotations.len(),
             wall,
             modeled,
+            modeled_transfer_s: 0.0,
             grid: self.receptor.spec,
         }
     }
@@ -377,6 +398,7 @@ impl Docking {
         let mut poses = Vec::new();
         let mut wall = StepTimes::default();
         let mut modeled = StepTimes::default();
+        let mut modeled_transfer_s = 0.0;
         let rotation_counters = self.rotation_grid_counters(probe);
 
         // Build all sparse ligands up-front per batch (host work, matching the paper:
@@ -413,6 +435,7 @@ impl Docking {
             let corr = gpu.correlate_batch(&batch);
             wall.correlation_s += t1.elapsed().as_secs_f64();
             modeled.correlation_s += corr.stats.modeled_time_s + corr.upload_time_s;
+            modeled_transfer_s += corr.upload_time_s;
 
             // Device accumulation + scoring/filtering per rotation in the batch.
             for (slot, &orig_rot) in batch_indices.iter().enumerate() {
@@ -443,6 +466,7 @@ impl Docking {
             n_rotations: self.rotations.len(),
             wall,
             modeled,
+            modeled_transfer_s,
             grid: self.receptor.spec,
         }
     }
@@ -552,6 +576,35 @@ mod tests {
         assert!((pct.iter().sum::<f64>() - 100.0).abs() < 1e-9);
         assert!(pct[1] > 85.0); // correlation dominates, as in Fig. 2(b)
         assert_eq!(StepTimes::default().percentages(), [0.0; 4]);
+    }
+
+    #[test]
+    fn pooled_device_receives_the_runs_transfers() {
+        // `with_device` must route every GPU-engine transfer to the shared
+        // handle (the property the multi-device scheduler depends on), and the
+        // run must report how much transfer time was folded into its modeled
+        // step times.
+        let protein = protein();
+        let probe = probe();
+        let device = Arc::new(Device::tesla_c1060());
+        let docking = Docking::with_device(
+            &protein.atoms,
+            DockingConfig::small_test(DockingEngineKind::Gpu { batch: 4 }),
+            Arc::clone(&device),
+        );
+        assert!(std::ptr::eq(Arc::as_ptr(docking.device()), Arc::as_ptr(&device)));
+        let before = device.transfer_snapshot();
+        let run = docking.run(&probe);
+        let delta = device.transfer_snapshot().delta_since(&before);
+        assert!(delta.upload_s > 0.0, "ligand uploads must land on the pooled device");
+        assert!(delta.download_s > 0.0, "pose downloads must land on the pooled device");
+        assert!(run.modeled_transfer_s > 0.0);
+        assert!(run.modeled_transfer_s <= run.modeled.correlation_s + 1e-12);
+        // Host engines fold no transfers into their modeled times.
+        let fft =
+            Docking::new(&protein.atoms, DockingConfig::small_test(DockingEngineKind::FftSerial))
+                .run(&probe);
+        assert_eq!(fft.modeled_transfer_s, 0.0);
     }
 
     #[test]

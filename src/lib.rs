@@ -51,7 +51,8 @@ pub mod prelude {
         SyntheticProtein,
     };
     pub use gpu_sim::{
-        BackendSelect, Device, DeviceSpec, ExecutionBackend, KernelLaunch, StatsLedger,
+        BackendSelect, Device, DevicePool, DeviceSpec, ExecutionBackend, KernelLaunch, ShardQueue,
+        StatsLedger, Stream,
     };
     pub use piper_dock::{Docking, DockingConfig, DockingEngineKind, EnergyWeights, Pose};
 }
