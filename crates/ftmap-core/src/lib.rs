@@ -23,6 +23,6 @@ pub mod cluster;
 pub mod pipeline;
 pub mod profile;
 
-pub use cluster::{ConsensusCluster, ConsensusSite};
-pub use pipeline::{FtMapConfig, FtMapPipeline, MappingResult, PipelineMode};
+pub use cluster::{cluster_poses, ClusterInput, ConsensusCluster, ConsensusSite};
+pub use pipeline::{FtMapConfig, FtMapPipeline, MappingResult, PipelineMode, ProbeShard};
 pub use profile::MappingProfile;

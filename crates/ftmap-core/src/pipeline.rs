@@ -153,13 +153,20 @@ impl MappingResult {
 }
 
 /// Everything one probe contributes to a mapping run (the shard unit).
-struct ProbeShard {
-    profile: MappingProfile,
-    inputs: Vec<ClusterInput>,
-    conformations: usize,
+///
+/// Public because queued-job consumers (the `ftmap-serve` batch service)
+/// schedule probes from *several* jobs through one [`ShardQueue`] execution and
+/// assemble each job's result themselves from its shards.
+pub struct ProbeShard {
+    /// The probe's phase profile.
+    pub profile: MappingProfile,
+    /// Minimized pose centres, ready for consensus clustering.
+    pub inputs: Vec<ClusterInput>,
+    /// Conformations minimized for this probe.
+    pub conformations: usize,
     /// Pure modeled kernel seconds (transfers excluded) — what the shard
     /// queue's stream model charges to the compute stage.
-    kernel_modeled_s: f64,
+    pub kernel_modeled_s: f64,
 }
 
 /// The FTMap pipeline over one protein.
@@ -167,7 +174,12 @@ pub struct FtMapPipeline {
     protein: SyntheticProtein,
     ff: ForceField,
     config: FtMapConfig,
-    pool: DevicePool,
+    pool: Arc<DevicePool>,
+    /// Receptor grids built once per pipeline (host side). Per-probe docking
+    /// contexts borrow these, and the device-side copy is managed by each
+    /// device's residency cache — so N probes (or N queued jobs) against one
+    /// receptor cost one host build and one upload per device.
+    receptor: Arc<piper_dock::ReceptorGrids>,
 }
 
 impl FtMapPipeline {
@@ -186,7 +198,34 @@ impl FtMapPipeline {
         config: FtMapConfig,
         pool: DevicePool,
     ) -> Self {
-        FtMapPipeline { protein, ff, config, pool }
+        Self::with_shared_pool(protein, ff, config, Arc::new(pool))
+    }
+
+    /// Creates a pipeline on a pool shared with other consumers — the entry
+    /// point for queued jobs: a batch-mapping service hands every job pipeline
+    /// the same pool handle, so all jobs' shards land on the same devices (and
+    /// the same residency caches).
+    pub fn with_shared_pool(
+        protein: SyntheticProtein,
+        ff: ForceField,
+        config: FtMapConfig,
+        pool: Arc<DevicePool>,
+    ) -> Self {
+        let receptor = Docking::build_receptor(&protein.atoms, &config.docking);
+        Self::with_shared_resources(protein, ff, config, pool, receptor)
+    }
+
+    /// Creates a pipeline from prebuilt receptor grids on a shared pool —
+    /// lets a service memoize the host-side grid build across jobs for the
+    /// same receptor content.
+    pub fn with_shared_resources(
+        protein: SyntheticProtein,
+        ff: ForceField,
+        config: FtMapConfig,
+        pool: Arc<DevicePool>,
+        receptor: Arc<piper_dock::ReceptorGrids>,
+    ) -> Self {
+        FtMapPipeline { protein, ff, config, pool, receptor }
     }
 
     /// The configuration.
@@ -204,7 +243,22 @@ impl FtMapPipeline {
         &self.pool
     }
 
+    /// The shared handle to the device pool (for co-scheduling other work).
+    pub fn shared_pool(&self) -> &Arc<DevicePool> {
+        &self.pool
+    }
+
+    /// The receptor grids every probe of this pipeline docks against.
+    pub fn receptor(&self) -> &Arc<piper_dock::ReceptorGrids> {
+        &self.receptor
+    }
+
     /// Maps the protein with every probe in `library`.
+    ///
+    /// Resets the pool's transfer accounting at the start of the run, so the
+    /// pool must not be executing other work concurrently (the batch service
+    /// serializes batches for exactly this reason); grid residency survives
+    /// the reset.
     pub fn map(&self, library: &ProbeLibrary) -> MappingResult {
         // Pooled devices outlive runs: reset their transfer accounting so a
         // previous run's transfers cannot leak into this run's overlap model.
@@ -268,14 +322,24 @@ impl FtMapPipeline {
         (shard.profile, shard.inputs)
     }
 
+    /// Maps a single probe on the given pooled device, returning its shard —
+    /// the queued-job entry: a batch service schedules `(job, probe)` pairs
+    /// from many jobs through one [`ShardQueue`] with this as the work body,
+    /// then assembles each job's result from its own shards.
+    pub fn map_probe_shard(&self, probe: &Probe, device: &Arc<Device>) -> ProbeShard {
+        self.map_probe_on(probe, device)
+    }
+
     /// Maps a single probe on the given pooled device.
     fn map_probe_on(&self, probe: &Probe, device: &Arc<Device>) -> ProbeShard {
         let mut profile = MappingProfile::default();
 
-        // Phase 1: rigid docking, on this shard's device.
+        // Phase 1: rigid docking, on this shard's device. The receptor grids
+        // are the pipeline's prebuilt set; the device-resident copy comes from
+        // the residency cache (upload charged on first sighting only).
         let t0 = Instant::now();
-        let docking = Docking::with_device(
-            &self.protein.atoms,
+        let docking = Docking::from_grids(
+            Arc::clone(&self.receptor),
             self.config.docking.clone(),
             Arc::clone(device),
         );
@@ -462,18 +526,65 @@ mod tests {
     #[test]
     fn repeated_runs_do_not_leak_transfer_stats() {
         // Pooled devices are reused across runs; `map` must reset their
-        // transfer accounting so run 2 sees exactly run 1's transfer volume,
-        // not an accumulation (regression test for the pool-reset audit).
+        // transfer accounting so each run reports only its own transfers, not
+        // an accumulation (regression test for the pool-reset audit). Run 1
+        // additionally pays the one-time receptor upload (residency miss);
+        // runs 2 and 3 hit the cache, so their transfer totals are identical
+        // and smaller by exactly that upload.
         let (pipeline, library) = small_pipeline(PipelineMode::Accelerated);
+        let device = Arc::clone(pipeline.pool().device(0));
         pipeline.map(&library);
         let after_first = pipeline.pool().total_transfer_time();
         pipeline.map(&library);
         let after_second = pipeline.pool().total_transfer_time();
+        pipeline.map(&library);
+        let after_third = pipeline.pool().total_transfer_time();
         assert!(after_first > 0.0);
+        let receptor_upload_s = device
+            .cost_model()
+            .transfer_time(&gpu_sim::Transfer::upload(pipeline.receptor().resident_bytes() as u64));
         assert!(
-            (after_first - after_second).abs() < 1e-12,
-            "transfer stats leaked across runs: {after_first} then {after_second}"
+            (after_first - after_second - receptor_upload_s).abs() < 1e-12,
+            "warm run should differ from cold run by one receptor upload: \
+             {after_first} then {after_second} (upload {receptor_upload_s})"
         );
+        assert!(
+            (after_second - after_third).abs() < 1e-12,
+            "transfer stats leaked across warm runs: {after_second} then {after_third}"
+        );
+    }
+
+    #[test]
+    fn residency_miss_uploads_once_per_device_and_hits_are_free() {
+        // The serve-layer transfer contract: across a whole sharded run, each
+        // pooled device records exactly one receptor-grid upload (its first
+        // probe misses), and every other probe's construction is a free hit.
+        let (pipeline, library) = small_pipeline(PipelineMode::Sharded { devices: 2 });
+        let receptor_bytes = pipeline.receptor().resident_bytes();
+        pipeline.map(&library);
+        let mut total_misses = 0;
+        for device in pipeline.pool().devices() {
+            let stats = device.residency().stats();
+            if stats.lookups() > 0 {
+                // A device that serviced k probes saw k lookups: 1 miss (its
+                // first probe) + (k-1) free hits.
+                assert_eq!(stats.misses, 1, "exactly one miss per active device");
+                assert_eq!(stats.insertions, 1);
+                assert_eq!(stats.hits + 1, stats.lookups());
+            }
+            total_misses += stats.misses;
+        }
+        assert!(total_misses >= 1);
+        // A fresh identical pipeline on a fresh pool pays the upload once per
+        // device; re-running on the warm pool pays zero receptor bytes: the
+        // second run's bytes are smaller by exactly one grid set per device
+        // that serviced work in run 1 but no longer misses.
+        let (cold, _) = small_pipeline(PipelineMode::Accelerated);
+        cold.map(&library);
+        let cold_bytes = cold.pool().device(0).total_transfer_bytes();
+        cold.map(&library);
+        let warm_bytes = cold.pool().device(0).total_transfer_bytes();
+        assert_eq!(cold_bytes - warm_bytes, receptor_bytes);
     }
 
     #[test]

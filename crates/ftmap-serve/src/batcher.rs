@@ -1,0 +1,91 @@
+//! Batch formation: group compatible pending jobs without starving anyone.
+//!
+//! Policy: **FIFO-fair by receptor.** The oldest pending job anchors the next
+//! batch; every other pending job with the same receptor fingerprint (up to
+//! `max_jobs`) rides along, in arrival order. Jobs for other receptors keep
+//! their queue positions. This keeps worst-case latency bounded by arrival
+//! order — a hot receptor cannot starve a cold one, because batches are always
+//! anchored at the queue head — while still coalescing every compatible job
+//! the moment its receptor reaches the front.
+
+/// Anything the batcher can group: exposes the receptor fingerprint the batch
+/// is keyed on.
+pub trait Batchable {
+    /// Jobs with equal fingerprints share receptor grids and may share a
+    /// batch.
+    fn fingerprint(&self) -> u64;
+}
+
+/// Extracts the next batch from `pending` (arrival order): the head job plus
+/// every later job with the same fingerprint, up to `max_jobs`. Extracted jobs
+/// are removed; the rest keep their order. Returns an empty vector only when
+/// `pending` is empty.
+///
+/// # Panics
+/// Panics if `max_jobs` is zero.
+pub fn next_batch<T: Batchable>(pending: &mut Vec<T>, max_jobs: usize) -> Vec<T> {
+    assert!(max_jobs > 0, "a batch must admit at least one job");
+    if pending.is_empty() {
+        return Vec::new();
+    }
+    let anchor = pending[0].fingerprint();
+    let mut batch = Vec::new();
+    let mut rest = Vec::with_capacity(pending.len());
+    for job in pending.drain(..) {
+        if batch.len() < max_jobs && job.fingerprint() == anchor {
+            batch.push(job);
+        } else {
+            rest.push(job);
+        }
+    }
+    *pending = rest;
+    batch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct J(u64, &'static str);
+
+    impl Batchable for J {
+        fn fingerprint(&self) -> u64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn batches_anchor_at_the_queue_head() {
+        let mut pending = vec![J(1, "a"), J(2, "b"), J(1, "c"), J(2, "d"), J(1, "e")];
+        let batch = next_batch(&mut pending, 8);
+        assert_eq!(batch, vec![J(1, "a"), J(1, "c"), J(1, "e")]);
+        // The other receptor's jobs kept their order and are next.
+        assert_eq!(pending, vec![J(2, "b"), J(2, "d")]);
+        let batch = next_batch(&mut pending, 8);
+        assert_eq!(batch, vec![J(2, "b"), J(2, "d")]);
+        assert!(pending.is_empty());
+        assert!(next_batch(&mut pending, 8).is_empty());
+    }
+
+    #[test]
+    fn max_jobs_caps_a_batch_without_reordering() {
+        let mut pending = vec![J(1, "a"), J(1, "b"), J(1, "c"), J(2, "x"), J(1, "d")];
+        let batch = next_batch(&mut pending, 2);
+        assert_eq!(batch, vec![J(1, "a"), J(1, "b")]);
+        // Overflow jobs stay pending, still ahead of other receptors where
+        // they arrived earlier.
+        assert_eq!(pending, vec![J(1, "c"), J(2, "x"), J(1, "d")]);
+        let batch = next_batch(&mut pending, 2);
+        assert_eq!(batch, vec![J(1, "c"), J(1, "d")]);
+        assert_eq!(pending, vec![J(2, "x")]);
+    }
+
+    #[test]
+    fn single_receptor_queue_drains_fifo() {
+        let mut pending: Vec<J> = (0..5).map(|_| J(9, "j")).collect();
+        assert_eq!(next_batch(&mut pending, 3).len(), 3);
+        assert_eq!(next_batch(&mut pending, 3).len(), 2);
+        assert!(pending.is_empty());
+    }
+}

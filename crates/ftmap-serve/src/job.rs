@@ -1,0 +1,196 @@
+//! Job identity, status, and the handle a client waits on.
+
+use ftmap_core::MappingResult;
+use gpu_sim::CacheStats;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Opaque job identifier, unique within one service instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+/// Lifecycle of a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Admitted, waiting in the service queue.
+    Queued,
+    /// Claimed by the dispatcher, executing as part of a batch.
+    Running,
+    /// Finished; the report is available.
+    Completed,
+}
+
+/// What one batch did, attached to every job report from that batch.
+#[derive(Debug, Clone)]
+pub struct BatchSummary {
+    /// Sequence number of the batch within the service.
+    pub batch_index: usize,
+    /// Number of jobs co-scheduled in the batch.
+    pub jobs: usize,
+    /// Total probe shards the batch dispatched over the pool.
+    pub probes: usize,
+    /// Content key of the receptor grids the batch docked against.
+    pub receptor_key: u64,
+    /// Residency-cache events the batch caused, summed over the pool.
+    pub cache: CacheStats,
+    /// Modeled makespan of the batch over the pool (busiest device's
+    /// overlapped stream time).
+    pub makespan_modeled_s: f64,
+}
+
+/// The finished product a client receives for one job.
+#[derive(Debug)]
+pub struct JobReport {
+    /// The job this report answers.
+    pub job_id: JobId,
+    /// The client tag from the request.
+    pub tag: String,
+    /// The job's own mapping result (consensus sites, profile, pose centres) —
+    /// deterministic for the job's inputs, independent of arrival order and
+    /// batch-mates.
+    pub result: MappingResult,
+    /// What the batch that carried this job did.
+    pub batch: BatchSummary,
+}
+
+/// Shared completion slot between a [`JobHandle`] and the dispatcher.
+#[derive(Debug)]
+pub(crate) struct JobSlot {
+    state: Mutex<SlotState>,
+    done: Condvar,
+}
+
+#[derive(Debug)]
+struct SlotState {
+    status: JobStatus,
+    report: Option<Arc<JobReport>>,
+}
+
+impl JobSlot {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(JobSlot {
+            state: Mutex::new(SlotState { status: JobStatus::Queued, report: None }),
+            done: Condvar::new(),
+        })
+    }
+
+    pub(crate) fn set_running(&self) {
+        let mut state = self.state.lock().expect("job slot poisoned");
+        state.status = JobStatus::Running;
+    }
+
+    pub(crate) fn complete(&self, report: Arc<JobReport>) {
+        let mut state = self.state.lock().expect("job slot poisoned");
+        state.status = JobStatus::Completed;
+        state.report = Some(report);
+        self.done.notify_all();
+    }
+
+    fn status(&self) -> JobStatus {
+        self.state.lock().expect("job slot poisoned").status
+    }
+
+    fn wait(&self) -> Arc<JobReport> {
+        let mut state = self.state.lock().expect("job slot poisoned");
+        while state.report.is_none() {
+            state = self.done.wait(state).expect("job slot poisoned");
+        }
+        Arc::clone(state.report.as_ref().expect("checked above"))
+    }
+}
+
+/// A client's handle to a submitted job: poll [`status`](JobHandle::status) or
+/// block on [`wait`](JobHandle::wait). Handles are cheap to clone and safe to
+/// wait on from several threads.
+#[derive(Debug, Clone)]
+pub struct JobHandle {
+    id: JobId,
+    tag: String,
+    slot: Arc<JobSlot>,
+}
+
+impl JobHandle {
+    pub(crate) fn new(id: JobId, tag: String, slot: Arc<JobSlot>) -> Self {
+        JobHandle { id, tag, slot }
+    }
+
+    /// The job's identifier.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// The client tag from the request.
+    pub fn tag(&self) -> &str {
+        &self.tag
+    }
+
+    /// The job's current lifecycle state.
+    pub fn status(&self) -> JobStatus {
+        self.slot.status()
+    }
+
+    /// True once the report is available ([`wait`](JobHandle::wait) will not
+    /// block).
+    pub fn is_completed(&self) -> bool {
+        self.status() == JobStatus::Completed
+    }
+
+    /// Blocks until the job completes, returning its report.
+    pub fn wait(&self) -> Arc<JobReport> {
+        self.slot.wait()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftmap_core::MappingProfile;
+
+    fn dummy_report(id: JobId) -> Arc<JobReport> {
+        Arc::new(JobReport {
+            job_id: id,
+            tag: "t".into(),
+            result: MappingResult {
+                sites: Vec::new(),
+                conformations_minimized: 0,
+                profile: MappingProfile::default(),
+                pose_centers: Vec::new(),
+            },
+            batch: BatchSummary {
+                batch_index: 0,
+                jobs: 1,
+                probes: 0,
+                receptor_key: 0,
+                cache: CacheStats::default(),
+                makespan_modeled_s: 0.0,
+            },
+        })
+    }
+
+    #[test]
+    fn handle_observes_lifecycle() {
+        let slot = JobSlot::new();
+        let handle = JobHandle::new(JobId(3), "t".into(), Arc::clone(&slot));
+        assert_eq!(handle.status(), JobStatus::Queued);
+        assert_eq!(handle.id(), JobId(3));
+        assert_eq!(handle.tag(), "t");
+        slot.set_running();
+        assert_eq!(handle.status(), JobStatus::Running);
+        assert!(!handle.is_completed());
+        slot.complete(dummy_report(JobId(3)));
+        assert!(handle.is_completed());
+        assert_eq!(handle.wait().job_id, JobId(3));
+    }
+
+    #[test]
+    fn wait_blocks_until_completion_from_another_thread() {
+        let slot = JobSlot::new();
+        let handle = JobHandle::new(JobId(7), String::new(), Arc::clone(&slot));
+        let waiter = {
+            let handle = handle.clone();
+            std::thread::spawn(move || handle.wait().job_id)
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        slot.complete(dummy_report(JobId(7)));
+        assert_eq!(waiter.join().expect("waiter"), JobId(7));
+    }
+}

@@ -1,0 +1,47 @@
+//! # ftmap-serve
+//!
+//! The **asynchronous batch-mapping service**: the serving layer that turns
+//! the one-shot mapping pipeline ([`ftmap_core::FtMapPipeline`]) into a
+//! multi-tenant system fit for sustained traffic.
+//!
+//! The paper's workload is throughput-bound and embarrassingly parallel; the
+//! GPU literature it builds on (van Meel et al., Barros et al.) gets sustained
+//! device throughput from two moves: keep data **resident** on the device, and
+//! feed the hardware a **continuous stream of batched work** instead of
+//! cold-starting each request. This crate applies both at the request level:
+//!
+//! ```text
+//!  clients ──► MappingRequest ──► bounded JobQueue ──► batcher ──► DevicePool
+//!                  │                (backpressure)    (by receptor)   │
+//!                  ▼                                                  ▼
+//!              JobHandle ◄──────────── JobReport ◄──── per-job assembly
+//! ```
+//!
+//! * **Admission** ([`queue`]) — a bounded queue: [`BatchMappingService::submit`]
+//!   blocks under load (backpressure), [`BatchMappingService::try_submit`]
+//!   refuses and hands the request back (load shedding).
+//! * **Batching** ([`batcher`]) — FIFO-fair grouping of jobs that share a
+//!   receptor, so their probe shards interleave on the pool and share one
+//!   resident grid set per device.
+//! * **Execution** ([`service`]) — one work-stealing
+//!   [`gpu_sim::sched::ShardQueue`] execution per batch over the shared
+//!   [`gpu_sim::sched::DevicePool`]; the per-device **receptor-grid residency
+//!   cache** ([`gpu_sim::ResidencyCache`]) makes every shard after the first
+//!   borrow the uploaded grids for zero transfer bytes.
+//! * **Completion** ([`job`]) — [`JobHandle`]s resolve asynchronously to
+//!   deterministic per-job [`JobReport`]s: a job's consensus sites depend only
+//!   on its own request, never on arrival order or batch-mates.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod batcher;
+pub mod job;
+pub mod queue;
+pub mod request;
+pub mod service;
+
+pub use job::{BatchSummary, JobHandle, JobId, JobReport, JobStatus};
+pub use queue::{JobQueue, SubmitError};
+pub use request::MappingRequest;
+pub use service::{BatchMappingService, ServeConfig, ServeStats};

@@ -1,0 +1,111 @@
+//! Mapping requests: what a client submits to the batch service.
+
+use ftmap_core::FtMapConfig;
+use ftmap_molecule::{ForceField, ProbeLibrary, ProbeType, SyntheticProtein};
+
+/// One client request: map `protein` with the given probes under `config`.
+///
+/// Requests against the same receptor (same protein content and docking-grid
+/// geometry) are *compatible*: the batcher groups them so their probe shards
+/// interleave on the device pool and they share one resident grid set per
+/// device. Probe selection, minimization depth and clustering radius may
+/// differ freely within a batch — they are per-job concerns.
+#[derive(Debug, Clone)]
+pub struct MappingRequest {
+    /// The receptor protein.
+    pub protein: SyntheticProtein,
+    /// Force field used for probes and minimization.
+    pub ff: ForceField,
+    /// Probes to map (in order; order is part of the job's identity).
+    pub probes: Vec<ProbeType>,
+    /// Pipeline configuration (mode, docking, minimization, clustering).
+    pub config: FtMapConfig,
+    /// Free-form client label, echoed on the job handle and report.
+    pub tag: String,
+}
+
+impl MappingRequest {
+    /// A request with an empty tag.
+    pub fn new(
+        protein: SyntheticProtein,
+        ff: ForceField,
+        probes: Vec<ProbeType>,
+        config: FtMapConfig,
+    ) -> Self {
+        MappingRequest { protein, ff, probes, config, tag: String::new() }
+    }
+
+    /// Sets the client tag.
+    pub fn with_tag(mut self, tag: impl Into<String>) -> Self {
+        self.tag = tag.into();
+        self
+    }
+
+    /// The probe library this request maps.
+    pub fn library(&self) -> ProbeLibrary {
+        ProbeLibrary::subset(&self.ff, &self.probes)
+    }
+
+    /// Batching fingerprint: requests with equal fingerprints build identical
+    /// receptor grids (same atoms, same grid geometry, same desolvation-term
+    /// count) and may share a batch.
+    ///
+    /// This is a *host-side grouping* key over the request inputs; the
+    /// device-side residency key is the content hash of the built grids
+    /// (`ReceptorGrids::content_key`), computed once per batch.
+    pub fn receptor_fingerprint(&self) -> u64 {
+        let mut hash = gpu_sim::Fnv1a::new();
+        hash.write_u64(self.config.docking.grid_dim as u64);
+        hash.write_f64(self.config.docking.spacing);
+        hash.write_u64(self.config.docking.n_desolv as u64);
+        for atom in &self.protein.atoms {
+            hash.write_f64(atom.position.x);
+            hash.write_f64(atom.position.y);
+            hash.write_f64(atom.position.z);
+            hash.write_f64(atom.charge);
+            hash.write_u64(atom.kind as u64);
+        }
+        hash.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftmap_core::PipelineMode;
+    use ftmap_molecule::ProteinSpec;
+
+    fn request(spec: &ProteinSpec, grid_dim: usize) -> MappingRequest {
+        let ff = ForceField::charmm_like();
+        let protein = SyntheticProtein::generate(spec, &ff);
+        let mut config = FtMapConfig::small_test(PipelineMode::Accelerated);
+        config.docking.grid_dim = grid_dim;
+        MappingRequest::new(protein, ff, vec![ProbeType::Ethanol], config)
+    }
+
+    #[test]
+    fn fingerprint_groups_same_receptor() {
+        let spec = ProteinSpec::small_test();
+        let a = request(&spec, 16);
+        let mut b = request(&spec, 16);
+        // Different probes / tag / minimization do not split a batch.
+        b.probes = vec![ProbeType::Benzene, ProbeType::Urea];
+        b.tag = "other".into();
+        b.config.conformations_per_probe = 7;
+        assert_eq!(a.receptor_fingerprint(), b.receptor_fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_splits_different_receptor_or_grid() {
+        let spec = ProteinSpec::small_test();
+        let a = request(&spec, 16);
+        // Different grid geometry ⇒ different receptor grids ⇒ new batch.
+        let b = request(&spec, 32);
+        assert_ne!(a.receptor_fingerprint(), b.receptor_fingerprint());
+        // Different protein ⇒ new batch.
+        let mut other = ProteinSpec::small_test();
+        other.seed = 1234;
+        let c = request(&other, 16);
+        assert_ne!(a.receptor_fingerprint(), c.receptor_fingerprint());
+    }
+}

@@ -1,0 +1,513 @@
+//! The batch-mapping service: admission → queue → batcher → pool → reports.
+//!
+//! [`BatchMappingService`] is the serving layer between clients and the
+//! multi-device scheduler. Clients submit [`MappingRequest`]s from any thread
+//! and get a [`JobHandle`] back immediately (asynchronous completion); a
+//! dispatcher thread drains the bounded admission queue, forms
+//! receptor-compatible batches ([`crate::batcher`]), and runs each batch's
+//! probe shards through one work-stealing [`ShardQueue`] execution over the
+//! shared [`DevicePool`] — so shards of *different jobs* interleave on the
+//! devices, exactly like shards of different probes in a single run.
+//!
+//! Per-device receptor-grid residency (`gpu_sim::ResidencyCache`, fed by
+//! `piper_dock::Docking::from_grids`) is what makes multi-tenancy cheap: the
+//! first shard of a batch on each device uploads the receptor grids once, and
+//! every later shard — from any job, in this batch or a later one — borrows
+//! the resident set for zero transfer bytes. The service additionally memoizes
+//! the *host-side* grid build per receptor fingerprint.
+//!
+//! Determinism: a job's report depends only on its own request. Batch
+//! composition, arrival order and device assignment change modeled timings and
+//! cache statistics, never consensus sites (`tests/service_determinism.rs`).
+
+use crate::batcher::{next_batch, Batchable};
+use crate::job::{BatchSummary, JobHandle, JobId, JobReport, JobSlot};
+use crate::queue::{JobQueue, SubmitError};
+use crate::request::MappingRequest;
+use ftmap_core::{cluster_poses, ClusterInput, FtMapPipeline, MappingProfile, MappingResult};
+use gpu_sim::sched::{DevicePool, ShardQueue};
+use gpu_sim::{CacheStats, StatsLedger};
+use piper_dock::{Docking, ReceptorGrids};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Service tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Maximum jobs pending admission (the backpressure bound).
+    pub max_pending: usize,
+    /// Maximum jobs co-scheduled in one batch.
+    pub max_batch_jobs: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { max_pending: 64, max_batch_jobs: 16 }
+    }
+}
+
+/// A point-in-time summary of what the service has done.
+#[derive(Debug, Clone)]
+pub struct ServeStats {
+    /// Jobs admitted so far.
+    pub jobs_submitted: usize,
+    /// Jobs completed so far.
+    pub jobs_completed: usize,
+    /// Batches executed so far.
+    pub batches_run: usize,
+    /// The service ledger: residency-cache events and per-batch transfer
+    /// seconds (phase `"serve.batch"`).
+    pub ledger: StatsLedger,
+}
+
+impl ServeStats {
+    /// The pooled residency-cache counters (hits/misses/evictions) the
+    /// service's batches caused.
+    pub fn cache(&self) -> CacheStats {
+        self.ledger.cache_stats()
+    }
+}
+
+/// One admitted job travelling through the queue.
+struct Job {
+    id: JobId,
+    request: MappingRequest,
+    fingerprint: u64,
+    slot: Arc<JobSlot>,
+}
+
+impl Batchable for Job {
+    fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+struct Shared {
+    queue: JobQueue<Job>,
+    pool: Arc<DevicePool>,
+    config: ServeConfig,
+    ledger: Mutex<StatsLedger>,
+    jobs_submitted: AtomicUsize,
+    jobs_completed: AtomicUsize,
+    batches_run: AtomicUsize,
+    /// Host-side receptor-grid build memo, keyed by request fingerprint.
+    /// MRU-ordered and capped at [`GRIDS_MEMO_CAP`] entries — a long-lived
+    /// service streaming ever-new receptors must not grow host memory without
+    /// bound (the device-side residency cache is budgeted for the same
+    /// reason; resident `Arc`s stay alive through the caches even after the
+    /// memo forgets them).
+    grids: Mutex<Vec<(u64, Arc<ReceptorGrids>)>>,
+}
+
+/// Receptor grid sets the host-side memo retains (MRU).
+const GRIDS_MEMO_CAP: usize = 8;
+
+impl Shared {
+    /// The memoized receptor grids for `fingerprint`, building them from the
+    /// anchor job's request on first sight. Promotes to MRU; evicts LRU past
+    /// the cap.
+    fn receptor_for(&self, fingerprint: u64, anchor: &Job) -> Arc<ReceptorGrids> {
+        let mut memo = self.grids.lock().expect("grids memo poisoned");
+        if let Some(pos) = memo.iter().position(|(key, _)| *key == fingerprint) {
+            let entry = memo.remove(pos);
+            let grids = Arc::clone(&entry.1);
+            memo.insert(0, entry);
+            return grids;
+        }
+        let grids =
+            Docking::build_receptor(&anchor.request.protein.atoms, &anchor.request.config.docking);
+        memo.insert(0, (fingerprint, Arc::clone(&grids)));
+        memo.truncate(GRIDS_MEMO_CAP);
+        grids
+    }
+}
+
+/// The multi-tenant batch-mapping service. See the [module docs](crate::service).
+pub struct BatchMappingService {
+    shared: Arc<Shared>,
+    dispatcher: Option<JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl BatchMappingService {
+    /// Starts a service over `pool` and spawns its dispatcher thread.
+    ///
+    /// # Panics
+    /// Panics if `config.max_pending` or `config.max_batch_jobs` is zero —
+    /// validated here, at construction, because a bad bound discovered later,
+    /// on the dispatcher thread, would kill the dispatcher and strand every
+    /// in-flight job handle.
+    pub fn new(pool: Arc<DevicePool>, config: ServeConfig) -> Self {
+        assert!(config.max_batch_jobs > 0, "ServeConfig.max_batch_jobs must be at least 1");
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(config.max_pending),
+            pool,
+            config,
+            ledger: Mutex::new(StatsLedger::new()),
+            jobs_submitted: AtomicUsize::new(0),
+            jobs_completed: AtomicUsize::new(0),
+            batches_run: AtomicUsize::new(0),
+            grids: Mutex::new(Vec::new()),
+        });
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || dispatch_loop(&shared))
+        };
+        BatchMappingService { shared, dispatcher: Some(dispatcher), next_id: AtomicU64::new(0) }
+    }
+
+    /// The device pool the service schedules onto.
+    pub fn pool(&self) -> &Arc<DevicePool> {
+        &self.shared.pool
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> ServeConfig {
+        self.shared.config
+    }
+
+    fn admit(&self, request: MappingRequest) -> Job {
+        let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        Job { id, fingerprint: request.receptor_fingerprint(), slot: JobSlot::new(), request }
+    }
+
+    /// Submits a request, **blocking** while the admission queue is full
+    /// (backpressure). Fails only when the service is shutting down.
+    // A refused submission hands the (large) request back by value so the
+    // client can retry or shed without ever cloning a protein.
+    #[allow(clippy::result_large_err)]
+    pub fn submit(
+        &self,
+        request: MappingRequest,
+    ) -> Result<JobHandle, SubmitError<MappingRequest>> {
+        let job = self.admit(request);
+        let handle = JobHandle::new(job.id, job.request.tag.clone(), Arc::clone(&job.slot));
+        match self.shared.queue.push(job) {
+            Ok(()) => {
+                self.shared.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(handle)
+            }
+            Err(err) => Err(strip(err)),
+        }
+    }
+
+    /// Submits a request without blocking; a full queue refuses and hands the
+    /// request back, so the client owns the shedding/retry policy.
+    #[allow(clippy::result_large_err)]
+    pub fn try_submit(
+        &self,
+        request: MappingRequest,
+    ) -> Result<JobHandle, SubmitError<MappingRequest>> {
+        let job = self.admit(request);
+        let handle = JobHandle::new(job.id, job.request.tag.clone(), Arc::clone(&job.slot));
+        match self.shared.queue.try_push(job) {
+            Ok(()) => {
+                self.shared.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(handle)
+            }
+            Err(err) => Err(strip(err)),
+        }
+    }
+
+    /// A snapshot of the service counters and ledger.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            jobs_submitted: self.shared.jobs_submitted.load(Ordering::Relaxed),
+            jobs_completed: self.shared.jobs_completed.load(Ordering::Relaxed),
+            batches_run: self.shared.batches_run.load(Ordering::Relaxed),
+            ledger: self.shared.ledger.lock().expect("ledger poisoned").clone(),
+        }
+    }
+
+    /// Stops admissions, drains every pending job, joins the dispatcher, and
+    /// returns the final stats.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.close_and_join();
+        self.stats()
+    }
+
+    fn close_and_join(&mut self) {
+        self.shared.queue.close();
+        if let Some(dispatcher) = self.dispatcher.take() {
+            // A dispatcher panic (a job panicking inside the pipeline) is a
+            // service failure, but re-panicking here would abort the process
+            // when it happens during Drop-while-unwinding; report and move on.
+            if dispatcher.join().is_err() {
+                eprintln!("ftmap-serve: dispatcher thread panicked; unfinished jobs are stranded");
+            }
+        }
+    }
+}
+
+impl Drop for BatchMappingService {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+/// Maps a queue error on `Job` back onto the caller's request.
+fn strip(err: SubmitError<Job>) -> SubmitError<MappingRequest> {
+    match err {
+        SubmitError::Full(job) => SubmitError::Full(job.request),
+        SubmitError::Closed(job) => SubmitError::Closed(job.request),
+    }
+}
+
+/// The dispatcher: drain → batch → execute, until closed and empty.
+fn dispatch_loop(shared: &Shared) {
+    let mut pending: Vec<Job> = Vec::new();
+    loop {
+        // Opportunistic top-up so jobs that arrived during the previous batch
+        // can join the next compatible one.
+        pending.extend(shared.queue.drain_now());
+        if pending.is_empty() {
+            match shared.queue.drain_wait() {
+                Some(jobs) => pending.extend(jobs),
+                None => return, // closed and fully drained
+            }
+        }
+        let batch = next_batch(&mut pending, shared.config.max_batch_jobs);
+        run_batch(shared, batch);
+    }
+}
+
+/// Executes one receptor-compatible batch over the pool and completes its jobs.
+fn run_batch(shared: &Shared, batch: Vec<Job>) {
+    if batch.is_empty() {
+        return;
+    }
+    let batch_index = shared.batches_run.fetch_add(1, Ordering::Relaxed);
+    for job in &batch {
+        job.slot.set_running();
+    }
+
+    // One host-side grid build per receptor fingerprint (memoized, bounded).
+    let receptor = shared.receptor_for(batch[0].fingerprint, &batch[0]);
+
+    // One pipeline per job (each job keeps its own config), all sharing the
+    // pool and the prebuilt receptor grids.
+    let pipelines: Vec<FtMapPipeline> = batch
+        .iter()
+        .map(|job| {
+            FtMapPipeline::with_shared_resources(
+                job.request.protein.clone(),
+                job.request.ff.clone(),
+                job.request.config.clone(),
+                Arc::clone(&shared.pool),
+                Arc::clone(&receptor),
+            )
+        })
+        .collect();
+    let libraries: Vec<_> = batch.iter().map(|job| job.request.library()).collect();
+
+    // Per-batch accounting windows: transfers reset (gauge), cache snapshotted
+    // (monotonic counters — residency itself must survive between batches).
+    shared.pool.reset_transfer_stats();
+    let cache_before: Vec<CacheStats> =
+        shared.pool.devices().iter().map(|d| d.residency().stats()).collect();
+
+    // Interleave every job's probes through one work-stealing execution.
+    let items: Vec<(usize, ftmap_molecule::Probe)> = libraries
+        .iter()
+        .enumerate()
+        .flat_map(|(job_idx, lib)| lib.probes().iter().map(move |p| (job_idx, p.clone())))
+        .collect();
+    let n_items = items.len();
+    let queue = ShardQueue::new(&shared.pool);
+    let outcome = queue.execute(items, |ctx, (job_idx, probe)| {
+        let shard = pipelines[job_idx].map_probe_shard(&probe, ctx.device);
+        let kernel_s = shard.kernel_modeled_s;
+        ((job_idx, shard), kernel_s)
+    });
+
+    let mut cache_delta = CacheStats::default();
+    for (device, before) in shared.pool.devices().iter().zip(&cache_before) {
+        cache_delta.accumulate(&device.residency().stats().delta_since(before));
+    }
+    {
+        let mut ledger = shared.ledger.lock().expect("ledger poisoned");
+        ledger.record_cache(&cache_delta);
+        ledger.record_transfer_s("serve.batch", shared.pool.total_transfer_time());
+    }
+
+    let summary = BatchSummary {
+        batch_index,
+        jobs: batch.len(),
+        probes: n_items,
+        receptor_key: receptor.content_key(),
+        cache: cache_delta,
+        makespan_modeled_s: outcome.makespan_s(),
+    };
+
+    // Re-assemble each job's result from its own shards. Results arrive in
+    // submission order (ShardQueue's determinism guarantee), which is exactly
+    // (job, probe) order — so each job sees its probes in library order, and
+    // its sites are identical to a dedicated single-job run.
+    let mut per_job: Vec<(MappingProfile, Vec<ClusterInput>, usize)> =
+        (0..batch.len()).map(|_| (MappingProfile::default(), Vec::new(), 0)).collect();
+    for (job_idx, shard) in outcome.results {
+        let (profile, inputs, conformations) = &mut per_job[job_idx];
+        profile.merge(&shard.profile);
+        *conformations += shard.conformations;
+        inputs.extend(shard.inputs);
+    }
+    for (job, (profile, inputs, conformations)) in batch.into_iter().zip(per_job) {
+        let pose_centers = inputs.iter().map(|i| (i.probe, i.center)).collect();
+        let sites = cluster_poses(&inputs, job.request.config.cluster_radius);
+        let result =
+            MappingResult { sites, conformations_minimized: conformations, profile, pose_centers };
+        let report = Arc::new(JobReport {
+            job_id: job.id,
+            tag: job.request.tag.clone(),
+            result,
+            batch: summary.clone(),
+        });
+        job.slot.complete(report);
+        shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobStatus;
+    use ftmap_core::{FtMapConfig, PipelineMode};
+    use ftmap_molecule::{ForceField, ProbeType, ProteinSpec, SyntheticProtein};
+
+    fn request(probes: &[ProbeType], tag: &str) -> MappingRequest {
+        let ff = ForceField::charmm_like();
+        let protein = SyntheticProtein::generate(&ProteinSpec::small_test(), &ff);
+        let mut config = FtMapConfig::small_test(PipelineMode::Accelerated);
+        config.docking.n_rotations = 2;
+        config.conformations_per_probe = 1;
+        MappingRequest::new(protein, ff, probes.to_vec(), config).with_tag(tag)
+    }
+
+    #[test]
+    fn submitted_jobs_complete_with_results() {
+        let service =
+            BatchMappingService::new(Arc::new(DevicePool::tesla(2)), ServeConfig::default());
+        let a = service.submit(request(&[ProbeType::Ethanol], "a")).expect("admitted");
+        let b =
+            service.submit(request(&[ProbeType::Acetone, ProbeType::Urea], "b")).expect("admitted");
+        let report_a = a.wait();
+        let report_b = b.wait();
+        assert_eq!(a.status(), JobStatus::Completed);
+        assert_eq!(report_a.tag, "a");
+        assert_eq!(report_b.tag, "b");
+        assert!(!report_a.result.sites.is_empty());
+        assert_eq!(report_a.result.conformations_minimized, 1);
+        assert_eq!(report_b.result.conformations_minimized, 2);
+        assert!(report_b.batch.makespan_modeled_s > 0.0);
+        let stats = service.shutdown();
+        assert_eq!(stats.jobs_submitted, 2);
+        assert_eq!(stats.jobs_completed, 2);
+        assert!(stats.batches_run >= 1);
+        // Residency: at most one grid-set miss per device, everything else hit.
+        assert!(stats.cache().misses <= 2);
+        assert!(stats.cache().lookups() >= 3, "one lookup per probe shard");
+    }
+
+    #[test]
+    fn service_result_matches_dedicated_pipeline() {
+        // A job's sites through the service must be bit-identical to running
+        // its pipeline alone — multi-tenancy never changes answers.
+        let req = request(&[ProbeType::Ethanol, ProbeType::Benzene], "solo");
+        let dedicated = FtMapPipeline::new(req.protein.clone(), req.ff.clone(), req.config.clone())
+            .map(&req.library());
+        let service =
+            BatchMappingService::new(Arc::new(DevicePool::tesla(2)), ServeConfig::default());
+        // Surround it with noise jobs in the same batch.
+        let noise1 = service.submit(request(&[ProbeType::Acetone], "n1")).expect("admitted");
+        let job = service.submit(req).expect("admitted");
+        let noise2 = service.submit(request(&[ProbeType::Urea], "n2")).expect("admitted");
+        let report = job.wait();
+        noise1.wait();
+        noise2.wait();
+        assert_eq!(report.result.sites.len(), dedicated.sites.len());
+        for (a, b) in report.result.sites.iter().zip(&dedicated.sites) {
+            assert_eq!(a.rank, b.rank);
+            assert!(a.cluster.center.distance(b.cluster.center) == 0.0);
+            assert_eq!(a.cluster.members.len(), b.cluster.members.len());
+        }
+        assert_eq!(report.result.pose_centers.len(), dedicated.pose_centers.len());
+        assert_eq!(report.result.conformations_minimized, dedicated.conformations_minimized);
+    }
+
+    #[test]
+    fn try_submit_sheds_when_the_queue_is_full() {
+        // A service whose dispatcher is busy accumulates pending jobs; with
+        // max_pending = 1 the second concurrent try_submit must be refused
+        // and hand the request back. Use a closed service for a deterministic
+        // variant as well.
+        let service = BatchMappingService::new(
+            Arc::new(DevicePool::tesla(1)),
+            ServeConfig { max_pending: 1, max_batch_jobs: 1 },
+        );
+        let stats = service.shutdown();
+        assert_eq!(stats.jobs_submitted, 0);
+
+        let service = BatchMappingService::new(
+            Arc::new(DevicePool::tesla(1)),
+            ServeConfig { max_pending: 1, max_batch_jobs: 1 },
+        );
+        // Saturate: keep pushing until one submission reports Full. The
+        // dispatcher drains concurrently, so retry a few times.
+        let mut saw_full = false;
+        let mut handles = Vec::new();
+        for i in 0..32 {
+            match service.try_submit(request(&[ProbeType::Ethanol], &format!("j{i}"))) {
+                Ok(handle) => handles.push(handle),
+                Err(SubmitError::Full(req)) => {
+                    saw_full = true;
+                    // The request comes back intact for the client to retry.
+                    assert_eq!(req.probes, vec![ProbeType::Ethanol]);
+                    break;
+                }
+                Err(SubmitError::Closed(_)) => panic!("service is open"),
+            }
+        }
+        assert!(saw_full, "a 1-deep queue must refuse under a 32-job burst");
+        for handle in handles {
+            handle.wait();
+        }
+        drop(service);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch_jobs")]
+    fn zero_batch_bound_is_rejected_at_construction() {
+        // Validated on the caller thread — discovered on the dispatcher
+        // thread it would strand every job handle instead of failing fast.
+        let _ = BatchMappingService::new(
+            Arc::new(DevicePool::tesla(1)),
+            ServeConfig { max_pending: 4, max_batch_jobs: 0 },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_admission_bound_is_rejected_at_construction() {
+        let _ = BatchMappingService::new(
+            Arc::new(DevicePool::tesla(1)),
+            ServeConfig { max_pending: 0, max_batch_jobs: 4 },
+        );
+    }
+
+    #[test]
+    fn shutdown_drains_pending_jobs_before_returning() {
+        let service =
+            BatchMappingService::new(Arc::new(DevicePool::tesla(1)), ServeConfig::default());
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                service.submit(request(&[ProbeType::Ethanol], &format!("x{i}"))).expect("admitted")
+            })
+            .collect();
+        let stats = service.shutdown();
+        assert_eq!(stats.jobs_completed, 3);
+        for handle in &handles {
+            assert!(handle.is_completed(), "{} left incomplete by shutdown", handle.tag());
+        }
+    }
+}

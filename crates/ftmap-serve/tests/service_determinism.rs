@@ -1,0 +1,122 @@
+//! Determinism of the batch service: a job's report depends only on its own
+//! request. Submitting the same jobs in a shuffled order — which changes
+//! queue positions, batch composition, warm-vs-cold cache state and device
+//! assignment — must produce **identical** per-job consensus sites, pose
+//! centres and conformation counts.
+
+use ftmap_core::{FtMapConfig, MappingResult, PipelineMode};
+use ftmap_molecule::{ForceField, ProbeType, ProteinSpec, SyntheticProtein};
+use ftmap_serve::{BatchMappingService, MappingRequest, ServeConfig};
+use gpu_sim::sched::DevicePool;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The job mix: 8 jobs over 2 receptors with varying probe subsets.
+fn job_set() -> Vec<MappingRequest> {
+    let ff = ForceField::charmm_like();
+    let spec_a = ProteinSpec::small_test();
+    let mut spec_b = ProteinSpec::small_test();
+    spec_b.seed = 1301;
+    let protein_a = SyntheticProtein::generate(&spec_a, &ff);
+    let protein_b = SyntheticProtein::generate(&spec_b, &ff);
+    let mut config = FtMapConfig::small_test(PipelineMode::Accelerated);
+    config.docking.n_rotations = 2;
+    config.conformations_per_probe = 1;
+
+    let probe_sets: [&[ProbeType]; 4] = [
+        &[ProbeType::Ethanol],
+        &[ProbeType::Acetone, ProbeType::Urea],
+        &[ProbeType::Benzene],
+        &[ProbeType::Ethanol, ProbeType::Benzene],
+    ];
+    let mut jobs = Vec::new();
+    for (i, probes) in probe_sets.iter().enumerate() {
+        for (label, protein) in [("a", &protein_a), ("b", &protein_b)] {
+            jobs.push(
+                MappingRequest::new(protein.clone(), ff.clone(), probes.to_vec(), config.clone())
+                    .with_tag(format!("job-{label}{i}")),
+            );
+        }
+    }
+    jobs
+}
+
+/// Runs the job set through a fresh service (fresh pool, cold caches) in the
+/// given submission order and returns each job's result keyed by tag.
+fn run_in_order(jobs: Vec<MappingRequest>) -> HashMap<String, MappingResult> {
+    let pool = Arc::new(DevicePool::tesla(2));
+    let service = BatchMappingService::new(pool, ServeConfig::default());
+    let handles: Vec<_> =
+        jobs.into_iter().map(|job| service.submit(job).expect("admitted")).collect();
+    let mut results = HashMap::new();
+    for handle in handles {
+        let report = handle.wait();
+        results.insert(report.tag.clone(), report.result.clone());
+    }
+    results
+}
+
+fn assert_bit_identical(a: &MappingResult, b: &MappingResult, tag: &str) {
+    assert_eq!(a.conformations_minimized, b.conformations_minimized, "{tag}: conformations");
+    assert_eq!(a.pose_centers.len(), b.pose_centers.len(), "{tag}: pose count");
+    for ((pa, ca), (pb, cb)) in a.pose_centers.iter().zip(&b.pose_centers) {
+        assert_eq!(pa, pb, "{tag}: probe order");
+        assert!(ca.x == cb.x && ca.y == cb.y && ca.z == cb.z, "{tag}: pose centre moved");
+    }
+    assert_eq!(a.sites.len(), b.sites.len(), "{tag}: site count");
+    for (sa, sb) in a.sites.iter().zip(&b.sites) {
+        assert_eq!(sa.rank, sb.rank, "{tag}");
+        let (ca, cb) = (sa.cluster.center, sb.cluster.center);
+        assert!(ca.x == cb.x && ca.y == cb.y && ca.z == cb.z, "{tag}: site centre moved");
+        assert_eq!(sa.cluster.members.len(), sb.cluster.members.len(), "{tag}");
+        for (ma, mb) in sa.cluster.members.iter().zip(&sb.cluster.members) {
+            assert_eq!(ma.probe, mb.probe, "{tag}");
+            assert!(ma.energy == mb.energy, "{tag}: member energy moved");
+        }
+    }
+}
+
+#[test]
+fn shuffled_arrival_order_yields_identical_per_job_results() {
+    let jobs = job_set();
+    let in_order = run_in_order(jobs.clone());
+
+    // A fixed "shuffle": interleave receptors differently and reverse within
+    // groups, so batches form from different job combinations.
+    let mut shuffled = jobs.clone();
+    shuffled.reverse();
+    shuffled.swap(0, 3);
+    shuffled.swap(2, 6);
+    let reordered = run_in_order(shuffled);
+
+    assert_eq!(in_order.len(), reordered.len());
+    for (tag, reference) in &in_order {
+        let other = reordered.get(tag).unwrap_or_else(|| panic!("{tag} missing"));
+        assert_bit_identical(reference, other, tag);
+    }
+}
+
+#[test]
+fn concurrent_submission_yields_identical_per_job_results() {
+    // Submit from 8 client threads at once — true concurrent admission, with
+    // nondeterministic queue order — and compare against sequential runs.
+    let jobs = job_set();
+    let sequential = run_in_order(jobs.clone());
+
+    let pool = Arc::new(DevicePool::tesla(2));
+    let service = Arc::new(BatchMappingService::new(pool, ServeConfig::default()));
+    let mut clients = Vec::new();
+    for job in jobs {
+        let service = Arc::clone(&service);
+        clients.push(std::thread::spawn(move || {
+            let handle = service.submit(job).expect("admitted");
+            let report = handle.wait();
+            (report.tag.clone(), report.result.clone())
+        }));
+    }
+    for client in clients {
+        let (tag, result) = client.join().expect("client thread");
+        let reference = sequential.get(&tag).unwrap_or_else(|| panic!("{tag} missing"));
+        assert_bit_identical(reference, &result, &tag);
+    }
+}

@@ -16,6 +16,7 @@
 use crate::cost::CostModel;
 use crate::kernel::{BlockContext, BlockKernel, LaunchConfig};
 use crate::memory::{MemoryCounters, SharedMemory, Transfer, TransferDirection};
+use crate::residency::ResidencyCache;
 use crate::timing::KernelStats;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -39,6 +40,9 @@ pub struct DeviceSpec {
     pub shared_mem_bytes: usize,
     /// Constant memory visible to all SMs, in bytes.
     pub constant_mem_bytes: usize,
+    /// Global (device) memory capacity in bytes — the budget the per-device
+    /// residency cache ([`crate::ResidencyCache`]) evicts against.
+    pub global_mem_bytes: usize,
     /// Global-memory access latency in clock cycles (uncached on the C1060).
     pub global_latency_cycles: f64,
     /// Shared/constant-memory access latency in clock cycles.
@@ -67,6 +71,7 @@ impl DeviceSpec {
             flops_per_cycle: 1.0,
             shared_mem_bytes: 16 * 1024,
             constant_mem_bytes: 64 * 1024,
+            global_mem_bytes: 4 * 1024 * 1024 * 1024,
             global_latency_cycles: 500.0,
             shared_latency_cycles: 2.0,
             global_bandwidth_gbps: 102.0,
@@ -89,6 +94,7 @@ impl DeviceSpec {
             flops_per_cycle: 1.0,
             shared_mem_bytes: 6 * 1024 * 1024,
             constant_mem_bytes: 6 * 1024 * 1024,
+            global_mem_bytes: 16 * 1024 * 1024 * 1024,
             global_latency_cycles: 12.0,
             shared_latency_cycles: 3.0,
             global_bandwidth_gbps: 8.0,
@@ -147,11 +153,17 @@ impl TransferSnapshot {
     }
 
     /// The transfers recorded between `earlier` and this snapshot.
+    ///
+    /// Saturates at zero if the accounting was reset between the snapshots
+    /// (a consumer calling [`Device::reset_transfer_stats`] mid-window) —
+    /// the window's attribution is lost either way, but a nonsense negative
+    /// delta must not poison downstream stream accounting or panic on the
+    /// byte counter.
     pub fn delta_since(&self, earlier: &TransferSnapshot) -> TransferSnapshot {
         TransferSnapshot {
-            upload_s: self.upload_s - earlier.upload_s,
-            download_s: self.download_s - earlier.download_s,
-            bytes: self.bytes - earlier.bytes,
+            upload_s: (self.upload_s - earlier.upload_s).max(0.0),
+            download_s: (self.download_s - earlier.download_s).max(0.0),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
         }
     }
 }
@@ -167,6 +179,8 @@ pub struct Device {
     transfer_time_s: Mutex<(f64, f64)>,
     /// Accumulated transferred bytes since construction / reset.
     transfer_bytes: AtomicUsize,
+    /// Buffers kept resident in this device's modeled global memory.
+    residency: ResidencyCache,
 }
 
 impl Device {
@@ -176,12 +190,14 @@ impl Device {
         let physical = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         let worker_threads = spec.sm_count.min(physical).max(1);
         let cost = CostModel::new(spec.clone());
+        let residency = ResidencyCache::new(spec.global_mem_bytes);
         Device {
             spec,
             cost,
             worker_threads,
             transfer_time_s: Mutex::new((0.0, 0.0)),
             transfer_bytes: AtomicUsize::new(0),
+            residency,
         }
     }
 
@@ -203,6 +219,16 @@ impl Device {
     /// Number of CPU worker threads used to execute blocks.
     pub fn worker_threads(&self) -> usize {
         self.worker_threads
+    }
+
+    /// The cache of buffers resident in this device's modeled global memory.
+    ///
+    /// Residency deliberately survives [`Device::reset_transfer_stats`]: the
+    /// transfer counters are a per-run gauge, but uploaded data stays on the
+    /// device between runs — that persistence is exactly what later runs'
+    /// cache hits (zero upload bytes) model.
+    pub fn residency(&self) -> &ResidencyCache {
+        &self.residency
     }
 
     /// Records a host↔device transfer and returns its modeled duration in seconds.
@@ -516,6 +542,19 @@ mod tests {
             fn execute_block(&self, _ctx: &mut BlockContext) {}
         }
         device.launch(&config, &Noop);
+    }
+
+    #[test]
+    fn residency_cache_sized_by_global_memory_and_survives_resets() {
+        let device = Device::tesla_c1060();
+        assert_eq!(device.residency().capacity_bytes(), device.spec().global_mem_bytes);
+        let payload: crate::residency::ResidentPayload = std::sync::Arc::new(1u64);
+        device.residency().get_or_insert_with(99, || (payload, 1 << 20));
+        device.upload_bytes(1 << 20);
+        device.reset_transfer_stats();
+        // Transfers are a per-run gauge; residency is device state and persists.
+        assert_eq!(device.total_transfer_bytes(), 0);
+        assert!(device.residency().contains(99));
     }
 
     #[test]

@@ -23,6 +23,7 @@
 use crate::device::Device;
 use crate::kernel::{partition_range, BlockKernel, LaunchConfig};
 use crate::memory::MemoryCounters;
+use crate::residency::CacheStats;
 use crate::timing::KernelStats;
 use parking_lot::{Mutex, MutexGuard};
 use serde::{Deserialize, Serialize};
@@ -247,6 +248,10 @@ impl PhaseRecord {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct StatsLedger {
     phases: BTreeMap<String, PhaseRecord>,
+    /// Residency-cache hit/miss/eviction events attributed to this ledger's
+    /// unit of work (a batch, a job, a run). Like the transfer bucket, cache
+    /// events live beside kernel stats, never inside them.
+    cache: CacheStats,
 }
 
 impl StatsLedger {
@@ -286,6 +291,18 @@ impl StatsLedger {
     /// no-overlap upper bound a single synchronous stream would take).
     pub fn total_serialized_s(&self) -> f64 {
         self.total_modeled_s() + self.total_transfer_s()
+    }
+
+    /// Folds residency-cache events (typically a [`CacheStats::delta_since`]
+    /// snapshot taken around this ledger's unit of work) into the ledger's
+    /// cache bucket.
+    pub fn record_cache(&mut self, delta: &CacheStats) {
+        self.cache.accumulate(delta);
+    }
+
+    /// The residency-cache events recorded on this ledger.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache
     }
 
     /// The merged stats of a phase (zero if the phase was never recorded).
@@ -330,6 +347,7 @@ impl StatsLedger {
             entry.stats.accumulate(&record.stats);
             entry.transfer_s += record.transfer_s;
         }
+        self.cache.accumulate(&other.cache);
     }
 
     /// Phase names with their merged stats, sorted by name.
@@ -339,7 +357,7 @@ impl StatsLedger {
 
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.phases.is_empty()
+        self.phases.is_empty() && self.cache == CacheStats::default()
     }
 }
 
@@ -498,6 +516,23 @@ mod tests {
         assert_eq!(a.phase("y").counters.flops, 30);
         assert_eq!(a.launches("x"), 2);
         assert_eq!(a.total_launches(), 3);
+    }
+
+    #[test]
+    fn ledger_cache_bucket_accumulates_and_merges() {
+        let mut ledger = StatsLedger::new();
+        assert!(ledger.is_empty());
+        ledger.record_cache(&CacheStats { hits: 2, misses: 1, evictions: 0, insertions: 1 });
+        assert!(!ledger.is_empty());
+        // Cache events never leak into kernel or transfer totals.
+        assert_eq!(ledger.total_modeled_s(), 0.0);
+        assert_eq!(ledger.total_transfer_s(), 0.0);
+        let mut other = StatsLedger::new();
+        other.record_cache(&CacheStats { hits: 1, misses: 1, evictions: 1, insertions: 0 });
+        ledger.merge(&other);
+        let cache = ledger.cache_stats();
+        assert_eq!((cache.hits, cache.misses, cache.evictions, cache.insertions), (3, 2, 1, 1));
+        assert!((cache.hit_rate() - 0.6).abs() < 1e-12);
     }
 
     #[test]

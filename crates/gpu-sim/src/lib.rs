@@ -38,6 +38,9 @@
 //!   the [`StatsLedger`] multi-kernel statistics accumulator.
 //! * [`backend`] — the [`ExecutionBackend`] (CPU vs GPU) seam and the
 //!   [`BackendSelect`] trait phase crates implement for engine selection.
+//! * [`residency`] — the per-device LRU cache ([`ResidencyCache`]) that keeps
+//!   uploaded buffers (receptor grids) resident in modeled device memory, so
+//!   repeat consumers borrow instead of re-uploading.
 //! * [`sched`] — the multi-device scheduler: [`sched::DevicePool`],
 //!   the copy/compute-overlap [`sched::Stream`], and the work-stealing
 //!   [`sched::ShardQueue`] with deterministic result ordering.
@@ -54,6 +57,7 @@ pub mod device;
 pub mod kernel;
 pub mod launch;
 pub mod memory;
+pub mod residency;
 pub mod sched;
 pub mod timing;
 
@@ -63,5 +67,6 @@ pub use device::{Device, DeviceSpec, TransferSnapshot};
 pub use kernel::{BlockContext, BlockKernel, LaunchConfig};
 pub use launch::{KernelLaunch, Staged, StatsLedger};
 pub use memory::{MemoryCounters, Transfer};
+pub use residency::{CacheStats, Fnv1a, Residency, ResidencyCache, ResidentPayload};
 pub use sched::{DevicePool, ShardQueue, Stream};
 pub use timing::{KernelStats, StreamOp, StreamStats};

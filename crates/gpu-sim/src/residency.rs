@@ -1,0 +1,420 @@
+//! Per-device data residency: the LRU cache that keeps uploaded buffers
+//! (receptor grids, in this workspace) resident in modeled device memory
+//! across kernel consumers.
+//!
+//! The mapping workload re-docks many probes — and, at the serving layer, many
+//! *jobs* — against the same receptor. Before this cache existed every
+//! `piper_dock::Docking` construction re-charged the full receptor-grid upload
+//! to its device, so N jobs against one receptor paid the PCIe cost N times.
+//! Like the MD and lattice codes the scheduler borrows from (van Meel et al.;
+//! Barros et al.), sustained throughput comes from keeping data **resident**:
+//! the first consumer of a buffer on a device uploads it once, every later
+//! consumer borrows the resident copy for free.
+//!
+//! Design:
+//!
+//! * entries are keyed by a **content hash** of the cached payload (the caller
+//!   computes it — see `piper_dock::ReceptorGrids::content_key`), so two
+//!   consumers holding equal-valued buffers share one resident copy and a
+//!   changed buffer can never alias a stale entry;
+//! * the cache is **capacity-aware** against the device's global memory
+//!   ([`crate::DeviceSpec::global_mem_bytes`]): inserting past capacity evicts
+//!   least-recently-used entries first, and an entry larger than the whole
+//!   capacity is refused (reported [`Residency::Uncacheable`], so the caller
+//!   falls back to a plain per-use upload);
+//! * payloads are type-erased (`Arc<dyn Any + Send + Sync>`) because the
+//!   device model cannot depend on the crates that define the cached types;
+//!   callers downcast on hit;
+//! * hit / miss / eviction counts are tracked as [`CacheStats`] — consumers
+//!   fold snapshots of them into a [`crate::StatsLedger`] for per-phase
+//!   reporting.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::any::Any;
+use std::fmt;
+use std::sync::Arc;
+
+/// A type-erased shared handle to a resident buffer.
+pub type ResidentPayload = Arc<dyn Any + Send + Sync>;
+
+/// The FNV-1a streaming hasher used for residency-cache content keys.
+///
+/// One implementation shared by every key producer — the receptor-grid
+/// content key (`piper_dock::ReceptorGrids::content_key`) and the serve
+/// layer's request fingerprint — so the key scheme can never silently diverge
+/// between the host-side grouping and the device-side residency lookups.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A hasher in its initial state.
+    pub fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    /// Mixes `bytes` into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Mixes a `u64` (little-endian) into the hash.
+    pub fn write_u64(&mut self, value: u64) {
+        self.write(&value.to_le_bytes());
+    }
+
+    /// Mixes an `f64`'s bit pattern into the hash (bit-exact: distinguishes
+    /// `-0.0` from `0.0` and every NaN payload, as a content key must).
+    pub fn write_f64(&mut self, value: f64) {
+        self.write(&value.to_bits().to_le_bytes());
+    }
+
+    /// The final hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Hit / miss / eviction accounting for a residency cache, as monotonic
+/// counters (snapshot and subtract with [`CacheStats::delta_since`] to
+/// attribute events to one unit of work, the same pattern
+/// [`crate::TransferSnapshot`] uses for transfers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups that found the key resident.
+    pub hits: u64,
+    /// Lookups that did not find the key (including uncacheable refusals).
+    pub misses: u64,
+    /// Entries evicted to make room for insertions.
+    pub evictions: u64,
+    /// Successful insertions.
+    pub insertions: u64,
+}
+
+impl CacheStats {
+    /// The events recorded between `earlier` and this snapshot.
+    pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+            insertions: self.insertions - earlier.insertions,
+        }
+    }
+
+    /// Accumulates another stats record into this one.
+    pub fn accumulate(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.insertions += other.insertions;
+    }
+
+    /// Total lookups (hits + misses).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]` (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
+/// Outcome of a [`ResidencyCache::get_or_insert_with`] lookup.
+pub enum Residency {
+    /// The key was resident: borrow the cached payload, pay no upload.
+    Hit(ResidentPayload),
+    /// The key was not resident; the payload is now cached. The caller charges
+    /// exactly one upload for it.
+    Miss {
+        /// Number of LRU entries evicted to make room.
+        evicted: usize,
+    },
+    /// The payload cannot be cached (larger than the device's capacity, or the
+    /// cache is disabled). The caller charges a plain upload, as before the
+    /// cache existed.
+    Uncacheable,
+}
+
+struct Entry {
+    key: u64,
+    payload: ResidentPayload,
+    bytes: usize,
+}
+
+struct CacheInner {
+    /// Resident entries, most-recently-used first.
+    entries: Vec<Entry>,
+    resident_bytes: usize,
+    enabled: bool,
+    stats: CacheStats,
+}
+
+/// A capacity-aware LRU cache of device-resident buffers. One per [`crate::Device`].
+pub struct ResidencyCache {
+    capacity_bytes: usize,
+    inner: Mutex<CacheInner>,
+}
+
+impl ResidencyCache {
+    /// An empty, enabled cache holding at most `capacity_bytes` of payload.
+    pub fn new(capacity_bytes: usize) -> Self {
+        ResidencyCache {
+            capacity_bytes,
+            inner: Mutex::new(CacheInner {
+                entries: Vec::new(),
+                resident_bytes: 0,
+                enabled: true,
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    /// The capacity in bytes (the device's modeled global-memory size).
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently resident.
+    pub fn resident_bytes(&self) -> usize {
+        self.inner.lock().resident_bytes
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when `key` is resident. Does not promote and does not count as a
+    /// lookup (use [`ResidencyCache::get`] on the hot path).
+    pub fn contains(&self, key: u64) -> bool {
+        self.inner.lock().entries.iter().any(|e| e.key == key)
+    }
+
+    /// Resident keys, most-recently-used first (for tests and reporting).
+    pub fn keys_mru(&self) -> Vec<u64> {
+        self.inner.lock().entries.iter().map(|e| e.key).collect()
+    }
+
+    /// Enables or disables the cache. Disabling clears residency, and every
+    /// subsequent lookup reports [`Residency::Uncacheable`] — the pre-cache
+    /// behavior (one upload per consumer), kept for cold-baseline benchmarks.
+    pub fn set_enabled(&self, enabled: bool) {
+        let mut inner = self.inner.lock();
+        inner.enabled = enabled;
+        if !enabled {
+            inner.entries.clear();
+            inner.resident_bytes = 0;
+        }
+    }
+
+    /// True when the cache accepts entries.
+    pub fn enabled(&self) -> bool {
+        self.inner.lock().enabled
+    }
+
+    /// Drops every resident entry (stats are kept — they are monotonic
+    /// counters, not a gauge).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.entries.clear();
+        inner.resident_bytes = 0;
+    }
+
+    /// A snapshot of the hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Looks up `key`, promoting it to most-recently-used on hit. Counts one
+    /// hit or one miss.
+    pub fn get(&self, key: u64) -> Option<ResidentPayload> {
+        let mut inner = self.inner.lock();
+        match inner.entries.iter().position(|e| e.key == key) {
+            Some(pos) => {
+                inner.stats.hits += 1;
+                let entry = inner.entries.remove(pos);
+                let payload = Arc::clone(&entry.payload);
+                inner.entries.insert(0, entry);
+                Some(payload)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up `key`; on miss, materializes `(payload, bytes)` with `fill`
+    /// and caches it, evicting least-recently-used entries until it fits.
+    ///
+    /// The lookup, fill and insertion happen under one lock, so concurrent
+    /// consumers of the same key race to at most **one** miss — the property
+    /// the transfer accounting relies on ("a miss records exactly one grid-set
+    /// upload per device").
+    pub fn get_or_insert_with<F>(&self, key: u64, fill: F) -> Residency
+    where
+        F: FnOnce() -> (ResidentPayload, usize),
+    {
+        let mut inner = self.inner.lock();
+        if let Some(pos) = inner.entries.iter().position(|e| e.key == key) {
+            inner.stats.hits += 1;
+            let entry = inner.entries.remove(pos);
+            let payload = Arc::clone(&entry.payload);
+            inner.entries.insert(0, entry);
+            return Residency::Hit(payload);
+        }
+        inner.stats.misses += 1;
+        let (payload, bytes) = fill();
+        if !inner.enabled || bytes > self.capacity_bytes {
+            return Residency::Uncacheable;
+        }
+        let mut evicted = 0;
+        while inner.resident_bytes + bytes > self.capacity_bytes {
+            let victim = inner.entries.pop().expect("resident_bytes > 0 implies entries");
+            inner.resident_bytes -= victim.bytes;
+            inner.stats.evictions += 1;
+            evicted += 1;
+        }
+        inner.resident_bytes += bytes;
+        inner.stats.insertions += 1;
+        inner.entries.insert(0, Entry { key, payload, bytes });
+        Residency::Miss { evicted }
+    }
+}
+
+impl fmt::Debug for ResidencyCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("ResidencyCache")
+            .field("capacity_bytes", &self.capacity_bytes)
+            .field("resident_bytes", &inner.resident_bytes)
+            .field("entries", &inner.entries.len())
+            .field("enabled", &inner.enabled)
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(v: u64) -> ResidentPayload {
+        Arc::new(v)
+    }
+
+    #[test]
+    fn miss_then_hit_roundtrip() {
+        let cache = ResidencyCache::new(1024);
+        assert!(cache.is_empty());
+        match cache.get_or_insert_with(7, || (payload(42), 100)) {
+            Residency::Miss { evicted } => assert_eq!(evicted, 0),
+            _ => panic!("expected miss"),
+        }
+        match cache.get_or_insert_with(7, || panic!("fill must not run on hit")) {
+            Residency::Hit(p) => {
+                assert_eq!(*p.downcast::<u64>().expect("payload type"), 42);
+            }
+            _ => panic!("expected hit"),
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions, stats.insertions), (1, 1, 0, 1));
+        assert_eq!(cache.resident_bytes(), 100);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_order_and_promotion() {
+        let cache = ResidencyCache::new(300);
+        for key in 1..=3u64 {
+            cache.get_or_insert_with(key, || (payload(key), 100));
+        }
+        // Promote 1 to MRU; inserting a fourth entry must now evict 2 (the LRU).
+        assert!(cache.get(1).is_some());
+        assert_eq!(cache.keys_mru(), vec![1, 3, 2]);
+        match cache.get_or_insert_with(4, || (payload(4), 100)) {
+            Residency::Miss { evicted } => assert_eq!(evicted, 1),
+            _ => panic!("expected miss"),
+        }
+        assert_eq!(cache.keys_mru(), vec![4, 1, 3]);
+        assert!(!cache.contains(2));
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.resident_bytes(), 300);
+    }
+
+    #[test]
+    fn oversized_entries_are_uncacheable() {
+        let cache = ResidencyCache::new(100);
+        assert!(matches!(
+            cache.get_or_insert_with(1, || (payload(1), 101)),
+            Residency::Uncacheable
+        ));
+        assert!(cache.is_empty());
+        // A refused entry still counts as a miss (the consumer paid an upload).
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().insertions, 0);
+    }
+
+    #[test]
+    fn disabled_cache_refuses_and_clears() {
+        let cache = ResidencyCache::new(1000);
+        cache.get_or_insert_with(1, || (payload(1), 10));
+        assert_eq!(cache.len(), 1);
+        cache.set_enabled(false);
+        assert!(!cache.enabled());
+        assert!(cache.is_empty());
+        assert!(matches!(cache.get_or_insert_with(2, || (payload(2), 10)), Residency::Uncacheable));
+        cache.set_enabled(true);
+        assert!(matches!(cache.get_or_insert_with(2, || (payload(2), 10)), Residency::Miss { .. }));
+    }
+
+    #[test]
+    fn clear_keeps_monotonic_stats() {
+        let cache = ResidencyCache::new(1000);
+        cache.get_or_insert_with(1, || (payload(1), 10));
+        cache.get(1);
+        let before = cache.stats();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), before);
+        // After clearing, the key misses again.
+        assert!(cache.get(1).is_none());
+    }
+
+    #[test]
+    fn stats_delta_attributes_one_unit_of_work() {
+        let cache = ResidencyCache::new(1000);
+        cache.get_or_insert_with(1, || (payload(1), 10));
+        let snapshot = cache.stats();
+        cache.get(1);
+        cache.get(2);
+        let delta = cache.stats().delta_since(&snapshot);
+        assert_eq!(delta, CacheStats { hits: 1, misses: 1, evictions: 0, insertions: 0 });
+        let mut acc = snapshot;
+        acc.accumulate(&delta);
+        assert_eq!(acc, cache.stats());
+    }
+}

@@ -29,5 +29,5 @@ pub mod shard;
 pub mod stream;
 
 pub use pool::DevicePool;
-pub use shard::{DeviceShardReport, ShardCtx, ShardOutcome, ShardQueue};
+pub use shard::{DeviceShardReport, ShardCtx, ShardOutcome, ShardQueue, StealPolicy};
 pub use stream::Stream;

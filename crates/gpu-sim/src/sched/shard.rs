@@ -7,8 +7,27 @@ use crate::sched::stream::Stream;
 use crate::timing::StreamStats;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::sync::{Condvar, Mutex as StdMutex};
+
+/// How [`ShardQueue`] decides which worker claims the next item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum StealPolicy {
+    /// Pure wall-clock racing: whichever worker returns to the queue first
+    /// claims the next item. On this host every modeled device executes blocks
+    /// at similar wall speed, so a modeled-slow pool member (a Xeon in a Tesla
+    /// pool) claims an equal share and its *modeled* busy time balloons — the
+    /// skew ≈ `n_devices / Σ(relative speeds)` the multi-device example used
+    /// to show.
+    WallClock,
+    /// Modeled-cost stealing (the default): each worker advances a virtual
+    /// clock by the modeled seconds of the items it serviced, and the queue
+    /// only hands an item to a worker whose virtual clock is within slack of
+    /// the pool minimum. A modeled-slow member's clock runs fast, so it
+    /// claims proportionally fewer items and the modeled busy times converge.
+    #[default]
+    ModeledCost,
+}
 
 /// Execution context handed to the shard closure for each work item.
 pub struct ShardCtx<'p> {
@@ -124,12 +143,13 @@ impl<R> ShardOutcome<R> {
 /// A work-stealing executor over a [`DevicePool`].
 ///
 /// [`ShardQueue::execute`] spawns one crossbeam-scoped worker per pooled
-/// device. Workers *steal* items from a shared queue (an atomic cursor over
-/// the submitted list): a fast or lightly-loaded device simply claims the next
-/// item sooner, so heterogeneous pools balance themselves without a central
-/// planner. Two properties hold regardless of the interleaving:
+/// device. Workers *steal* items from a shared queue; under the default
+/// [`StealPolicy::ModeledCost`] the claim is gated on the worker's **modeled**
+/// virtual clock (see below), so heterogeneous pools balance by modeled speed
+/// rather than by host wall time. Two properties hold regardless of the
+/// interleaving and the policy:
 ///
-/// * **exactly-once dispatch** — the atomic cursor hands every index to
+/// * **exactly-once dispatch** — the queue cursor hands every index to
 ///   exactly one worker, no item is skipped or run twice;
 /// * **deterministic results** — each result is written to the slot of its
 ///   item index, so `results[i]` always corresponds to `items[i]` even though
@@ -138,19 +158,88 @@ impl<R> ShardOutcome<R> {
 /// Each worker drives its own [`Stream`]: the executor snapshots the device's
 /// transfer accounting around every item, so per-item upload/download seconds
 /// are attributed exactly and overlap savings are computed per device.
+///
+/// # Modeled-cost stealing
+///
+/// Every worker keeps a virtual clock of the modeled seconds (kernel +
+/// transfers) of the items it has serviced. A worker may claim the next item
+/// only when its clock is within one-half of the average item cost of the
+/// pool-wide minimum clock; otherwise it parks until the clocks catch up. At
+/// claim time the clock is advanced by the worker's average cost so far (an
+/// estimate) and corrected to the actual modeled cost on completion. The
+/// worker holding the minimum clock is never parked, so the queue always makes
+/// progress; before any item completes the slack is unbounded, so the first
+/// round fans out one item to every worker exactly as wall-clock stealing
+/// would.
 pub struct ShardQueue<'p> {
     pool: &'p DevicePool,
+    policy: StealPolicy,
+}
+
+/// Shared claim state for modeled-cost stealing.
+struct ClaimState {
+    /// Index of the next unclaimed item.
+    next: usize,
+    /// Per-worker virtual clocks (modeled seconds serviced, including the
+    /// in-flight estimate of a running item).
+    vtime: Vec<f64>,
+    /// Per-worker `(modeled seconds, items)` actually completed.
+    completed: Vec<(f64, usize)>,
+}
+
+impl ClaimState {
+    /// Average modeled cost per completed item across the pool (`None` until
+    /// the first completion).
+    fn mean_item_cost(&self) -> Option<f64> {
+        let (cost, items) =
+            self.completed.iter().fold((0.0, 0usize), |(c, n), &(wc, wn)| (c + wc, n + wn));
+        if items == 0 {
+            None
+        } else {
+            Some(cost / items as f64)
+        }
+    }
+
+    /// Estimated cost of the next item on worker `idx`: its own average so
+    /// far, falling back to the pool-wide average, then zero.
+    fn estimate_for(&self, idx: usize) -> f64 {
+        let (cost, items) = self.completed[idx];
+        if items > 0 {
+            cost / items as f64
+        } else {
+            self.mean_item_cost().unwrap_or(0.0)
+        }
+    }
+
+    /// Whether worker `idx` may claim an item now.
+    fn may_claim(&self, idx: usize) -> bool {
+        let Some(mean) = self.mean_item_cost() else {
+            return true; // no completions yet — unbounded slack
+        };
+        let min = self.vtime.iter().copied().fold(f64::INFINITY, f64::min);
+        self.vtime[idx] <= min + 0.5 * mean
+    }
 }
 
 impl<'p> ShardQueue<'p> {
-    /// A queue executing on `pool`.
+    /// A queue executing on `pool` with the default modeled-cost stealing.
     pub fn new(pool: &'p DevicePool) -> Self {
-        ShardQueue { pool }
+        Self::with_policy(pool, StealPolicy::default())
+    }
+
+    /// A queue executing on `pool` with an explicit steal policy.
+    pub fn with_policy(pool: &'p DevicePool, policy: StealPolicy) -> Self {
+        ShardQueue { pool, policy }
     }
 
     /// The pool this queue schedules onto.
     pub fn pool(&self) -> &'p DevicePool {
         self.pool
+    }
+
+    /// The steal policy in effect.
+    pub fn policy(&self) -> StealPolicy {
+        self.policy
     }
 
     /// Executes `work` over every item, one worker per pooled device.
@@ -167,37 +256,85 @@ impl<'p> ShardQueue<'p> {
         F: Fn(&ShardCtx<'_>, T) -> (R, f64) + Sync,
     {
         let n_items = items.len();
+        let n_workers = self.pool.len();
+        let policy = self.policy;
         let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
         let results: Vec<Mutex<Option<R>>> = (0..n_items).map(|_| Mutex::new(None)).collect();
-        let cursor = AtomicUsize::new(0);
+        let claims = StdMutex::new(ClaimState {
+            next: 0,
+            vtime: vec![0.0; n_workers],
+            completed: vec![(0.0, 0); n_workers],
+        });
+        let turnstile = Condvar::new();
         let reports: Mutex<Vec<Option<DeviceShardReport>>> =
-            Mutex::new((0..self.pool.len()).map(|_| None).collect());
+            Mutex::new((0..n_workers).map(|_| None).collect());
 
         crossbeam::thread::scope(|scope| {
             for (device_index, device) in self.pool.devices().iter().enumerate() {
                 let slots = &slots;
                 let results = &results;
-                let cursor = &cursor;
+                let claims = &claims;
+                let turnstile = &turnstile;
                 let reports = &reports;
                 let work = &work;
                 scope.spawn(move |_| {
                     let mut stream = Stream::new();
                     let mut item_indices = Vec::new();
                     loop {
-                        let item_index = cursor.fetch_add(1, Ordering::Relaxed);
-                        if item_index >= n_items {
-                            break;
-                        }
+                        // Claim an item. Under modeled-cost stealing, park
+                        // until this worker's virtual clock is close enough to
+                        // the pool minimum; the minimum-clock worker never
+                        // parks, so the queue cannot stall.
+                        let (item_index, estimate) = {
+                            let mut state = claims.lock().expect("claim state poisoned");
+                            loop {
+                                if state.next >= n_items {
+                                    break;
+                                }
+                                if policy == StealPolicy::WallClock || state.may_claim(device_index)
+                                {
+                                    break;
+                                }
+                                state = turnstile.wait(state).expect("claim state poisoned");
+                            }
+                            if state.next >= n_items {
+                                turnstile.notify_all();
+                                break;
+                            }
+                            let item_index = state.next;
+                            state.next += 1;
+                            let estimate = state.estimate_for(device_index);
+                            state.vtime[device_index] += estimate;
+                            (item_index, estimate)
+                        };
+                        turnstile.notify_all();
+
                         let item = slots[item_index]
                             .lock()
                             .take()
-                            .expect("work item claimed twice — atomic cursor violated");
+                            .expect("work item claimed twice — claim cursor violated");
                         let ctx = ShardCtx { device, device_index, item_index };
                         let before = device.transfer_snapshot();
                         let (result, kernel_s) = work(&ctx, item);
                         stream.record_between(&before, &device.transfer_snapshot(), kernel_s);
+                        let actual_s = stream
+                            .ops()
+                            .last()
+                            .map(crate::timing::StreamOp::serialized_s)
+                            .unwrap_or(kernel_s);
                         item_indices.push(item_index);
                         *results[item_index].lock() = Some(result);
+
+                        // Replace the claim-time estimate with the item's
+                        // actual modeled cost (kernel + transfers).
+                        {
+                            let mut state = claims.lock().expect("claim state poisoned");
+                            state.vtime[device_index] += actual_s - estimate;
+                            let (cost, count) = &mut state.completed[device_index];
+                            *cost += actual_s;
+                            *count += 1;
+                        }
+                        turnstile.notify_all();
                     }
                     reports.lock()[device_index] = Some(DeviceShardReport {
                         device: device.spec().name.clone(),
@@ -265,6 +402,82 @@ mod tests {
         let utils = outcome.utilizations();
         assert_eq!(utils.len(), 2);
         assert!(utils.iter().all(|&u| (0.0..=1.0 + 1e-12).contains(&u)));
+    }
+
+    /// A synthetic heterogeneous workload: the modeled cost of an item depends
+    /// on the servicing device's peak throughput, as real probe shards do.
+    fn modeled_cost_on(device: &Device) -> f64 {
+        1.0e6 / device.spec().peak_gflops().max(1.0) * 1e-6
+    }
+
+    #[test]
+    fn modeled_cost_stealing_starves_the_slow_device() {
+        // Tesla peak ≈ 312 GFLOP/s, quad-Xeon peak = 12 GFLOP/s: per item the
+        // Xeon is ~26× modeled-slower. Under wall-clock stealing it claims
+        // roughly an equal share (every device runs blocks at the same wall
+        // speed here); under modeled-cost stealing it must claim only a
+        // sliver, and the modeled load skew must collapse.
+        let pool = DevicePool::mixed(2, 1);
+        let n_items = 60;
+
+        let wall = ShardQueue::with_policy(&pool, StealPolicy::WallClock);
+        assert_eq!(wall.policy(), StealPolicy::WallClock);
+        let wall_outcome = wall.execute(vec![(); n_items], |ctx, ()| {
+            // Equalize wall time per item so the wall-clock race is fair.
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            ((), modeled_cost_on(ctx.device))
+        });
+
+        let cost = ShardQueue::new(&pool);
+        assert_eq!(cost.policy(), StealPolicy::ModeledCost);
+        let cost_outcome = cost.execute(vec![(); n_items], |ctx, ()| {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            ((), modeled_cost_on(ctx.device))
+        });
+
+        let xeon_share_wall = wall_outcome.reports[2].items();
+        let xeon_share_cost = cost_outcome.reports[2].items();
+        assert!(
+            xeon_share_cost < xeon_share_wall,
+            "modeled-cost stealing gave the Xeon {xeon_share_cost} items, \
+             wall-clock gave {xeon_share_wall}"
+        );
+        // The Xeon's fair modeled share of 60 items is 60 * 12/(312+312+12)
+        // ≈ 1.1; allow a little slop for the estimate-then-correct clock.
+        assert!(xeon_share_cost <= 4, "Xeon claimed {xeon_share_cost} of {n_items}");
+        assert!(
+            cost_outcome.load_skew() < wall_outcome.load_skew(),
+            "cost-aware skew {} should beat wall-clock skew {}",
+            cost_outcome.load_skew(),
+            wall_outcome.load_skew()
+        );
+        assert!(
+            cost_outcome.load_skew() < 1.5,
+            "cost-aware skew still high: {}",
+            cost_outcome.load_skew()
+        );
+        // Dispatch stays exactly-once under both policies.
+        for outcome in [&wall_outcome, &cost_outcome] {
+            let serviced: usize = outcome.reports.iter().map(DeviceShardReport::items).sum();
+            assert_eq!(serviced, n_items);
+        }
+    }
+
+    #[test]
+    fn modeled_cost_stealing_balances_homogeneous_pools() {
+        // On a homogeneous pool the virtual clocks advance in lockstep, so
+        // modeled-cost stealing degenerates to an even split.
+        let pool = DevicePool::tesla(4);
+        let outcome = ShardQueue::new(&pool).execute(vec![(); 40], |_, ()| ((), 1e-3));
+        for report in &outcome.reports {
+            assert!(
+                (8..=12).contains(&report.items()),
+                "device {} claimed {} of 40",
+                report.device_index,
+                report.items()
+            );
+        }
+        assert!(outcome.load_skew() < 1.3, "skew {}", outcome.load_skew());
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Property tests on the residency cache's LRU invariants, driven by random
+//! operation sequences (mixed lookups and insertions of random keys/sizes):
+//!
+//! * **capacity is never exceeded** — resident bytes stay within the budget
+//!   after every operation;
+//! * **the most-recently-used entry is never evicted** — whatever was touched
+//!   last survives the next insertion;
+//! * **a hit returns the identical payload** — the exact `Arc` that was
+//!   inserted, bit-identical content included.
+
+use gpu_sim::{Residency, ResidencyCache, ResidentPayload};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const CAPACITY: usize = 1000;
+
+/// Payload carrying its key and a derived byte pattern, so hits can verify
+/// content identity.
+fn payload(key: u64) -> ResidentPayload {
+    Arc::new((key, vec![key as u8 ^ 0x5a; 8]))
+}
+
+fn check_payload(p: &ResidentPayload, key: u64) {
+    let (k, bytes) = p.downcast_ref::<(u64, Vec<u8>)>().expect("payload type");
+    assert_eq!(*k, key);
+    assert_eq!(*bytes, vec![key as u8 ^ 0x5a; 8]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random op sequences preserve every LRU invariant at every step.
+    #[test]
+    fn lru_invariants_hold_under_random_ops(
+        ops in prop::collection::vec((0u64..12, 50usize..400), 1..60),
+    ) {
+        let cache = ResidencyCache::new(CAPACITY);
+        let mut inserted_arcs: Vec<(u64, ResidentPayload)> = Vec::new();
+
+        for (key, bytes) in ops {
+            let before_keys = cache.keys_mru();
+            let outcome = cache.get_or_insert_with(key, || (payload(key), bytes));
+            match outcome {
+                Residency::Hit(p) => {
+                    // Hit ⇒ the identical Arc that was inserted earlier.
+                    check_payload(&p, key);
+                    let (_, original) = inserted_arcs
+                        .iter()
+                        .rev()
+                        .find(|(k, _)| *k == key)
+                        .expect("hit implies an earlier insertion");
+                    prop_assert!(
+                        Arc::ptr_eq(&p, original),
+                        "hit returned a different allocation for key {}",
+                        key
+                    );
+                    prop_assert!(before_keys.contains(&key));
+                }
+                Residency::Miss { .. } => {
+                    prop_assert!(!before_keys.contains(&key));
+                    let (_, current) = {
+                        // Re-fetch to capture the cached Arc for later ptr_eq.
+                        match cache.get(key) {
+                            Some(p) => (key, p),
+                            None => panic!("freshly inserted key {key} missing"),
+                        }
+                    };
+                    inserted_arcs.push((key, current));
+                }
+                Residency::Uncacheable => {
+                    prop_assert!(bytes > CAPACITY, "only oversize entries are uncacheable here");
+                }
+            }
+
+            // Capacity never exceeded, and the bookkeeping is self-consistent.
+            prop_assert!(
+                cache.resident_bytes() <= CAPACITY,
+                "resident {} exceeds capacity {}",
+                cache.resident_bytes(),
+                CAPACITY
+            );
+            // The most recently touched key is MRU and was not evicted.
+            if bytes <= CAPACITY {
+                let keys = cache.keys_mru();
+                prop_assert_eq!(keys.first().copied(), Some(key));
+            }
+        }
+    }
+
+    /// Sequential fills evict strictly least-recently-used first.
+    #[test]
+    fn eviction_is_strictly_lru(
+        n_entries in 3usize..20,
+        touch in 0usize..20,
+    ) {
+        // Entries of equal size; capacity holds exactly 3.
+        let cache = ResidencyCache::new(300);
+        for key in 0..3u64 {
+            cache.get_or_insert_with(key, || (payload(key), 100));
+        }
+        // Touch one resident key to promote it.
+        let touched = (touch % 3) as u64;
+        prop_assert!(cache.get(touched).is_some());
+
+        // Model the full recency order (oldest → newest): the three initial
+        // inserts, with the touched key moved to newest. After every further
+        // insertion, the cache must hold exactly the three newest keys of the
+        // model, in matching MRU order — strict LRU eviction.
+        let mut recency: Vec<u64> = (0..3).filter(|k| *k != touched).collect();
+        recency.push(touched);
+        for step in 0..n_entries as u64 {
+            let key = 100 + step;
+            cache.get_or_insert_with(key, || (payload(key), 100));
+            recency.push(key);
+            let expected_mru: Vec<u64> = recency.iter().rev().take(3).copied().collect();
+            prop_assert_eq!(cache.keys_mru(), expected_mru);
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.evictions, n_entries as u64);
+        prop_assert_eq!(stats.insertions, 3 + n_entries as u64);
+    }
+}

@@ -175,13 +175,56 @@ impl DockingRun {
     }
 }
 
+/// How a [`Docking`] context's receptor grids reached its device.
+///
+/// GPU-engine contexts consult the device's residency cache
+/// ([`gpu_sim::ResidencyCache`]) at construction: the first context for a given
+/// receptor content on a device uploads the grid set once ([`Miss`]); every
+/// later context **borrows the resident copy** and charges nothing ([`Hit`]).
+/// Host-engine contexts never touch the device ([`HostEngine`]).
+///
+/// [`Miss`]: GridResidency::Miss
+/// [`Hit`]: GridResidency::Hit
+/// [`HostEngine`]: GridResidency::HostEngine
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GridResidency {
+    /// A host (CPU) engine: no receptor transfer at all.
+    HostEngine,
+    /// The receptor grids were already resident on the device: zero upload
+    /// bytes charged.
+    Hit,
+    /// First sighting of this receptor content on the device: exactly one
+    /// grid-set upload charged, grids now resident.
+    Miss {
+        /// Modeled seconds of the one-time grid-set upload.
+        upload_s: f64,
+    },
+    /// The grid set exceeds the device's memory budget (or its cache is
+    /// disabled); uploaded per construction, as before the cache existed.
+    Uncacheable {
+        /// Modeled seconds of this construction's grid-set upload.
+        upload_s: f64,
+    },
+}
+
+impl GridResidency {
+    /// Modeled upload seconds this construction charged for the receptor.
+    pub fn upload_s(&self) -> f64 {
+        match self {
+            GridResidency::HostEngine | GridResidency::Hit => 0.0,
+            GridResidency::Miss { upload_s } | GridResidency::Uncacheable { upload_s } => *upload_s,
+        }
+    }
+}
+
 /// A docking context: receptor grids built once, reusable across probes and engines.
 pub struct Docking {
-    receptor: ReceptorGrids,
+    receptor: Arc<ReceptorGrids>,
     config: DockingConfig,
     rotations: RotationSet,
     xeon: CostModel,
     device: Arc<Device>,
+    residency: GridResidency,
 }
 
 impl Docking {
@@ -191,12 +234,41 @@ impl Docking {
         Self::with_device(protein_atoms, config, Arc::new(Device::tesla_c1060()))
     }
 
+    /// Builds the receptor grids a docking context for `config` would build —
+    /// shared preparation for callers (the mapping pipeline, the batch
+    /// service) that construct many contexts against one receptor and want to
+    /// pay the host-side grid build once.
+    pub fn build_receptor(protein_atoms: &[Atom], config: &DockingConfig) -> Arc<ReceptorGrids> {
+        let spec = GridSpec::centered_on(protein_atoms, config.grid_dim, config.spacing);
+        Arc::new(ReceptorGrids::build(protein_atoms, spec, config.n_desolv))
+    }
+
     /// Builds the docking context on a shared (pooled) device handle instead of
     /// constructing a private device — the entry point the multi-device
     /// scheduler uses, so every shard's transfers land on its own pool member.
     pub fn with_device(protein_atoms: &[Atom], config: DockingConfig, device: Arc<Device>) -> Self {
-        let spec = GridSpec::centered_on(protein_atoms, config.grid_dim, config.spacing);
-        let receptor = ReceptorGrids::build(protein_atoms, spec, config.n_desolv);
+        let receptor = Self::build_receptor(protein_atoms, &config);
+        Self::from_grids(receptor, config, device)
+    }
+
+    /// Builds the docking context from prebuilt receptor grids.
+    ///
+    /// For the GPU engine this is where the receptor meets the device's
+    /// residency cache: a cache hit **borrows the resident grid set** (the
+    /// context adopts the cached `Arc`, so N contexts against one receptor
+    /// share one host copy too) and charges zero upload bytes; a miss charges
+    /// exactly one grid-set upload and leaves the grids resident for the next
+    /// context. Host engines skip the device entirely.
+    pub fn from_grids(
+        receptor: Arc<ReceptorGrids>,
+        config: DockingConfig,
+        device: Arc<Device>,
+    ) -> Self {
+        let (receptor, residency) = if matches!(config.engine, DockingEngineKind::Gpu { .. }) {
+            Self::ensure_resident(&device, receptor)
+        } else {
+            (receptor, GridResidency::HostEngine)
+        };
         let rotations = RotationSet::uniform(config.n_rotations);
         Docking {
             receptor,
@@ -204,6 +276,41 @@ impl Docking {
             rotations,
             xeon: CostModel::new(DeviceSpec::xeon_core()),
             device,
+            residency,
+        }
+    }
+
+    /// Looks the receptor up in the device's residency cache, uploading and
+    /// inserting on miss. Returns the grids to dock against (the resident copy
+    /// on hit) and the residency outcome.
+    fn ensure_resident(
+        device: &Device,
+        receptor: Arc<ReceptorGrids>,
+    ) -> (Arc<ReceptorGrids>, GridResidency) {
+        let key = receptor.content_key();
+        let bytes = receptor.resident_bytes();
+        match device
+            .residency()
+            .get_or_insert_with(key, || (Arc::clone(&receptor) as gpu_sim::ResidentPayload, bytes))
+        {
+            gpu_sim::Residency::Hit(payload) => match payload.downcast::<ReceptorGrids>() {
+                Ok(resident) => (resident, GridResidency::Hit),
+                // A foreign payload under this key (content-hash collision
+                // with another cached type) — dock against our own copy and
+                // treat the construction as uncacheable.
+                Err(_) => {
+                    let upload_s = device.upload_bytes(bytes as u64);
+                    (receptor, GridResidency::Uncacheable { upload_s })
+                }
+            },
+            gpu_sim::Residency::Miss { .. } => {
+                let upload_s = device.upload_bytes(bytes as u64);
+                (receptor, GridResidency::Miss { upload_s })
+            }
+            gpu_sim::Residency::Uncacheable => {
+                let upload_s = device.upload_bytes(bytes as u64);
+                (receptor, GridResidency::Uncacheable { upload_s })
+            }
         }
     }
 
@@ -212,8 +319,19 @@ impl Docking {
         &self.device
     }
 
-    /// The receptor grids.
+    /// How this context's receptor grids reached the device.
+    pub fn grid_residency(&self) -> GridResidency {
+        self.residency
+    }
+
+    /// The receptor grids (the device-resident copy, when this context hit the
+    /// residency cache).
     pub fn receptor(&self) -> &ReceptorGrids {
+        &self.receptor
+    }
+
+    /// The shared handle to the receptor grids.
+    pub fn receptor_arc(&self) -> &Arc<ReceptorGrids> {
         &self.receptor
     }
 
@@ -605,6 +723,67 @@ mod tests {
             Docking::new(&protein.atoms, DockingConfig::small_test(DockingEngineKind::FftSerial))
                 .run(&probe);
         assert_eq!(fft.modeled_transfer_s, 0.0);
+    }
+
+    #[test]
+    fn receptor_residency_hit_is_free_and_bit_identical() {
+        // First construction on a device misses: exactly one grid-set upload.
+        // Every later construction for the same receptor content hits: zero
+        // upload bytes, and the context borrows the *identical* resident grids.
+        let protein = protein();
+        let device = Arc::new(Device::tesla_c1060());
+        let config = DockingConfig::small_test(DockingEngineKind::Gpu { batch: 4 });
+
+        let before = device.transfer_snapshot();
+        let first = Docking::with_device(&protein.atoms, config.clone(), Arc::clone(&device));
+        let miss_delta = device.transfer_snapshot().delta_since(&before);
+        let grid_bytes = first.receptor().resident_bytes();
+        match first.grid_residency() {
+            GridResidency::Miss { upload_s } => {
+                assert!((miss_delta.upload_s - upload_s).abs() < 1e-15);
+                assert_eq!(miss_delta.bytes, grid_bytes, "miss must charge one grid set");
+            }
+            other => panic!("first construction should miss, got {other:?}"),
+        }
+
+        let before_hit = device.transfer_snapshot();
+        let second = Docking::with_device(&protein.atoms, config.clone(), Arc::clone(&device));
+        let hit_delta = device.transfer_snapshot().delta_since(&before_hit);
+        assert_eq!(second.grid_residency(), GridResidency::Hit);
+        assert_eq!(hit_delta.bytes, 0, "cache hit must record zero upload bytes");
+        assert_eq!(hit_delta.upload_s, 0.0);
+        // Borrowed, not rebuilt: the second context shares the first's grids.
+        assert!(Arc::ptr_eq(first.receptor_arc(), second.receptor_arc()));
+        // ... and they are bit-identical to a fresh host-side build.
+        let fresh = Docking::build_receptor(&protein.atoms, &config);
+        for (a, b) in fresh.terms.iter().zip(&second.receptor().terms) {
+            assert!(a.as_slice().iter().zip(b.as_slice()).all(|(x, y)| x == y));
+        }
+        // Both contexts produce identical docking results.
+        let probe = probe();
+        let run_a = first.run(&probe);
+        let run_b = second.run(&probe);
+        assert_eq!(run_a.poses, run_b.poses);
+        // Host engines never consult the cache.
+        let host =
+            Docking::new(&protein.atoms, DockingConfig::small_test(DockingEngineKind::FftSerial));
+        assert_eq!(host.grid_residency(), GridResidency::HostEngine);
+        assert_eq!(host.grid_residency().upload_s(), 0.0);
+    }
+
+    #[test]
+    fn disabled_residency_reverts_to_upload_per_construction() {
+        let protein = protein();
+        let device = Arc::new(Device::tesla_c1060());
+        device.residency().set_enabled(false);
+        let config = DockingConfig::small_test(DockingEngineKind::Gpu { batch: 4 });
+        for _ in 0..2 {
+            let before = device.transfer_snapshot();
+            let docking = Docking::with_device(&protein.atoms, config.clone(), Arc::clone(&device));
+            let delta = device.transfer_snapshot().delta_since(&before);
+            assert!(matches!(docking.grid_residency(), GridResidency::Uncacheable { .. }));
+            assert_eq!(delta.bytes, docking.receptor().resident_bytes());
+        }
     }
 
     #[test]

@@ -47,12 +47,12 @@ pub struct BatchCorrelationResult {
 }
 
 impl<'a> GpuDockingEngine<'a> {
-    /// Creates an engine and charges the one-time upload of the receptor grids to the
-    /// device's transfer accounting (the protein grid transfer "is done only once",
-    /// §III.A).
+    /// Creates an engine over receptor grids assumed to be on the device
+    /// already. The grid-set upload ("done only once", §III.A) is charged by
+    /// whoever made the grids resident — [`crate::Docking::from_grids`] via the
+    /// device's residency cache — not per engine construction, so repeat
+    /// engines against a resident receptor cost zero transfer bytes.
     pub fn new(device: &'a Device, receptor: &'a ReceptorGrids) -> Self {
-        let words = receptor.n_terms() * receptor.spec.len();
-        device.upload_bytes((words * std::mem::size_of::<Real>()) as u64);
         GpuDockingEngine { device, receptor, threads_per_block: 64 }
     }
 

@@ -129,6 +129,10 @@ pub fn term_weight(kind: TermKind, weights: &EnergyWeights, n_desolv: usize) -> 
 }
 
 /// The receptor-side grids `R_p` of Equation (1): one `N³` grid per energy component.
+///
+/// Treated as **immutable once built** — the residency content key is computed
+/// lazily on first use and memoized, so mutating the grids after keying them
+/// would let a stale key alias changed content.
 #[derive(Debug, Clone)]
 pub struct ReceptorGrids {
     /// Grid geometry.
@@ -137,6 +141,9 @@ pub struct ReceptorGrids {
     pub terms: Vec<Grid3<Real>>,
     /// Number of desolvation components.
     pub n_desolv: usize,
+    /// Memoized content key — hashing ~megabytes of grid values per
+    /// [`ReceptorGrids::content_key`] call would erase the cache-hit savings.
+    key: std::sync::OnceLock<u64>,
 }
 
 impl ReceptorGrids {
@@ -215,12 +222,44 @@ impl ReceptorGrids {
             }
         }
 
-        ReceptorGrids { spec, terms, n_desolv }
+        ReceptorGrids { spec, terms, n_desolv, key: std::sync::OnceLock::new() }
     }
 
     /// Number of energy components (grids).
     pub fn n_terms(&self) -> usize {
         self.terms.len()
+    }
+
+    /// Bytes these grids occupy when resident in device memory — the figure
+    /// charged for the one-time upload and budgeted by the residency cache.
+    pub fn resident_bytes(&self) -> usize {
+        self.n_terms() * self.spec.len() * std::mem::size_of::<Real>()
+    }
+
+    /// A content hash of the grids (FNV-1a over the geometry and every term
+    /// value), used as the receptor's residency-cache key: equal-valued grids
+    /// share one resident copy per device, and any change to the receptor
+    /// yields a new key, so a stale resident copy can never be borrowed.
+    ///
+    /// Computed once and memoized (the grids are immutable after
+    /// [`ReceptorGrids::build`]); repeat calls — one per `Docking`
+    /// construction — are free.
+    pub fn content_key(&self) -> u64 {
+        *self.key.get_or_init(|| {
+            let mut hash = gpu_sim::residency::Fnv1a::new();
+            hash.write_u64(self.spec.dim as u64);
+            hash.write_f64(self.spec.spacing);
+            hash.write_f64(self.spec.origin.x);
+            hash.write_f64(self.spec.origin.y);
+            hash.write_f64(self.spec.origin.z);
+            hash.write_u64(self.n_desolv as u64);
+            for term in &self.terms {
+                for value in term.as_slice() {
+                    hash.write_f64(*value);
+                }
+            }
+            hash.finish()
+        })
     }
 }
 
@@ -344,6 +383,26 @@ mod tests {
         // At least one desolvation component is populated.
         let desolv_nonzero: usize = (4..8).map(|k| grids.terms[k].count_above(0.0)).sum();
         assert!(desolv_nonzero > 0);
+    }
+
+    #[test]
+    fn content_key_tracks_grid_values() {
+        let protein = small_protein();
+        let spec = GridSpec::centered_on(&protein.atoms, 16, 2.0);
+        let a = ReceptorGrids::build(&protein.atoms, spec, 4);
+        let b = ReceptorGrids::build(&protein.atoms, spec, 4);
+        // Same content ⇒ same key (the property that lets two jobs share a
+        // resident copy).
+        assert_eq!(a.content_key(), b.content_key());
+        assert_eq!(a.resident_bytes(), 8 * 16 * 16 * 16 * std::mem::size_of::<Real>());
+        // Any value change ⇒ new key (stale residency can never alias).
+        let mut c = ReceptorGrids::build(&protein.atoms, spec, 4);
+        *c.terms[3].at_mut(1, 2, 3) += 1.0;
+        assert_ne!(a.content_key(), c.content_key());
+        // Different geometry ⇒ new key even with equal values.
+        let other_spec = GridSpec::centered_on(&protein.atoms, 16, 2.5);
+        let d = ReceptorGrids::build(&protein.atoms, other_spec, 4);
+        assert_ne!(a.content_key(), d.content_key());
     }
 
     #[test]

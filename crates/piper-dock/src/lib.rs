@@ -37,6 +37,6 @@ pub mod gpu;
 pub mod grids;
 pub mod pose;
 
-pub use docking::{Docking, DockingConfig, DockingEngineKind, DockingRun};
+pub use docking::{Docking, DockingConfig, DockingEngineKind, DockingRun, GridResidency};
 pub use grids::{EnergyWeights, LigandGrids, ReceptorGrids};
 pub use pose::Pose;

@@ -11,6 +11,7 @@
 //! * [`dock`] — PIPER rigid docking ([`piper_dock`]).
 //! * [`energy`] — CHARMM/ACE energy model and minimization ([`ftmap_energy`]).
 //! * [`core`] — the end-to-end mapping pipeline ([`ftmap_core`]).
+//! * [`serve`] — the asynchronous batch-mapping service ([`ftmap_serve`]).
 //!
 //! ## Quickstart
 //!
@@ -35,6 +36,7 @@ pub use ftmap_core as core;
 pub use ftmap_energy as energy;
 pub use ftmap_math as math;
 pub use ftmap_molecule as molecule;
+pub use ftmap_serve as serve;
 pub use gpu_sim as gpu;
 pub use piper_dock as dock;
 
@@ -50,6 +52,7 @@ pub mod prelude {
         Complex, ForceField, NeighborList, Probe, ProbeLibrary, ProbeType, ProteinSpec,
         SyntheticProtein,
     };
+    pub use ftmap_serve::{BatchMappingService, JobHandle, JobStatus, MappingRequest, ServeConfig};
     pub use gpu_sim::{
         BackendSelect, Device, DevicePool, DeviceSpec, ExecutionBackend, KernelLaunch, ShardQueue,
         StatsLedger, Stream,

@@ -38,6 +38,13 @@ pub mod strategy {
         }
     }
 
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng))
+        }
+    }
+
     /// A strategy that always produces the same value.
     #[derive(Debug, Clone)]
     pub struct Just<T: Clone + Debug>(pub T);
