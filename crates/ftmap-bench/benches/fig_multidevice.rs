@@ -58,7 +58,10 @@ fn main() {
     let mut points: Vec<ScalePoint> = Vec::new();
     let mut one_device_makespan_ms = f64::NAN;
     for devices in [1usize, 2, 4, 8] {
-        let (result, wall_s) = run(PipelineMode::Sharded { devices }, &library);
+        // Whole-probe granularity (`pose_block: 0`): this figure gates the
+        // probe-granularity scheduler; `fig_pose_shard` measures the
+        // pose-block schedule against it.
+        let (result, wall_s) = run(PipelineMode::Sharded { devices, pose_block: 0 }, &library);
         // Sharding must never change the answer.
         assert_eq!(result.sites.len(), accel.sites.len(), "{devices}-device sites diverged");
         for (a, b) in result.sites.iter().zip(&accel.sites) {

@@ -24,5 +24,8 @@ pub mod pipeline;
 pub mod profile;
 
 pub use cluster::{cluster_poses, ClusterInput, ConsensusCluster, ConsensusSite};
-pub use pipeline::{FtMapConfig, FtMapPipeline, MappingResult, PipelineMode, ProbeShard};
-pub use profile::MappingProfile;
+pub use pipeline::{
+    minimize_pose_blocks, DockedProbe, FtMapConfig, FtMapPipeline, MappingResult, MinimizePhase,
+    PipelineMode, ProbeShard, DEFAULT_POSE_BLOCK,
+};
+pub use profile::{DeviceLoad, MappingProfile};

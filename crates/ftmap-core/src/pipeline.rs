@@ -21,12 +21,13 @@
 use crate::cluster::{cluster_poses, ClusterInput, ConsensusSite};
 use crate::profile::{DeviceLoad, MappingProfile};
 use ftmap_energy::minimize::{MinimizationConfig, Minimizer};
-use ftmap_math::Vec3;
+use ftmap_math::{RotationSet, Vec3};
 use ftmap_molecule::{Complex, ForceField, Probe, ProbeLibrary, ProbeType, SyntheticProtein};
-use gpu_sim::sched::{DevicePool, ShardQueue};
+use gpu_sim::sched::{pose_blocks, DevicePool, ShardQueue, WorkItem};
 use gpu_sim::{BackendSelect, Device, ExecutionBackend};
-use piper_dock::{Docking, DockingConfig};
+use piper_dock::{Docking, DockingConfig, DockingRun};
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -38,16 +39,46 @@ pub enum PipelineMode {
     Serial,
     /// GPU direct-correlation docking + GPU minimization kernels (the paper's system).
     Accelerated,
-    /// The accelerated engines, with the probe library sharded over a pool of
+    /// The accelerated engines, with the workload sharded over a pool of
     /// devices (work-stealing, stream-overlapped transfers, deterministic
     /// output order).
     Sharded {
         /// Number of Tesla-class devices in the default pool.
         devices: usize,
+        /// Scheduling granularity of the minimization phase: retained poses
+        /// per work item. `0` shards at whole-probe granularity (dock +
+        /// minimize fused into one item per probe — the coarse schedule);
+        /// any positive value splits each docked probe's retained poses into
+        /// blocks of at most `pose_block` poses, scheduled independently
+        /// after a dock-once phase, so one probe's 2000 minimizations spread
+        /// across the pool.
+        pose_block: usize,
     },
 }
 
+/// Default pose-block size for pose-granularity sharding: 50 poses per block
+/// gives the paper-scale probe (500 rotations × 4 retained poses = 2000
+/// conformations) 40 schedulable blocks — fine enough to fill an 8-device
+/// pool from a single probe, coarse enough that per-block overhead stays
+/// negligible.
+pub const DEFAULT_POSE_BLOCK: usize = 50;
+
 impl PipelineMode {
+    /// Pose-granularity sharding over `devices` Tesla-class devices with the
+    /// default block size ([`DEFAULT_POSE_BLOCK`]).
+    pub fn sharded(devices: usize) -> Self {
+        PipelineMode::Sharded { devices, pose_block: DEFAULT_POSE_BLOCK }
+    }
+
+    /// The pose-block size this mode schedules minimization at (0 = whole-
+    /// probe granularity; also 0 for the single-device modes, which have no
+    /// scheduler).
+    pub fn pose_block(self) -> usize {
+        match self {
+            PipelineMode::Serial | PipelineMode::Accelerated => 0,
+            PipelineMode::Sharded { pose_block, .. } => pose_block,
+        }
+    }
     /// The execution backend this mode runs both phases on.
     pub fn backend(self) -> ExecutionBackend {
         match self {
@@ -60,7 +91,7 @@ impl PipelineMode {
     pub fn device_count(self) -> usize {
         match self {
             PipelineMode::Serial | PipelineMode::Accelerated => 1,
-            PipelineMode::Sharded { devices } => devices.max(1),
+            PipelineMode::Sharded { devices, .. } => devices.max(1),
         }
     }
 
@@ -156,7 +187,10 @@ impl MappingResult {
 ///
 /// Public because queued-job consumers (the `ftmap-serve` batch service)
 /// schedule probes from *several* jobs through one [`ShardQueue`] execution and
-/// assemble each job's result themselves from its shards.
+/// assemble each job's result themselves from its shards. Under pose-block
+/// scheduling a `ProbeShard` is also the *partial* product of one block
+/// ([`FtMapPipeline::minimize_pose_block`]); partials fold with
+/// [`ProbeShard::absorb`].
 pub struct ProbeShard {
     /// The probe's phase profile.
     pub profile: MappingProfile,
@@ -167,6 +201,62 @@ pub struct ProbeShard {
     /// Pure modeled kernel seconds (transfers excluded) — what the shard
     /// queue's stream model charges to the compute stage.
     pub kernel_modeled_s: f64,
+}
+
+impl ProbeShard {
+    /// Folds a later partial (the next pose block, in pose order) into this
+    /// shard: profiles accumulate, cluster inputs concatenate.
+    pub fn absorb(&mut self, block: ProbeShard) {
+        self.profile.merge(&block.profile);
+        self.inputs.extend(block.inputs);
+        self.conformations += block.conformations;
+        self.kernel_modeled_s += block.kernel_modeled_s;
+    }
+}
+
+/// The dock-once phase product for one probe: the retained poses plus
+/// everything a pose block needs to minimize any slice of them on any pooled
+/// device — the probe itself, the rotation set the run was scored with, and
+/// the docking-phase profile.
+///
+/// Public for the same reason as [`ProbeShard`]: the batch service docks every
+/// job's probes in one sharded phase, then interleaves all jobs' pose blocks
+/// in a second.
+pub struct DockedProbe {
+    probe: Probe,
+    run: DockingRun,
+    rotations: Arc<RotationSet>,
+    /// Docking-phase times only (minimization accrues on the blocks).
+    profile: MappingProfile,
+    /// Pure modeled docking kernel seconds (transfers excluded).
+    kernel_modeled_s: f64,
+}
+
+impl DockedProbe {
+    /// Total retained poses of the docking run (before the
+    /// `conformations_per_probe` cap — see
+    /// [`FtMapPipeline::retained_pose_count`]).
+    pub fn pose_count(&self) -> usize {
+        self.run.poses.len()
+    }
+
+    /// Pure modeled docking kernel seconds — the dock item's compute-stage
+    /// figure for the shard queue.
+    pub fn kernel_modeled_s(&self) -> f64 {
+        self.kernel_modeled_s
+    }
+
+    /// The dock phase's contribution as a shard seed: docking profile and
+    /// kernel seconds, no minimized poses yet. Pose blocks fold in — in pose
+    /// order — via [`ProbeShard::absorb`].
+    pub fn to_shard(&self) -> ProbeShard {
+        ProbeShard {
+            profile: self.profile.clone(),
+            inputs: Vec::new(),
+            conformations: 0,
+            kernel_modeled_s: self.kernel_modeled_s,
+        }
+    }
 }
 
 /// The FTMap pipeline over one protein.
@@ -273,14 +363,24 @@ impl FtMapPipeline {
     fn map_single(&self, library: &ProbeLibrary) -> MappingResult {
         let device = self.pool.device(0);
         let shards = library.probes().iter().map(|probe| self.map_probe_on(probe, device));
-        self.assemble(shards.collect(), Vec::new())
+        self.assemble(shards.collect(), Vec::new(), Vec::new())
     }
 
-    /// The sharded probe loop: one work-stealing worker per pooled device.
-    /// Results are assembled in library order regardless of which device
-    /// serviced each probe, so the output is identical to the single-device
-    /// accelerated run.
+    /// The sharded loop: one work-stealing worker per pooled device, at the
+    /// granularity the mode selects. Either way results are assembled in
+    /// `(probe, pose)` order regardless of which device serviced what, so the
+    /// output is identical to the single-device accelerated run.
     fn map_sharded(&self, library: &ProbeLibrary) -> MappingResult {
+        match self.config.mode.pose_block() {
+            0 => self.map_probe_sharded(library),
+            block => self.map_pose_sharded(library, block),
+        }
+    }
+
+    /// Whole-probe granularity: dock + minimize fused into one work item per
+    /// probe. One hot probe serializes on a single device — kept as the
+    /// coarse comparator (`pose_block: 0`) and for probe-rich workloads.
+    fn map_probe_sharded(&self, library: &ProbeLibrary) -> MappingResult {
         let queue = ShardQueue::new(&self.pool);
         let items: Vec<&Probe> = library.probes().iter().collect();
         let outcome = queue.execute(items, |ctx, probe| {
@@ -289,11 +389,57 @@ impl FtMapPipeline {
             (shard, kernel_s)
         });
         let loads = outcome.reports.iter().map(DeviceLoad::from).collect();
-        self.assemble(outcome.results, loads)
+        self.assemble(outcome.results, loads, Vec::new())
+    }
+
+    /// Pose-block granularity: a dock-once phase (one item per probe) and a
+    /// minimize phase (one item per pose block, across **all** probes,
+    /// weighted by pose count) — so a single probe's retained poses spread
+    /// over the whole pool. The two phases are barrier-separated: every block
+    /// needs its probe's dock result, so the modeled makespan is the sum of
+    /// the two phase makespans.
+    fn map_pose_sharded(&self, library: &ProbeLibrary, pose_block: usize) -> MappingResult {
+        let queue = ShardQueue::new(&self.pool);
+
+        // Phase 1: dock every probe once, sharded over the pool.
+        let probes: Vec<&Probe> = library.probes().iter().collect();
+        let dock = queue.execute(probes, |ctx, probe| {
+            let docked = self.dock_probe_shard(probe, ctx.device);
+            let kernel_s = docked.kernel_modeled_s;
+            (docked, kernel_s)
+        });
+
+        // Phase 2: minimize pose blocks from all probes, interleaved.
+        let phase = minimize_pose_blocks(
+            &queue,
+            &dock.results,
+            pose_block,
+            &|docked| self.retained_pose_count(docked),
+            &|ctx, docked, range| self.minimize_pose_block(docked, range, ctx.device),
+        );
+        let phase_makespans = vec![dock.makespan_s(), phase.makespan_s];
+        let loads = dock
+            .reports
+            .iter()
+            .zip(&phase.reports)
+            .map(|(d, m)| DeviceLoad::from_phases(d, m))
+            .collect();
+        let shards = dock.results.iter().map(DockedProbe::to_shard).zip(phase.block_folds).map(
+            |(mut shard, fold)| {
+                shard.absorb(fold);
+                shard
+            },
+        );
+        self.assemble(shards.collect(), loads, phase_makespans)
     }
 
     /// Folds per-probe shards (in library order) into the mapping result.
-    fn assemble(&self, shards: Vec<ProbeShard>, device_loads: Vec<DeviceLoad>) -> MappingResult {
+    fn assemble(
+        &self,
+        shards: Vec<ProbeShard>,
+        device_loads: Vec<DeviceLoad>,
+        phase_makespans: Vec<f64>,
+    ) -> MappingResult {
         let mut profile = MappingProfile::default();
         let mut cluster_inputs: Vec<ClusterInput> = Vec::new();
         let mut pose_centers = Vec::new();
@@ -307,6 +453,7 @@ impl FtMapPipeline {
             cluster_inputs.extend(shard.inputs);
         }
         profile.device_loads = device_loads;
+        profile.phase_makespans_modeled_s = phase_makespans;
         let sites = cluster_poses(&cluster_inputs, self.config.cluster_radius);
         MappingResult { sites, conformations_minimized: conformations, profile, pose_centers }
     }
@@ -330,13 +477,26 @@ impl FtMapPipeline {
         self.map_probe_on(probe, device)
     }
 
-    /// Maps a single probe on the given pooled device.
+    /// Maps a single probe on the given pooled device: the fused
+    /// dock-then-minimize-everything path, expressed as a dock phase plus one
+    /// full-range pose block so both granularities share every line of the
+    /// actual work.
     fn map_probe_on(&self, probe: &Probe, device: &Arc<Device>) -> ProbeShard {
-        let mut profile = MappingProfile::default();
+        let docked = self.dock_probe_shard(probe, device);
+        let n_conf = self.retained_pose_count(&docked);
+        let block = self.minimize_pose_block(&docked, 0..n_conf, device);
+        let mut shard = docked.to_shard();
+        shard.absorb(block);
+        shard
+    }
 
-        // Phase 1: rigid docking, on this shard's device. The receptor grids
-        // are the pipeline's prebuilt set; the device-resident copy comes from
-        // the residency cache (upload charged on first sighting only).
+    /// The dock-once phase for one probe on the given pooled device: rigid
+    /// docking only, returning everything the minimize phase needs to work on
+    /// any slice of the retained poses. The receptor grids are the pipeline's
+    /// prebuilt set; the device-resident copy comes from the residency cache
+    /// (upload charged on first sighting only).
+    pub fn dock_probe_shard(&self, probe: &Probe, device: &Arc<Device>) -> DockedProbe {
+        let mut profile = MappingProfile::default();
         let t0 = Instant::now();
         let docking = Docking::from_grids(
             Arc::clone(&self.receptor),
@@ -349,24 +509,39 @@ impl FtMapPipeline {
         // Pure kernel time for the stream model: the run reports how much
         // transfer time it folded into its modeled steps, so those seconds are
         // counted by the transfer stages, not the compute stage.
-        let mut kernel_modeled_s = run.modeled.total() - run.modeled_transfer_s;
+        let kernel_modeled_s = run.modeled.total() - run.modeled_transfer_s;
+        let rotations = Arc::clone(docking.rotations_arc());
+        DockedProbe { probe: probe.clone(), run, rotations, profile, kernel_modeled_s }
+    }
 
-        // Phase 2: minimize the top conformations.
+    /// Retained poses this pipeline minimizes for a docked probe — the range
+    /// pose blocks partition (`0..retained_pose_count`).
+    pub fn retained_pose_count(&self, docked: &DockedProbe) -> usize {
+        self.config.conformations_per_probe.min(docked.run.poses.len())
+    }
+
+    /// Minimizes one contiguous block of a docked probe's retained poses on
+    /// the given pooled device, returning the block's partial shard.
+    ///
+    /// Every pose is minimized independently (its own complex, its own
+    /// descent), so a probe's blocks can run on different devices in any
+    /// order and still fold — in pose order, via [`ProbeShard::absorb`] —
+    /// into bit-identical cluster inputs to the fused path.
+    pub fn minimize_pose_block(
+        &self,
+        docked: &DockedProbe,
+        pose_range: Range<usize>,
+        device: &Arc<Device>,
+    ) -> ProbeShard {
+        let mut profile = MappingProfile::default();
         let minimizer = Minimizer::new(self.ff.clone(), self.config.minimization);
         let mut inputs = Vec::new();
         let mut conformations = 0usize;
-        let n_conf = self.config.conformations_per_probe.min(run.poses.len());
-        for pose in run.poses.iter().take(n_conf) {
-            let rotation = docking.rotations().get(pose.rotation_index);
-            let centered: Vec<Vec3> = probe.atoms.iter().map(|a| a.position).collect();
-            let placed = pose.place_probe(
-                rotation,
-                &centered,
-                run.grid.origin,
-                run.grid.spacing,
-                (run.grid.dim, run.grid.dim, run.grid.dim),
-            );
-            let mut posed_probe = probe.clone();
+        let mut kernel_modeled_s = 0.0;
+        let centered: Vec<Vec3> = docked.probe.atoms.iter().map(|a| a.position).collect();
+        for pose_index in pose_range {
+            let placed = docked.run.place_pose(&docked.rotations, &centered, pose_index);
+            let mut posed_probe = docked.probe.clone();
             for (atom, new_pos) in posed_probe.atoms.iter_mut().zip(&placed) {
                 atom.position = *new_pos;
             }
@@ -390,13 +565,75 @@ impl FtMapPipeline {
             conformations += 1;
 
             inputs.push(ClusterInput {
-                probe: probe.probe_type,
+                probe: docked.probe.probe_type,
                 center: complex.probe_centroid(),
                 energy: result.final_energy,
             });
         }
         ProbeShard { profile, inputs, conformations, kernel_modeled_s }
     }
+}
+
+/// What the minimize phase of a pose-block schedule produced.
+pub struct MinimizePhase {
+    /// One fold per docked entry, in entry order: that entry's pose blocks
+    /// absorbed in `(entry, pose)` order. Absorb each fold onto its dock-phase
+    /// seed ([`DockedProbe::to_shard`]) to complete the entry's shard.
+    pub block_folds: Vec<ProbeShard>,
+    /// Per-device shard reports of the minimize execution, in pool order.
+    pub reports: Vec<gpu_sim::sched::DeviceShardReport>,
+    /// Modeled makespan of the minimize execution.
+    pub makespan_s: f64,
+    /// Number of pose blocks scheduled.
+    pub n_blocks: usize,
+}
+
+/// The minimize phase of a pose-block schedule, shared by the sharded pipeline
+/// and the `ftmap-serve` batch dispatcher so the two schedulers can never
+/// diverge: lays [`pose_blocks`] out over `docked` entries (`retained` poses
+/// each, in `(entry, pose)` order), executes them over `queue` weighted by
+/// pose count, and folds each entry's block results back in submission order.
+///
+/// `docked` is whatever the dock-once phase produced — [`DockedProbe`]s for a
+/// pipeline run, `(job, DockedProbe)` pairs for a service batch; `minimize`
+/// maps one entry's pose range to its partial shard on the servicing device.
+pub fn minimize_pose_blocks<D: Sync>(
+    queue: &ShardQueue<'_>,
+    docked: &[D],
+    pose_block: usize,
+    retained: &(dyn Fn(&D) -> usize + Sync),
+    minimize: &(dyn Fn(&gpu_sim::sched::ShardCtx<'_>, &D, Range<usize>) -> ProbeShard + Sync),
+) -> MinimizePhase {
+    let counts: Vec<usize> = docked.iter().map(retained).collect();
+    let layout = pose_blocks(&counts, pose_block);
+    let items: Vec<(WorkItem, f64)> = layout.iter().map(|w| (w.clone(), w.weight())).collect();
+    let outcome = queue.execute_weighted(items, |ctx, item| {
+        let shard = minimize(ctx, &docked[item.probe_idx], item.pose_range.clone());
+        let kernel_s = shard.kernel_modeled_s;
+        (shard, kernel_s)
+    });
+    let makespan_s = outcome.makespan_s();
+
+    // Block results arrive in submission order — `(entry, pose)` order — so a
+    // linear scan folds each entry's blocks contiguously and in pose order.
+    let mut blocks = layout.iter().zip(outcome.results).peekable();
+    let block_folds = (0..docked.len())
+        .map(|entry_idx| {
+            let mut fold = ProbeShard {
+                profile: MappingProfile::default(),
+                inputs: Vec::new(),
+                conformations: 0,
+                kernel_modeled_s: 0.0,
+            };
+            while let Some((item, block)) = blocks.next_if(|(item, _)| item.probe_idx == entry_idx)
+            {
+                debug_assert_eq!(item.pose_range.start, fold.conformations);
+                fold.absorb(block);
+            }
+            fold
+        })
+        .collect();
+    MinimizePhase { block_folds, reports: outcome.reports, makespan_s, n_blocks: layout.len() }
 }
 
 #[cfg(test)]
@@ -490,11 +727,14 @@ mod tests {
 
     #[test]
     fn sharded_mode_rides_the_gpu_backend() {
-        let mode = PipelineMode::Sharded { devices: 4 };
+        let mode = PipelineMode::sharded(4);
         assert_eq!(mode.backend(), ExecutionBackend::Gpu);
         assert_eq!(mode.device_count(), 4);
-        assert_eq!(PipelineMode::Sharded { devices: 0 }.device_count(), 1);
+        assert_eq!(mode.pose_block(), DEFAULT_POSE_BLOCK);
+        assert_eq!(PipelineMode::Sharded { devices: 0, pose_block: 0 }.device_count(), 1);
         assert_eq!(PipelineMode::Accelerated.device_count(), 1);
+        assert_eq!(PipelineMode::Accelerated.pose_block(), 0);
+        assert_eq!(PipelineMode::Serial.pose_block(), 0);
         // The engine seam picks the same accelerated engines as Accelerated.
         assert!(matches!(
             mode.select::<DockingEngineKind>(),
@@ -504,23 +744,86 @@ mod tests {
 
     #[test]
     fn sharded_pipeline_reports_per_device_loads() {
-        let (pipeline, library) = small_pipeline(PipelineMode::Sharded { devices: 2 });
-        assert_eq!(pipeline.pool().len(), 2);
-        let result = pipeline.map(&library);
-        assert!(!result.sites.is_empty());
-        let loads = &result.profile.device_loads;
-        assert_eq!(loads.len(), 2);
-        let serviced: usize = loads.iter().map(|l| l.probes).sum();
-        assert_eq!(serviced, library.len());
-        // Every probe was worked somewhere and the makespan is positive but no
-        // larger than the sum of the per-phase modeled totals.
-        assert!(result.profile.makespan_modeled_s() > 0.0);
-        assert!(
-            result.profile.makespan_modeled_s()
-                <= result.profile.total_modeled_s() + result.profile.overlap_saved_s() + 1e-9
-        );
-        assert!(result.profile.load_skew() >= 1.0 - 1e-12);
-        assert_eq!(result.profile.device_utilizations().len(), 2);
+        // Both granularities must account every probe and report a coherent
+        // makespan/skew view; the pose-block schedule additionally reports
+        // its per-device block counts and its two phase makespans.
+        for pose_block in [0usize, 1] {
+            let (pipeline, library) =
+                small_pipeline(PipelineMode::Sharded { devices: 2, pose_block });
+            assert_eq!(pipeline.pool().len(), 2);
+            let result = pipeline.map(&library);
+            assert!(!result.sites.is_empty());
+            let loads = &result.profile.device_loads;
+            assert_eq!(loads.len(), 2);
+            let serviced: usize = loads.iter().map(|l| l.probes).sum();
+            assert_eq!(serviced, library.len(), "pose_block {pose_block}");
+            let blocks: usize = loads.iter().map(|l| l.pose_blocks).sum();
+            if pose_block == 0 {
+                assert_eq!(blocks, 0, "probe granularity schedules no blocks");
+                assert!(result.profile.phase_makespans_modeled_s.is_empty());
+            } else {
+                // Block size 1 ⇒ one block per minimized conformation.
+                assert_eq!(blocks, result.conformations_minimized);
+                assert_eq!(result.profile.phase_makespans_modeled_s.len(), 2);
+                assert!(result.profile.phase_makespans_modeled_s.iter().all(|&m| m > 0.0));
+            }
+            // Every probe was worked somewhere and the makespan is positive
+            // but no larger than the sum of the per-phase modeled totals.
+            assert!(result.profile.makespan_modeled_s() > 0.0);
+            assert!(
+                result.profile.makespan_modeled_s()
+                    <= result.profile.total_modeled_s() + result.profile.overlap_saved_s() + 1e-9,
+                "pose_block {pose_block}"
+            );
+            assert!(result.profile.load_skew() >= 1.0 - 1e-12);
+            assert_eq!(result.profile.device_utilizations().len(), 2);
+        }
+    }
+
+    #[test]
+    fn pose_block_scheduling_is_bit_identical_to_fused() {
+        // The dock-once / minimize-pose-block split must reproduce the fused
+        // path exactly: same sites, same pose centres, same energies.
+        let (fused, library) = small_pipeline(PipelineMode::Accelerated);
+        let reference = fused.map(&library);
+        let (split, _) = small_pipeline(PipelineMode::Sharded { devices: 2, pose_block: 2 });
+        let result = split.map(&library);
+        assert_eq!(reference.conformations_minimized, result.conformations_minimized);
+        assert_eq!(reference.pose_centers.len(), result.pose_centers.len());
+        for ((pa, ca), (pb, cb)) in reference.pose_centers.iter().zip(&result.pose_centers) {
+            assert_eq!(pa, pb);
+            assert!(ca.x == cb.x && ca.y == cb.y && ca.z == cb.z);
+        }
+        assert_eq!(reference.sites.len(), result.sites.len());
+        for (a, b) in reference.sites.iter().zip(&result.sites) {
+            assert_eq!(a.rank, b.rank);
+            assert!(a.cluster.center.distance(b.cluster.center) == 0.0);
+        }
+    }
+
+    #[test]
+    fn dock_once_minimize_blocks_compose_into_the_probe_shard() {
+        // The split API: docking once and minimizing in two blocks must fold
+        // into exactly what the fused per-probe path produces.
+        let (pipeline, library) = small_pipeline(PipelineMode::Accelerated);
+        let probe = &library.probes()[0];
+        let device = Arc::clone(pipeline.pool().device(0));
+        let mut conformations = 0usize;
+        let (_, fused_inputs) = pipeline.map_probe(probe, &mut conformations);
+        let docked = pipeline.dock_probe_shard(probe, &device);
+        let n_conf = pipeline.retained_pose_count(&docked);
+        assert!(n_conf >= 2, "need at least two poses to split");
+        assert!(docked.pose_count() >= n_conf);
+        assert!(docked.kernel_modeled_s() > 0.0);
+        let mut shard = pipeline.minimize_pose_block(&docked, 0..1, &device);
+        shard.absorb(pipeline.minimize_pose_block(&docked, 1..n_conf, &device));
+        assert_eq!(shard.conformations, conformations);
+        assert_eq!(shard.inputs.len(), fused_inputs.len());
+        for (a, b) in shard.inputs.iter().zip(&fused_inputs) {
+            assert_eq!(a.probe, b.probe);
+            assert!(a.center.x == b.center.x && a.center.y == b.center.y);
+            assert!(a.energy == b.energy);
+        }
     }
 
     #[test]
@@ -559,7 +862,8 @@ mod tests {
         // The serve-layer transfer contract: across a whole sharded run, each
         // pooled device records exactly one receptor-grid upload (its first
         // probe misses), and every other probe's construction is a free hit.
-        let (pipeline, library) = small_pipeline(PipelineMode::Sharded { devices: 2 });
+        let (pipeline, library) =
+            small_pipeline(PipelineMode::Sharded { devices: 2, pose_block: 0 });
         let receptor_bytes = pipeline.receptor().resident_bytes();
         pipeline.map(&library);
         let mut total_misses = 0;

@@ -10,10 +10,15 @@ use serde::{Deserialize, Serialize};
 pub struct DeviceLoad {
     /// Human-readable device name.
     pub device: String,
-    /// Number of probes this device serviced.
+    /// Number of probes this device serviced (dock items under pose-block
+    /// scheduling; fused dock+minimize items under probe granularity).
     pub probes: usize,
+    /// Number of minimization pose blocks this device serviced (0 under
+    /// probe-granularity scheduling, where minimization rides the probe item).
+    pub pose_blocks: usize,
     /// Modeled busy seconds with stream copy/compute overlap applied (the
-    /// device's overlapped stream makespan).
+    /// device's overlapped stream makespan; both phases summed for a
+    /// pose-block schedule).
     pub busy_modeled_s: f64,
     /// Modeled busy seconds with every transfer serialized (no overlap).
     pub serialized_modeled_s: f64,
@@ -26,9 +31,25 @@ impl From<&DeviceShardReport> for DeviceLoad {
         DeviceLoad {
             device: report.device.clone(),
             probes: report.items(),
+            pose_blocks: 0,
             busy_modeled_s: report.busy_s(),
             serialized_modeled_s: report.stream.serialized_s,
             overlap_saved_s: report.stream.savings_s(),
+        }
+    }
+}
+
+impl DeviceLoad {
+    /// Folds one device's dock-phase and minimize-phase shard reports (the two
+    /// barrier-separated executions of a pose-block schedule) into its load.
+    pub fn from_phases(dock: &DeviceShardReport, minimize: &DeviceShardReport) -> Self {
+        DeviceLoad {
+            device: dock.device.clone(),
+            probes: dock.items(),
+            pose_blocks: minimize.items(),
+            busy_modeled_s: dock.busy_s() + minimize.busy_s(),
+            serialized_modeled_s: dock.stream.serialized_s + minimize.stream.serialized_s,
+            overlap_saved_s: dock.stream.savings_s() + minimize.stream.savings_s(),
         }
     }
 }
@@ -49,6 +70,10 @@ pub struct MappingProfile {
     /// Per-device loads of a sharded run, in pool order (empty for the
     /// single-device pipeline modes).
     pub device_loads: Vec<DeviceLoad>,
+    /// Modeled makespans of the barrier-separated scheduling phases of a
+    /// pose-block run (`[dock, minimize]`), in execution order. Empty for
+    /// single-phase schedules (single-device and probe-granularity runs).
+    pub phase_makespans_modeled_s: Vec<f64>,
 }
 
 impl MappingProfile {
@@ -90,6 +115,7 @@ impl MappingProfile {
         self.docking_modeled_s += other.docking_modeled_s;
         self.minimization_modeled_s += other.minimization_modeled_s;
         self.device_loads.extend(other.device_loads.iter().cloned());
+        self.phase_makespans_modeled_s.extend(other.phase_makespans_modeled_s.iter().copied());
     }
 
     // --- Multi-device views (meaningful when `device_loads` is populated).
@@ -101,12 +127,18 @@ impl MappingProfile {
         self.device_loads.iter().map(|l| l.busy_modeled_s).collect()
     }
 
-    /// Modeled makespan of the run: the busiest device's overlapped stream
-    /// time for a sharded run, or the phase-sum for single-device runs (one
-    /// device does everything back-to-back). This is the number multi-device
-    /// scaling is measured on.
+    /// Modeled makespan of the run. For a pose-block schedule this is the
+    /// **sum of the phase makespans** — the dock and minimize executions are
+    /// barrier-separated (every block needs its probe's dock result), so the
+    /// pool is only as fast as each phase's busiest device in turn. For a
+    /// single-phase sharded run it is the busiest device's overlapped stream
+    /// time, and for single-device runs the phase-sum (one device does
+    /// everything back-to-back). This is the number multi-device scaling is
+    /// measured on.
     pub fn makespan_modeled_s(&self) -> f64 {
-        if self.device_loads.is_empty() {
+        if !self.phase_makespans_modeled_s.is_empty() {
+            self.phase_makespans_modeled_s.iter().sum()
+        } else if self.device_loads.is_empty() {
             self.total_modeled_s()
         } else {
             gpu_sim::sched::shard::makespan_s(&self.busy())
@@ -180,10 +212,46 @@ mod tests {
         DeviceLoad {
             device: name.to_string(),
             probes,
+            pose_blocks: 0,
             busy_modeled_s: busy,
             serialized_modeled_s: serialized,
             overlap_saved_s: serialized - busy,
         }
+    }
+
+    #[test]
+    fn all_idle_pool_reports_unit_skew_not_nan() {
+        // Regression (the mean-busy division): a sharded run whose devices
+        // all report zero busy time — an empty library, or a pool reset
+        // before any work landed — must report skew 1.0 and zero
+        // utilizations, never NaN.
+        let p = MappingProfile {
+            device_loads: vec![load("tesla-0", 0.0, 0.0, 0), load("tesla-1", 0.0, 0.0, 0)],
+            ..Default::default()
+        };
+        let skew = p.load_skew();
+        assert!(!skew.is_nan(), "all-idle skew must not be NaN");
+        assert_eq!(skew, 1.0);
+        assert_eq!(p.makespan_modeled_s(), 0.0);
+        let utils = p.device_utilizations();
+        assert_eq!(utils.len(), 2);
+        assert!(utils.iter().all(|(_, u)| *u == 0.0));
+    }
+
+    #[test]
+    fn phase_makespans_sum_into_the_run_makespan() {
+        // A pose-block schedule is two barrier-separated executions: the run
+        // makespan is the sum of the phase makespans, not the max of the
+        // per-device busy totals (which ignores the barrier).
+        let p = MappingProfile {
+            device_loads: vec![load("tesla-0", 4.0, 4.0, 2), load("tesla-1", 3.0, 3.0, 2)],
+            phase_makespans_modeled_s: vec![1.5, 3.25],
+            ..Default::default()
+        };
+        assert!((p.makespan_modeled_s() - 4.75).abs() < 1e-12);
+        // Without phases the busy-max view applies.
+        let single = MappingProfile { phase_makespans_modeled_s: Vec::new(), ..p.clone() };
+        assert!((single.makespan_modeled_s() - 4.0).abs() < 1e-12);
     }
 
     #[test]

@@ -21,22 +21,34 @@ pub trait Batchable {
 /// are removed; the rest keep their order. Returns an empty vector only when
 /// `pending` is empty.
 ///
-/// # Panics
-/// Panics if `max_jobs` is zero.
+/// Edge cases: `max_jobs == 0` is clamped to 1 — a non-empty queue must always
+/// make progress, so the anchor job ships alone rather than being silently
+/// skipped (which would spin the dispatcher forever on a queue it never
+/// drains). `max_jobs == 1` likewise extracts exactly the anchor and touches
+/// nothing else. Scanning stops as soon as the batch is full: jobs past the
+/// cut keep their positions without their fingerprints ever being inspected.
 pub fn next_batch<T: Batchable>(pending: &mut Vec<T>, max_jobs: usize) -> Vec<T> {
-    assert!(max_jobs > 0, "a batch must admit at least one job");
     if pending.is_empty() {
         return Vec::new();
     }
+    let max_jobs = max_jobs.max(1);
     let anchor = pending[0].fingerprint();
     let mut batch = Vec::new();
     let mut rest = Vec::with_capacity(pending.len());
-    for job in pending.drain(..) {
-        if batch.len() < max_jobs && job.fingerprint() == anchor {
-            batch.push(job);
-        } else {
-            rest.push(job);
+    {
+        let mut drain = pending.drain(..);
+        for job in drain.by_ref() {
+            if job.fingerprint() == anchor {
+                batch.push(job);
+                if batch.len() == max_jobs {
+                    break; // full — stop scanning
+                }
+            } else {
+                rest.push(job);
+            }
         }
+        // Everything after the early exit keeps its order, unscanned.
+        rest.extend(drain);
     }
     *pending = rest;
     batch
@@ -79,6 +91,50 @@ mod tests {
         let batch = next_batch(&mut pending, 2);
         assert_eq!(batch, vec![J(1, "c"), J(1, "d")]);
         assert_eq!(pending, vec![J(2, "x")]);
+    }
+
+    #[test]
+    fn zero_max_jobs_is_clamped_to_the_anchor() {
+        // Regression: a zero bound must neither panic nor return an empty
+        // batch from a non-empty queue (the dispatcher would spin forever).
+        // It clamps to 1: the anchor ships, everything else is untouched.
+        let mut pending = vec![J(1, "a"), J(2, "b"), J(1, "c")];
+        let batch = next_batch(&mut pending, 0);
+        assert_eq!(batch, vec![J(1, "a")]);
+        assert_eq!(pending, vec![J(2, "b"), J(1, "c")]);
+    }
+
+    #[test]
+    fn max_jobs_one_extracts_exactly_the_anchor() {
+        let mut pending = vec![J(1, "a"), J(1, "b"), J(2, "x")];
+        let batch = next_batch(&mut pending, 1);
+        assert_eq!(batch, vec![J(1, "a")]);
+        assert_eq!(pending, vec![J(1, "b"), J(2, "x")]);
+        // Draining one at a time reaches every job in arrival-fair order.
+        assert_eq!(next_batch(&mut pending, 1), vec![J(1, "b")]);
+        assert_eq!(next_batch(&mut pending, 1), vec![J(2, "x")]);
+        assert!(pending.is_empty());
+        assert!(next_batch(&mut pending, 1).is_empty());
+    }
+
+    #[test]
+    fn full_batch_stops_scanning_the_tail() {
+        // Jobs past the early exit keep their order without being inspected:
+        // a fingerprint() that panics past the cut proves the scan stopped.
+        struct Tripwire(u64, bool);
+        impl Batchable for Tripwire {
+            fn fingerprint(&self) -> u64 {
+                assert!(!self.1, "scanned past a full batch");
+                self.0
+            }
+        }
+        let mut pending =
+            vec![Tripwire(1, false), Tripwire(1, false), Tripwire(9, true), Tripwire(1, true)];
+        let batch = next_batch(&mut pending, 2);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(pending.len(), 2);
+        assert_eq!(pending[0].0, 9);
+        assert_eq!(pending[1].0, 1);
     }
 
     #[test]

@@ -26,8 +26,12 @@ pub struct BatchSummary {
     pub batch_index: usize,
     /// Number of jobs co-scheduled in the batch.
     pub jobs: usize,
-    /// Total probe shards the batch dispatched over the pool.
+    /// Total probes the batch dispatched over the pool (fused shards under
+    /// probe granularity; dock-phase items under pose-block scheduling).
     pub probes: usize,
+    /// Total minimization pose blocks the batch dispatched (0 under
+    /// probe-granularity scheduling, where minimization rides the probe item).
+    pub pose_blocks: usize,
     /// Content key of the receptor grids the batch docked against.
     pub receptor_key: u64,
     /// Residency-cache events the batch caused, summed over the pool.
@@ -159,6 +163,7 @@ mod tests {
                 batch_index: 0,
                 jobs: 1,
                 probes: 0,
+                pose_blocks: 0,
                 receptor_key: 0,
                 cache: CacheStats::default(),
                 makespan_modeled_s: 0.0,

@@ -24,7 +24,10 @@ use crate::batcher::{next_batch, Batchable};
 use crate::job::{BatchSummary, JobHandle, JobId, JobReport, JobSlot};
 use crate::queue::{JobQueue, SubmitError};
 use crate::request::MappingRequest;
-use ftmap_core::{cluster_poses, ClusterInput, FtMapPipeline, MappingProfile, MappingResult};
+use ftmap_core::{
+    cluster_poses, minimize_pose_blocks, ClusterInput, FtMapPipeline, MappingProfile,
+    MappingResult, ProbeShard,
+};
 use gpu_sim::sched::{DevicePool, ShardQueue};
 use gpu_sim::{CacheStats, StatsLedger};
 use piper_dock::{Docking, ReceptorGrids};
@@ -39,11 +42,22 @@ pub struct ServeConfig {
     pub max_pending: usize,
     /// Maximum jobs co-scheduled in one batch.
     pub max_batch_jobs: usize,
+    /// Scheduling granularity of a batch's minimization phase: retained poses
+    /// per work item. `0` fuses dock + minimize into one item per `(job,
+    /// probe)` pair (the coarse schedule); any positive value docks every
+    /// probe in one sharded phase and then interleaves pose blocks from *all*
+    /// the batch's jobs in a second, so one hot job's — or one hot probe's —
+    /// minimizations spread across the whole pool.
+    pub pose_block: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { max_pending: 64, max_batch_jobs: 16 }
+        ServeConfig {
+            max_pending: 64,
+            max_batch_jobs: 16,
+            pose_block: ftmap_core::DEFAULT_POSE_BLOCK,
+        }
     }
 }
 
@@ -307,7 +321,10 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
     let cache_before: Vec<CacheStats> =
         shared.pool.devices().iter().map(|d| d.residency().stats()).collect();
 
-    // Interleave every job's probes through one work-stealing execution.
+    // Interleave every job's probes through work-stealing execution: one fused
+    // dock+minimize item per (job, probe) under the coarse schedule, or a
+    // dock-once phase followed by pose blocks from all jobs under pose
+    // granularity (see `ServeConfig::pose_block`).
     let items: Vec<(usize, ftmap_molecule::Probe)> = libraries
         .iter()
         .enumerate()
@@ -315,11 +332,51 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
         .collect();
     let n_items = items.len();
     let queue = ShardQueue::new(&shared.pool);
-    let outcome = queue.execute(items, |ctx, (job_idx, probe)| {
-        let shard = pipelines[job_idx].map_probe_shard(&probe, ctx.device);
-        let kernel_s = shard.kernel_modeled_s;
-        ((job_idx, shard), kernel_s)
-    });
+    let (shards, n_pose_blocks, makespan_modeled_s) = if shared.config.pose_block == 0 {
+        let outcome = queue.execute(items, |ctx, (job_idx, probe)| {
+            let shard = pipelines[job_idx].map_probe_shard(&probe, ctx.device);
+            let kernel_s = shard.kernel_modeled_s;
+            ((job_idx, shard), kernel_s)
+        });
+        let makespan_s = outcome.makespan_s();
+        (outcome.results, 0, makespan_s)
+    } else {
+        // Phase 1: dock every (job, probe) pair once, sharded over the pool.
+        let dock = queue.execute(items, |ctx, (job_idx, probe)| {
+            let docked = pipelines[job_idx].dock_probe_shard(&probe, ctx.device);
+            let kernel_s = docked.kernel_modeled_s();
+            ((job_idx, docked), kernel_s)
+        });
+
+        // Phase 2: minimize pose blocks from all jobs' probes, interleaved and
+        // weighted by pose count (the shared two-phase orchestration in
+        // `ftmap_core::minimize_pose_blocks` — the entries here are
+        // `(job, DockedProbe)` pairs, so blocks of different jobs are
+        // scheduled identically to blocks of different probes).
+        let phase = minimize_pose_blocks(
+            &queue,
+            &dock.results,
+            shared.config.pose_block,
+            &|(job_idx, docked)| pipelines[*job_idx].retained_pose_count(docked),
+            &|ctx, (job_idx, docked), range| {
+                pipelines[*job_idx].minimize_pose_block(docked, range, ctx.device)
+            },
+        );
+        let shards: Vec<(usize, ProbeShard)> = dock
+            .results
+            .iter()
+            .zip(phase.block_folds)
+            .map(|((job_idx, docked), fold)| {
+                let mut shard = docked.to_shard();
+                shard.absorb(fold);
+                (*job_idx, shard)
+            })
+            .collect();
+        // The phases are barrier-separated (every block needs its probe's dock
+        // result), so the batch is as fast as each phase's busiest device in
+        // turn.
+        (shards, phase.n_blocks, dock.makespan_s() + phase.makespan_s)
+    };
 
     let mut cache_delta = CacheStats::default();
     for (device, before) in shared.pool.devices().iter().zip(&cache_before) {
@@ -335,9 +392,10 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
         batch_index,
         jobs: batch.len(),
         probes: n_items,
+        pose_blocks: n_pose_blocks,
         receptor_key: receptor.content_key(),
         cache: cache_delta,
-        makespan_modeled_s: outcome.makespan_s(),
+        makespan_modeled_s,
     };
 
     // Re-assemble each job's result from its own shards. Results arrive in
@@ -346,7 +404,7 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
     // its sites are identical to a dedicated single-job run.
     let mut per_job: Vec<(MappingProfile, Vec<ClusterInput>, usize)> =
         (0..batch.len()).map(|_| (MappingProfile::default(), Vec::new(), 0)).collect();
-    for (job_idx, shard) in outcome.results {
+    for (job_idx, shard) in shards {
         let (profile, inputs, conformations) = &mut per_job[job_idx];
         profile.merge(&shard.profile);
         *conformations += shard.conformations;
@@ -436,6 +494,47 @@ mod tests {
     }
 
     #[test]
+    fn pose_block_dispatch_matches_fused_and_counts_blocks() {
+        // The same job through a fused (pose_block: 0) service and a
+        // pose-granularity (pose_block: 1) service: identical sites and pose
+        // centres — scheduling granularity never changes answers — and the
+        // pose-block batch reports one block per minimized conformation.
+        let make = || {
+            let mut req = request(&[ProbeType::Ethanol, ProbeType::Benzene], "pose");
+            req.config.conformations_per_probe = 2;
+            req
+        };
+        let fused_service = BatchMappingService::new(
+            Arc::new(DevicePool::tesla(2)),
+            ServeConfig { pose_block: 0, ..ServeConfig::default() },
+        );
+        let fused = fused_service.submit(make()).expect("admitted").wait();
+        assert_eq!(fused.batch.pose_blocks, 0, "fused batches schedule no blocks");
+
+        let pose_service = BatchMappingService::new(
+            Arc::new(DevicePool::tesla(2)),
+            ServeConfig { pose_block: 1, ..ServeConfig::default() },
+        );
+        let pose = pose_service.submit(make()).expect("admitted").wait();
+        assert_eq!(pose.result.conformations_minimized, 4);
+        // Block size 1 ⇒ one block per minimized conformation across the batch.
+        assert_eq!(pose.batch.pose_blocks, pose.result.conformations_minimized);
+        assert!(pose.batch.makespan_modeled_s > 0.0);
+
+        assert_eq!(fused.result.pose_centers.len(), pose.result.pose_centers.len());
+        for ((pa, ca), (pb, cb)) in fused.result.pose_centers.iter().zip(&pose.result.pose_centers)
+        {
+            assert_eq!(pa, pb);
+            assert!(ca.x == cb.x && ca.y == cb.y && ca.z == cb.z);
+        }
+        assert_eq!(fused.result.sites.len(), pose.result.sites.len());
+        for (a, b) in fused.result.sites.iter().zip(&pose.result.sites) {
+            assert_eq!(a.rank, b.rank);
+            assert!(a.cluster.center.distance(b.cluster.center) == 0.0);
+        }
+    }
+
+    #[test]
     fn try_submit_sheds_when_the_queue_is_full() {
         // A service whose dispatcher is busy accumulates pending jobs; with
         // max_pending = 1 the second concurrent try_submit must be refused
@@ -443,14 +542,14 @@ mod tests {
         // variant as well.
         let service = BatchMappingService::new(
             Arc::new(DevicePool::tesla(1)),
-            ServeConfig { max_pending: 1, max_batch_jobs: 1 },
+            ServeConfig { max_pending: 1, max_batch_jobs: 1, ..ServeConfig::default() },
         );
         let stats = service.shutdown();
         assert_eq!(stats.jobs_submitted, 0);
 
         let service = BatchMappingService::new(
             Arc::new(DevicePool::tesla(1)),
-            ServeConfig { max_pending: 1, max_batch_jobs: 1 },
+            ServeConfig { max_pending: 1, max_batch_jobs: 1, ..ServeConfig::default() },
         );
         // Saturate: keep pushing until one submission reports Full. The
         // dispatcher drains concurrently, so retry a few times.
@@ -482,7 +581,7 @@ mod tests {
         // thread it would strand every job handle instead of failing fast.
         let _ = BatchMappingService::new(
             Arc::new(DevicePool::tesla(1)),
-            ServeConfig { max_pending: 4, max_batch_jobs: 0 },
+            ServeConfig { max_pending: 4, max_batch_jobs: 0, ..ServeConfig::default() },
         );
     }
 
@@ -491,7 +590,7 @@ mod tests {
     fn zero_admission_bound_is_rejected_at_construction() {
         let _ = BatchMappingService::new(
             Arc::new(DevicePool::tesla(1)),
-            ServeConfig { max_pending: 0, max_batch_jobs: 4 },
+            ServeConfig { max_pending: 0, max_batch_jobs: 4, ..ServeConfig::default() },
         );
     }
 

@@ -105,12 +105,18 @@ pub struct CacheStats {
 
 impl CacheStats {
     /// The events recorded between `earlier` and this snapshot.
+    ///
+    /// Saturates at zero if a counter moved backwards between the snapshots
+    /// (a consumer swapping in a fresh cache — or a future reset — mid-window,
+    /// the same hazard [`crate::TransferSnapshot::delta_since`] guards
+    /// against). The window's attribution is lost either way, but a stale
+    /// snapshot must degrade to an empty delta, not an underflow panic.
     pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
         CacheStats {
-            hits: self.hits - earlier.hits,
-            misses: self.misses - earlier.misses,
-            evictions: self.evictions - earlier.evictions,
-            insertions: self.insertions - earlier.insertions,
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            insertions: self.insertions.saturating_sub(earlier.insertions),
         }
     }
 
@@ -402,6 +408,21 @@ mod tests {
         assert_eq!(cache.stats(), before);
         // After clearing, the key misses again.
         assert!(cache.get(1).is_none());
+    }
+
+    #[test]
+    fn stats_delta_saturates_when_counters_moved_backwards() {
+        // Regression: a consumer that snapshots one cache and computes the
+        // delta against a fresh (or swapped-out) cache's counters used to
+        // underflow-panic in release-unchecked arithmetic (wrap) / panic in
+        // debug. The window is unattributable, so the delta must be empty.
+        let warm = CacheStats { hits: 5, misses: 3, evictions: 2, insertions: 3 };
+        let fresh = CacheStats::default();
+        assert_eq!(fresh.delta_since(&warm), CacheStats::default());
+        // Mixed movement saturates per counter, not wholesale.
+        let later = CacheStats { hits: 9, misses: 1, evictions: 2, insertions: 3 };
+        let delta = later.delta_since(&warm);
+        assert_eq!(delta, CacheStats { hits: 4, misses: 0, evictions: 0, insertions: 0 });
     }
 
     #[test]

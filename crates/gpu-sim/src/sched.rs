@@ -18,7 +18,11 @@
 //!   per pooled device. Items are claimed from a shared queue (crossbeam
 //!   scoped threads + an atomic cursor), each worker drives its own device and
 //!   its own stream, and results land in per-item slots so the output order is
-//!   **deterministic** no matter which device serviced which shard.
+//!   **deterministic** no matter which device serviced which shard;
+//! * [`work::WorkItem`] — the pose-granularity work unit: a block of one
+//!   probe's retained poses with a cost-model weight, so a single hot probe's
+//!   2000 minimizations spread across the pool instead of serializing on one
+//!   device ([`shard::ShardQueue::execute_weighted`]).
 //!
 //! The scheduling follows the related GPU literature: van Meel et al. overlap
 //! host↔device transfers with compute, and Barros et al. partition lattice
@@ -27,7 +31,9 @@
 pub mod pool;
 pub mod shard;
 pub mod stream;
+pub mod work;
 
 pub use pool::DevicePool;
 pub use shard::{DeviceShardReport, ShardCtx, ShardOutcome, ShardQueue, StealPolicy};
 pub use stream::Stream;
+pub use work::{pose_blocks, WorkItem};

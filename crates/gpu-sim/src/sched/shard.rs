@@ -165,15 +165,28 @@ impl<R> ShardOutcome<R> {
 /// transfers) of the items it has serviced. A worker may claim the next item
 /// only when its clock is within one-half of the average item cost of the
 /// pool-wide minimum clock; otherwise it parks until the clocks catch up. At
-/// claim time the clock is advanced by the worker's average cost so far (an
-/// estimate) and corrected to the actual modeled cost on completion. The
-/// worker holding the minimum clock is never parked, so the queue always makes
-/// progress; before any item completes the slack is unbounded, so the first
-/// round fans out one item to every worker exactly as wall-clock stealing
-/// would.
+/// claim time the clock is advanced by an estimate — the worker's modeled
+/// seconds-per-weight rate so far times the item's cost-model weight (1.0 per
+/// item under [`ShardQueue::execute`], the pose count of a block under
+/// [`ShardQueue::execute_weighted`]) — and corrected to the actual modeled
+/// cost on completion. The worker holding the minimum clock is never parked,
+/// so the queue always makes progress; before any item completes the slack is
+/// unbounded, so the first round fans out one item to every worker exactly as
+/// wall-clock stealing would.
 pub struct ShardQueue<'p> {
     pool: &'p DevicePool,
     policy: StealPolicy,
+}
+
+/// Per-worker completion tally for modeled-cost stealing.
+#[derive(Clone, Copy, Default)]
+struct Completed {
+    /// Modeled seconds of the items this worker finished.
+    cost: f64,
+    /// Summed cost-model weights of those items.
+    weight: f64,
+    /// Number of items finished.
+    items: usize,
 }
 
 /// Shared claim state for modeled-cost stealing.
@@ -183,16 +196,16 @@ struct ClaimState {
     /// Per-worker virtual clocks (modeled seconds serviced, including the
     /// in-flight estimate of a running item).
     vtime: Vec<f64>,
-    /// Per-worker `(modeled seconds, items)` actually completed.
-    completed: Vec<(f64, usize)>,
+    /// Per-worker completion tallies.
+    completed: Vec<Completed>,
 }
 
 impl ClaimState {
     /// Average modeled cost per completed item across the pool (`None` until
-    /// the first completion).
+    /// the first completion) — the slack band of the claim gate.
     fn mean_item_cost(&self) -> Option<f64> {
         let (cost, items) =
-            self.completed.iter().fold((0.0, 0usize), |(c, n), &(wc, wn)| (c + wc, n + wn));
+            self.completed.iter().fold((0.0, 0usize), |(c, n), w| (c + w.cost, n + w.items));
         if items == 0 {
             None
         } else {
@@ -200,15 +213,27 @@ impl ClaimState {
         }
     }
 
-    /// Estimated cost of the next item on worker `idx`: its own average so
-    /// far, falling back to the pool-wide average, then zero.
-    fn estimate_for(&self, idx: usize) -> f64 {
-        let (cost, items) = self.completed[idx];
-        if items > 0 {
-            cost / items as f64
+    /// Pool-wide modeled seconds per unit of item weight (`None` until the
+    /// first weighted completion).
+    fn mean_rate(&self) -> Option<f64> {
+        let (cost, weight) =
+            self.completed.iter().fold((0.0, 0.0), |(c, w), t| (c + t.cost, w + t.weight));
+        if weight > 0.0 {
+            Some(cost / weight)
         } else {
-            self.mean_item_cost().unwrap_or(0.0)
+            None
         }
+    }
+
+    /// Estimated cost of an item of `weight` on worker `idx`: the worker's own
+    /// seconds-per-weight rate so far, falling back to the pool-wide rate,
+    /// then zero. Scaling by weight is what keeps a ragged (smaller) block
+    /// from being charged like a full one.
+    fn estimate_for(&self, idx: usize, weight: f64) -> f64 {
+        let own = &self.completed[idx];
+        let rate =
+            if own.weight > 0.0 { own.cost / own.weight } else { self.mean_rate().unwrap_or(0.0) };
+        rate * weight
     }
 
     /// Whether worker `idx` may claim an item now.
@@ -249,7 +274,31 @@ impl<'p> ShardQueue<'p> {
     /// modeled **kernel** seconds (transfers are captured automatically from
     /// the device's transfer accounting, so they must not be folded into the
     /// returned figure — that is what keeps them from being double-counted).
+    ///
+    /// Every item weighs 1.0 — uniform-cost scheduling. When items have known
+    /// unequal costs (pose blocks of different lengths), use
+    /// [`ShardQueue::execute_weighted`] instead.
     pub fn execute<T, R, F>(&self, items: Vec<T>, work: F) -> ShardOutcome<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(&ShardCtx<'_>, T) -> (R, f64) + Sync,
+    {
+        let items = items.into_iter().map(|i| (i, 1.0)).collect();
+        self.execute_weighted(items, work)
+    }
+
+    /// Executes `work` over every `(item, weight)` pair, one worker per pooled
+    /// device.
+    ///
+    /// `weight` is the item's relative cost-model weight (a pose block's pose
+    /// count): under [`StealPolicy::ModeledCost`] the claim-time estimate is
+    /// the worker's modeled seconds-per-weight rate times the item's weight,
+    /// so unevenly sized items advance the virtual clocks proportionally
+    /// instead of all being charged the per-item average. Weights must be
+    /// non-negative; they affect scheduling estimates only, never results or
+    /// result order.
+    pub fn execute_weighted<T, R, F>(&self, items: Vec<(T, f64)>, work: F) -> ShardOutcome<R>
     where
         T: Send,
         R: Send,
@@ -258,12 +307,20 @@ impl<'p> ShardQueue<'p> {
         let n_items = items.len();
         let n_workers = self.pool.len();
         let policy = self.policy;
-        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+        let mut weights = Vec::with_capacity(n_items);
+        let slots: Vec<Mutex<Option<T>>> = items
+            .into_iter()
+            .map(|(item, weight)| {
+                weights.push(weight.max(0.0));
+                Mutex::new(Some(item))
+            })
+            .collect();
+        let weights = &weights;
         let results: Vec<Mutex<Option<R>>> = (0..n_items).map(|_| Mutex::new(None)).collect();
         let claims = StdMutex::new(ClaimState {
             next: 0,
             vtime: vec![0.0; n_workers],
-            completed: vec![(0.0, 0); n_workers],
+            completed: vec![Completed::default(); n_workers],
         });
         let turnstile = Condvar::new();
         let reports: Mutex<Vec<Option<DeviceShardReport>>> =
@@ -303,7 +360,7 @@ impl<'p> ShardQueue<'p> {
                             }
                             let item_index = state.next;
                             state.next += 1;
-                            let estimate = state.estimate_for(device_index);
+                            let estimate = state.estimate_for(device_index, weights[item_index]);
                             state.vtime[device_index] += estimate;
                             (item_index, estimate)
                         };
@@ -330,9 +387,10 @@ impl<'p> ShardQueue<'p> {
                         {
                             let mut state = claims.lock().expect("claim state poisoned");
                             state.vtime[device_index] += actual_s - estimate;
-                            let (cost, count) = &mut state.completed[device_index];
-                            *cost += actual_s;
-                            *count += 1;
+                            let tally = &mut state.completed[device_index];
+                            tally.cost += actual_s;
+                            tally.weight += weights[item_index];
+                            tally.items += 1;
                         }
                         turnstile.notify_all();
                     }
@@ -478,6 +536,37 @@ mod tests {
             );
         }
         assert!(outcome.load_skew() < 1.3, "skew {}", outcome.load_skew());
+    }
+
+    #[test]
+    fn weighted_execution_keeps_order_and_scales_estimates() {
+        // Items of very different weights (a 50-pose block vs a 1-pose tail):
+        // results stay in submission order, dispatch stays exactly-once, and
+        // the weighted estimates keep the virtual clocks balanced enough that
+        // no device hoards the heavy items.
+        let pool = DevicePool::tesla(2);
+        let queue = ShardQueue::new(&pool);
+        let items: Vec<(usize, f64)> =
+            (0..30).map(|i| if i % 3 == 0 { (i, 50.0) } else { (i, 1.0) }).collect();
+        let outcome = queue.execute_weighted(items, |ctx, item| {
+            assert_eq!(ctx.item_index, item);
+            let weight = if item % 3 == 0 { 50.0 } else { 1.0 };
+            (item, weight * 1e-4)
+        });
+        assert_eq!(outcome.results, (0..30).collect::<Vec<_>>());
+        let serviced: usize = outcome.reports.iter().map(DeviceShardReport::items).sum();
+        assert_eq!(serviced, 30);
+        assert!(outcome.load_skew() < 1.6, "weighted skew {}", outcome.load_skew());
+    }
+
+    #[test]
+    fn load_skew_of_an_all_idle_pool_is_one() {
+        // Zero busy time everywhere must report 1.0 (perfectly balanced /
+        // nothing to balance), never NaN from the mean division.
+        assert_eq!(load_skew(&[0.0, 0.0, 0.0]), 1.0);
+        assert_eq!(load_skew(&[]), 1.0);
+        assert_eq!(utilizations(&[0.0, 0.0]), vec![0.0, 0.0]);
+        assert_eq!(makespan_s(&[0.0, 0.0]), 0.0);
     }
 
     #[test]

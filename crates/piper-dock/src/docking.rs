@@ -173,6 +173,36 @@ impl DockingRun {
     pub fn best_pose(&self) -> Option<&Pose> {
         self.poses.first()
     }
+
+    /// Places retained pose `pose_index` in Cartesian space: rotates the
+    /// probe's centred atom positions by the pose's rotation (looked up in the
+    /// `rotations` set the run was scored with) and translates them to the
+    /// pose centre on this run's grid.
+    ///
+    /// This is the docking-result → minimization-input handoff, factored onto
+    /// the run itself so consumers that split one run across many pose blocks
+    /// (the pose-granularity scheduler) can place any pose without keeping the
+    /// originating [`Docking`] context — and so every consumer converts poses
+    /// with the same grid arithmetic.
+    ///
+    /// # Panics
+    /// Panics if `pose_index` is out of range.
+    pub fn place_pose(
+        &self,
+        rotations: &RotationSet,
+        centered_positions: &[ftmap_math::Vec3],
+        pose_index: usize,
+    ) -> Vec<ftmap_math::Vec3> {
+        let pose = &self.poses[pose_index];
+        let rotation = rotations.get(pose.rotation_index);
+        pose.place_probe(
+            rotation,
+            centered_positions,
+            self.grid.origin,
+            self.grid.spacing,
+            (self.grid.dim, self.grid.dim, self.grid.dim),
+        )
+    }
 }
 
 /// How a [`Docking`] context's receptor grids reached its device.
@@ -221,7 +251,10 @@ impl GridResidency {
 pub struct Docking {
     receptor: Arc<ReceptorGrids>,
     config: DockingConfig,
-    rotations: RotationSet,
+    /// Shared so pose-block consumers can place a run's poses after the
+    /// context is gone ([`DockingRun::place_pose`]) without recomputing the
+    /// rotation set.
+    rotations: Arc<RotationSet>,
     xeon: CostModel,
     device: Arc<Device>,
     residency: GridResidency,
@@ -269,7 +302,7 @@ impl Docking {
         } else {
             (receptor, GridResidency::HostEngine)
         };
-        let rotations = RotationSet::uniform(config.n_rotations);
+        let rotations = Arc::new(RotationSet::uniform(config.n_rotations));
         Docking {
             receptor,
             config,
@@ -342,6 +375,13 @@ impl Docking {
 
     /// The rotation set scored by [`Docking::run`].
     pub fn rotations(&self) -> &RotationSet {
+        &self.rotations
+    }
+
+    /// The shared handle to the rotation set — for consumers that outlive
+    /// this context (pose-block minimization reuses one run's rotations
+    /// across blocks serviced by different devices).
+    pub fn rotations_arc(&self) -> &Arc<RotationSet> {
         &self.rotations
     }
 
@@ -783,6 +823,32 @@ mod tests {
             let delta = device.transfer_snapshot().delta_since(&before);
             assert!(matches!(docking.grid_residency(), GridResidency::Uncacheable { .. }));
             assert_eq!(delta.bytes, docking.receptor().resident_bytes());
+        }
+    }
+
+    #[test]
+    fn place_pose_matches_manual_placement() {
+        // The run-side helper must agree exactly with placing through the
+        // pose API by hand — block consumers and the fused pipeline path go
+        // through the same arithmetic.
+        let protein = protein();
+        let probe = probe();
+        let docking = Docking::new(
+            &protein.atoms,
+            DockingConfig::small_test(DockingEngineKind::Gpu { batch: 4 }),
+        );
+        let run = docking.run(&probe);
+        let centered: Vec<ftmap_math::Vec3> = probe.atoms.iter().map(|a| a.position).collect();
+        for (i, pose) in run.poses.iter().enumerate() {
+            let manual = pose.place_probe(
+                docking.rotations().get(pose.rotation_index),
+                &centered,
+                run.grid.origin,
+                run.grid.spacing,
+                (run.grid.dim, run.grid.dim, run.grid.dim),
+            );
+            let helper = run.place_pose(docking.rotations_arc(), &centered, i);
+            assert_eq!(manual, helper, "pose {i}");
         }
     }
 

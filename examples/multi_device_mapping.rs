@@ -33,10 +33,11 @@ fn main() {
     let single_makespan = single.profile.makespan_modeled_s();
     println!("1 × Tesla C1060 (Accelerated):    modeled {:>8.2} ms", 1e3 * single_makespan);
 
-    // Sharded: the same workload over a growing device pool.
+    // Sharded: the same workload over a growing device pool, scheduled at the
+    // default pose-block granularity (dock once per probe, then spread every
+    // probe's retained poses across the pool).
     for devices in [2usize, 4] {
-        let sharded =
-            build_pipeline(PipelineMode::Sharded { devices }, &ff, &protein).map(&library);
+        let sharded = build_pipeline(PipelineMode::sharded(devices), &ff, &protein).map(&library);
         let makespan = sharded.profile.makespan_modeled_s();
         println!(
             "{devices} × Tesla C1060 (Sharded):       modeled {:>8.2} ms  speedup {:>5.2}x  \
@@ -51,9 +52,10 @@ fn main() {
         let utilizations = sharded.profile.device_utilizations();
         for ((name, utilization), load) in utilizations.iter().zip(&sharded.profile.device_loads) {
             println!(
-                "    {:<42} probes {:>2}  utilization {:>5.1} %",
+                "    {:<42} probes {:>2}  pose blocks {:>2}  utilization {:>5.1} %",
                 name,
                 load.probes,
+                load.pose_blocks,
                 100.0 * utilization
             );
         }
@@ -69,7 +71,7 @@ fn main() {
 
     // A heterogeneous pool: two Teslas plus the quad-core Xeon host as a
     // third, slower shard consumer — work-stealing balances by speed.
-    let mut config = FtMapConfig::small_test(PipelineMode::Sharded { devices: 3 });
+    let mut config = FtMapConfig::small_test(PipelineMode::sharded(3));
     config.docking.n_rotations = 8;
     config.conformations_per_probe = 2;
     let mixed =
@@ -78,9 +80,10 @@ fn main() {
     println!("\nHeterogeneous pool (2 × Tesla + 1 × Xeon quad):");
     for load in &mixed.profile.device_loads {
         println!(
-            "    {:<42} probes {:>2}  busy {:>8.2} ms  overlap saved {:>6.3} ms",
+            "    {:<42} probes {:>2}  pose blocks {:>2}  busy {:>8.2} ms  overlap saved {:>6.3} ms",
             load.device,
             load.probes,
+            load.pose_blocks,
             1e3 * load.busy_modeled_s,
             1e3 * load.overlap_saved_s,
         );

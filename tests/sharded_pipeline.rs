@@ -1,8 +1,10 @@
-//! Determinism of the sharded pipeline: `PipelineMode::Sharded { devices: N }`
-//! must produce **bit-identical** consensus sites to `PipelineMode::Accelerated`
-//! for any pool size — sharding changes where and when work runs, never what it
-//! computes, and the shard queue re-assembles results in library order no
-//! matter which device serviced each probe.
+//! Determinism of the sharded pipeline at whole-probe granularity
+//! (`pose_block: 0`): `PipelineMode::Sharded` must produce **bit-identical**
+//! consensus sites to `PipelineMode::Accelerated` for any pool size — sharding
+//! changes where and when work runs, never what it computes, and the shard
+//! queue re-assembles results in library order no matter which device serviced
+//! each probe. The pose-granularity counterpart lives in
+//! `tests/pose_sharded_pipeline.rs`.
 
 use ftmap::prelude::*;
 
@@ -59,7 +61,7 @@ fn sharded_output_is_bit_identical_to_accelerated_for_1_2_4_devices() {
     let reference = mapped(PipelineMode::Accelerated);
     assert!(!reference.sites.is_empty());
     for devices in [1usize, 2, 4] {
-        let sharded = mapped(PipelineMode::Sharded { devices });
+        let sharded = mapped(PipelineMode::Sharded { devices, pose_block: 0 });
         assert_bit_identical(&reference, &sharded, &format!("{devices} devices"));
         // The sharded run additionally carries the pool's load report.
         assert_eq!(sharded.profile.device_loads.len(), devices);
@@ -72,8 +74,8 @@ fn sharded_output_is_bit_identical_to_accelerated_for_1_2_4_devices() {
 fn sharded_output_is_deterministic_across_repeated_runs() {
     // Two sharded runs of the same pipeline may assign probes to different
     // devices, but the assembled output must not move.
-    let a = mapped(PipelineMode::Sharded { devices: 2 });
-    let b = mapped(PipelineMode::Sharded { devices: 2 });
+    let a = mapped(PipelineMode::Sharded { devices: 2, pose_block: 0 });
+    let b = mapped(PipelineMode::Sharded { devices: 2, pose_block: 0 });
     assert_bit_identical(&a, &b, "repeated sharded run");
 }
 
@@ -83,7 +85,7 @@ fn heterogeneous_pool_produces_identical_sites() {
     let ff = ForceField::charmm_like();
     let protein = SyntheticProtein::generate(&ProteinSpec::small_test(), &ff);
     let library = ProbeLibrary::subset(&ff, &[ProbeType::Ethanol, ProbeType::Acetone]);
-    let config = FtMapConfig::small_test(PipelineMode::Sharded { devices: 2 });
+    let config = FtMapConfig::small_test(PipelineMode::Sharded { devices: 2, pose_block: 0 });
     let reference = FtMapPipeline::new(
         protein.clone(),
         ff.clone(),
