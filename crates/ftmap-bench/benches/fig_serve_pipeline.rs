@@ -1,0 +1,258 @@
+//! Serve-layer pipelining figure: what the cross-batch phased dispatcher and
+//! latency classes buy over the two-phase-barrier, FIFO service.
+//!
+//! Two measurements on a 4 × Tesla C1060 pool, one receptor:
+//!
+//! 1. **Throughput** — a stream of single-probe bulk jobs (1 dock item, many
+//!    pose blocks each; `max_batch_jobs: 1` so every job is its own batch).
+//!    The barrier dispatcher runs batches serially, idling the pool at every
+//!    phase boundary (a 1-probe dock phase busies 1 of 4 devices); the
+//!    pipelined dispatcher fills those holes with the next batch's work. The
+//!    figure is the ratio of total modeled span (barrier ÷ pipelined) —
+//!    **CI-gated at ≥ 1.3×**.
+//! 2. **Interactive latency under bulk load** — the same bulk stream with
+//!    small interactive jobs submitted after it. FIFO baseline: interactive
+//!    jobs carry `LatencyClass::Bulk`, so they wait out the whole queue.
+//!    Priority run: `LatencyClass::Interactive`, so their batches overtake at
+//!    item boundaries (aging-bounded). The figure is the ratio of the
+//!    interactive jobs' p95 modeled latency (priority ÷ FIFO) — **CI-gated at
+//!    ≤ 0.5×**.
+//!
+//! Results are written to `BENCH_SERVE_PIPELINE.json` at the workspace root;
+//! the committed snapshot is the bench-trend baseline (`bench_trend` fails CI
+//! if a gated metric regresses > 15% against it).
+//!
+//! Run with: `cargo bench -p ftmap-bench --bench fig_serve_pipeline`
+//! (`FTMAP_SERVE_PIPELINE_JOBS` scales the bulk-job count for local
+//! experiments; CI runs the full default scale — the latency ratio depends
+//! on queue depth, so the trend gate must compare like with like).
+
+use ftmap_core::{FtMapConfig, PipelineMode};
+use ftmap_molecule::{ForceField, ProbeType, ProteinSpec, SyntheticProtein};
+use ftmap_serve::service::ClassLatency;
+use ftmap_serve::{
+    BatchMappingService, DispatchMode, JobReport, LatencyClass, MappingRequest, ServeConfig,
+};
+use gpu_sim::sched::DevicePool;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Throughput gate: minimum pipelined-over-barrier modeled span ratio.
+const MIN_PIPELINE_SPEEDUP: f64 = 1.3;
+/// Latency gate: maximum priority-over-FIFO interactive p95 ratio.
+const MAX_INTERACTIVE_P95_RATIO: f64 = 0.5;
+
+const DEVICES: usize = 4;
+
+fn base_config() -> FtMapConfig {
+    let mut config = FtMapConfig::small_test(PipelineMode::Accelerated);
+    config.docking.n_rotations = 2;
+    config.conformations_per_probe = 8;
+    config
+}
+
+/// A heavy bulk job: one probe, 8 retained poses — 1 dock item + 4 pose
+/// blocks at `pose_block: 2`, so its dock phase busies 1 of 4 devices.
+fn bulk_job(protein: &SyntheticProtein, ff: &ForceField, i: usize) -> MappingRequest {
+    MappingRequest::new(protein.clone(), ff.clone(), vec![ProbeType::Ethanol], base_config())
+        .with_tag(format!("bulk-{i}"))
+}
+
+/// A small interactive job: one probe, one pose.
+fn interactive_job(
+    protein: &SyntheticProtein,
+    ff: &ForceField,
+    i: usize,
+    class: LatencyClass,
+) -> MappingRequest {
+    let mut config = base_config();
+    config.conformations_per_probe = 1;
+    MappingRequest::new(protein.clone(), ff.clone(), vec![ProbeType::Urea], config)
+        .with_tag(format!("inter-{i}"))
+        .with_class(class)
+}
+
+fn serve_config(dispatch: DispatchMode) -> ServeConfig {
+    ServeConfig {
+        dispatch,
+        max_batch_jobs: 1, // one job per batch: the batch stream the pipeline overlaps
+        pose_block: 2,
+        max_inflight_batches: 2,
+        bulk_aging: 4,
+        ..ServeConfig::default()
+    }
+}
+
+struct RunOutcome {
+    reports: Vec<Arc<JobReport>>,
+    span_modeled_s: f64,
+    cross_batch_overlap_s: f64,
+    wall_s: f64,
+}
+
+/// Runs `jobs` through a fresh service (fresh pool) and collects the modeled
+/// figures.
+fn run(dispatch: DispatchMode, jobs: Vec<MappingRequest>) -> RunOutcome {
+    let pool = Arc::new(DevicePool::tesla(DEVICES));
+    let service = BatchMappingService::new(pool, serve_config(dispatch));
+    let start = Instant::now();
+    let handles: Vec<_> = jobs.into_iter().map(|r| service.submit(r).expect("admitted")).collect();
+    let reports: Vec<Arc<JobReport>> = handles.iter().map(|h| h.wait()).collect();
+    let wall_s = start.elapsed().as_secs_f64();
+    let stats = service.shutdown();
+    RunOutcome {
+        reports,
+        span_modeled_s: stats.span_modeled_s,
+        cross_batch_overlap_s: stats.cross_batch_overlap_modeled_s,
+        wall_s,
+    }
+}
+
+/// p95 of the tagged jobs' modeled batch latencies — through the service's
+/// own [`ClassLatency`] summary, so the gate measures exactly the percentile
+/// definition `ServeStats` reports.
+fn p95_latency(reports: &[Arc<JobReport>], tag_prefix: &str) -> f64 {
+    let latencies: Vec<f64> = reports
+        .iter()
+        .filter(|r| r.tag.starts_with(tag_prefix))
+        .map(|r| r.batch.latency_modeled_s)
+        .collect();
+    assert!(!latencies.is_empty(), "no jobs tagged {tag_prefix}*");
+    ClassLatency::from_samples(&latencies).p95_s
+}
+
+fn main() {
+    let n_bulk: usize = std::env::var("FTMAP_SERVE_PIPELINE_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(|n: usize| n.clamp(4, 64))
+        .unwrap_or(8);
+    let n_interactive = 4usize;
+    println!(
+        "fig_serve_pipeline: {n_bulk} bulk + {n_interactive} interactive jobs, \
+         1 receptor, {DEVICES} x Tesla C1060, pose_block 2, 1 job/batch"
+    );
+
+    let ff = ForceField::charmm_like();
+    let protein = SyntheticProtein::generate(&ProteinSpec::small_test(), &ff);
+    let bulk_jobs =
+        |n: usize| -> Vec<MappingRequest> { (0..n).map(|i| bulk_job(&protein, &ff, i)).collect() };
+
+    // --- 1. Throughput: bulk stream, barrier vs pipelined.
+    let barrier = run(DispatchMode::Barrier, bulk_jobs(n_bulk));
+    let pipelined = run(DispatchMode::Pipelined, bulk_jobs(n_bulk));
+    let speedup = barrier.span_modeled_s / pipelined.span_modeled_s.max(1e-12);
+    println!("\n{:<40}{:>14}{:>16}{:>12}", "dispatcher", "modeled ms", "overlap ms", "wall ms");
+    for (label, outcome) in
+        [("two-phase barrier (serial batches)", &barrier), ("pipelined (cross-batch)", &pipelined)]
+    {
+        println!(
+            "{:<40}{:>14.3}{:>16.3}{:>12.0}",
+            label,
+            1e3 * outcome.span_modeled_s,
+            1e3 * outcome.cross_batch_overlap_s,
+            1e3 * outcome.wall_s
+        );
+    }
+    println!("pipelined throughput speedup: {speedup:.2}x");
+    assert!(barrier.cross_batch_overlap_s == 0.0, "barrier batches must be serial");
+    assert!(pipelined.cross_batch_overlap_s > 0.0, "pipelining must overlap batches");
+
+    // --- 2. Interactive latency under bulk load: FIFO vs priority classes.
+    let mixed = |class: LatencyClass| -> Vec<MappingRequest> {
+        let mut jobs = bulk_jobs(n_bulk);
+        jobs.extend((0..n_interactive).map(|i| interactive_job(&protein, &ff, i, class)));
+        jobs
+    };
+    let fifo = run(DispatchMode::Pipelined, mixed(LatencyClass::Bulk));
+    let classed = run(DispatchMode::Pipelined, mixed(LatencyClass::Interactive));
+    let fifo_p95 = p95_latency(&fifo.reports, "inter-");
+    let classed_p95 = p95_latency(&classed.reports, "inter-");
+    let latency_ratio = classed_p95 / fifo_p95.max(1e-12);
+    println!(
+        "\ninteractive p95 modeled latency: FIFO {:.3} ms, priority {:.3} ms ({:.2}x)",
+        1e3 * fifo_p95,
+        1e3 * classed_p95,
+        latency_ratio
+    );
+
+    let json = format_json(
+        n_bulk,
+        n_interactive,
+        &barrier,
+        &pipelined,
+        speedup,
+        fifo_p95,
+        classed_p95,
+        latency_ratio,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_SERVE_PIPELINE.json");
+    std::fs::write(path, json).expect("write BENCH_SERVE_PIPELINE.json");
+    println!("wrote {path}");
+
+    assert!(
+        speedup >= MIN_PIPELINE_SPEEDUP,
+        "REGRESSION: pipelined dispatch {speedup:.2}x over the barrier fell below the \
+         {MIN_PIPELINE_SPEEDUP}x gate"
+    );
+    assert!(
+        latency_ratio <= MAX_INTERACTIVE_P95_RATIO,
+        "REGRESSION: interactive p95 under priority is {latency_ratio:.2}x FIFO, above the \
+         {MAX_INTERACTIVE_P95_RATIO}x gate"
+    );
+    println!(
+        "gates ok: throughput {speedup:.2}x >= {MIN_PIPELINE_SPEEDUP}x, \
+         interactive p95 {latency_ratio:.2}x <= {MAX_INTERACTIVE_P95_RATIO}x"
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn format_json(
+    n_bulk: usize,
+    n_interactive: usize,
+    barrier: &RunOutcome,
+    pipelined: &RunOutcome,
+    speedup: f64,
+    fifo_p95: f64,
+    classed_p95: f64,
+    latency_ratio: f64,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(
+        "  \"figure\": \"serve-layer pipelining: cross-batch phase overlap + latency classes\",\n",
+    );
+    out.push_str(&format!(
+        "  \"workload\": \"{n_bulk} bulk jobs (1 probe x 8 poses) + {n_interactive} interactive \
+         jobs (1 probe x 1 pose), one receptor, {DEVICES} x Tesla C1060, pose_block 2, \
+         max_batch_jobs 1\",\n"
+    ));
+    out.push_str(
+        "  \"model\": \"virtual-timeline span over the pool (gpu_sim::sched::PhasePipeline); \
+         barrier spans are back-to-back batch makespans\",\n",
+    );
+    out.push_str("  \"throughput\": {\n");
+    out.push_str(&format!(
+        "    \"barrier_span_ms\": {:.4},\n    \"pipelined_span_ms\": {:.4},\n    \
+         \"cross_batch_overlap_ms\": {:.4},\n    \"speedup\": {:.4}\n  }},\n",
+        1e3 * barrier.span_modeled_s,
+        1e3 * pipelined.span_modeled_s,
+        1e3 * pipelined.cross_batch_overlap_s,
+        speedup
+    ));
+    out.push_str("  \"interactive_latency\": {\n");
+    out.push_str(&format!(
+        "    \"fifo_p95_ms\": {:.4},\n    \"priority_p95_ms\": {:.4},\n    \
+         \"priority_over_fifo\": {:.4}\n  }},\n",
+        1e3 * fifo_p95,
+        1e3 * classed_p95,
+        latency_ratio
+    ));
+    out.push_str(&format!(
+        "  \"gates\": {{\n    \"pipelined_speedup\": {{ \"metric\": \"barrier span over \
+         pipelined span\", \"minimum\": {MIN_PIPELINE_SPEEDUP:.1}, \"measured\": {speedup:.4} \
+         }},\n    \"interactive_p95\": {{ \"metric\": \"priority p95 over FIFO p95\", \
+         \"maximum\": {MAX_INTERACTIVE_P95_RATIO:.1}, \"measured\": {latency_ratio:.4} }}\n  }}\n"
+    ));
+    out.push_str("}\n");
+    out
+}

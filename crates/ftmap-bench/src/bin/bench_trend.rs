@@ -1,0 +1,192 @@
+//! The bench-trend gate: diff freshly generated `BENCH_*.json` files against
+//! the snapshots committed at `HEAD` and fail when any gated metric regresses
+//! beyond the tolerance band.
+//!
+//! The bench matrix regenerates every `BENCH_*.json` in the working tree
+//! (possibly at env-reduced scale); the committed versions are still
+//! reachable through `git show HEAD:<file>`. Gated metrics are **ratios**
+//! (speedups, skews, latency ratios) rather than absolute times, so they are
+//! comparable across workload scales and host speeds; the 15% band absorbs
+//! scale and scheduling noise on top of that.
+//!
+//! Exit status: 0 when every comparable metric is within tolerance, 1 on any
+//! regression or unparsable file. A file missing from `HEAD` (a bench added
+//! in the current change) is reported and skipped — its snapshot becomes the
+//! baseline once merged.
+//!
+//! Known limit of the `HEAD` baseline: a change that both erodes a metric
+//! *and* regenerates the committed snapshot compares against its own new
+//! numbers and passes. That regeneration is a visible `BENCH_*.json` diff in
+//! the change itself — reviewers treat an unexplained snapshot drop as the
+//! regression signal — and each bench's absolute floor still backstops the
+//! worst case. (Comparing against the merge base would close the loop, but
+//! CI checkouts are shallow and push builds on `main` have no base ref.)
+//!
+//! Run with: `cargo run -p ftmap-bench --bin bench_trend`
+
+use std::path::Path;
+use std::process::Command;
+
+/// Regression tolerance: a gated metric may move this fraction in the bad
+/// direction before the gate trips.
+const TOLERANCE: f64 = 0.15;
+
+/// Which way a metric is supposed to move.
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    /// Bigger is better (speedups, throughput ratios).
+    HigherBetter,
+    /// Smaller is better (skews, latency ratios).
+    LowerBetter,
+}
+
+/// One gated metric: where to find it and which way it points.
+struct GatedMetric {
+    file: &'static str,
+    name: &'static str,
+    direction: Direction,
+    /// Substring anchors searched left to right; the metric value is the
+    /// first JSON number after the last anchor. The bench binaries emit these
+    /// files themselves, so the anchors are stable by construction.
+    anchors: &'static [&'static str],
+}
+
+/// Every CI-gated bench metric, one row per gate.
+const GATED: &[GatedMetric] = &[
+    GatedMetric {
+        file: "BENCH_MULTIDEVICE.json",
+        name: "multidevice 4-device speedup",
+        direction: Direction::HigherBetter,
+        anchors: &["\"gate\"", "\"measured\":"],
+    },
+    GatedMetric {
+        file: "BENCH_SERVE.json",
+        name: "serve warm/cold throughput",
+        direction: Direction::HigherBetter,
+        anchors: &["\"gate\"", "\"measured\":"],
+    },
+    GatedMetric {
+        file: "BENCH_POSE_SHARD.json",
+        name: "pose-shard hot-probe speedup",
+        direction: Direction::HigherBetter,
+        anchors: &["\"hot_probe_4_tesla\"", "\"speedup\":"],
+    },
+    GatedMetric {
+        file: "BENCH_POSE_SHARD.json",
+        name: "pose-shard mixed-pool skew",
+        direction: Direction::LowerBetter,
+        anchors: &["\"small_library_mixed_pool\"", "\"pose_block_skew\":"],
+    },
+    GatedMetric {
+        file: "BENCH_SERVE_PIPELINE.json",
+        name: "serve-pipeline throughput speedup",
+        direction: Direction::HigherBetter,
+        anchors: &["\"pipelined_speedup\"", "\"measured\":"],
+    },
+    GatedMetric {
+        file: "BENCH_SERVE_PIPELINE.json",
+        name: "serve-pipeline interactive p95 ratio",
+        direction: Direction::LowerBetter,
+        anchors: &["\"interactive_p95\"", "\"measured\":"],
+    },
+];
+
+/// Extracts the first JSON number after the last anchor, or `None`.
+fn extract(content: &str, anchors: &[&str]) -> Option<f64> {
+    let mut rest = content;
+    for anchor in anchors {
+        let pos = rest.find(anchor)?;
+        rest = &rest[pos + anchor.len()..];
+    }
+    let rest = rest.trim_start_matches(|c: char| c.is_whitespace() || c == ':');
+    let end = rest
+        .char_indices()
+        .find(|(_, c)| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
+        .map(|(i, _)| i)
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The committed (`HEAD`) version of `file`, if it exists there.
+fn committed(root: &Path, file: &str) -> Option<String> {
+    let output = Command::new("git")
+        .arg("show")
+        .arg(format!("HEAD:{file}"))
+        .current_dir(root)
+        .output()
+        .ok()?;
+    if output.status.success() {
+        String::from_utf8(output.stdout).ok()
+    } else {
+        None
+    }
+}
+
+fn main() {
+    let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let mut failures = 0usize;
+    let mut compared = 0usize;
+    println!(
+        "bench_trend: gated metrics vs committed snapshots (tolerance {:.0}%)\n",
+        100.0 * TOLERANCE
+    );
+    println!("{:<42}{:>12}{:>12}{:>10}  verdict", "metric", "baseline", "fresh", "change");
+    for metric in GATED {
+        let fresh_path = root.join(metric.file);
+        let Ok(fresh_content) = std::fs::read_to_string(&fresh_path) else {
+            println!(
+                "{:<42}{:>12}{:>12}{:>10}  MISSING (not generated)",
+                metric.name, "-", "-", "-"
+            );
+            failures += 1;
+            continue;
+        };
+        let Some(fresh) = extract(&fresh_content, metric.anchors) else {
+            println!("{:<42}{:>12}{:>12}{:>10}  UNPARSABLE (fresh)", metric.name, "-", "-", "-");
+            failures += 1;
+            continue;
+        };
+        let Some(base_content) = committed(root, metric.file) else {
+            println!(
+                "{:<42}{:>12}{:>12.4}{:>10}  SKIP (no snapshot at HEAD)",
+                metric.name, "-", fresh, "-"
+            );
+            continue;
+        };
+        let Some(baseline) = extract(&base_content, metric.anchors) else {
+            println!(
+                "{:<42}{:>12}{:>12.4}{:>10}  UNPARSABLE (baseline)",
+                metric.name, "-", fresh, "-"
+            );
+            failures += 1;
+            continue;
+        };
+        compared += 1;
+        let change = if baseline.abs() > 1e-12 { fresh / baseline - 1.0 } else { 0.0 };
+        let regressed = match metric.direction {
+            Direction::HigherBetter => fresh < baseline * (1.0 - TOLERANCE),
+            Direction::LowerBetter => fresh > baseline * (1.0 + TOLERANCE),
+        };
+        let verdict = if regressed { "REGRESSED" } else { "ok" };
+        println!(
+            "{:<42}{:>12.4}{:>12.4}{:>+9.1}%  {verdict}",
+            metric.name,
+            baseline,
+            fresh,
+            100.0 * change
+        );
+        if regressed {
+            failures += 1;
+        }
+    }
+    println!("\n{compared} metric(s) compared, {failures} failure(s)");
+    if failures > 0 {
+        eprintln!(
+            "bench_trend: gated metric(s) regressed beyond the {:.0}% band — \
+             investigate before merging (or regenerate the snapshot if the \
+             change is intentional and explained)",
+            100.0 * TOLERANCE
+        );
+        std::process::exit(1);
+    }
+}

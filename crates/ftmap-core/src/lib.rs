@@ -20,10 +20,12 @@
 #![warn(clippy::all)]
 
 pub mod cluster;
+pub mod phased;
 pub mod pipeline;
 pub mod profile;
 
 pub use cluster::{cluster_poses, ClusterInput, ConsensusCluster, ConsensusSite};
+pub use phased::PhasedMapBatch;
 pub use pipeline::{
     minimize_pose_blocks, DockedProbe, FtMapConfig, FtMapPipeline, MappingResult, MinimizePhase,
     PipelineMode, ProbeShard, DEFAULT_POSE_BLOCK,

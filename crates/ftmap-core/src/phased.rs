@@ -1,0 +1,233 @@
+//! The mapping workload expressed as a phased-pipeline batch.
+//!
+//! [`PhasedMapBatch`] adapts the pipeline's two-phase probe work —
+//! [`FtMapPipeline::dock_probe_shard`] then
+//! [`FtMapPipeline::minimize_pose_block`] — to the cross-batch scheduler's
+//! [`PhasedExec`] contract ([`gpu_sim::sched::PhasePipeline`]): one dock item
+//! per `(job, probe)` entry whose completion *generates* that entry's pose
+//! blocks, so an entry's minimizations start the moment its own dock lands —
+//! no batch-wide phase barrier — and a later batch's docks fill whatever the
+//! current batch leaves idle.
+//!
+//! The batch owns its result slots: docked probes, per-block partial shards,
+//! and (for the fused `pose_block == 0` schedule) whole-probe shards. Folding
+//! happens in `(entry, pose)` order in [`PhasedMapBatch::take_shards`], so the
+//! assembled shards are **bit-identical** to the fused single-device path no
+//! matter which devices ran what, in which order, under which priorities.
+
+use crate::pipeline::{DockedProbe, FtMapPipeline, ProbeShard};
+use ftmap_molecule::Probe;
+use gpu_sim::sched::{pose_blocks, PhasedExec, ShardCtx};
+use std::ops::Range;
+use std::sync::{Arc, Mutex};
+
+/// Per-entry result slots for one `(job, probe)` entry.
+struct EntrySlots {
+    /// The dock product, present once the entry's dock item completed
+    /// (pose-block schedules only).
+    docked: Mutex<Option<Arc<DockedProbe>>>,
+    /// One slot per pose block, sized at dock completion.
+    blocks: Mutex<Vec<Option<ProbeShard>>>,
+    /// The whole-probe shard of the fused schedule (`pose_block == 0`).
+    fused: Mutex<Option<ProbeShard>>,
+}
+
+impl EntrySlots {
+    fn new() -> Self {
+        EntrySlots {
+            docked: Mutex::new(None),
+            blocks: Mutex::new(Vec::new()),
+            fused: Mutex::new(None),
+        }
+    }
+}
+
+/// One schedulable mapping batch: every `(job, probe)` pair of a set of
+/// co-batched jobs, ready to submit to a [`gpu_sim::sched::PhasePipeline`].
+///
+/// `pose_block` keeps the meaning it has everywhere else: `0` fuses dock +
+/// minimize into one dock-phase item per entry (whole-probe granularity);
+/// any positive value docks first and then minimizes blocks of at most that
+/// many retained poses, generated per entry as its dock completes.
+pub struct PhasedMapBatch {
+    /// One pipeline per job (each job keeps its own config).
+    pipelines: Vec<FtMapPipeline>,
+    /// The flattened `(job index, probe)` entries, in `(job, probe)` order.
+    entries: Vec<(usize, Probe)>,
+    pose_block: usize,
+    slots: Vec<EntrySlots>,
+}
+
+impl PhasedMapBatch {
+    /// Builds a batch over `pipelines` (one per job) and the flattened
+    /// `(job index, probe)` entries.
+    ///
+    /// # Panics
+    /// Panics if any entry's job index is out of range.
+    pub fn new(
+        pipelines: Vec<FtMapPipeline>,
+        entries: Vec<(usize, Probe)>,
+        pose_block: usize,
+    ) -> Self {
+        assert!(
+            entries.iter().all(|(job, _)| *job < pipelines.len()),
+            "entry job index out of range"
+        );
+        let slots = (0..entries.len()).map(|_| EntrySlots::new()).collect();
+        PhasedMapBatch { pipelines, entries, pose_block, slots }
+    }
+
+    /// Number of `(job, probe)` entries (the batch's dock-item count).
+    pub fn entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Uniform dock weights for [`gpu_sim::sched::PhasedBatch::dock_weights`].
+    pub fn dock_weights(&self) -> Vec<f64> {
+        vec![1.0; self.entries.len()]
+    }
+
+    /// Takes the assembled per-entry shards, in `(job, probe)` submission
+    /// order — each entry's dock seed with its pose blocks absorbed in pose
+    /// order. Call after the batch completed; panics if any slot is missing
+    /// (an item never ran) or if called twice.
+    pub fn take_shards(&self) -> Vec<(usize, ProbeShard)> {
+        self.entries
+            .iter()
+            .zip(&self.slots)
+            .map(|((job_idx, _), slots)| {
+                if self.pose_block == 0 {
+                    let shard = slots
+                        .fused
+                        .lock()
+                        .expect("fused slot poisoned")
+                        .take()
+                        .expect("fused entry never docked or taken twice");
+                    return (*job_idx, shard);
+                }
+                let docked = slots
+                    .docked
+                    .lock()
+                    .expect("docked slot poisoned")
+                    .take()
+                    .expect("entry never docked or taken twice");
+                let mut shard = docked.to_shard();
+                let blocks = std::mem::take(&mut *slots.blocks.lock().expect("blocks poisoned"));
+                for block in blocks {
+                    shard.absorb(block.expect("pose block never minimized"));
+                }
+                (*job_idx, shard)
+            })
+            .collect()
+    }
+}
+
+impl PhasedExec for PhasedMapBatch {
+    fn dock(&self, ctx: &ShardCtx<'_>, entry: usize) -> (f64, Vec<(Range<usize>, f64)>) {
+        let (job_idx, probe) = &self.entries[entry];
+        let pipeline = &self.pipelines[*job_idx];
+        if self.pose_block == 0 {
+            // Fused schedule: the dock item carries the whole probe.
+            let shard = pipeline.map_probe_shard(probe, ctx.device);
+            let kernel_s = shard.kernel_modeled_s;
+            *self.slots[entry].fused.lock().expect("fused slot poisoned") = Some(shard);
+            return (kernel_s, Vec::new());
+        }
+        let docked = pipeline.dock_probe_shard(probe, ctx.device);
+        let kernel_s = docked.kernel_modeled_s();
+        let retained = pipeline.retained_pose_count(&docked);
+        let layout = pose_blocks(&[retained], self.pose_block);
+        let blocks: Vec<(Range<usize>, f64)> =
+            layout.iter().map(|w| (w.pose_range.clone(), w.weight())).collect();
+        *self.slots[entry].blocks.lock().expect("blocks poisoned") =
+            (0..layout.len()).map(|_| None).collect();
+        *self.slots[entry].docked.lock().expect("docked slot poisoned") = Some(Arc::new(docked));
+        (kernel_s, blocks)
+    }
+
+    fn minimize(&self, ctx: &ShardCtx<'_>, entry: usize, pose_range: Range<usize>) -> f64 {
+        let (job_idx, _) = &self.entries[entry];
+        let docked = Arc::clone(
+            self.slots[entry]
+                .docked
+                .lock()
+                .expect("docked slot poisoned")
+                .as_ref()
+                .expect("minimize scheduled before dock completed"),
+        );
+        let shard =
+            self.pipelines[*job_idx].minimize_pose_block(&docked, pose_range.clone(), ctx.device);
+        let kernel_s = shard.kernel_modeled_s;
+        // Blocks are fixed-size except the tail, so the slot index is the
+        // range start over the block size.
+        let slot_idx = pose_range.start / self.pose_block;
+        let mut blocks = self.slots[entry].blocks.lock().expect("blocks poisoned");
+        debug_assert!(blocks[slot_idx].is_none(), "pose block minimized twice");
+        blocks[slot_idx] = Some(shard);
+        kernel_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{FtMapConfig, PipelineMode};
+    use ftmap_molecule::{ForceField, ProbeLibrary, ProbeType, ProteinSpec, SyntheticProtein};
+    use gpu_sim::sched::{DevicePool, PhasePipeline, PhasedBatch};
+
+    fn pipeline_and_library() -> (FtMapPipeline, ProbeLibrary) {
+        let ff = ForceField::charmm_like();
+        let protein = SyntheticProtein::generate(&ProteinSpec::small_test(), &ff);
+        let library = ProbeLibrary::subset(&ff, &[ProbeType::Ethanol, ProbeType::Acetone]);
+        let pipeline =
+            FtMapPipeline::new(protein, ff, FtMapConfig::small_test(PipelineMode::Accelerated));
+        (pipeline, library)
+    }
+
+    #[test]
+    fn phased_batch_matches_the_fused_path_bit_for_bit() {
+        for pose_block in [0usize, 1, 2] {
+            let (reference_pipeline, library) = pipeline_and_library();
+            let reference = reference_pipeline.map(&library);
+
+            let (pipeline, _) = pipeline_and_library();
+            let pool = Arc::new(DevicePool::tesla(2));
+            let sched = PhasePipeline::new(Arc::clone(&pool));
+            let entries: Vec<(usize, Probe)> =
+                library.probes().iter().map(|p| (0usize, p.clone())).collect();
+            let batch = Arc::new(PhasedMapBatch::new(vec![pipeline], entries, pose_block));
+            let handle = sched.submit(
+                PhasedBatch {
+                    priority: 0,
+                    entries: batch.entries(),
+                    dock_weights: batch.dock_weights(),
+                    exec: Arc::clone(&batch) as Arc<dyn PhasedExec>,
+                },
+                None,
+            );
+            handle.wait();
+            sched.shutdown();
+
+            let shards = batch.take_shards();
+            assert_eq!(shards.len(), library.len());
+            let mut inputs = Vec::new();
+            let mut conformations = 0usize;
+            for (job_idx, shard) in shards {
+                assert_eq!(job_idx, 0);
+                conformations += shard.conformations;
+                inputs.extend(shard.inputs);
+            }
+            assert_eq!(conformations, reference.conformations_minimized, "block {pose_block}");
+            assert_eq!(inputs.len(), reference.pose_centers.len());
+            for (input, (probe, center)) in inputs.iter().zip(&reference.pose_centers) {
+                assert_eq!(input.probe, *probe, "block {pose_block}");
+                assert!(
+                    input.center.x == center.x
+                        && input.center.y == center.y
+                        && input.center.z == center.z,
+                    "block {pose_block}: pose centre moved"
+                );
+            }
+        }
+    }
+}

@@ -260,6 +260,13 @@ impl DockedProbe {
 }
 
 /// The FTMap pipeline over one protein.
+///
+/// Cloning is cheap where it matters: the pool and the receptor grids are
+/// shared `Arc`s, so a clone schedules onto the same devices and borrows the
+/// same resident grids — which is what lets a pipeline be moved into a
+/// long-lived phased batch ([`crate::phased::PhasedMapBatch`]) while the
+/// caller keeps its own handle.
+#[derive(Clone)]
 pub struct FtMapPipeline {
     protein: SyntheticProtein,
     ff: ForceField,
@@ -357,6 +364,56 @@ impl FtMapPipeline {
             PipelineMode::Sharded { .. } => self.map_sharded(library),
             PipelineMode::Serial | PipelineMode::Accelerated => self.map_single(library),
         }
+    }
+
+    /// Maps the protein through the cross-batch phased scheduler
+    /// ([`gpu_sim::sched::PhasePipeline`]) instead of the barriered shard
+    /// queue: every probe's pose blocks become runnable the moment *its own*
+    /// dock lands, so the dock and minimize phases overlap across probes —
+    /// there is no batch-wide phase barrier. Results are **bit-identical** to
+    /// [`FtMapPipeline::map`]; only the schedule (and therefore the modeled
+    /// makespan and [`MappingProfile::pipeline_overlap_saved_s`]) changes.
+    ///
+    /// Spins a dedicated dispatcher on this pipeline's pool for the one run;
+    /// services that keep a dispatcher alive across batches use
+    /// [`FtMapPipeline::map_with_dispatcher`] directly.
+    pub fn map_pipelined(&self, library: &ProbeLibrary) -> MappingResult {
+        self.pool.reset_transfer_stats();
+        let sched = gpu_sim::sched::PhasePipeline::new(Arc::clone(&self.pool));
+        let result = self.map_with_dispatcher(library, &sched, 0);
+        sched.shutdown();
+        result
+    }
+
+    /// Runs this mapping as one batch on a shared phased dispatcher at the
+    /// given priority (lower is more urgent), blocking until it completes.
+    /// The dispatcher must schedule onto this pipeline's pool.
+    pub fn map_with_dispatcher(
+        &self,
+        library: &ProbeLibrary,
+        sched: &gpu_sim::sched::PhasePipeline,
+        priority: u32,
+    ) -> MappingResult {
+        let entries: Vec<(usize, Probe)> =
+            library.probes().iter().map(|p| (0usize, p.clone())).collect();
+        let pose_block = self.config.mode.pose_block();
+        let batch =
+            Arc::new(crate::phased::PhasedMapBatch::new(vec![self.clone()], entries, pose_block));
+        let handle = sched.submit(
+            gpu_sim::sched::PhasedBatch {
+                priority,
+                entries: batch.entries(),
+                dock_weights: batch.dock_weights(),
+                exec: Arc::clone(&batch) as Arc<dyn gpu_sim::sched::PhasedExec>,
+            },
+            None,
+        );
+        let report = handle.wait();
+        let shards = batch.take_shards().into_iter().map(|(_, shard)| shard).collect();
+        let loads = report.per_device.iter().map(DeviceLoad::from).collect();
+        let mut result = self.assemble(shards, loads, Vec::new());
+        result.profile.pipeline_overlap_saved_s = report.overlap_saved_s();
+        result
     }
 
     /// The single-device probe loop (serial and accelerated modes).

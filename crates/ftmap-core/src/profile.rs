@@ -2,7 +2,7 @@
 //! §V.C, and — for sharded runs — the per-device load report of the multi-device
 //! scheduler.
 
-use gpu_sim::sched::DeviceShardReport;
+use gpu_sim::sched::{DeviceShardReport, PhasedDeviceReport};
 use serde::{Deserialize, Serialize};
 
 /// What one pooled device contributed to a sharded mapping run.
@@ -35,6 +35,22 @@ impl From<&DeviceShardReport> for DeviceLoad {
             busy_modeled_s: report.busy_s(),
             serialized_modeled_s: report.stream.serialized_s,
             overlap_saved_s: report.stream.savings_s(),
+        }
+    }
+}
+
+impl From<&PhasedDeviceReport> for DeviceLoad {
+    /// A device's load under the phased (barrier-free) scheduler: dock items
+    /// count as probes, minimize items as pose blocks, and both phase streams
+    /// contribute busy/serialized/overlap seconds.
+    fn from(report: &PhasedDeviceReport) -> Self {
+        DeviceLoad {
+            device: report.device.clone(),
+            probes: report.dock.ops,
+            pose_blocks: report.minimize.ops,
+            busy_modeled_s: report.busy_s(),
+            serialized_modeled_s: report.dock.serialized_s + report.minimize.serialized_s,
+            overlap_saved_s: report.dock.savings_s() + report.minimize.savings_s(),
         }
     }
 }
@@ -74,6 +90,10 @@ pub struct MappingProfile {
     /// pose-block run (`[dock, minimize]`), in execution order. Empty for
     /// single-phase schedules (single-device and probe-granularity runs).
     pub phase_makespans_modeled_s: Vec<f64>,
+    /// Modeled seconds the phased (barrier-free) scheduler saved versus the
+    /// two-phase-barrier schedule of the same items — how much dock/minimize
+    /// phase overlap was worth. 0 for barriered and single-device runs.
+    pub pipeline_overlap_saved_s: f64,
 }
 
 impl MappingProfile {
@@ -116,6 +136,7 @@ impl MappingProfile {
         self.minimization_modeled_s += other.minimization_modeled_s;
         self.device_loads.extend(other.device_loads.iter().cloned());
         self.phase_makespans_modeled_s.extend(other.phase_makespans_modeled_s.iter().copied());
+        self.pipeline_overlap_saved_s += other.pipeline_overlap_saved_s;
     }
 
     // --- Multi-device views (meaningful when `device_loads` is populated).

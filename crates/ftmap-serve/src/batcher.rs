@@ -1,19 +1,76 @@
 //! Batch formation: group compatible pending jobs without starving anyone.
 //!
-//! Policy: **FIFO-fair by receptor.** The oldest pending job anchors the next
-//! batch; every other pending job with the same receptor fingerprint (up to
+//! Policy: **FIFO-fair by receptor, with class-priority admission.** In the
+//! plain form ([`next_batch`]) the oldest pending job anchors the next batch;
+//! every other pending job with the same receptor fingerprint (up to
 //! `max_jobs`) rides along, in arrival order. Jobs for other receptors keep
 //! their queue positions. This keeps worst-case latency bounded by arrival
 //! order — a hot receptor cannot starve a cold one, because batches are always
 //! anchored at the queue head — while still coalescing every compatible job
 //! the moment its receptor reaches the front.
+//!
+//! The priority form ([`next_batch_prioritized`]) adds **latency classes**:
+//! the earliest [`LatencyClass::Interactive`] job may overtake older
+//! [`LatencyClass::Bulk`] jobs and anchor the batch instead, so small
+//! interactive requests stop queueing behind bulk library scans. Starvation is
+//! bounded by an **aging knob**: every overtake bumps a counter on each bulk
+//! job that was passed over, and a bulk job whose counter reaches `aging`
+//! blocks further overtakes — it anchors the next batch itself. `aging == 0`
+//! therefore degenerates to pure FIFO, and any bulk job is dispatched within
+//! `jobs-ahead-at-arrival + aging + 1` batch extractions no matter how
+//! interactive arrivals are sequenced (property-tested in
+//! `tests/batcher_props.rs`).
+
+use serde::{Deserialize, Serialize};
+
+/// How urgently a request wants its answer — the admission-priority axis.
+///
+/// Classes change **scheduling only**: which batch a job joins and when that
+/// batch's items run. Results are bit-identical across classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum LatencyClass {
+    /// A small, latency-sensitive request (a scientist at a screen): forms
+    /// batches ahead of bulk work and overtakes it at phase boundaries.
+    Interactive,
+    /// A throughput-oriented request (a library scan): yields to interactive
+    /// work until the aging bound, then runs. The default.
+    #[default]
+    Bulk,
+}
+
+impl LatencyClass {
+    /// The scheduler priority this class maps to (lower = more urgent) — the
+    /// currency of [`gpu_sim::sched::PhasedBatch::priority`].
+    pub fn priority(self) -> u32 {
+        match self {
+            LatencyClass::Interactive => 0,
+            LatencyClass::Bulk => 1,
+        }
+    }
+}
 
 /// Anything the batcher can group: exposes the receptor fingerprint the batch
-/// is keyed on.
+/// is keyed on, plus the latency class and overtake counter the priority
+/// policy runs on.
 pub trait Batchable {
     /// Jobs with equal fingerprints share receptor grids and may share a
     /// batch.
     fn fingerprint(&self) -> u64;
+
+    /// The job's latency class (defaults to [`LatencyClass::Bulk`], which
+    /// makes every plain-FIFO consumer a valid priority consumer too).
+    fn class(&self) -> LatencyClass {
+        LatencyClass::Bulk
+    }
+
+    /// Called when an interactive batch overtakes this (bulk) job — the
+    /// aging bookkeeping. Default: no-op (plain-FIFO consumers never age).
+    fn note_overtaken(&mut self) {}
+
+    /// How many batches have overtaken this job so far.
+    fn overtaken(&self) -> usize {
+        0
+    }
 }
 
 /// Extracts the next batch from `pending` (arrival order): the head job plus
@@ -48,6 +105,67 @@ pub fn next_batch<T: Batchable>(pending: &mut Vec<T>, max_jobs: usize) -> Vec<T>
             }
         }
         // Everything after the early exit keeps its order, unscanned.
+        rest.extend(drain);
+    }
+    *pending = rest;
+    batch
+}
+
+/// Extracts the next batch under class priority with aging. The anchor is:
+///
+/// 1. the **head job**, when no interactive job is pending, or when a bulk job
+///    ahead of the first interactive one has exhausted its aging allowance
+///    (`overtaken() >= aging`) — in that case the *earliest* such aged job
+///    anchors (which, because bumps apply to every passed-over bulk job at
+///    once, is always the earliest pending bulk job);
+/// 2. otherwise the **first interactive job**, which overtakes: every bulk job
+///    ahead of it gets [`Batchable::note_overtaken`] called once.
+///
+/// The batch is the anchor plus every later job with the same `(fingerprint,
+/// class)` — batches are class-homogeneous, so a batch carries exactly one
+/// scheduler priority — up to `max_jobs` (clamped to at least 1), with the
+/// same early-exit/no-reorder guarantees as [`next_batch`]. With every job
+/// bulk (the default class) this is exactly [`next_batch`].
+pub fn next_batch_prioritized<T: Batchable>(
+    pending: &mut Vec<T>,
+    max_jobs: usize,
+    aging: usize,
+) -> Vec<T> {
+    if pending.is_empty() {
+        return Vec::new();
+    }
+    let max_jobs = max_jobs.max(1);
+    let anchor_pos = match pending.iter().position(|j| j.class() == LatencyClass::Interactive) {
+        None => 0,
+        Some(first_interactive) => pending[..first_interactive]
+            .iter()
+            .position(|j| j.class() == LatencyClass::Bulk && j.overtaken() >= aging)
+            .unwrap_or(first_interactive),
+    };
+    let anchor_fp = pending[anchor_pos].fingerprint();
+    let anchor_class = pending[anchor_pos].class();
+    if anchor_class == LatencyClass::Interactive {
+        for job in pending[..anchor_pos].iter_mut() {
+            if job.class() == LatencyClass::Bulk {
+                job.note_overtaken();
+            }
+        }
+    }
+    let mut batch = Vec::new();
+    let mut rest: Vec<T> = Vec::with_capacity(pending.len());
+    rest.extend(pending.drain(..anchor_pos));
+    {
+        let mut drain = pending.drain(..);
+        for job in drain.by_ref() {
+            if job.fingerprint() == anchor_fp && job.class() == anchor_class {
+                batch.push(job);
+                if batch.len() == max_jobs {
+                    break; // full — stop scanning
+                }
+            } else {
+                rest.push(job);
+            }
+        }
         rest.extend(drain);
     }
     *pending = rest;
@@ -143,5 +261,106 @@ mod tests {
         assert_eq!(next_batch(&mut pending, 3).len(), 3);
         assert_eq!(next_batch(&mut pending, 3).len(), 2);
         assert!(pending.is_empty());
+    }
+
+    /// A classed job for the priority policy: `(fingerprint, class, tag)`.
+    #[derive(Debug, PartialEq)]
+    struct P(u64, LatencyClass, &'static str, usize);
+
+    fn bulk(fp: u64, tag: &'static str) -> P {
+        P(fp, LatencyClass::Bulk, tag, 0)
+    }
+
+    fn inter(fp: u64, tag: &'static str) -> P {
+        P(fp, LatencyClass::Interactive, tag, 0)
+    }
+
+    impl Batchable for P {
+        fn fingerprint(&self) -> u64 {
+            self.0
+        }
+        fn class(&self) -> LatencyClass {
+            self.1
+        }
+        fn note_overtaken(&mut self) {
+            self.3 += 1;
+        }
+        fn overtaken(&self) -> usize {
+            self.3
+        }
+    }
+
+    #[test]
+    fn interactive_anchors_ahead_of_older_bulk_and_bumps_it() {
+        let mut pending = vec![bulk(1, "b0"), inter(2, "i0"), bulk(1, "b1"), inter(2, "i1")];
+        let batch = next_batch_prioritized(&mut pending, 8, 4);
+        assert_eq!(batch, vec![inter(2, "i0"), inter(2, "i1")]);
+        // The passed-over bulk job aged; the one behind the anchor did not.
+        assert_eq!(pending[0].overtaken(), 1);
+        assert_eq!(pending[1].overtaken(), 0);
+        // Next extraction is the bulk receptor, FIFO.
+        let batch = next_batch_prioritized(&mut pending, 8, 4);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].2, "b0");
+    }
+
+    #[test]
+    fn aged_bulk_blocks_further_overtakes() {
+        // aging = 2: after two interactive overtakes, the bulk job anchors
+        // even though interactive work is still pending.
+        let mut pending = vec![bulk(1, "b")];
+        for round in 0..2 {
+            pending.push(inter(2, "i"));
+            let batch = next_batch_prioritized(&mut pending, 8, 2);
+            assert_eq!(batch[0].1, LatencyClass::Interactive, "round {round}");
+            assert_eq!(pending[0].overtaken(), round + 1);
+        }
+        pending.push(inter(2, "late"));
+        let batch = next_batch_prioritized(&mut pending, 8, 2);
+        assert_eq!(batch, vec![P(1, LatencyClass::Bulk, "b", 2)]);
+        assert_eq!(pending.len(), 1, "interactive job waits exactly one batch");
+    }
+
+    #[test]
+    fn zero_aging_is_pure_fifo() {
+        let mut pending = vec![bulk(1, "b"), inter(1, "i")];
+        let batch = next_batch_prioritized(&mut pending, 8, 0);
+        // The head bulk job counts as aged immediately (overtaken 0 >= 0), so
+        // interactive work can never overtake: arrival order rules.
+        assert_eq!(batch, vec![P(1, LatencyClass::Bulk, "b", 0)]);
+    }
+
+    #[test]
+    fn batches_are_class_homogeneous() {
+        // Same receptor, mixed classes: the interactive anchor must not pull
+        // the bulk job into its batch (one batch = one scheduler priority).
+        let mut pending = vec![inter(1, "i0"), bulk(1, "b0"), inter(1, "i1")];
+        let batch = next_batch_prioritized(&mut pending, 8, 4);
+        assert_eq!(batch, vec![inter(1, "i0"), inter(1, "i1")]);
+        assert_eq!(pending, vec![bulk(1, "b0")]);
+    }
+
+    #[test]
+    fn all_bulk_matches_plain_fifo_batching() {
+        let jobs = || vec![bulk(1, "a"), bulk(2, "b"), bulk(1, "c")];
+        let mut plain = jobs();
+        let mut prioritized = jobs();
+        let a = next_batch(&mut plain, 8);
+        let b = next_batch_prioritized(&mut prioritized, 8, 4);
+        assert_eq!(a.iter().map(|j| j.2).collect::<Vec<_>>(), vec!["a", "c"]);
+        assert_eq!(b.iter().map(|j| j.2).collect::<Vec<_>>(), vec!["a", "c"]);
+        assert_eq!(plain.len(), 1);
+        assert_eq!(prioritized.len(), 1);
+    }
+
+    #[test]
+    fn empty_queue_yields_empty_batch_under_priority() {
+        let mut pending: Vec<P> = Vec::new();
+        assert!(next_batch_prioritized(&mut pending, 4, 4).is_empty());
+        // max_jobs == 0 clamps to the anchor, like the plain form.
+        let mut pending = vec![inter(1, "i"), inter(1, "j")];
+        let batch = next_batch_prioritized(&mut pending, 0, 4);
+        assert_eq!(batch, vec![inter(1, "i")]);
+        assert_eq!(pending, vec![inter(1, "j")]);
     }
 }

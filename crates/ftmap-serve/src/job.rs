@@ -1,5 +1,6 @@
 //! Job identity, status, and the handle a client waits on.
 
+use crate::batcher::LatencyClass;
 use ftmap_core::MappingResult;
 use gpu_sim::CacheStats;
 use std::sync::{Arc, Condvar, Mutex};
@@ -34,11 +35,38 @@ pub struct BatchSummary {
     pub pose_blocks: usize,
     /// Content key of the receptor grids the batch docked against.
     pub receptor_key: u64,
-    /// Residency-cache events the batch caused, summed over the pool.
+    /// Residency-cache events attributed to the batch, summed over the pool.
+    /// Under the pipelined dispatcher batches overlap on the devices, so the
+    /// per-batch split is the events observed since the previous batch
+    /// *completed* — exact in aggregate across batches, approximate between
+    /// two batches in flight at once.
     pub cache: CacheStats,
-    /// Modeled makespan of the batch over the pool (busiest device's
-    /// overlapped stream time).
+    /// Modeled makespan of the batch over the pool: the barriered dispatcher
+    /// reports the busiest device's overlapped stream time per phase, summed;
+    /// the pipelined dispatcher reports the batch's start-to-finish span on
+    /// the modeled virtual timeline.
     pub makespan_modeled_s: f64,
+    /// The latency class the batch ran at (batches are class-homogeneous).
+    pub class: LatencyClass,
+    /// Modeled admission-to-completion latency: batch completion minus the
+    /// *earliest member job's admission* instant on the virtual timeline, so
+    /// it covers queue wait in the dispatcher's pending list (flow control,
+    /// being overtaken) as well as scheduler residence and execution. The
+    /// figure the per-class latency views and the `fig_serve_pipeline` gate
+    /// are built on.
+    pub latency_modeled_s: f64,
+    /// Virtual-timeline instant the batch's first item started.
+    pub started_modeled_s: f64,
+    /// Virtual-timeline instant the batch's last item completed.
+    pub completed_modeled_s: f64,
+    /// Modeled seconds saved versus running this batch's own items under a
+    /// two-phase barrier (dock-phase makespan + minimize-phase makespan) —
+    /// the intra-batch phase-overlap win. 0 under the barriered dispatcher.
+    pub overlap_saved_modeled_s: f64,
+    /// Modeled transfer seconds scoped to exactly this batch's items (never
+    /// shared with a concurrently running batch — the per-batch bucket that
+    /// fixes the ledger-window double-attribution).
+    pub transfer_modeled_s: f64,
 }
 
 /// The finished product a client receives for one job.
@@ -167,6 +195,12 @@ mod tests {
                 receptor_key: 0,
                 cache: CacheStats::default(),
                 makespan_modeled_s: 0.0,
+                class: LatencyClass::Bulk,
+                latency_modeled_s: 0.0,
+                started_modeled_s: 0.0,
+                completed_modeled_s: 0.0,
+                overlap_saved_modeled_s: 0.0,
+                transfer_modeled_s: 0.0,
             },
         })
     }

@@ -21,16 +21,24 @@
 //!   blocks under load (backpressure), [`BatchMappingService::try_submit`]
 //!   refuses and hands the request back (load shedding).
 //! * **Batching** ([`batcher`]) — FIFO-fair grouping of jobs that share a
-//!   receptor, so their probe shards interleave on the pool and share one
-//!   resident grid set per device.
-//! * **Execution** ([`service`]) — one work-stealing
-//!   [`gpu_sim::sched::ShardQueue`] execution per batch over the shared
-//!   [`gpu_sim::sched::DevicePool`]; the per-device **receptor-grid residency
-//!   cache** ([`gpu_sim::ResidencyCache`]) makes every shard after the first
-//!   borrow the uploaded grids for zero transfer bytes.
+//!   receptor, with **latency classes** on top: interactive jobs form batches
+//!   ahead of bulk scans (aging-bounded, so bulk never starves), and batches
+//!   are class-homogeneous so each carries one scheduler priority.
+//! * **Execution** ([`service`]) — by default the **pipelined dispatcher**:
+//!   batches flow through a persistent [`gpu_sim::sched::PhasePipeline`]
+//!   whose phase-tagged items (dock → minimize, per probe) let batch N+1's
+//!   docking overlap batch N's minimization, and let interactive batches
+//!   overtake bulk work at item boundaries. The two-phase-barrier
+//!   [`gpu_sim::sched::ShardQueue`] path remains as
+//!   [`service::DispatchMode::Barrier`]. Either way the per-device
+//!   **receptor-grid residency cache** ([`gpu_sim::ResidencyCache`]) makes
+//!   every shard after the first borrow the uploaded grids for zero transfer
+//!   bytes.
 //! * **Completion** ([`job`]) — [`JobHandle`]s resolve asynchronously to
 //!   deterministic per-job [`JobReport`]s: a job's consensus sites depend only
-//!   on its own request, never on arrival order or batch-mates.
+//!   on its own request, never on arrival order, class or batch-mates. The
+//!   attached [`BatchSummary`] carries the batch's modeled span, latency,
+//!   phase-overlap savings and batch-scoped transfer seconds.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -41,7 +49,8 @@ pub mod queue;
 pub mod request;
 pub mod service;
 
+pub use batcher::{next_batch_prioritized, Batchable, LatencyClass};
 pub use job::{BatchSummary, JobHandle, JobId, JobReport, JobStatus};
 pub use queue::{JobQueue, SubmitError};
 pub use request::MappingRequest;
-pub use service::{BatchMappingService, ServeConfig, ServeStats};
+pub use service::{BatchMappingService, ClassLatency, DispatchMode, ServeConfig, ServeStats};

@@ -1,5 +1,6 @@
 //! Mapping requests: what a client submits to the batch service.
 
+use crate::batcher::LatencyClass;
 use ftmap_core::FtMapConfig;
 use ftmap_molecule::{ForceField, ProbeLibrary, ProbeType, SyntheticProtein};
 
@@ -22,6 +23,11 @@ pub struct MappingRequest {
     pub config: FtMapConfig,
     /// Free-form client label, echoed on the job handle and report.
     pub tag: String,
+    /// Latency class: interactive requests form batches ahead of bulk work
+    /// and overtake it at phase boundaries (aging-bounded — see
+    /// [`crate::batcher`]). Scheduling only; results never depend on it.
+    /// Defaults to [`LatencyClass::Bulk`].
+    pub class: LatencyClass,
 }
 
 impl MappingRequest {
@@ -32,12 +38,25 @@ impl MappingRequest {
         probes: Vec<ProbeType>,
         config: FtMapConfig,
     ) -> Self {
-        MappingRequest { protein, ff, probes, config, tag: String::new() }
+        MappingRequest {
+            protein,
+            ff,
+            probes,
+            config,
+            tag: String::new(),
+            class: LatencyClass::Bulk,
+        }
     }
 
     /// Sets the client tag.
     pub fn with_tag(mut self, tag: impl Into<String>) -> Self {
         self.tag = tag.into();
+        self
+    }
+
+    /// Sets the latency class.
+    pub fn with_class(mut self, class: LatencyClass) -> Self {
+        self.class = class;
         self
     }
 
@@ -93,6 +112,20 @@ mod tests {
         b.tag = "other".into();
         b.config.conformations_per_probe = 7;
         assert_eq!(a.receptor_fingerprint(), b.receptor_fingerprint());
+    }
+
+    #[test]
+    fn class_is_scheduling_metadata_not_identity() {
+        // Latency class must never split a batch key or change a result key:
+        // it defaults to Bulk and is carried verbatim.
+        let spec = ProteinSpec::small_test();
+        let a = request(&spec, 16);
+        let b = request(&spec, 16).with_class(LatencyClass::Interactive);
+        assert_eq!(a.class, LatencyClass::Bulk);
+        assert_eq!(b.class, LatencyClass::Interactive);
+        assert_eq!(a.receptor_fingerprint(), b.receptor_fingerprint());
+        assert_eq!(LatencyClass::Interactive.priority(), 0);
+        assert_eq!(LatencyClass::Bulk.priority(), 1);
     }
 
     #[test]

@@ -4,10 +4,21 @@
 //! multi-device scheduler. Clients submit [`MappingRequest`]s from any thread
 //! and get a [`JobHandle`] back immediately (asynchronous completion); a
 //! dispatcher thread drains the bounded admission queue, forms
-//! receptor-compatible batches ([`crate::batcher`]), and runs each batch's
-//! probe shards through one work-stealing [`ShardQueue`] execution over the
-//! shared [`DevicePool`] — so shards of *different jobs* interleave on the
-//! devices, exactly like shards of different probes in a single run.
+//! receptor-compatible, class-homogeneous batches ([`crate::batcher`]), and
+//! hands each batch to one of two dispatchers:
+//!
+//! * **Pipelined** ([`DispatchMode::Pipelined`], the default) — batches are
+//!   submitted to a persistent [`PhasePipeline`]: each `(job, probe)` entry is
+//!   a phase-tagged dock item whose completion generates that entry's
+//!   minimize-block items, so there is no per-batch phase barrier, and batch
+//!   N+1's probes dock on whichever devices batch N's minimization leaves
+//!   idle. [`LatencyClass::Interactive`] batches carry a more urgent
+//!   scheduler priority and overtake bulk work at item boundaries (the
+//!   batcher's aging bound keeps bulk from starving).
+//! * **Barrier** ([`DispatchMode::Barrier`]) — the classic two-phase
+//!   [`ShardQueue`] schedule, one batch at a time: dock everything, barrier,
+//!   minimize everything. Kept as the measurable comparator (the
+//!   `fig_serve_pipeline` bench gates pipelined throughput against it).
 //!
 //! Per-device receptor-grid residency (`gpu_sim::ResidencyCache`, fed by
 //! `piper_dock::Docking::from_grids`) is what makes multi-tenancy cheap: the
@@ -16,24 +27,45 @@
 //! the resident set for zero transfer bytes. The service additionally memoizes
 //! the *host-side* grid build per receptor fingerprint.
 //!
+//! Accounting under pipelining is **batch-scoped**: each item's transfers are
+//! measured on the servicing device around that item alone and land on the
+//! owning batch's streams ([`gpu_sim::sched::BatchReport`]), so two batches in
+//! flight can never double-attribute a transfer second to the ledger — the
+//! window-based scheme (reset the pool, read `total_transfer_time` at the end)
+//! only works when batches are serial, which the barrier path still is.
+//!
 //! Determinism: a job's report depends only on its own request. Batch
-//! composition, arrival order and device assignment change modeled timings and
-//! cache statistics, never consensus sites (`tests/service_determinism.rs`).
+//! composition, arrival order, latency class, device assignment and
+//! cross-batch interleaving change modeled timings and cache statistics,
+//! never consensus sites (`tests/service_determinism.rs`,
+//! `tests/pipelined_service.rs`).
 
-use crate::batcher::{next_batch, Batchable};
+use crate::batcher::{next_batch_prioritized, Batchable, LatencyClass};
 use crate::job::{BatchSummary, JobHandle, JobId, JobReport, JobSlot};
 use crate::queue::{JobQueue, SubmitError};
 use crate::request::MappingRequest;
 use ftmap_core::{
     cluster_poses, minimize_pose_blocks, ClusterInput, FtMapPipeline, MappingProfile,
-    MappingResult, ProbeShard,
+    MappingResult, PhasedMapBatch, ProbeShard,
 };
-use gpu_sim::sched::{DevicePool, ShardQueue};
+use gpu_sim::sched::{BatchReport, DevicePool, PhasePipeline, PhasedBatch, PhasedExec, ShardQueue};
 use gpu_sim::{CacheStats, StatsLedger};
 use piper_dock::{Docking, ReceptorGrids};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+
+/// How the service turns batches into device work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// Two-phase barrier per batch over a [`ShardQueue`], batches strictly
+    /// serial — the pre-pipelining behavior, kept as the comparator.
+    Barrier,
+    /// Cross-batch phased pipelining over a persistent [`PhasePipeline`]
+    /// with class priorities. The default.
+    #[default]
+    Pipelined,
+}
 
 /// Service tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -45,10 +77,21 @@ pub struct ServeConfig {
     /// Scheduling granularity of a batch's minimization phase: retained poses
     /// per work item. `0` fuses dock + minimize into one item per `(job,
     /// probe)` pair (the coarse schedule); any positive value docks every
-    /// probe in one sharded phase and then interleaves pose blocks from *all*
-    /// the batch's jobs in a second, so one hot job's — or one hot probe's —
-    /// minimizations spread across the whole pool.
+    /// probe once and then schedules pose blocks from *all* the batch's jobs,
+    /// so one hot job's — or one hot probe's — minimizations spread across
+    /// the whole pool.
     pub pose_block: usize,
+    /// Which dispatcher runs the batches.
+    pub dispatch: DispatchMode,
+    /// Pipelined mode only: how many batches may be in flight on the pool at
+    /// once. 2 is the classic double-buffer — batch N+1 docks under batch N's
+    /// minimization; higher values deepen the pipeline at the cost of
+    /// latency-class responsiveness for work already submitted.
+    pub max_inflight_batches: usize,
+    /// Aging bound for the priority batcher: how many interactive batches may
+    /// overtake a pending bulk job before it anchors the next batch itself.
+    /// `0` disables overtaking entirely (pure FIFO).
+    pub bulk_aging: usize,
 }
 
 impl Default for ServeConfig {
@@ -57,6 +100,44 @@ impl Default for ServeConfig {
             max_pending: 64,
             max_batch_jobs: 16,
             pose_block: ftmap_core::DEFAULT_POSE_BLOCK,
+            dispatch: DispatchMode::default(),
+            max_inflight_batches: 2,
+            bulk_aging: 4,
+        }
+    }
+}
+
+/// Latency summary over one class's completed batches (modeled seconds on the
+/// scheduler's virtual timeline).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ClassLatency {
+    /// Batches of this class completed.
+    pub batches: usize,
+    /// Mean modeled latency.
+    pub mean_s: f64,
+    /// 95th-percentile modeled latency (nearest-rank).
+    pub p95_s: f64,
+    /// Worst modeled latency.
+    pub max_s: f64,
+}
+
+impl ClassLatency {
+    /// Summarizes a set of latency samples (seconds): count, mean,
+    /// nearest-rank p95, max. The one percentile definition every consumer —
+    /// `ServeStats` and the bench gates alike — reports.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return ClassLatency::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let p95_idx = ((n as f64 * 0.95).ceil() as usize).clamp(1, n) - 1;
+        ClassLatency {
+            batches: n,
+            mean_s: sorted.iter().sum::<f64>() / n as f64,
+            p95_s: sorted[p95_idx],
+            max_s: sorted[n - 1],
         }
     }
 }
@@ -68,11 +149,33 @@ pub struct ServeStats {
     pub jobs_submitted: usize,
     /// Jobs completed so far.
     pub jobs_completed: usize,
-    /// Batches executed so far.
+    /// Batches formed and dispatched so far. Under the pipelined dispatcher a
+    /// batch counts as soon as it is handed to the scheduler (its index is
+    /// assigned then), so this can run ahead of completions while batches are
+    /// in flight; completed-batch counts are the per-class latency views'
+    /// `batches` fields.
     pub batches_run: usize,
     /// The service ledger: residency-cache events and per-batch transfer
-    /// seconds (phase `"serve.batch"`).
+    /// seconds (phase `"serve.batch"`, batch-scoped under pipelining).
     pub ledger: StatsLedger,
+    /// Latency view of completed interactive batches (sliding window: the
+    /// most recent 4096 per class; counters above remain exact forever).
+    pub interactive: ClassLatency,
+    /// Latency view of completed bulk batches (same sliding window).
+    pub bulk: ClassLatency,
+    /// Modeled span of the completed batches in the sliding window: last
+    /// batch completion minus first batch start on the virtual timeline.
+    /// Under pipelining this is the pool's modeled wall time — the figure the
+    /// barriered dispatcher can only match by summing per-batch makespans.
+    pub span_modeled_s: f64,
+    /// Summed modeled batch-span seconds in excess of the timeline they
+    /// jointly cover (Σ spans − their union): the span time that ran
+    /// *concurrently with* other batches instead of extending the timeline —
+    /// the cross-batch overlap the pipelined dispatcher wins. An instant
+    /// covered by k batches contributes k−1 seconds per second, so with deep
+    /// in-flight windows this can exceed [`ServeStats::span_modeled_s`]. 0
+    /// under the barriered dispatcher, whose batches are serial.
+    pub cross_batch_overlap_modeled_s: f64,
 }
 
 impl ServeStats {
@@ -81,6 +184,14 @@ impl ServeStats {
     pub fn cache(&self) -> CacheStats {
         self.ledger.cache_stats()
     }
+
+    /// The per-class latency view for `class`.
+    pub fn latency(&self, class: LatencyClass) -> ClassLatency {
+        match class {
+            LatencyClass::Interactive => self.interactive,
+            LatencyClass::Bulk => self.bulk,
+        }
+    }
 }
 
 /// One admitted job travelling through the queue.
@@ -88,6 +199,13 @@ struct Job {
     id: JobId,
     request: MappingRequest,
     fingerprint: u64,
+    class: LatencyClass,
+    overtaken: usize,
+    /// Virtual-timeline instant of admission: batch latency measures from the
+    /// earliest admitted job, so time spent in the dispatcher's pending queue
+    /// (waiting out `max_inflight_batches` flow control or being overtaken)
+    /// counts as modeled queue wait, not just scheduler-residence time.
+    admitted_v_s: f64,
     slot: Arc<JobSlot>,
 }
 
@@ -95,13 +213,97 @@ impl Batchable for Job {
     fn fingerprint(&self) -> u64 {
         self.fingerprint
     }
+
+    fn class(&self) -> LatencyClass {
+        self.class
+    }
+
+    fn note_overtaken(&mut self) {
+        self.overtaken += 1;
+    }
+
+    fn overtaken(&self) -> usize {
+        self.overtaken
+    }
+}
+
+/// Most recent batches the latency/span views cover. A long-lived service
+/// completes batches indefinitely; bounding the books keeps `stats()` cost
+/// and memory flat — the views are a sliding window, which is what a latency
+/// dashboard wants anyway (the monotone counters remain exact forever).
+const LATENCY_WINDOW: usize = 4096;
+
+/// Per-batch latency/span bookkeeping (modeled virtual-timeline seconds),
+/// bounded to the most recent [`LATENCY_WINDOW`] entries per series.
+#[derive(Default)]
+struct LatencyBook {
+    interactive_s: Vec<f64>,
+    bulk_s: Vec<f64>,
+    /// `(started, completed)` per batch, completion order.
+    spans: Vec<(f64, f64)>,
+}
+
+/// Appends to a sliding-window series, evicting the oldest past the cap.
+fn push_windowed<T>(series: &mut Vec<T>, value: T) {
+    if series.len() == LATENCY_WINDOW {
+        series.remove(0);
+    }
+    series.push(value);
+}
+
+impl LatencyBook {
+    fn record(&mut self, class: LatencyClass, latency_s: f64, span: (f64, f64)) {
+        match class {
+            LatencyClass::Interactive => push_windowed(&mut self.interactive_s, latency_s),
+            LatencyClass::Bulk => push_windowed(&mut self.bulk_s, latency_s),
+        }
+        push_windowed(&mut self.spans, span);
+    }
+
+    /// `(overall span, cross-batch overlap)`: max completion minus min start,
+    /// and Σ span lengths minus their union — an instant covered by k spans
+    /// contributes k−1 (see [`ServeStats::cross_batch_overlap_modeled_s`]).
+    fn span_stats(&self) -> (f64, f64) {
+        if self.spans.is_empty() {
+            return (0.0, 0.0);
+        }
+        let mut sorted = self.spans.clone();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let total: f64 = sorted.iter().map(|(s, e)| (e - s).max(0.0)).sum();
+        let first_start = sorted[0].0;
+        let mut union = 0.0;
+        let mut last_end = sorted[0].0;
+        let mut cur = sorted[0];
+        for &(s, e) in &sorted[1..] {
+            if s > cur.1 {
+                union += cur.1 - cur.0;
+                cur = (s, e);
+            } else {
+                cur.1 = cur.1.max(e);
+            }
+            last_end = last_end.max(e);
+        }
+        last_end = last_end.max(cur.1);
+        union += cur.1 - cur.0;
+        (last_end - first_start, (total - union).max(0.0))
+    }
 }
 
 struct Shared {
     queue: JobQueue<Job>,
     pool: Arc<DevicePool>,
     config: ServeConfig,
+    /// The persistent phased scheduler (pipelined mode only).
+    sched: Option<PhasePipeline>,
     ledger: Mutex<StatsLedger>,
+    latency: Mutex<LatencyBook>,
+    /// Last-seen per-device residency-cache counters; batch completions take
+    /// deltas against these, so cache events partition exactly across
+    /// completions even when batches overlap (pipelined mode).
+    cache_mark: Mutex<Vec<CacheStats>>,
+    /// Barrier mode's modeled timeline: batches run back to back, so each
+    /// batch's span is `[clock, clock + makespan)`.
+    modeled_clock: Mutex<f64>,
     jobs_submitted: AtomicUsize,
     jobs_completed: AtomicUsize,
     batches_run: AtomicUsize,
@@ -135,6 +337,37 @@ impl Shared {
         memo.truncate(GRIDS_MEMO_CAP);
         grids
     }
+
+    /// Residency-cache events since the previous call, pool-wide. Completion
+    /// windows never overlap (each event is counted against exactly one
+    /// completion), which is what keeps the aggregate exact under pipelining.
+    fn take_cache_delta(&self) -> CacheStats {
+        let mut mark = self.cache_mark.lock().expect("cache mark poisoned");
+        let mut delta = CacheStats::default();
+        for (device, before) in self.pool.devices().iter().zip(mark.iter_mut()) {
+            let now = device.residency().stats();
+            delta.accumulate(&now.delta_since(before));
+            *before = now;
+        }
+        delta
+    }
+
+    /// One pipeline per job (each job keeps its own config), all sharing the
+    /// pool and the prebuilt receptor grids.
+    fn job_pipelines(&self, batch: &[Job], receptor: &Arc<ReceptorGrids>) -> Vec<FtMapPipeline> {
+        batch
+            .iter()
+            .map(|job| {
+                FtMapPipeline::with_shared_resources(
+                    job.request.protein.clone(),
+                    job.request.ff.clone(),
+                    job.request.config.clone(),
+                    Arc::clone(&self.pool),
+                    Arc::clone(receptor),
+                )
+            })
+            .collect()
+    }
 }
 
 /// The multi-tenant batch-mapping service. See the [module docs](crate::service).
@@ -145,20 +378,35 @@ pub struct BatchMappingService {
 }
 
 impl BatchMappingService {
-    /// Starts a service over `pool` and spawns its dispatcher thread.
+    /// Starts a service over `pool` and spawns its dispatcher thread (plus,
+    /// in pipelined mode, one persistent scheduler worker per pooled device).
     ///
     /// # Panics
-    /// Panics if `config.max_pending` or `config.max_batch_jobs` is zero —
-    /// validated here, at construction, because a bad bound discovered later,
-    /// on the dispatcher thread, would kill the dispatcher and strand every
-    /// in-flight job handle.
+    /// Panics if `config.max_pending`, `config.max_batch_jobs` or
+    /// `config.max_inflight_batches` is zero — validated here, at
+    /// construction, because a bad bound discovered later, on the dispatcher
+    /// thread, would kill the dispatcher and strand every in-flight job
+    /// handle.
     pub fn new(pool: Arc<DevicePool>, config: ServeConfig) -> Self {
         assert!(config.max_batch_jobs > 0, "ServeConfig.max_batch_jobs must be at least 1");
+        assert!(
+            config.max_inflight_batches > 0,
+            "ServeConfig.max_inflight_batches must be at least 1"
+        );
+        let sched = match config.dispatch {
+            DispatchMode::Pipelined => Some(PhasePipeline::new(Arc::clone(&pool))),
+            DispatchMode::Barrier => None,
+        };
+        let cache_mark = pool.devices().iter().map(|d| d.residency().stats()).collect();
         let shared = Arc::new(Shared {
             queue: JobQueue::new(config.max_pending),
             pool,
             config,
+            sched,
             ledger: Mutex::new(StatsLedger::new()),
+            latency: Mutex::new(LatencyBook::default()),
+            cache_mark: Mutex::new(cache_mark),
+            modeled_clock: Mutex::new(0.0),
             jobs_submitted: AtomicUsize::new(0),
             jobs_completed: AtomicUsize::new(0),
             batches_run: AtomicUsize::new(0),
@@ -183,7 +431,19 @@ impl BatchMappingService {
 
     fn admit(&self, request: MappingRequest) -> Job {
         let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
-        Job { id, fingerprint: request.receptor_fingerprint(), slot: JobSlot::new(), request }
+        let admitted_v_s = match &self.shared.sched {
+            Some(sched) => sched.now_v_s(),
+            None => *self.shared.modeled_clock.lock().expect("modeled clock poisoned"),
+        };
+        Job {
+            id,
+            fingerprint: request.receptor_fingerprint(),
+            class: request.class,
+            overtaken: 0,
+            admitted_v_s,
+            slot: JobSlot::new(),
+            request,
+        }
     }
 
     /// Submits a request, **blocking** while the admission queue is full
@@ -224,18 +484,24 @@ impl BatchMappingService {
         }
     }
 
-    /// A snapshot of the service counters and ledger.
+    /// A snapshot of the service counters, ledger and latency views.
     pub fn stats(&self) -> ServeStats {
+        let book = self.shared.latency.lock().expect("latency book poisoned");
+        let (span_modeled_s, cross_batch_overlap_modeled_s) = book.span_stats();
         ServeStats {
             jobs_submitted: self.shared.jobs_submitted.load(Ordering::Relaxed),
             jobs_completed: self.shared.jobs_completed.load(Ordering::Relaxed),
             batches_run: self.shared.batches_run.load(Ordering::Relaxed),
             ledger: self.shared.ledger.lock().expect("ledger poisoned").clone(),
+            interactive: ClassLatency::from_samples(&book.interactive_s),
+            bulk: ClassLatency::from_samples(&book.bulk_s),
+            span_modeled_s,
+            cross_batch_overlap_modeled_s,
         }
     }
 
-    /// Stops admissions, drains every pending job, joins the dispatcher, and
-    /// returns the final stats.
+    /// Stops admissions, drains every pending job (including in-flight
+    /// pipelined batches), joins the dispatcher, and returns the final stats.
     pub fn shutdown(mut self) -> ServeStats {
         self.close_and_join();
         self.stats()
@@ -268,25 +534,148 @@ fn strip(err: SubmitError<Job>) -> SubmitError<MappingRequest> {
     }
 }
 
-/// The dispatcher: drain → batch → execute, until closed and empty.
-fn dispatch_loop(shared: &Shared) {
+/// The dispatcher: drain → batch → dispatch, until closed and empty; then
+/// wait out whatever the phased scheduler still has in flight.
+fn dispatch_loop(shared: &Arc<Shared>) {
     let mut pending: Vec<Job> = Vec::new();
     loop {
         // Opportunistic top-up so jobs that arrived during the previous batch
-        // can join the next compatible one.
+        // can join — or overtake into — the next compatible one.
         pending.extend(shared.queue.drain_now());
         if pending.is_empty() {
             match shared.queue.drain_wait() {
                 Some(jobs) => pending.extend(jobs),
-                None => return, // closed and fully drained
+                None => break, // closed and fully drained
             }
         }
-        let batch = next_batch(&mut pending, shared.config.max_batch_jobs);
-        run_batch(shared, batch);
+        let batch = next_batch_prioritized(
+            &mut pending,
+            shared.config.max_batch_jobs,
+            shared.config.bulk_aging,
+        );
+        match shared.config.dispatch {
+            DispatchMode::Barrier => run_batch(shared, batch),
+            DispatchMode::Pipelined => submit_batch(shared, batch),
+        }
+    }
+    if let Some(sched) = &shared.sched {
+        sched.drain();
     }
 }
 
-/// Executes one receptor-compatible batch over the pool and completes its jobs.
+/// Pipelined dispatch: hand the batch to the phased scheduler and return as
+/// soon as flow control allows — completion (result assembly, job slots,
+/// ledger) happens in the scheduler's completion callback, while this thread
+/// goes back to forming the next batch.
+fn submit_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
+    if batch.is_empty() {
+        return;
+    }
+    let sched = shared.sched.as_ref().expect("pipelined dispatch without a scheduler");
+    // Flow control: keep at most `max_inflight_batches` on the pool — enough
+    // that batch N+1 docks under batch N's minimization, bounded so priority
+    // admission stays responsive and memory stays flat.
+    sched.wait_capacity(shared.config.max_inflight_batches);
+
+    let batch_index = shared.batches_run.fetch_add(1, Ordering::Relaxed);
+    for job in &batch {
+        job.slot.set_running();
+    }
+    let class = batch[0].class;
+    let receptor = shared.receptor_for(batch[0].fingerprint, &batch[0]);
+    let receptor_key = receptor.content_key();
+    let pipelines = shared.job_pipelines(&batch, &receptor);
+    let entries: Vec<(usize, ftmap_molecule::Probe)> = batch
+        .iter()
+        .enumerate()
+        .flat_map(|(job_idx, job)| {
+            job.request
+                .library()
+                .probes()
+                .iter()
+                .map(move |p| (job_idx, p.clone()))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let exec = Arc::new(PhasedMapBatch::new(pipelines, entries, shared.config.pose_block));
+
+    let callback = {
+        let shared = Arc::clone(shared);
+        let exec = Arc::clone(&exec);
+        Box::new(move |report: BatchReport| {
+            complete_pipelined_batch(
+                &shared,
+                batch,
+                &exec,
+                receptor_key,
+                batch_index,
+                class,
+                &report,
+            );
+        }) as Box<dyn FnOnce(BatchReport) + Send>
+    };
+    sched.submit(
+        PhasedBatch {
+            priority: class.priority(),
+            entries: exec.entries(),
+            dock_weights: exec.dock_weights(),
+            exec: exec as Arc<dyn PhasedExec>,
+        },
+        Some(callback),
+    );
+}
+
+/// Completion of a pipelined batch (runs on a scheduler worker): batch-scoped
+/// accounting, summary, per-job assembly.
+fn complete_pipelined_batch(
+    shared: &Shared,
+    batch: Vec<Job>,
+    exec: &PhasedMapBatch,
+    receptor_key: u64,
+    batch_index: usize,
+    class: LatencyClass,
+    report: &BatchReport,
+) {
+    let cache_delta = shared.take_cache_delta();
+    let transfer_s = report.transfer_modeled_s();
+    {
+        let mut ledger = shared.ledger.lock().expect("ledger poisoned");
+        ledger.record_cache(&cache_delta);
+        // Batch-scoped bucket: `transfer_s` was measured around exactly this
+        // batch's items, so concurrent batches can never double-charge it.
+        ledger.record_transfer_s("serve.batch", transfer_s);
+    }
+    // Latency counts from the earliest job's *admission* instant, so modeled
+    // queue wait spent in the dispatcher's pending list (flow control,
+    // overtaking) is part of the figure — not just scheduler residence.
+    let admitted_v_s =
+        batch.iter().map(|job| job.admitted_v_s).fold(report.submitted_v_s, f64::min);
+    let latency_modeled_s = (report.completed_v_s - admitted_v_s).max(0.0);
+    shared.latency.lock().expect("latency book poisoned").record(
+        class,
+        latency_modeled_s,
+        (report.started_v_s, report.completed_v_s),
+    );
+    let summary = BatchSummary {
+        batch_index,
+        jobs: batch.len(),
+        probes: report.docks,
+        pose_blocks: report.blocks,
+        receptor_key,
+        cache: cache_delta,
+        makespan_modeled_s: report.span_modeled_s(),
+        class,
+        latency_modeled_s,
+        started_modeled_s: report.started_v_s,
+        completed_modeled_s: report.completed_v_s,
+        overlap_saved_modeled_s: report.overlap_saved_s(),
+        transfer_modeled_s: transfer_s,
+    };
+    finish_jobs(shared, batch, exec.take_shards(), summary);
+}
+
+/// Executes one batch under the two-phase barrier and completes its jobs —
+/// the serial comparator path.
 fn run_batch(shared: &Shared, batch: Vec<Job>) {
     if batch.is_empty() {
         return;
@@ -295,31 +684,17 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
     for job in &batch {
         job.slot.set_running();
     }
+    let class = batch[0].class;
 
     // One host-side grid build per receptor fingerprint (memoized, bounded).
     let receptor = shared.receptor_for(batch[0].fingerprint, &batch[0]);
-
-    // One pipeline per job (each job keeps its own config), all sharing the
-    // pool and the prebuilt receptor grids.
-    let pipelines: Vec<FtMapPipeline> = batch
-        .iter()
-        .map(|job| {
-            FtMapPipeline::with_shared_resources(
-                job.request.protein.clone(),
-                job.request.ff.clone(),
-                job.request.config.clone(),
-                Arc::clone(&shared.pool),
-                Arc::clone(&receptor),
-            )
-        })
-        .collect();
+    let pipelines = shared.job_pipelines(&batch, &receptor);
     let libraries: Vec<_> = batch.iter().map(|job| job.request.library()).collect();
 
-    // Per-batch accounting windows: transfers reset (gauge), cache snapshotted
-    // (monotonic counters — residency itself must survive between batches).
+    // Per-batch accounting windows: transfers reset (gauge) — sound here
+    // because barrier batches are strictly serial on the pool — and cache
+    // deltas taken at completion like the pipelined path.
     shared.pool.reset_transfer_stats();
-    let cache_before: Vec<CacheStats> =
-        shared.pool.devices().iter().map(|d| d.residency().stats()).collect();
 
     // Interleave every job's probes through work-stealing execution: one fused
     // dock+minimize item per (job, probe) under the coarse schedule, or a
@@ -378,15 +753,30 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
         (shards, phase.n_blocks, dock.makespan_s() + phase.makespan_s)
     };
 
-    let mut cache_delta = CacheStats::default();
-    for (device, before) in shared.pool.devices().iter().zip(&cache_before) {
-        cache_delta.accumulate(&device.residency().stats().delta_since(before));
-    }
+    let cache_delta = shared.take_cache_delta();
+    let transfer_s = shared.pool.total_transfer_time();
     {
         let mut ledger = shared.ledger.lock().expect("ledger poisoned");
         ledger.record_cache(&cache_delta);
-        ledger.record_transfer_s("serve.batch", shared.pool.total_transfer_time());
+        ledger.record_transfer_s("serve.batch", transfer_s);
     }
+
+    // Barrier batches run back to back on the modeled timeline; latency
+    // counts from the earliest job's admission instant (the clock value when
+    // it was admitted), so queue wait behind earlier batches is included.
+    let (started_modeled_s, completed_modeled_s) = {
+        let mut clock = shared.modeled_clock.lock().expect("modeled clock poisoned");
+        let started = *clock;
+        *clock += makespan_modeled_s;
+        (started, *clock)
+    };
+    let admitted_v_s = batch.iter().map(|job| job.admitted_v_s).fold(started_modeled_s, f64::min);
+    let latency_modeled_s = (completed_modeled_s - admitted_v_s).max(0.0);
+    shared.latency.lock().expect("latency book poisoned").record(
+        class,
+        latency_modeled_s,
+        (started_modeled_s, completed_modeled_s),
+    );
 
     let summary = BatchSummary {
         batch_index,
@@ -396,12 +786,26 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
         receptor_key: receptor.content_key(),
         cache: cache_delta,
         makespan_modeled_s,
+        class,
+        latency_modeled_s,
+        started_modeled_s,
+        completed_modeled_s,
+        overlap_saved_modeled_s: 0.0,
+        transfer_modeled_s: transfer_s,
     };
+    finish_jobs(shared, batch, shards, summary);
+}
 
-    // Re-assemble each job's result from its own shards. Results arrive in
-    // submission order (ShardQueue's determinism guarantee), which is exactly
-    // (job, probe) order — so each job sees its probes in library order, and
-    // its sites are identical to a dedicated single-job run.
+/// Re-assembles each job's result from its own shards and completes the job
+/// slots. Shards arrive in `(job, probe)` submission order (both dispatchers
+/// guarantee it), so each job sees its probes in library order and its sites
+/// are identical to a dedicated single-job run.
+fn finish_jobs(
+    shared: &Shared,
+    batch: Vec<Job>,
+    shards: Vec<(usize, ProbeShard)>,
+    summary: BatchSummary,
+) {
     let mut per_job: Vec<(MappingProfile, Vec<ClusterInput>, usize)> =
         (0..batch.len()).map(|_| (MappingProfile::default(), Vec::new(), 0)).collect();
     for (job_idx, shard) in shards {
@@ -458,10 +862,14 @@ mod tests {
         assert_eq!(report_a.result.conformations_minimized, 1);
         assert_eq!(report_b.result.conformations_minimized, 2);
         assert!(report_b.batch.makespan_modeled_s > 0.0);
+        assert_eq!(report_b.batch.class, LatencyClass::Bulk);
         let stats = service.shutdown();
         assert_eq!(stats.jobs_submitted, 2);
         assert_eq!(stats.jobs_completed, 2);
         assert!(stats.batches_run >= 1);
+        assert!(stats.bulk.batches >= 1);
+        assert_eq!(stats.interactive.batches, 0);
+        assert!(stats.span_modeled_s > 0.0);
         // Residency: at most one grid-set miss per device, everything else hit.
         assert!(stats.cache().misses <= 2);
         assert!(stats.cache().lookups() >= 3, "one lookup per probe shard");
@@ -535,6 +943,103 @@ mod tests {
     }
 
     #[test]
+    fn barrier_dispatch_still_works_and_matches_pipelined_results() {
+        // The comparator path: same job set through DispatchMode::Barrier and
+        // DispatchMode::Pipelined — identical per-job sites.
+        let make = || request(&[ProbeType::Ethanol, ProbeType::Acetone], "cmp");
+        let barrier_service = BatchMappingService::new(
+            Arc::new(DevicePool::tesla(2)),
+            ServeConfig { dispatch: DispatchMode::Barrier, ..ServeConfig::default() },
+        );
+        let barrier = barrier_service.submit(make()).expect("admitted").wait();
+        let pipelined_service = BatchMappingService::new(
+            Arc::new(DevicePool::tesla(2)),
+            ServeConfig { dispatch: DispatchMode::Pipelined, ..ServeConfig::default() },
+        );
+        let pipelined = pipelined_service.submit(make()).expect("admitted").wait();
+        assert_eq!(barrier.result.sites.len(), pipelined.result.sites.len());
+        for (a, b) in barrier.result.sites.iter().zip(&pipelined.result.sites) {
+            assert_eq!(a.rank, b.rank);
+            assert!(a.cluster.center.distance(b.cluster.center) == 0.0);
+        }
+        // The barrier path reports no phase overlap; the pipelined path's
+        // summary carries the virtual-timeline fields.
+        assert_eq!(barrier.batch.overlap_saved_modeled_s, 0.0);
+        assert!(pipelined.batch.completed_modeled_s >= pipelined.batch.started_modeled_s);
+        let stats = barrier_service.shutdown();
+        assert_eq!(stats.cross_batch_overlap_modeled_s, 0.0, "barrier batches are serial");
+        pipelined_service.shutdown();
+    }
+
+    #[test]
+    fn interactive_jobs_report_their_class_and_latency_view() {
+        let service = BatchMappingService::new(
+            Arc::new(DevicePool::tesla(2)),
+            ServeConfig { max_batch_jobs: 1, ..ServeConfig::default() },
+        );
+        let bulk = service.submit(request(&[ProbeType::Ethanol], "bulk")).expect("admitted");
+        let inter = service
+            .submit(request(&[ProbeType::Acetone], "inter").with_class(LatencyClass::Interactive))
+            .expect("admitted");
+        let bulk_report = bulk.wait();
+        let inter_report = inter.wait();
+        assert_eq!(bulk_report.batch.class, LatencyClass::Bulk);
+        assert_eq!(inter_report.batch.class, LatencyClass::Interactive);
+        assert!(inter_report.batch.latency_modeled_s >= 0.0);
+        let stats = service.shutdown();
+        assert_eq!(stats.interactive.batches, 1);
+        assert!(stats.bulk.batches >= 1);
+        assert_eq!(stats.latency(LatencyClass::Interactive), stats.interactive);
+        assert!(stats.interactive.max_s >= stats.interactive.p95_s);
+        assert!(stats.interactive.p95_s >= 0.0);
+    }
+
+    #[test]
+    fn pipelined_transfer_buckets_are_batch_scoped_not_windowed() {
+        // Regression for the double-attribution bug: two batches overlapping
+        // on the pool must partition the pool's cumulative transfer time —
+        // the ledger's "serve.batch" bucket equals the pool total exactly,
+        // and each batch's own figure is positive. Under the old windowed
+        // scheme (reset + read total around each batch) the overlap would
+        // charge batch N+1's uploads to batch N as well.
+        let pool = Arc::new(DevicePool::tesla(2));
+        pool.reset_transfer_stats();
+        let service = BatchMappingService::new(
+            Arc::clone(&pool),
+            // Force distinct consecutive batches that overlap in flight.
+            ServeConfig { max_batch_jobs: 1, max_inflight_batches: 2, ..ServeConfig::default() },
+        );
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                service
+                    .submit(request(&[ProbeType::Ethanol, ProbeType::Urea], &format!("t{i}")))
+                    .expect("admitted")
+            })
+            .collect();
+        let reports: Vec<_> = handles.iter().map(|h| h.wait()).collect();
+        let stats = service.shutdown();
+        let pool_total = pool.total_transfer_time();
+        assert!(pool_total > 0.0);
+        let ledger_total = stats.ledger.transfer_s("serve.batch");
+        assert!(
+            (ledger_total - pool_total).abs() < 1e-9,
+            "ledger bucket {ledger_total} != pool total {pool_total}"
+        );
+        let batch_sum: f64 = {
+            // Each distinct batch contributes once (jobs share summaries).
+            let mut seen = std::collections::BTreeMap::new();
+            for r in &reports {
+                seen.insert(r.batch.batch_index, r.batch.transfer_modeled_s);
+            }
+            seen.values().sum()
+        };
+        assert!(
+            (batch_sum - pool_total).abs() < 1e-9,
+            "per-batch transfers {batch_sum} != pool total {pool_total}"
+        );
+    }
+
+    #[test]
     fn try_submit_sheds_when_the_queue_is_full() {
         // A service whose dispatcher is busy accumulates pending jobs; with
         // max_pending = 1 the second concurrent try_submit must be refused
@@ -595,6 +1100,15 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "max_inflight_batches")]
+    fn zero_inflight_bound_is_rejected_at_construction() {
+        let _ = BatchMappingService::new(
+            Arc::new(DevicePool::tesla(1)),
+            ServeConfig { max_inflight_batches: 0, ..ServeConfig::default() },
+        );
+    }
+
+    #[test]
     fn shutdown_drains_pending_jobs_before_returning() {
         let service =
             BatchMappingService::new(Arc::new(DevicePool::tesla(1)), ServeConfig::default());
@@ -608,5 +1122,32 @@ mod tests {
         for handle in &handles {
             assert!(handle.is_completed(), "{} left incomplete by shutdown", handle.tag());
         }
+    }
+
+    #[test]
+    fn class_latency_percentiles_are_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let lat = ClassLatency::from_samples(&samples);
+        assert_eq!(lat.batches, 100);
+        assert_eq!(lat.p95_s, 95.0);
+        assert_eq!(lat.max_s, 100.0);
+        assert!((lat.mean_s - 50.5).abs() < 1e-12);
+        assert_eq!(ClassLatency::from_samples(&[]), ClassLatency::default());
+        let one = ClassLatency::from_samples(&[2.5]);
+        assert_eq!(one.p95_s, 2.5);
+        assert_eq!(one.batches, 1);
+    }
+
+    #[test]
+    fn span_stats_measure_cross_batch_overlap() {
+        let mut book = LatencyBook::default();
+        book.record(LatencyClass::Bulk, 4.0, (0.0, 4.0));
+        book.record(LatencyClass::Bulk, 5.0, (3.0, 8.0));
+        book.record(LatencyClass::Interactive, 1.0, (10.0, 11.0));
+        let (span, overlap) = book.span_stats();
+        assert!((span - 11.0).abs() < 1e-12);
+        // [3,4) is covered twice: one modeled second of cross-batch overlap.
+        assert!((overlap - 1.0).abs() < 1e-12);
+        assert_eq!(LatencyBook::default().span_stats(), (0.0, 0.0));
     }
 }

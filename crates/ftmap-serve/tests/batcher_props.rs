@@ -1,0 +1,133 @@
+//! Property tests on the priority batcher: under **arbitrary** interleavings
+//! of interactive/bulk arrivals and batch extractions, every bulk job is
+//! dispatched within its aging bound — interactive overtaking can delay a
+//! bulk job by at most `aging` batches on top of the queue ahead of it at
+//! arrival — and extraction never loses, duplicates or reorders jobs within a
+//! class.
+
+use ftmap_serve::{next_batch_prioritized, Batchable, LatencyClass};
+use proptest::prelude::*;
+
+#[derive(Debug)]
+struct TestJob {
+    id: usize,
+    fingerprint: u64,
+    class: LatencyClass,
+    overtaken: usize,
+    /// Jobs pending when this one arrived (its FIFO backlog).
+    ahead_at_arrival: usize,
+    /// Batches extracted before this job arrived.
+    batches_at_arrival: usize,
+}
+
+impl Batchable for TestJob {
+    fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+    fn class(&self) -> LatencyClass {
+        self.class
+    }
+    fn note_overtaken(&mut self) {
+        self.overtaken += 1;
+    }
+    fn overtaken(&self) -> usize {
+        self.overtaken
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Starvation-freedom: for every bulk job, the number of batches formed
+    /// between its arrival and its dispatch is at most
+    /// `ahead_at_arrival + aging + 1` — no interactive arrival sequence can
+    /// push it further, because each overtake bumps its counter and an
+    /// exhausted counter forces it to anchor.
+    #[test]
+    fn bulk_jobs_are_dispatched_within_the_aging_bound(
+        // Each event: (kind, fingerprint). kind 0 = extract a batch,
+        // 1 = bulk arrival, 2-3 = interactive arrival (biased interactive,
+        // the adversarial direction).
+        events in prop::collection::vec((0u8..4, 0u64..3), 1..120),
+        knobs in (0usize..6, 1usize..5),
+    ) {
+        let (aging, max_jobs) = knobs;
+        let mut pending: Vec<TestJob> = Vec::new();
+        let mut next_id = 0usize;
+        let mut batches_formed = 0usize;
+        let mut dispatched: Vec<(TestJob, usize)> = Vec::new(); // (job, dispatch batch no.)
+
+        let run_extract = |pending: &mut Vec<TestJob>,
+                               batches_formed: &mut usize,
+                               dispatched: &mut Vec<(TestJob, usize)>| {
+            let before: Vec<usize> = pending.iter().map(|j| j.id).collect();
+            let batch = next_batch_prioritized(pending, max_jobs, aging);
+            if batch.is_empty() {
+                prop_assert!(before.is_empty(), "non-empty queue yielded an empty batch");
+                return Ok(());
+            }
+            *batches_formed += 1;
+            // Class-homogeneous, same-fingerprint, arrival-ordered batches.
+            let class = batch[0].class;
+            let fp = batch[0].fingerprint;
+            prop_assert!(batch.iter().all(|j| j.class == class && j.fingerprint == fp));
+            prop_assert!(batch.windows(2).all(|w| w[0].id < w[1].id));
+            prop_assert!(batch.len() <= max_jobs.max(1));
+            // Nothing lost or duplicated; survivors keep arrival order.
+            let after: Vec<usize> = pending.iter().map(|j| j.id).collect();
+            prop_assert!(after.windows(2).all(|w| w[0] < w[1]));
+            let mut reassembled: Vec<usize> =
+                after.iter().copied().chain(batch.iter().map(|j| j.id)).collect();
+            reassembled.sort_unstable();
+            let mut expected = before;
+            expected.sort_unstable();
+            prop_assert_eq!(reassembled, expected);
+            for job in batch {
+                let n = *batches_formed;
+                dispatched.push((job, n));
+            }
+            Ok(())
+        };
+
+        for &(kind, fp) in &events {
+            if kind == 0 {
+                run_extract(&mut pending, &mut batches_formed, &mut dispatched)?;
+            } else {
+                let class =
+                    if kind == 1 { LatencyClass::Bulk } else { LatencyClass::Interactive };
+                pending.push(TestJob {
+                    id: next_id,
+                    fingerprint: fp,
+                    class,
+                    overtaken: 0,
+                    ahead_at_arrival: pending.len(),
+                    batches_at_arrival: batches_formed,
+                });
+                next_id += 1;
+            }
+        }
+        // Drain whatever is left so every job gets a dispatch record.
+        while !pending.is_empty() {
+            run_extract(&mut pending, &mut batches_formed, &mut dispatched)?;
+        }
+
+        // Every job dispatched exactly once.
+        prop_assert_eq!(dispatched.len(), next_id);
+        for (job, dispatch_batch) in &dispatched {
+            let waited = dispatch_batch - job.batches_at_arrival;
+            let bound = job.ahead_at_arrival + aging + 1;
+            if job.class == LatencyClass::Bulk {
+                prop_assert!(
+                    waited <= bound,
+                    "bulk job {} waited {} batches, bound {} (ahead {}, aging {})",
+                    job.id, waited, bound, job.ahead_at_arrival, aging
+                );
+                prop_assert!(job.overtaken <= aging, "counter overshot the aging knob");
+            } else {
+                // Interactive jobs also respect the FIFO bound (they can only
+                // move forward, never backward).
+                prop_assert!(waited <= bound);
+            }
+        }
+    }
+}

@@ -42,8 +42,10 @@
 //!   uploaded buffers (receptor grids) resident in modeled device memory, so
 //!   repeat consumers borrow instead of re-uploading.
 //! * [`sched`] — the multi-device scheduler: [`sched::DevicePool`],
-//!   the copy/compute-overlap [`sched::Stream`], and the work-stealing
-//!   [`sched::ShardQueue`] with deterministic result ordering.
+//!   the copy/compute-overlap [`sched::Stream`], the work-stealing
+//!   [`sched::ShardQueue`] with deterministic result ordering, and the
+//!   cross-batch phased [`sched::PhasePipeline`] (priority-aware
+//!   dock→minimize pipelining with batch-scoped accounting).
 //! * [`memory`] — access counters and the host↔device transfer model.
 //! * [`cost`] — the analytic cost model that turns counters into modeled times.
 //! * [`timing`] — wall-clock helpers and the combined [`timing::KernelStats`] report.

@@ -22,17 +22,26 @@
 //! * [`work::WorkItem`] — the pose-granularity work unit: a block of one
 //!   probe's retained poses with a cost-model weight, so a single hot probe's
 //!   2000 minimizations spread across the pool instead of serializing on one
-//!   device ([`shard::ShardQueue::execute_weighted`]).
+//!   device ([`shard::ShardQueue::execute_weighted`]);
+//! * [`pipeline::PhasePipeline`] — the cross-batch phased executor: persistent
+//!   workers, phase-tagged items with a per-probe dock→minimize dependency
+//!   edge, priority-aware claiming, and batch-scoped transfer accounting, so
+//!   batch N+1's docking overlaps batch N's minimization instead of waiting
+//!   out a two-phase barrier.
 //!
 //! The scheduling follows the related GPU literature: van Meel et al. overlap
 //! host↔device transfers with compute, and Barros et al. partition lattice
 //! work across independent device contexts; `sched` composes both moves.
 
+pub mod pipeline;
 pub mod pool;
 pub mod shard;
 pub mod stream;
 pub mod work;
 
+pub use pipeline::{
+    BatchHandle, BatchReport, Phase, PhasePipeline, PhasedBatch, PhasedDeviceReport, PhasedExec,
+};
 pub use pool::DevicePool;
 pub use shard::{DeviceShardReport, ShardCtx, ShardOutcome, ShardQueue, StealPolicy};
 pub use stream::Stream;

@@ -52,7 +52,10 @@ pub mod prelude {
         Complex, ForceField, NeighborList, Probe, ProbeLibrary, ProbeType, ProteinSpec,
         SyntheticProtein,
     };
-    pub use ftmap_serve::{BatchMappingService, JobHandle, JobStatus, MappingRequest, ServeConfig};
+    pub use ftmap_serve::{
+        BatchMappingService, DispatchMode, JobHandle, JobStatus, LatencyClass, MappingRequest,
+        ServeConfig,
+    };
     pub use gpu_sim::{
         BackendSelect, Device, DevicePool, DeviceSpec, ExecutionBackend, KernelLaunch, ShardQueue,
         StatsLedger, Stream,

@@ -85,7 +85,7 @@ pub mod strategy {
         use rand::Rng;
         use std::ops::Range;
 
-        /// Things usable as the size argument of [`vec`]: a fixed size or a
+        /// Things usable as the size argument of [`vec()`]: a fixed size or a
         /// half-open range of sizes.
         pub trait SizeRange {
             /// Draws a concrete length.
