@@ -13,7 +13,7 @@ fn bench_crossover(c: &mut Criterion) {
     let spec = GridSpec::centered_on(&w.protein.atoms, ftmap_bench::BENCH_GRID_DIM, 1.5);
     let receptor = ReceptorGrids::build(&w.protein.atoms, spec, 4);
     let direct = DirectCorrelationEngine::new(&receptor);
-    let mut fft = FftCorrelationEngine::new(&receptor);
+    let fft = FftCorrelationEngine::new(&receptor);
 
     let mut group = c.benchmark_group("ablation_correlation_crossover");
     group.sample_size(10).measurement_time(Duration::from_secs(4));

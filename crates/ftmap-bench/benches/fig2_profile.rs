@@ -12,7 +12,7 @@ fn bench_fig2(c: &mut Criterion) {
     let w = DockingWorkload::standard();
     let spec = GridSpec::centered_on(&w.protein.atoms, ftmap_bench::BENCH_GRID_DIM, 1.5);
     let receptor = ReceptorGrids::build(&w.protein.atoms, spec, 4);
-    let mut fft = FftCorrelationEngine::new(&receptor);
+    let fft = FftCorrelationEngine::new(&receptor);
     let ligand = LigandGrids::build(&w.probe.atoms, &Rotation::identity(), 1.5, 4);
 
     let mut group = c.benchmark_group("fig2_docking_steps");

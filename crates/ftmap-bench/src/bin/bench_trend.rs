@@ -89,6 +89,18 @@ const GATED: &[GatedMetric] = &[
         direction: Direction::LowerBetter,
         anchors: &["\"interactive_p95\"", "\"measured\":"],
     },
+    GatedMetric {
+        file: "BENCH_BATCHED_FFT.json",
+        name: "batched-FFT warm-receptor speedup",
+        direction: Direction::HigherBetter,
+        anchors: &["\"warm_speedup\"", "\"measured\":"],
+    },
+    GatedMetric {
+        file: "BENCH_BATCHED_FFT.json",
+        name: "batched-FFT download reduction",
+        direction: Direction::HigherBetter,
+        anchors: &["\"download_reduction\"", "\"measured\":"],
+    },
 ];
 
 /// Extracts the first JSON number after the last anchor, or `None`.

@@ -700,10 +700,19 @@ mod tests {
     use piper_dock::DockingEngineKind;
 
     fn small_pipeline(mode: PipelineMode) -> (FtMapPipeline, ProbeLibrary) {
+        small_pipeline_with_engine(mode, mode.select::<DockingEngineKind>())
+    }
+
+    fn small_pipeline_with_engine(
+        mode: PipelineMode,
+        engine: DockingEngineKind,
+    ) -> (FtMapPipeline, ProbeLibrary) {
         let ff = ForceField::charmm_like();
         let protein = SyntheticProtein::generate(&ProteinSpec::small_test(), &ff);
         let library = ProbeLibrary::subset(&ff, &[ProbeType::Ethanol, ProbeType::Acetone]);
-        let pipeline = FtMapPipeline::new(protein, ff, FtMapConfig::small_test(mode));
+        let mut config = FtMapConfig::small_test(mode);
+        config.docking.engine = engine;
+        let pipeline = FtMapPipeline::new(protein, ff, config);
         (pipeline, library)
     }
 
@@ -855,6 +864,50 @@ mod tests {
         for (a, b) in reference.sites.iter().zip(&result.sites) {
             assert_eq!(a.rank, b.rank);
             assert!(a.cluster.center.distance(b.cluster.center) == 0.0);
+        }
+    }
+
+    #[test]
+    fn batched_fft_pipeline_is_bit_identical_across_batch_and_pool_sizes() {
+        // The batched FFT engine must be a pure schedule change: swapping it
+        // in for the per-rotation FFT engine — at any batch size, on any pool
+        // size — reproduces the same poses, centres and consensus sites bit
+        // for bit. (Satellite of the batched-FFT tentpole; the docking-level
+        // twin lives in `piper_dock::docking`.)
+        let (reference, library) =
+            small_pipeline_with_engine(PipelineMode::Accelerated, DockingEngineKind::FftSerial);
+        let expected = reference.map(&library);
+        for devices in [1usize, 4] {
+            for batch in [1usize, 7, 64] {
+                let mode = match devices {
+                    1 => PipelineMode::Accelerated,
+                    n => PipelineMode::sharded(n),
+                };
+                let (pipeline, _) =
+                    small_pipeline_with_engine(mode, DockingEngineKind::BatchedFft { batch });
+                assert_eq!(pipeline.pool().len(), devices);
+                let result = pipeline.map(&library);
+                assert_eq!(
+                    expected.conformations_minimized, result.conformations_minimized,
+                    "devices {devices} batch {batch}"
+                );
+                assert_eq!(expected.pose_centers.len(), result.pose_centers.len());
+                for ((pa, ca), (pb, cb)) in expected.pose_centers.iter().zip(&result.pose_centers) {
+                    assert_eq!(pa, pb, "devices {devices} batch {batch}");
+                    assert!(
+                        ca.x == cb.x && ca.y == cb.y && ca.z == cb.z,
+                        "devices {devices} batch {batch}: centre {ca:?} vs {cb:?}"
+                    );
+                }
+                assert_eq!(expected.sites.len(), result.sites.len());
+                for (a, b) in expected.sites.iter().zip(&result.sites) {
+                    assert_eq!(a.rank, b.rank);
+                    assert!(
+                        a.cluster.center.distance(b.cluster.center) == 0.0,
+                        "devices {devices} batch {batch}"
+                    );
+                }
+            }
         }
     }
 

@@ -41,6 +41,12 @@ pub struct BatchSummary {
     /// *completed* — exact in aggregate across batches, approximate between
     /// two batches in flight at once.
     pub cache: CacheStats,
+    /// Derived-payload residency events (receptor FFT transforms + plans
+    /// cached next to the raw grids by the batched FFT engine) attributed to
+    /// the batch, pool-wide, windowed exactly like
+    /// [`cache`](BatchSummary::cache). A later job reusing a batch-mate's
+    /// receptor transforms shows up here as hits with zero insertions.
+    pub derived_cache: CacheStats,
     /// Modeled makespan of the batch over the pool: the barriered dispatcher
     /// reports the busiest device's overlapped stream time per phase, summed;
     /// the pipelined dispatcher reports the batch's start-to-finish span on
@@ -194,6 +200,7 @@ mod tests {
                 pose_blocks: 0,
                 receptor_key: 0,
                 cache: CacheStats::default(),
+                derived_cache: CacheStats::default(),
                 makespan_modeled_s: 0.0,
                 class: LatencyClass::Bulk,
                 latency_modeled_s: 0.0,

@@ -185,6 +185,12 @@ impl ServeStats {
         self.ledger.cache_stats()
     }
 
+    /// The pooled derived-payload cache counters (receptor FFT transforms +
+    /// plans the batched FFT engine keeps next to the raw grids).
+    pub fn derived_cache(&self) -> CacheStats {
+        self.ledger.derived_cache_stats()
+    }
+
     /// The per-class latency view for `class`.
     pub fn latency(&self, class: LatencyClass) -> ClassLatency {
         match class {
@@ -297,10 +303,12 @@ struct Shared {
     sched: Option<PhasePipeline>,
     ledger: Mutex<StatsLedger>,
     latency: Mutex<LatencyBook>,
-    /// Last-seen per-device residency-cache counters; batch completions take
-    /// deltas against these, so cache events partition exactly across
-    /// completions even when batches overlap (pipelined mode).
-    cache_mark: Mutex<Vec<CacheStats>>,
+    /// Last-seen per-device residency-cache counters, `(raw, derived)` per
+    /// device; batch completions take deltas against these, so cache events
+    /// partition exactly across completions even when batches overlap
+    /// (pipelined mode). The derived bucket counts receptor-transform/plan
+    /// payloads the batched FFT engine caches next to the raw grids.
+    cache_mark: Mutex<Vec<(CacheStats, CacheStats)>>,
     /// Barrier mode's modeled timeline: batches run back to back, so each
     /// batch's span is `[clock, clock + makespan)`.
     modeled_clock: Mutex<f64>,
@@ -341,15 +349,22 @@ impl Shared {
     /// Residency-cache events since the previous call, pool-wide. Completion
     /// windows never overlap (each event is counted against exactly one
     /// completion), which is what keeps the aggregate exact under pipelining.
-    fn take_cache_delta(&self) -> CacheStats {
+    fn take_cache_delta(&self) -> (CacheStats, CacheStats) {
         let mut mark = self.cache_mark.lock().expect("cache mark poisoned");
-        let mut delta = CacheStats::default();
-        for (device, before) in self.pool.devices().iter().zip(mark.iter_mut()) {
-            let now = device.residency().stats();
-            delta.accumulate(&now.delta_since(before));
-            *before = now;
+        let mut raw = CacheStats::default();
+        let mut derived = CacheStats::default();
+        for (device, (raw_before, derived_before)) in
+            self.pool.devices().iter().zip(mark.iter_mut())
+        {
+            let residency = device.residency();
+            let raw_now = residency.stats();
+            let derived_now = residency.derived_stats();
+            raw.accumulate(&raw_now.delta_since(raw_before));
+            derived.accumulate(&derived_now.delta_since(derived_before));
+            *raw_before = raw_now;
+            *derived_before = derived_now;
         }
-        delta
+        (raw, derived)
     }
 
     /// One pipeline per job (each job keeps its own config), all sharing the
@@ -397,7 +412,11 @@ impl BatchMappingService {
             DispatchMode::Pipelined => Some(PhasePipeline::new(Arc::clone(&pool))),
             DispatchMode::Barrier => None,
         };
-        let cache_mark = pool.devices().iter().map(|d| d.residency().stats()).collect();
+        let cache_mark = pool
+            .devices()
+            .iter()
+            .map(|d| (d.residency().stats(), d.residency().derived_stats()))
+            .collect();
         let shared = Arc::new(Shared {
             queue: JobQueue::new(config.max_pending),
             pool,
@@ -636,11 +655,12 @@ fn complete_pipelined_batch(
     class: LatencyClass,
     report: &BatchReport,
 ) {
-    let cache_delta = shared.take_cache_delta();
+    let (cache_delta, derived_delta) = shared.take_cache_delta();
     let transfer_s = report.transfer_modeled_s();
     {
         let mut ledger = shared.ledger.lock().expect("ledger poisoned");
         ledger.record_cache(&cache_delta);
+        ledger.record_derived_cache(&derived_delta);
         // Batch-scoped bucket: `transfer_s` was measured around exactly this
         // batch's items, so concurrent batches can never double-charge it.
         ledger.record_transfer_s("serve.batch", transfer_s);
@@ -663,6 +683,7 @@ fn complete_pipelined_batch(
         pose_blocks: report.blocks,
         receptor_key,
         cache: cache_delta,
+        derived_cache: derived_delta,
         makespan_modeled_s: report.span_modeled_s(),
         class,
         latency_modeled_s,
@@ -753,11 +774,12 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
         (shards, phase.n_blocks, dock.makespan_s() + phase.makespan_s)
     };
 
-    let cache_delta = shared.take_cache_delta();
+    let (cache_delta, derived_delta) = shared.take_cache_delta();
     let transfer_s = shared.pool.total_transfer_time();
     {
         let mut ledger = shared.ledger.lock().expect("ledger poisoned");
         ledger.record_cache(&cache_delta);
+        ledger.record_derived_cache(&derived_delta);
         ledger.record_transfer_s("serve.batch", transfer_s);
     }
 
@@ -785,6 +807,7 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
         pose_blocks: n_pose_blocks,
         receptor_key: receptor.content_key(),
         cache: cache_delta,
+        derived_cache: derived_delta,
         makespan_modeled_s,
         class,
         latency_modeled_s,
@@ -899,6 +922,45 @@ mod tests {
         }
         assert_eq!(report.result.pose_centers.len(), dedicated.pose_centers.len());
         assert_eq!(report.result.conformations_minimized, dedicated.conformations_minimized);
+    }
+
+    #[test]
+    fn batched_fft_jobs_share_receptor_transforms() {
+        // Two jobs against the same receptor under the batched FFT engine:
+        // the first probe dock on the device computes and caches the receptor
+        // transforms as a derived residency payload; every later dock — the
+        // first job's other probe and the entire second job — reuses them.
+        // Multi-tenancy still never changes answers.
+        let make = |probes: &[ProbeType], tag: &str| {
+            let mut req = request(probes, tag);
+            req.config.docking.engine = piper_dock::DockingEngineKind::BatchedFft { batch: 4 };
+            req
+        };
+        let req = make(&[ProbeType::Ethanol, ProbeType::Benzene], "first");
+        let dedicated = FtMapPipeline::new(req.protein.clone(), req.ff.clone(), req.config.clone())
+            .map(&req.library());
+        let service =
+            BatchMappingService::new(Arc::new(DevicePool::tesla(1)), ServeConfig::default());
+        let first = service.submit(req).expect("admitted");
+        let second = service.submit(make(&[ProbeType::Acetone], "second")).expect("admitted");
+        let first_report = first.wait();
+        second.wait();
+        assert_eq!(first_report.result.sites.len(), dedicated.sites.len());
+        for (a, b) in first_report.result.sites.iter().zip(&dedicated.sites) {
+            assert_eq!(a.rank, b.rank);
+            assert!(a.cluster.center.distance(b.cluster.center) == 0.0);
+        }
+        let stats = service.shutdown();
+        // One device, one receptor: the raw grids and the derived transforms
+        // each miss exactly once; the remaining two probe docks are hits in
+        // both buckets (3 docks total across the two jobs).
+        let raw = stats.cache();
+        assert_eq!(raw.misses, 1);
+        let derived = stats.derived_cache();
+        assert_eq!(derived.misses, 1, "one transform computation for the whole pool");
+        assert_eq!(derived.insertions, 1);
+        assert_eq!(derived.hits, 2, "every later dock borrows the resident transforms");
+        assert_eq!(derived.evictions, 0);
     }
 
     #[test]

@@ -252,6 +252,14 @@ pub struct StatsLedger {
     /// unit of work (a batch, a job, a run). Like the transfer bucket, cache
     /// events live beside kernel stats, never inside them.
     cache: CacheStats,
+    /// Derived-payload residency events (transform/plan entries keyed next to
+    /// the raw grids — see [`crate::ResidencyCache::get_or_insert_derived_with`])
+    /// attributed to this ledger's unit of work, in their own bucket: a
+    /// derived hit skips recomputation, a raw hit skips an upload, and the
+    /// reports distinguish the two. `serde(default)` keeps ledgers serialized
+    /// before this bucket existed deserializable.
+    #[serde(default)]
+    derived_cache: CacheStats,
 }
 
 impl StatsLedger {
@@ -305,6 +313,19 @@ impl StatsLedger {
         self.cache
     }
 
+    /// Folds derived-payload residency events (a
+    /// [`CacheStats::delta_since`] snapshot of
+    /// [`crate::ResidencyCache::derived_stats`]) into the ledger's derived
+    /// bucket, kept separate from the raw-grid bucket.
+    pub fn record_derived_cache(&mut self, delta: &CacheStats) {
+        self.derived_cache.accumulate(delta);
+    }
+
+    /// The derived-payload residency events recorded on this ledger.
+    pub fn derived_cache_stats(&self) -> CacheStats {
+        self.derived_cache
+    }
+
     /// The merged stats of a phase (zero if the phase was never recorded).
     pub fn phase(&self, phase: &str) -> KernelStats {
         self.phases.get(phase).map(|r| r.stats).unwrap_or_else(KernelStats::zero)
@@ -348,6 +369,7 @@ impl StatsLedger {
             entry.transfer_s += record.transfer_s;
         }
         self.cache.accumulate(&other.cache);
+        self.derived_cache.accumulate(&other.derived_cache);
     }
 
     /// Phase names with their merged stats, sorted by name.
@@ -357,7 +379,9 @@ impl StatsLedger {
 
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.phases.is_empty() && self.cache == CacheStats::default()
+        self.phases.is_empty()
+            && self.cache == CacheStats::default()
+            && self.derived_cache == CacheStats::default()
     }
 }
 
@@ -533,6 +557,30 @@ mod tests {
         let cache = ledger.cache_stats();
         assert_eq!((cache.hits, cache.misses, cache.evictions, cache.insertions), (3, 2, 1, 1));
         assert!((cache.hit_rate() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ledger_derived_cache_bucket_is_separate() {
+        let mut ledger = StatsLedger::new();
+        ledger.record_derived_cache(&CacheStats {
+            hits: 4,
+            misses: 1,
+            evictions: 0,
+            insertions: 1,
+        });
+        assert!(!ledger.is_empty());
+        // The raw-grid bucket is untouched.
+        assert_eq!(ledger.cache_stats(), CacheStats::default());
+        assert_eq!(ledger.derived_cache_stats().hits, 4);
+        // Merge carries the derived bucket along.
+        let mut other = StatsLedger::new();
+        other.record_derived_cache(&CacheStats { hits: 1, misses: 2, evictions: 1, insertions: 2 });
+        ledger.merge(&other);
+        let derived = ledger.derived_cache_stats();
+        assert_eq!(
+            (derived.hits, derived.misses, derived.evictions, derived.insertions),
+            (5, 3, 1, 3)
+        );
     }
 
     #[test]

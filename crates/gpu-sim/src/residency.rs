@@ -27,7 +27,14 @@
 //!   callers downcast on hit;
 //! * hit / miss / eviction counts are tracked as [`CacheStats`] — consumers
 //!   fold snapshots of them into a [`crate::StatsLedger`] for per-phase
-//!   reporting.
+//!   reporting;
+//! * an entry can hold **derived** payloads keyed next to it
+//!   ([`ResidencyCache::get_or_insert_derived_with`]): buffers computed *from*
+//!   the raw entry on the device (forward-transformed grids, a shareable FFT
+//!   plan). Derived bytes count against the same capacity budget, derived
+//!   events are tracked in their own [`CacheStats`] bucket
+//!   ([`ResidencyCache::derived_stats`]), and evicting a raw entry drops its
+//!   derived children with it.
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -163,6 +170,12 @@ struct Entry {
     key: u64,
     payload: ResidentPayload,
     bytes: usize,
+    /// For **derived** entries (buffers computed *from* a resident raw entry —
+    /// forward-transformed grids, a shareable FFT plan): the raw parent's key.
+    /// `None` for raw entries. Evicting a raw entry drops its derived children
+    /// with it — a derived payload must never outlive the buffer it was
+    /// derived from.
+    parent: Option<u64>,
 }
 
 struct CacheInner {
@@ -171,6 +184,43 @@ struct CacheInner {
     resident_bytes: usize,
     enabled: bool,
     stats: CacheStats,
+    /// Derived-entry events, in their own bucket: a derived hit means "skip
+    /// straight to the consumer-side work" (e.g. ligand transforms), which is
+    /// a different economy than a raw hit ("skip the PCIe upload") and is
+    /// reported separately.
+    derived_stats: CacheStats,
+}
+
+impl CacheInner {
+    /// Removes the least-recently-used entry, cascading to the derived
+    /// children of an evicted raw entry. Returns the number of entries
+    /// removed (0 when the cache is empty). Raw evictions count in the raw
+    /// stats bucket, derived evictions in the derived bucket.
+    fn evict_lru(&mut self) -> usize {
+        let Some(victim) = self.entries.pop() else {
+            return 0;
+        };
+        self.resident_bytes -= victim.bytes;
+        let mut removed = 1;
+        if victim.parent.is_none() {
+            self.stats.evictions += 1;
+            // Cascade: drop every derived child of the evicted raw entry.
+            let mut idx = 0;
+            while idx < self.entries.len() {
+                if self.entries[idx].parent == Some(victim.key) {
+                    let child = self.entries.remove(idx);
+                    self.resident_bytes -= child.bytes;
+                    self.derived_stats.evictions += 1;
+                    removed += 1;
+                } else {
+                    idx += 1;
+                }
+            }
+        } else {
+            self.derived_stats.evictions += 1;
+        }
+        removed
+    }
 }
 
 /// A capacity-aware LRU cache of device-resident buffers. One per [`crate::Device`].
@@ -189,6 +239,7 @@ impl ResidencyCache {
                 resident_bytes: 0,
                 enabled: true,
                 stats: CacheStats::default(),
+                derived_stats: CacheStats::default(),
             }),
         }
     }
@@ -299,14 +350,115 @@ impl ResidencyCache {
         }
         let mut evicted = 0;
         while inner.resident_bytes + bytes > self.capacity_bytes {
-            let victim = inner.entries.pop().expect("resident_bytes > 0 implies entries");
-            inner.resident_bytes -= victim.bytes;
-            inner.stats.evictions += 1;
-            evicted += 1;
+            evicted += inner.evict_lru();
         }
         inner.resident_bytes += bytes;
         inner.stats.insertions += 1;
-        inner.entries.insert(0, Entry { key, payload, bytes });
+        inner.entries.insert(0, Entry { key, payload, bytes, parent: None });
+        Residency::Miss { evicted }
+    }
+
+    /// The key a derived payload is cached under: a content hash of the
+    /// parent's key and the derivation `tag` (e.g. `"fft-transforms"`), so
+    /// derived entries sit next to their raw parent in the same key space
+    /// without the caller hashing the derived bytes.
+    pub fn derived_key(parent_key: u64, tag: &str) -> u64 {
+        let mut hash = Fnv1a::new();
+        hash.write_u64(parent_key);
+        hash.write(tag.as_bytes());
+        hash.finish()
+    }
+
+    /// A snapshot of the derived-entry hit/miss/eviction counters (separate
+    /// bucket from [`ResidencyCache::stats`]).
+    pub fn derived_stats(&self) -> CacheStats {
+        self.inner.lock().derived_stats
+    }
+
+    /// Looks up the payload derived from `parent_key` under `tag`, promoting
+    /// both the derived entry and its raw parent on hit. Counts one derived
+    /// hit or miss; does not touch the raw bucket.
+    pub fn get_derived(&self, parent_key: u64, tag: &str) -> Option<ResidentPayload> {
+        let key = Self::derived_key(parent_key, tag);
+        let mut inner = self.inner.lock();
+        match inner.entries.iter().position(|e| e.key == key) {
+            Some(pos) => {
+                inner.derived_stats.hits += 1;
+                let entry = inner.entries.remove(pos);
+                let payload = Arc::clone(&entry.payload);
+                Self::promote_with_parent(&mut inner, entry);
+                Some(payload)
+            }
+            None => {
+                inner.derived_stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Moves a just-hit derived entry to MRU with its raw parent immediately
+    /// behind it, so a hot derived payload keeps the buffer it was derived
+    /// from from aging out underneath it.
+    fn promote_with_parent(inner: &mut CacheInner, entry: Entry) {
+        let parent = entry.parent;
+        inner.entries.insert(0, entry);
+        if let Some(parent_key) = parent {
+            if let Some(pos) = inner.entries.iter().position(|e| e.key == parent_key) {
+                if pos > 1 {
+                    let parent_entry = inner.entries.remove(pos);
+                    inner.entries.insert(1, parent_entry);
+                }
+            }
+        }
+    }
+
+    /// Looks up the payload derived from `parent_key` under `tag`; on miss,
+    /// materializes `(payload, bytes)` with `fill` and caches it **next to the
+    /// raw parent**: derived bytes count against the same capacity budget, and
+    /// evicting the parent drops the derived entry with it.
+    ///
+    /// Events land in the derived stats bucket ([`ResidencyCache::derived_stats`]).
+    /// Reports [`Residency::Uncacheable`] when the cache is disabled, the
+    /// payload exceeds capacity, or the raw parent is **not resident** — a
+    /// derived entry may only be keyed next to an actually-resident parent,
+    /// so the caller falls back to using its freshly computed payload without
+    /// caching it.
+    ///
+    /// Like [`ResidencyCache::get_or_insert_with`], the lookup, fill and
+    /// insertion happen under one lock: concurrent consumers of the same
+    /// derived key race to at most one miss.
+    pub fn get_or_insert_derived_with<F>(&self, parent_key: u64, tag: &str, fill: F) -> Residency
+    where
+        F: FnOnce() -> (ResidentPayload, usize),
+    {
+        let key = Self::derived_key(parent_key, tag);
+        let mut inner = self.inner.lock();
+        if let Some(pos) = inner.entries.iter().position(|e| e.key == key) {
+            inner.derived_stats.hits += 1;
+            let entry = inner.entries.remove(pos);
+            let payload = Arc::clone(&entry.payload);
+            Self::promote_with_parent(&mut inner, entry);
+            return Residency::Hit(payload);
+        }
+        inner.derived_stats.misses += 1;
+        let parent_resident = inner.entries.iter().any(|e| e.key == parent_key);
+        let (payload, bytes) = fill();
+        if !inner.enabled || !parent_resident || bytes > self.capacity_bytes {
+            return Residency::Uncacheable;
+        }
+        let mut evicted = 0;
+        while inner.resident_bytes + bytes > self.capacity_bytes {
+            evicted += inner.evict_lru();
+        }
+        // Eviction pressure may have taken the parent itself out (it was the
+        // LRU tail): a derived entry must not be inserted next to a parent
+        // that is no longer resident.
+        if !inner.entries.iter().any(|e| e.key == parent_key) {
+            return Residency::Uncacheable;
+        }
+        inner.resident_bytes += bytes;
+        inner.derived_stats.insertions += 1;
+        inner.entries.insert(0, Entry { key, payload, bytes, parent: Some(parent_key) });
         Residency::Miss { evicted }
     }
 }
@@ -320,6 +472,7 @@ impl fmt::Debug for ResidencyCache {
             .field("entries", &inner.entries.len())
             .field("enabled", &inner.enabled)
             .field("stats", &inner.stats)
+            .field("derived_stats", &inner.derived_stats)
             .finish()
     }
 }
@@ -423,6 +576,99 @@ mod tests {
         let later = CacheStats { hits: 9, misses: 1, evictions: 2, insertions: 3 };
         let delta = later.delta_since(&warm);
         assert_eq!(delta, CacheStats { hits: 4, misses: 0, evictions: 0, insertions: 0 });
+    }
+
+    #[test]
+    fn derived_miss_then_hit_shares_budget_and_bucket() {
+        let cache = ResidencyCache::new(1000);
+        cache.get_or_insert_with(7, || (payload(7), 400));
+        match cache.get_or_insert_derived_with(7, "fft", || (payload(77), 300)) {
+            Residency::Miss { evicted } => assert_eq!(evicted, 0),
+            _ => panic!("expected derived miss"),
+        }
+        // Derived bytes count against the same budget.
+        assert_eq!(cache.resident_bytes(), 700);
+        assert_eq!(cache.len(), 2);
+        match cache.get_or_insert_derived_with(7, "fft", || panic!("fill must not run on hit")) {
+            Residency::Hit(p) => check_payload_value(&p, 77),
+            _ => panic!("expected derived hit"),
+        }
+        assert!(cache.get_derived(7, "fft").is_some());
+        assert!(cache.get_derived(7, "other-tag").is_none());
+        // Raw and derived events live in separate buckets.
+        let raw = cache.stats();
+        assert_eq!((raw.hits, raw.misses, raw.insertions), (0, 1, 1));
+        let derived = cache.derived_stats();
+        assert_eq!((derived.hits, derived.misses, derived.insertions), (2, 2, 1));
+        // Distinct tags key distinct derived entries; the derived key scheme
+        // is deterministic.
+        assert_eq!(ResidencyCache::derived_key(7, "fft"), ResidencyCache::derived_key(7, "fft"));
+        assert_ne!(ResidencyCache::derived_key(7, "fft"), ResidencyCache::derived_key(7, "plan"));
+    }
+
+    fn check_payload_value(p: &ResidentPayload, expect: u64) {
+        assert_eq!(*p.downcast_ref::<u64>().expect("payload type"), expect);
+    }
+
+    #[test]
+    fn derived_requires_resident_parent() {
+        let cache = ResidencyCache::new(1000);
+        // No raw parent resident: the derived payload cannot be cached.
+        assert!(matches!(
+            cache.get_or_insert_derived_with(9, "fft", || (payload(99), 10)),
+            Residency::Uncacheable
+        ));
+        assert!(cache.is_empty());
+        assert_eq!(cache.derived_stats().misses, 1);
+        assert_eq!(cache.derived_stats().insertions, 0);
+        // Disabled cache refuses derived entries too.
+        cache.set_enabled(false);
+        assert!(matches!(
+            cache.get_or_insert_derived_with(9, "fft", || (payload(99), 10)),
+            Residency::Uncacheable
+        ));
+    }
+
+    #[test]
+    fn evicting_raw_parent_drops_derived_children() {
+        let cache = ResidencyCache::new(1000);
+        cache.get_or_insert_with(1, || (payload(1), 300));
+        cache.get_or_insert_derived_with(1, "fft", || (payload(11), 200));
+        cache.get_or_insert_with(2, || (payload(2), 300));
+        // Touch the derived child (which drags its parent to position 1),
+        // then touch 2 so raw entry 1 becomes the LRU tail while its derived
+        // child stays hotter than it.
+        assert!(cache.get_derived(1, "fft").is_some());
+        assert!(cache.get(2).is_some());
+        // Inserting a large raw entry evicts from the tail until it fits; when
+        // the raw parent goes, its derived child goes with it regardless of
+        // the child's position in the recency order.
+        match cache.get_or_insert_with(3, || (payload(3), 600)) {
+            Residency::Miss { evicted } => assert!(evicted >= 2),
+            _ => panic!("expected miss"),
+        }
+        assert!(!cache.contains(1));
+        assert!(cache.get_derived(1, "fft").is_none());
+        assert!(cache.resident_bytes() <= 1000);
+        assert!(cache.stats().evictions >= 1, "raw eviction in raw bucket");
+        assert_eq!(cache.derived_stats().evictions, 1, "cascade in derived bucket");
+    }
+
+    #[test]
+    fn derived_insert_refuses_when_eviction_takes_the_parent() {
+        // Parent is resident but is also the LRU tail; making room for an
+        // almost-capacity derived payload evicts the parent itself, so the
+        // derived entry must be refused rather than left orphaned.
+        let cache = ResidencyCache::new(1000);
+        cache.get_or_insert_with(1, || (payload(1), 400));
+        cache.get_or_insert_with(2, || (payload(2), 400));
+        assert!(cache.get(2).is_some()); // parent 1 is now LRU
+        assert!(matches!(
+            cache.get_or_insert_derived_with(1, "fft", || (payload(11), 900)),
+            Residency::Uncacheable
+        ));
+        assert!(!cache.contains(1), "parent was evicted making room");
+        assert_eq!(cache.derived_stats().insertions, 0);
     }
 
     #[test]

@@ -215,7 +215,7 @@ mod tests {
         let sparse = SparseLigand::from_grids(&ligand);
         let direct = DirectCorrelationEngine::new(&receptor);
         let direct_results = direct.correlate_rotation_serial(&sparse);
-        let mut fft = FftCorrelationEngine::new(&receptor);
+        let fft = FftCorrelationEngine::new(&receptor);
         let fft_results = fft.correlate_rotation(&ligand);
         assert_eq!(direct_results.len(), fft_results.len());
         for (dg, fg) in direct_results.iter().zip(&fft_results) {

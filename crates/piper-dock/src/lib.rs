@@ -19,6 +19,10 @@
 //!   pass over the protein grid), desolvation-term accumulation on the device and
 //!   single-block **scoring + filtering** with region exclusion (§III.A–B), all running
 //!   on the [`gpu_sim`] device model.
+//! * [`batched_fft::BatchedFftEngine`] — batched FFT correlation on the device model:
+//!   receptor transforms + FFT plan cached as a **derived residency payload**, many
+//!   rotations per forward/multiply/inverse launch, and a **fused top-K epilogue**
+//!   that downloads only the retained poses (never full `N³` score grids).
 //! * [`filter`] — weighted scoring and top-K filtering with neighbourhood exclusion
 //!   (Fig. 5), host reference implementation.
 //!
@@ -29,6 +33,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod batched_fft;
 pub mod direct;
 pub mod docking;
 pub mod fft_engine;
@@ -37,6 +42,7 @@ pub mod gpu;
 pub mod grids;
 pub mod pose;
 
+pub use batched_fft::{BatchedFftEngine, ReceptorTransforms, TransformResidency};
 pub use docking::{Docking, DockingConfig, DockingEngineKind, DockingRun, GridResidency};
 pub use grids::{EnergyWeights, LigandGrids, ReceptorGrids};
 pub use pose::Pose;
