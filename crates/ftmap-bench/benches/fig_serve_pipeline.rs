@@ -41,6 +41,11 @@ use std::time::Instant;
 const MIN_PIPELINE_SPEEDUP: f64 = 1.3;
 /// Latency gate: maximum priority-over-FIFO interactive p95 ratio.
 const MAX_INTERACTIVE_P95_RATIO: f64 = 0.5;
+/// Observability gate: maximum traced-over-untraced modeled span ratio.
+/// Instrumentation feeds off the modeled timeline and must never perturb it —
+/// a full recorder run and the default no-op-sink run are the same schedule,
+/// so anything above 1% modeled drift means a hook started charging time.
+const MAX_TRACE_OVERHEAD_RATIO: f64 = 1.01;
 
 const DEVICES: usize = 4;
 
@@ -91,10 +96,20 @@ struct RunOutcome {
 }
 
 /// Runs `jobs` through a fresh service (fresh pool) and collects the modeled
-/// figures.
+/// figures. `BatchMappingService::new` installs the no-op trace sink, so this
+/// is the untraced baseline the overhead gate compares against.
 fn run(dispatch: DispatchMode, jobs: Vec<MappingRequest>) -> RunOutcome {
+    run_with_sink(dispatch, jobs, ftmap_trace::noop())
+}
+
+/// [`run`] with an explicit trace sink attached to the service.
+fn run_with_sink(
+    dispatch: DispatchMode,
+    jobs: Vec<MappingRequest>,
+    sink: Arc<dyn ftmap_trace::TraceSink>,
+) -> RunOutcome {
     let pool = Arc::new(DevicePool::tesla(DEVICES));
-    let service = BatchMappingService::new(pool, serve_config(dispatch));
+    let service = BatchMappingService::with_trace(pool, serve_config(dispatch), sink);
     let start = Instant::now();
     let handles: Vec<_> = jobs.into_iter().map(|r| service.submit(r).expect("admitted")).collect();
     let reports: Vec<Arc<JobReport>> = handles.iter().map(|h| h.wait()).collect();
@@ -158,6 +173,26 @@ fn main() {
     assert!(barrier.cross_batch_overlap_s == 0.0, "barrier batches must be serial");
     assert!(pipelined.cross_batch_overlap_s > 0.0, "pipelining must overlap batches");
 
+    // --- Observability overhead: the same pipelined stream with a full
+    // trace recorder attached. Tracing reads the modeled timeline, it never
+    // writes it — the traced span must equal the no-op-sink span.
+    let recorder = Arc::new(ftmap_trace::Recorder::new());
+    let traced = run_with_sink(
+        DispatchMode::Pipelined,
+        bulk_jobs(n_bulk),
+        Arc::clone(&recorder) as Arc<dyn ftmap_trace::TraceSink>,
+    );
+    let trace_events = recorder.events().len();
+    let trace_overhead = traced.span_modeled_s / pipelined.span_modeled_s.max(1e-12);
+    println!(
+        "\ntraced rerun: {:.3} ms modeled span over {} trace events \
+         ({:.4}x the untraced span)",
+        1e3 * traced.span_modeled_s,
+        trace_events,
+        trace_overhead
+    );
+    assert!(trace_events > 0, "the recorder run must capture events");
+
     // --- 2. Interactive latency under bulk load: FIFO vs priority classes.
     let mixed = |class: LatencyClass| -> Vec<MappingRequest> {
         let mut jobs = bulk_jobs(n_bulk);
@@ -185,6 +220,9 @@ fn main() {
         fifo_p95,
         classed_p95,
         latency_ratio,
+        &traced,
+        trace_events,
+        trace_overhead,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_SERVE_PIPELINE.json");
     std::fs::write(path, json).expect("write BENCH_SERVE_PIPELINE.json");
@@ -200,9 +238,15 @@ fn main() {
         "REGRESSION: interactive p95 under priority is {latency_ratio:.2}x FIFO, above the \
          {MAX_INTERACTIVE_P95_RATIO}x gate"
     );
+    assert!(
+        trace_overhead <= MAX_TRACE_OVERHEAD_RATIO,
+        "REGRESSION: tracing inflated the modeled span {trace_overhead:.4}x, above the \
+         {MAX_TRACE_OVERHEAD_RATIO}x gate — a hook is charging modeled time"
+    );
     println!(
         "gates ok: throughput {speedup:.2}x >= {MIN_PIPELINE_SPEEDUP}x, \
-         interactive p95 {latency_ratio:.2}x <= {MAX_INTERACTIVE_P95_RATIO}x"
+         interactive p95 {latency_ratio:.2}x <= {MAX_INTERACTIVE_P95_RATIO}x, \
+         trace overhead {trace_overhead:.4}x <= {MAX_TRACE_OVERHEAD_RATIO}x"
     );
 }
 
@@ -216,6 +260,9 @@ fn format_json(
     fifo_p95: f64,
     classed_p95: f64,
     latency_ratio: f64,
+    traced: &RunOutcome,
+    trace_events: usize,
+    trace_overhead: f64,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str(
@@ -247,11 +294,20 @@ fn format_json(
         1e3 * classed_p95,
         latency_ratio
     ));
+    out.push_str("  \"trace_overhead\": {\n");
+    out.push_str(&format!(
+        "    \"noop_span_ms\": {:.4},\n    \"traced_span_ms\": {:.4},\n    \
+         \"trace_events\": {trace_events},\n    \"traced_over_noop\": {trace_overhead:.4}\n  }},\n",
+        1e3 * pipelined.span_modeled_s,
+        1e3 * traced.span_modeled_s,
+    ));
     out.push_str(&format!(
         "  \"gates\": {{\n    \"pipelined_speedup\": {{ \"metric\": \"barrier span over \
          pipelined span\", \"minimum\": {MIN_PIPELINE_SPEEDUP:.1}, \"measured\": {speedup:.4} \
          }},\n    \"interactive_p95\": {{ \"metric\": \"priority p95 over FIFO p95\", \
-         \"maximum\": {MAX_INTERACTIVE_P95_RATIO:.1}, \"measured\": {latency_ratio:.4} }}\n  }}\n"
+         \"maximum\": {MAX_INTERACTIVE_P95_RATIO:.1}, \"measured\": {latency_ratio:.4} }},\n    \
+         \"noop_trace_overhead\": {{ \"metric\": \"traced span over no-op-sink span\", \
+         \"maximum\": {MAX_TRACE_OVERHEAD_RATIO:.2}, \"measured\": {trace_overhead:.4} }}\n  }}\n"
     ));
     out.push_str("}\n");
     out

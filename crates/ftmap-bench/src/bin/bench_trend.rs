@@ -10,9 +10,9 @@
 //! scale and scheduling noise on top of that.
 //!
 //! Exit status: 0 when every comparable metric is within tolerance, 1 on any
-//! regression or unparsable file. A file missing from `HEAD` (a bench added
-//! in the current change) is reported and skipped — its snapshot becomes the
-//! baseline once merged.
+//! regression or unparsable file. A file or metric missing from `HEAD` (a
+//! bench or gate added in the current change) is reported and skipped — its
+//! snapshot becomes the baseline once merged.
 //!
 //! Known limit of the `HEAD` baseline: a change that both erodes a metric
 //! *and* regenerates the committed snapshot compares against its own new
@@ -88,6 +88,12 @@ const GATED: &[GatedMetric] = &[
         name: "serve-pipeline interactive p95 ratio",
         direction: Direction::LowerBetter,
         anchors: &["\"interactive_p95\"", "\"measured\":"],
+    },
+    GatedMetric {
+        file: "BENCH_SERVE_PIPELINE.json",
+        name: "serve-pipeline trace overhead ratio",
+        direction: Direction::LowerBetter,
+        anchors: &["\"noop_trace_overhead\"", "\"measured\":"],
     },
     GatedMetric {
         file: "BENCH_BATCHED_FFT.json",
@@ -166,11 +172,13 @@ fn main() {
             continue;
         };
         let Some(baseline) = extract(&base_content, metric.anchors) else {
+            // The file exists at HEAD but the metric does not: a gate added
+            // in the current change. Like a missing file, its snapshot
+            // becomes the baseline once merged.
             println!(
-                "{:<42}{:>12}{:>12.4}{:>10}  UNPARSABLE (baseline)",
+                "{:<42}{:>12}{:>12.4}{:>10}  SKIP (no baseline metric at HEAD)",
                 metric.name, "-", fresh, "-"
             );
-            failures += 1;
             continue;
         };
         compared += 1;

@@ -30,4 +30,4 @@ pub use pipeline::{
     minimize_pose_blocks, DockedProbe, FtMapConfig, FtMapPipeline, MappingResult, MinimizePhase,
     PipelineMode, ProbeShard, DEFAULT_POSE_BLOCK,
 };
-pub use profile::{DeviceLoad, MappingProfile};
+pub use profile::{DeviceLoad, MappingProfile, PhaseStream};

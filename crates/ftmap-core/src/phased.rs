@@ -198,6 +198,7 @@ mod tests {
             let batch = Arc::new(PhasedMapBatch::new(vec![pipeline], entries, pose_block));
             let handle = sched.submit(
                 PhasedBatch {
+                    label: Default::default(),
                     priority: 0,
                     entries: batch.entries(),
                     dock_weights: batch.dock_weights(),

@@ -19,7 +19,7 @@
 //! runs, never what it computes.
 
 use crate::cluster::{cluster_poses, ClusterInput, ConsensusSite};
-use crate::profile::{DeviceLoad, MappingProfile};
+use crate::profile::{DeviceLoad, MappingProfile, PhaseStream};
 use ftmap_energy::minimize::{MinimizationConfig, Minimizer};
 use ftmap_math::{RotationSet, Vec3};
 use ftmap_molecule::{Complex, ForceField, Probe, ProbeLibrary, ProbeType, SyntheticProtein};
@@ -378,8 +378,19 @@ impl FtMapPipeline {
     /// services that keep a dispatcher alive across batches use
     /// [`FtMapPipeline::map_with_dispatcher`] directly.
     pub fn map_pipelined(&self, library: &ProbeLibrary) -> MappingResult {
+        self.map_pipelined_traced(library, ftmap_trace::noop())
+    }
+
+    /// [`FtMapPipeline::map_pipelined`] with a trace sink: the one-run
+    /// dispatcher records every scheduler, kernel, transfer and cache event
+    /// into `sink` on the modeled virtual timeline (see `ftmap_trace`).
+    pub fn map_pipelined_traced(
+        &self,
+        library: &ProbeLibrary,
+        sink: Arc<dyn ftmap_trace::TraceSink>,
+    ) -> MappingResult {
         self.pool.reset_transfer_stats();
-        let sched = gpu_sim::sched::PhasePipeline::new(Arc::clone(&self.pool));
+        let sched = gpu_sim::sched::PhasePipeline::with_trace(Arc::clone(&self.pool), sink);
         let result = self.map_with_dispatcher(library, &sched, 0);
         sched.shutdown();
         result
@@ -401,6 +412,7 @@ impl FtMapPipeline {
             Arc::new(crate::phased::PhasedMapBatch::new(vec![self.clone()], entries, pose_block));
         let handle = sched.submit(
             gpu_sim::sched::PhasedBatch {
+                label: Default::default(),
                 priority,
                 entries: batch.entries(),
                 dock_weights: batch.dock_weights(),
@@ -413,6 +425,10 @@ impl FtMapPipeline {
         let loads = report.per_device.iter().map(DeviceLoad::from).collect();
         let mut result = self.assemble(shards, loads, Vec::new());
         result.profile.pipeline_overlap_saved_s = report.overlap_saved_s();
+        result.profile.phase_streams = vec![
+            PhaseStream::from_streams("dock", report.per_device.iter().map(|d| &d.dock)),
+            PhaseStream::from_streams("minimize", report.per_device.iter().map(|d| &d.minimize)),
+        ];
         result
     }
 
@@ -446,7 +462,11 @@ impl FtMapPipeline {
             (shard, kernel_s)
         });
         let loads = outcome.reports.iter().map(DeviceLoad::from).collect();
-        self.assemble(outcome.results, loads, Vec::new())
+        let streams =
+            vec![PhaseStream::from_streams("fused", outcome.reports.iter().map(|r| &r.stream))];
+        let mut result = self.assemble(outcome.results, loads, Vec::new());
+        result.profile.phase_streams = streams;
+        result
     }
 
     /// Pose-block granularity: a dock-once phase (one item per probe) and a
@@ -475,6 +495,10 @@ impl FtMapPipeline {
             &|ctx, docked, range| self.minimize_pose_block(docked, range, ctx.device),
         );
         let phase_makespans = vec![dock.makespan_s(), phase.makespan_s];
+        let phase_streams = vec![
+            PhaseStream::from_streams("dock", dock.reports.iter().map(|r| &r.stream)),
+            PhaseStream::from_streams("minimize", phase.reports.iter().map(|r| &r.stream)),
+        ];
         let loads = dock
             .reports
             .iter()
@@ -487,7 +511,9 @@ impl FtMapPipeline {
                 shard
             },
         );
-        self.assemble(shards.collect(), loads, phase_makespans)
+        let mut result = self.assemble(shards.collect(), loads, phase_makespans);
+        result.profile.phase_streams = phase_streams;
+        result
     }
 
     /// Folds per-probe shards (in library order) into the mapping result.

@@ -3,7 +3,9 @@
 //! scheduler.
 
 use gpu_sim::sched::{DeviceShardReport, PhasedDeviceReport};
+use gpu_sim::StreamStats;
 use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
 
 /// What one pooled device contributed to a sharded mapping run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -70,6 +72,39 @@ impl DeviceLoad {
     }
 }
 
+/// Pool-wide stream totals for one scheduling phase of a sharded or phased
+/// run: how many modeled seconds the phase spent in kernels vs transfers,
+/// and how many transfer seconds copy/compute overlap hid.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseStream {
+    /// Phase name (`"dock"`, `"minimize"`, or `"fused"` for whole-probe
+    /// granularity where both ride one item).
+    pub phase: String,
+    /// Items the phase executed across the pool.
+    pub ops: usize,
+    /// Modeled kernel seconds, summed over devices.
+    pub kernel_modeled_s: f64,
+    /// Modeled transfer seconds (uploads + downloads), summed over devices.
+    pub transfer_modeled_s: f64,
+    /// Modeled transfer seconds hidden under kernels by stream overlap.
+    pub overlap_saved_s: f64,
+}
+
+impl PhaseStream {
+    /// Folds the per-device stream summaries of one phase into its pool-wide
+    /// totals.
+    pub fn from_streams<'a>(phase: &str, streams: impl Iterator<Item = &'a StreamStats>) -> Self {
+        let mut out = PhaseStream { phase: phase.to_string(), ..PhaseStream::default() };
+        for s in streams {
+            out.ops += s.ops;
+            out.kernel_modeled_s += s.kernel_s;
+            out.transfer_modeled_s += s.upload_s + s.download_s;
+            out.overlap_saved_s += s.savings_s();
+        }
+        out
+    }
+}
+
 /// Time spent in the two phases of a mapping run (per probe), both as measured
 //  wall-clock on this machine and as modeled device/host time.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -94,6 +129,11 @@ pub struct MappingProfile {
     /// two-phase-barrier schedule of the same items — how much dock/minimize
     /// phase overlap was worth. 0 for barriered and single-device runs.
     pub pipeline_overlap_saved_s: f64,
+    /// Pool-wide per-phase stream totals (kernel/transfer/overlap split), in
+    /// execution order. Attached once by sharded and phased runs; empty for
+    /// single-device runs, where [`MappingProfile::phase_table`] falls back
+    /// to the per-phase modeled kernel seconds.
+    pub phase_streams: Vec<PhaseStream>,
 }
 
 impl MappingProfile {
@@ -137,6 +177,7 @@ impl MappingProfile {
         self.device_loads.extend(other.device_loads.iter().cloned());
         self.phase_makespans_modeled_s.extend(other.phase_makespans_modeled_s.iter().copied());
         self.pipeline_overlap_saved_s += other.pipeline_overlap_saved_s;
+        self.phase_streams.extend(other.phase_streams.iter().cloned());
     }
 
     // --- Multi-device views (meaningful when `device_loads` is populated).
@@ -184,6 +225,66 @@ impl MappingProfile {
     pub fn device_utilizations(&self) -> Vec<(String, f64)> {
         let utilizations = gpu_sim::sched::shard::utilizations(&self.busy());
         self.device_loads.iter().zip(utilizations).map(|(l, u)| (l.device.clone(), u)).collect()
+    }
+
+    /// Renders the per-phase breakdown as an aligned text table: one row per
+    /// scheduling phase with its modeled kernel, transfer and overlap-hidden
+    /// seconds, plus a totals row. Sharded and phased runs report the exact
+    /// per-phase stream splits ([`MappingProfile::phase_streams`]); for
+    /// single-device runs the dock/minimize rows carry the per-phase modeled
+    /// kernel seconds with no transfer split.
+    pub fn phase_table(&self) -> String {
+        let rows: Vec<PhaseStream> = if self.phase_streams.is_empty() {
+            vec![
+                PhaseStream {
+                    phase: "dock".to_string(),
+                    kernel_modeled_s: self.docking_modeled_s,
+                    ..PhaseStream::default()
+                },
+                PhaseStream {
+                    phase: "minimize".to_string(),
+                    kernel_modeled_s: self.minimization_modeled_s,
+                    ..PhaseStream::default()
+                },
+            ]
+        } else {
+            self.phase_streams.clone()
+        };
+        let mut total = PhaseStream { phase: "total".to_string(), ..PhaseStream::default() };
+        for row in &rows {
+            total.ops += row.ops;
+            total.kernel_modeled_s += row.kernel_modeled_s;
+            total.transfer_modeled_s += row.transfer_modeled_s;
+            total.overlap_saved_s += row.overlap_saved_s;
+        }
+        let name_w =
+            rows.iter().map(|r| r.phase.len()).chain(["total".len(), "phase".len()]).max().unwrap();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<name_w$}  {:>6}  {:>12}  {:>12}  {:>12}",
+            "phase", "items", "kernel s", "transfer s", "overlap s"
+        );
+        for row in rows.iter().chain(std::iter::once(&total)) {
+            let _ = writeln!(
+                out,
+                "{:<name_w$}  {:>6}  {:>12.6}  {:>12.6}  {:>12.6}",
+                row.phase,
+                row.ops,
+                row.kernel_modeled_s,
+                row.transfer_modeled_s,
+                row.overlap_saved_s
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<name_w$}  {:>6}  makespan {:.6} s, pipeline overlap saved {:.6} s",
+            "",
+            "",
+            self.makespan_modeled_s(),
+            self.pipeline_overlap_saved_s
+        );
+        out
     }
 }
 

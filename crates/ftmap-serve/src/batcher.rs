@@ -47,6 +47,15 @@ impl LatencyClass {
             LatencyClass::Bulk => 1,
         }
     }
+
+    /// The class's label value on trace events and metrics
+    /// (`"interactive"` / `"bulk"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            LatencyClass::Interactive => "interactive",
+            LatencyClass::Bulk => "bulk",
+        }
+    }
 }
 
 /// Anything the batcher can group: exposes the receptor fingerprint the batch

@@ -75,6 +75,25 @@ pub struct BatchSummary {
     pub transfer_modeled_s: f64,
 }
 
+impl BatchSummary {
+    /// The raw-grid and derived-payload residency windows folded into one:
+    /// the combined view next to the side-by-side
+    /// [`cache`](BatchSummary::cache) / [`derived_cache`](BatchSummary::derived_cache)
+    /// buckets, so consumers wanting a single residency figure for the batch
+    /// do not re-derive it inconsistently.
+    pub fn combined_cache(&self) -> CacheStats {
+        let mut combined = self.cache;
+        combined.accumulate(&self.derived_cache);
+        combined
+    }
+
+    /// Combined hit ratio over both residency buckets: total hits over total
+    /// lookups, in `[0, 1]` (0 when the batch looked nothing up).
+    pub fn combined_hit_ratio(&self) -> f64 {
+        self.combined_cache().hit_rate()
+    }
+}
+
 /// The finished product a client receives for one job.
 #[derive(Debug)]
 pub struct JobReport {

@@ -48,7 +48,10 @@ use ftmap_core::{
     cluster_poses, minimize_pose_blocks, ClusterInput, FtMapPipeline, MappingProfile,
     MappingResult, PhasedMapBatch, ProbeShard,
 };
-use gpu_sim::sched::{BatchReport, DevicePool, PhasePipeline, PhasedBatch, PhasedExec, ShardQueue};
+use ftmap_trace::{Category, MetricsRegistry, MetricsSnapshot, Tags, TraceEvent, TraceSink, Track};
+use gpu_sim::sched::{
+    BatchLabel, BatchReport, DevicePool, PhasePipeline, PhasedBatch, PhasedExec, ShardQueue,
+};
 use gpu_sim::{CacheStats, StatsLedger};
 use piper_dock::{Docking, ReceptorGrids};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -176,6 +179,13 @@ pub struct ServeStats {
     /// in-flight windows this can exceed [`ServeStats::span_modeled_s`]. 0
     /// under the barriered dispatcher, whose batches are serial.
     pub cross_batch_overlap_modeled_s: f64,
+    /// The service metrics at snapshot time: counters/histograms fed at each
+    /// admission and batch completion, gauges (queue depth, per-class latency
+    /// percentiles, cache hit ratios, per-device utilization/skew) refreshed
+    /// when the snapshot is taken. Render with [`ServeStats::prometheus`];
+    /// every figure is modeled time, never wall clock, and every gauge agrees
+    /// with the sibling `ServeStats` accessor it mirrors.
+    pub metrics: MetricsSnapshot,
 }
 
 impl ServeStats {
@@ -197,6 +207,29 @@ impl ServeStats {
             LatencyClass::Interactive => self.interactive,
             LatencyClass::Bulk => self.bulk,
         }
+    }
+
+    /// Raw + derived residency counters folded into one window — the
+    /// side-by-side buckets ([`ServeStats::cache`],
+    /// [`ServeStats::derived_cache`]) combined, so dashboards that want a
+    /// single residency figure do not re-derive it inconsistently.
+    pub fn combined_cache(&self) -> CacheStats {
+        let mut combined = self.cache();
+        combined.accumulate(&self.derived_cache());
+        combined
+    }
+
+    /// Combined hit ratio over the raw **and** derived residency buckets:
+    /// total hits over total lookups, in `[0, 1]` (0 when nothing was looked
+    /// up).
+    pub fn combined_hit_ratio(&self) -> f64 {
+        self.combined_cache().hit_rate()
+    }
+
+    /// The metrics snapshot rendered in the Prometheus text exposition
+    /// format.
+    pub fn prometheus(&self) -> String {
+        self.metrics.prometheus()
     }
 }
 
@@ -299,6 +332,15 @@ struct Shared {
     queue: JobQueue<Job>,
     pool: Arc<DevicePool>,
     config: ServeConfig,
+    /// The trace sink every layer below reports into: the scheduler holds its
+    /// own clone, the serve layer records admission/queue-depth/completion
+    /// events here. The no-op sink by default — `enabled()` is checked before
+    /// any event is assembled.
+    trace: Arc<dyn TraceSink>,
+    /// The service metrics registry (modeled instants only, never wall
+    /// clock). Counters and histograms are fed as events happen; gauges are
+    /// refreshed when [`BatchMappingService::stats`] snapshots.
+    metrics: Arc<MetricsRegistry>,
     /// The persistent phased scheduler (pipelined mode only).
     sched: Option<PhasePipeline>,
     ledger: Mutex<StatsLedger>,
@@ -326,6 +368,12 @@ struct Shared {
 
 /// Receptor grid sets the host-side memo retains (MRU).
 const GRIDS_MEMO_CAP: usize = 8;
+
+/// Upper bounds (modeled seconds) of the per-class batch-latency histograms —
+/// log-spaced around the sub-second modeled latencies the simulated pool
+/// produces, with headroom for deep bulk queues.
+const LATENCY_BOUNDS: [f64; 12] =
+    [1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0];
 
 impl Shared {
     /// The memoized receptor grids for `fingerprint`, building them from the
@@ -383,6 +431,181 @@ impl Shared {
             })
             .collect()
     }
+
+    /// The modeled "now" serve-layer edges are stamped with: the scheduler's
+    /// virtual clock under pipelining, the barrier path's batch clock
+    /// otherwise.
+    fn now_v_s(&self) -> f64 {
+        match &self.sched {
+            Some(sched) => sched.now_v_s(),
+            None => *self.modeled_clock.lock().expect("modeled clock poisoned"),
+        }
+    }
+
+    /// Samples the admission-queue depth onto the queue track (rendered as a
+    /// Perfetto counter series) — call after any push/drain that changes it.
+    fn note_queue_depth(&self, at_v_s: f64) {
+        if self.trace.enabled() {
+            self.trace.record(
+                TraceEvent::instant(Track::Queue, "queue_depth", Category::Serve, at_v_s)
+                    .with_tags(Tags::default().with_num("depth", self.queue.len() as f64)),
+            );
+        }
+    }
+
+    /// The serve-layer admission edge for one job: submission counter, an
+    /// `admit` instant (tenant + class tags) and a queue-depth sample on the
+    /// queue track. Called after the queue accepted the job.
+    fn note_admitted(&self, tenant: &str, class: LatencyClass, admitted_v_s: f64) {
+        self.metrics.counter_add(
+            "ftmap_serve_jobs_submitted_total",
+            &[("class", class.name())],
+            1.0,
+        );
+        if self.trace.enabled() {
+            let tags = Tags {
+                tenant: Some(tenant.to_string()),
+                class: Some(class.name()),
+                ..Tags::default()
+            };
+            self.trace.record(
+                TraceEvent::instant(Track::Queue, "admit", Category::Serve, admitted_v_s)
+                    .with_tags(tags),
+            );
+            self.note_queue_depth(admitted_v_s);
+        }
+    }
+
+    /// The batch-formation edge: the dispatcher extracted `jobs` compatible
+    /// jobs into batch `batch_index` and is handing it to a dispatcher.
+    fn note_batch_formed(&self, batch_index: usize, jobs: usize, class: LatencyClass) {
+        self.metrics.counter_add(
+            "ftmap_serve_batches_formed_total",
+            &[("class", class.name())],
+            1.0,
+        );
+        if self.trace.enabled() {
+            let at_v_s = self.now_v_s();
+            let tags = Tags {
+                batch_seq: Some(batch_index as u64),
+                class: Some(class.name()),
+                ..Tags::default()
+            }
+            .with_num("jobs", jobs as f64);
+            self.trace.record(
+                TraceEvent::instant(Track::Queue, "batch-form", Category::Serve, at_v_s)
+                    .with_tags(tags),
+            );
+            self.note_queue_depth(at_v_s);
+        }
+    }
+
+    /// Batch-completion bookkeeping shared by both dispatchers: completion
+    /// counters, the per-class latency histogram, residency-event counters,
+    /// and a `batch-resolve` instant on the queue track.
+    fn note_batch_completed(&self, summary: &BatchSummary) {
+        let class = summary.class.name();
+        self.metrics.counter_add("ftmap_serve_batches_completed_total", &[("class", class)], 1.0);
+        self.metrics.counter_add(
+            "ftmap_serve_jobs_completed_total",
+            &[("class", class)],
+            summary.jobs as f64,
+        );
+        self.metrics.observe(
+            "ftmap_serve_batch_latency_modeled_seconds",
+            &[("class", class)],
+            &LATENCY_BOUNDS,
+            summary.latency_modeled_s,
+        );
+        for (bucket, stats) in [("raw", &summary.cache), ("derived", &summary.derived_cache)] {
+            for (kind, value) in [
+                ("hit", stats.hits),
+                ("miss", stats.misses),
+                ("evict", stats.evictions),
+                ("insert", stats.insertions),
+            ] {
+                self.metrics.counter_add(
+                    "ftmap_serve_cache_events_total",
+                    &[("bucket", bucket), ("kind", kind)],
+                    value as f64,
+                );
+            }
+        }
+        if self.trace.enabled() {
+            let tags = Tags {
+                batch_seq: Some(summary.batch_index as u64),
+                class: Some(class),
+                ..Tags::default()
+            }
+            .with_num("jobs", summary.jobs as f64)
+            .with_num("latency_s", summary.latency_modeled_s)
+            .with_num("makespan_s", summary.makespan_modeled_s);
+            self.trace.record(
+                TraceEvent::instant(
+                    Track::Queue,
+                    "batch-resolve",
+                    Category::Serve,
+                    summary.completed_modeled_s,
+                )
+                .with_tags(tags),
+            );
+        }
+    }
+
+    /// Refreshes every gauge the registry exposes so the snapshot that
+    /// follows agrees with the sibling `ServeStats` fields: queue depth,
+    /// per-class latency percentiles, cache hit ratios (raw / derived /
+    /// combined), and — under pipelining — per-device busy seconds,
+    /// utilization, and pool load skew.
+    fn refresh_gauges(&self, interactive: &ClassLatency, bulk: &ClassLatency) {
+        let metrics = &self.metrics;
+        metrics.gauge_set("ftmap_serve_queue_depth", &[], self.queue.len() as f64);
+        for (class, lat) in [("interactive", interactive), ("bulk", bulk)] {
+            for (stat, value) in [("mean", lat.mean_s), ("p95", lat.p95_s), ("max", lat.max_s)] {
+                metrics.gauge_set(
+                    "ftmap_serve_latency_modeled_seconds",
+                    &[("class", class), ("stat", stat)],
+                    value,
+                );
+            }
+        }
+        let (raw, derived) = {
+            let ledger = self.ledger.lock().expect("ledger poisoned");
+            (ledger.cache_stats(), ledger.derived_cache_stats())
+        };
+        let mut combined = raw;
+        combined.accumulate(&derived);
+        for (bucket, stats) in [("raw", &raw), ("derived", &derived), ("combined", &combined)] {
+            metrics.gauge_set(
+                "ftmap_serve_cache_hit_ratio",
+                &[("bucket", bucket)],
+                stats.hit_rate(),
+            );
+        }
+        if let Some(sched) = &self.sched {
+            let busy = sched.device_busy_modeled_s();
+            let clocks = sched.device_clocks_v_s();
+            let horizon = clocks.iter().copied().fold(0.0, f64::max);
+            let max_busy = busy.iter().copied().fold(0.0, f64::max);
+            let min_busy = busy.iter().copied().fold(f64::INFINITY, f64::min);
+            for (index, busy_s) in busy.iter().enumerate() {
+                let device = index.to_string();
+                metrics.gauge_set(
+                    "ftmap_serve_device_busy_modeled_seconds",
+                    &[("device", device.as_str())],
+                    *busy_s,
+                );
+                metrics.gauge_set(
+                    "ftmap_serve_device_utilization",
+                    &[("device", device.as_str())],
+                    if horizon > 0.0 { busy_s / horizon } else { 0.0 },
+                );
+            }
+            if max_busy > 0.0 {
+                metrics.gauge_set("ftmap_serve_device_skew", &[], (max_busy - min_busy) / max_busy);
+            }
+        }
+    }
 }
 
 /// The multi-tenant batch-mapping service. See the [module docs](crate::service).
@@ -403,13 +626,34 @@ impl BatchMappingService {
     /// thread, would kill the dispatcher and strand every in-flight job
     /// handle.
     pub fn new(pool: Arc<DevicePool>, config: ServeConfig) -> Self {
+        Self::with_trace(pool, config, ftmap_trace::noop())
+    }
+
+    /// [`BatchMappingService::new`] with a trace sink: every scheduler item,
+    /// kernel, transfer, residency event and serve-layer edge the service
+    /// causes is recorded into `sink` on the modeled virtual timeline
+    /// (resolve with [`ftmap_trace::Recorder::events`], export with
+    /// [`ftmap_trace::export_chrome_trace`]). Pass [`ftmap_trace::noop`] —
+    /// or call [`BatchMappingService::new`] — for the untraced service; the
+    /// disabled sink costs one boolean check per edge.
+    ///
+    /// # Panics
+    /// Same construction-time bound validation as
+    /// [`BatchMappingService::new`].
+    pub fn with_trace(
+        pool: Arc<DevicePool>,
+        config: ServeConfig,
+        sink: Arc<dyn TraceSink>,
+    ) -> Self {
         assert!(config.max_batch_jobs > 0, "ServeConfig.max_batch_jobs must be at least 1");
         assert!(
             config.max_inflight_batches > 0,
             "ServeConfig.max_inflight_batches must be at least 1"
         );
         let sched = match config.dispatch {
-            DispatchMode::Pipelined => Some(PhasePipeline::new(Arc::clone(&pool))),
+            DispatchMode::Pipelined => {
+                Some(PhasePipeline::with_trace(Arc::clone(&pool), Arc::clone(&sink)))
+            }
             DispatchMode::Barrier => None,
         };
         let cache_mark = pool
@@ -421,6 +665,8 @@ impl BatchMappingService {
             queue: JobQueue::new(config.max_pending),
             pool,
             config,
+            trace: sink,
+            metrics: Arc::new(MetricsRegistry::new()),
             sched,
             ledger: Mutex::new(StatsLedger::new()),
             latency: Mutex::new(LatencyBook::default()),
@@ -476,9 +722,11 @@ impl BatchMappingService {
     ) -> Result<JobHandle, SubmitError<MappingRequest>> {
         let job = self.admit(request);
         let handle = JobHandle::new(job.id, job.request.tag.clone(), Arc::clone(&job.slot));
+        let (class, admitted_v_s) = (job.class, job.admitted_v_s);
         match self.shared.queue.push(job) {
             Ok(()) => {
                 self.shared.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+                self.shared.note_admitted(handle.tag(), class, admitted_v_s);
                 Ok(handle)
             }
             Err(err) => Err(strip(err)),
@@ -494,9 +742,11 @@ impl BatchMappingService {
     ) -> Result<JobHandle, SubmitError<MappingRequest>> {
         let job = self.admit(request);
         let handle = JobHandle::new(job.id, job.request.tag.clone(), Arc::clone(&job.slot));
+        let (class, admitted_v_s) = (job.class, job.admitted_v_s);
         match self.shared.queue.try_push(job) {
             Ok(()) => {
                 self.shared.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+                self.shared.note_admitted(handle.tag(), class, admitted_v_s);
                 Ok(handle)
             }
             Err(err) => Err(strip(err)),
@@ -505,17 +755,27 @@ impl BatchMappingService {
 
     /// A snapshot of the service counters, ledger and latency views.
     pub fn stats(&self) -> ServeStats {
-        let book = self.shared.latency.lock().expect("latency book poisoned");
-        let (span_modeled_s, cross_batch_overlap_modeled_s) = book.span_stats();
+        let (span_modeled_s, cross_batch_overlap_modeled_s, interactive, bulk) = {
+            let book = self.shared.latency.lock().expect("latency book poisoned");
+            let (span, overlap) = book.span_stats();
+            (
+                span,
+                overlap,
+                ClassLatency::from_samples(&book.interactive_s),
+                ClassLatency::from_samples(&book.bulk_s),
+            )
+        };
+        self.shared.refresh_gauges(&interactive, &bulk);
         ServeStats {
             jobs_submitted: self.shared.jobs_submitted.load(Ordering::Relaxed),
             jobs_completed: self.shared.jobs_completed.load(Ordering::Relaxed),
             batches_run: self.shared.batches_run.load(Ordering::Relaxed),
             ledger: self.shared.ledger.lock().expect("ledger poisoned").clone(),
-            interactive: ClassLatency::from_samples(&book.interactive_s),
-            bulk: ClassLatency::from_samples(&book.bulk_s),
+            interactive,
+            bulk,
             span_modeled_s,
             cross_batch_overlap_modeled_s,
+            metrics: self.shared.metrics.snapshot(),
         }
     }
 
@@ -601,6 +861,11 @@ fn submit_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
         job.slot.set_running();
     }
     let class = batch[0].class;
+    // The anchor job's tag stands in as the batch's tenant label (batches are
+    // receptor- and class-homogeneous; per-job identity stays on the admit
+    // instants).
+    let tenant = batch[0].request.tag.clone();
+    shared.note_batch_formed(batch_index, batch.len(), class);
     let receptor = shared.receptor_for(batch[0].fingerprint, &batch[0]);
     let receptor_key = receptor.content_key();
     let pipelines = shared.job_pipelines(&batch, &receptor);
@@ -635,6 +900,7 @@ fn submit_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
     };
     sched.submit(
         PhasedBatch {
+            label: BatchLabel { tenant: Some(tenant), class: Some(class.name()) },
             priority: class.priority(),
             entries: exec.entries(),
             dock_weights: exec.dock_weights(),
@@ -692,6 +958,7 @@ fn complete_pipelined_batch(
         overlap_saved_modeled_s: report.overlap_saved_s(),
         transfer_modeled_s: transfer_s,
     };
+    shared.note_batch_completed(&summary);
     finish_jobs(shared, batch, exec.take_shards(), summary);
 }
 
@@ -706,6 +973,7 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
         job.slot.set_running();
     }
     let class = batch[0].class;
+    shared.note_batch_formed(batch_index, batch.len(), class);
 
     // One host-side grid build per receptor fingerprint (memoized, bounded).
     let receptor = shared.receptor_for(batch[0].fingerprint, &batch[0]);
@@ -727,7 +995,7 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
         .flat_map(|(job_idx, lib)| lib.probes().iter().map(move |p| (job_idx, p.clone())))
         .collect();
     let n_items = items.len();
-    let queue = ShardQueue::new(&shared.pool);
+    let queue = ShardQueue::new(&shared.pool).with_trace(Arc::clone(&shared.trace));
     let (shards, n_pose_blocks, makespan_modeled_s) = if shared.config.pose_block == 0 {
         let outcome = queue.execute(items, |ctx, (job_idx, probe)| {
             let shard = pipelines[job_idx].map_probe_shard(&probe, ctx.device);
@@ -816,6 +1084,7 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
         overlap_saved_modeled_s: 0.0,
         transfer_modeled_s: transfer_s,
     };
+    shared.note_batch_completed(&summary);
     finish_jobs(shared, batch, shards, summary);
 }
 

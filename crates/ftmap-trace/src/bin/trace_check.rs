@@ -1,0 +1,105 @@
+//! Schema validator for exported `trace.json` files.
+//!
+//! CI runs this after `examples/trace_mapping.rs` to guarantee the exported
+//! document stays loadable: a well-formed JSON object with a `traceEvents`
+//! array whose entries carry the fields each Chrome trace-event phase
+//! requires.
+//!
+//! Usage: `cargo run -p ftmap-trace --bin trace_check -- trace.json`
+//! Exit status 0 on a valid trace, 1 on any violation (each printed).
+
+use ftmap_trace::json::{parse, JsonValue};
+
+fn check_event(index: usize, event: &JsonValue, errors: &mut Vec<String>) {
+    let mut fail = |message: String| errors.push(format!("traceEvents[{index}]: {message}"));
+    if !matches!(event, JsonValue::Object(_)) {
+        fail("not an object".to_string());
+        return;
+    }
+    let Some(ph) = event.get("ph").and_then(JsonValue::as_str) else {
+        fail("missing string \"ph\"".to_string());
+        return;
+    };
+    if event.get("name").and_then(JsonValue::as_str).is_none() {
+        fail("missing string \"name\"".to_string());
+    }
+    for field in ["pid", "tid"] {
+        match event.get(field).and_then(JsonValue::as_f64) {
+            Some(v) if v >= 0.0 && v.fract() == 0.0 => {}
+            _ => fail(format!("missing or non-integer \"{field}\"")),
+        }
+    }
+    match ph {
+        "M" => {} // metadata: no timestamp required
+        "X" | "i" | "C" => {
+            match event.get("ts").and_then(JsonValue::as_f64) {
+                Some(ts) if ts >= 0.0 => {}
+                Some(_) => fail("negative \"ts\"".to_string()),
+                None => fail("missing numeric \"ts\"".to_string()),
+            }
+            if ph == "X" {
+                match event.get("dur").and_then(JsonValue::as_f64) {
+                    Some(dur) if dur >= 0.0 => {}
+                    Some(_) => fail("negative \"dur\" on complete event".to_string()),
+                    None => fail("missing numeric \"dur\" on complete event".to_string()),
+                }
+            }
+            if ph == "i" && event.get("s").and_then(JsonValue::as_str).is_none() {
+                fail("instant event missing scope \"s\"".to_string());
+            }
+        }
+        other => fail(format!("unexpected phase {other:?}")),
+    }
+}
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "trace.json".to_string());
+    let content = match std::fs::read_to_string(&path) {
+        Ok(content) => content,
+        Err(err) => {
+            eprintln!("trace_check: cannot read {path}: {err}");
+            std::process::exit(1);
+        }
+    };
+    let document = match parse(&content) {
+        Ok(document) => document,
+        Err(err) => {
+            eprintln!("trace_check: {path}: {err}");
+            std::process::exit(1);
+        }
+    };
+    let Some(events) = document.get("traceEvents").and_then(JsonValue::as_array) else {
+        eprintln!("trace_check: {path}: no \"traceEvents\" array at the top level");
+        std::process::exit(1);
+    };
+    let mut errors = Vec::new();
+    for (index, event) in events.iter().enumerate() {
+        check_event(index, event, &mut errors);
+    }
+    let spans =
+        events.iter().filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X")).count();
+    if events.is_empty() {
+        errors.push("traceEvents is empty".to_string());
+    }
+    for error in &errors {
+        eprintln!("trace_check: {path}: {error}");
+    }
+    if errors.is_empty() {
+        println!(
+            "trace_check: {path} ok — {} events ({spans} spans) across {} tracks",
+            events.len(),
+            events
+                .iter()
+                .filter_map(|e| {
+                    let pid = e.get("pid").and_then(JsonValue::as_f64)?;
+                    let tid = e.get("tid").and_then(JsonValue::as_f64)?;
+                    Some((pid as u64, tid as u64))
+                })
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
+        );
+    } else {
+        eprintln!("trace_check: {path}: {} violation(s)", errors.len());
+        std::process::exit(1);
+    }
+}

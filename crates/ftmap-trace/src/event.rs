@@ -1,0 +1,168 @@
+//! The event model: spans and instants on the modeled virtual timeline.
+
+/// Where an event is rendered: one track per device, plus the serve layer's
+/// admission queue and one track per in-flight batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Track {
+    /// A pooled device, by pool index.
+    Device(u32),
+    /// The serve layer's admission queue.
+    Queue,
+    /// One scheduler batch, by batch sequence number (batches overlap in
+    /// flight, so each gets its own lane).
+    Batch(u64),
+}
+
+/// Coarse event taxonomy (the Perfetto `cat` field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// A modeled kernel launch.
+    Kernel,
+    /// A host↔device transfer.
+    Transfer,
+    /// A residency-cache event (hit / miss / eviction).
+    Cache,
+    /// A scheduler edge: item claim, dock/minimize span, steal.
+    Sched,
+    /// A batch lifecycle edge: submit, start, complete.
+    Batch,
+    /// A serve-layer edge: admit, batch formation, job resolve, queue depth.
+    Serve,
+}
+
+impl Category {
+    /// The Perfetto category string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Category::Kernel => "kernel",
+            Category::Transfer => "transfer",
+            Category::Cache => "cache",
+            Category::Sched => "sched",
+            Category::Batch => "batch",
+            Category::Serve => "serve",
+        }
+    }
+}
+
+/// How an event's time is interpreted.
+///
+/// Leaf layers (kernel launches, transfers, cache lookups) run *inside* a
+/// scheduler item whose virtual start instant is only computed after the item
+/// finishes (start = max(device clock, ready instant)). They therefore record
+/// **anchored** events: offsets relative to the enclosing item, rebased to
+/// absolute instants once the item span — which *defines* the anchor — is
+/// recorded. See [`crate::recorder::resolve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Anchor {
+    /// `start_s` is an absolute instant on the virtual timeline.
+    Absolute,
+    /// This span defines anchor `id`: anchored events with `Within(id)` are
+    /// offsets from this span's start.
+    Defines(u64),
+    /// `start_s` is an offset from the start of the span defining anchor `id`.
+    Within(u64),
+}
+
+/// Dimension tags attached to an event. All optional; schedulers fill what
+/// they know (device, batch, probe/pose ids), the serve layer adds tenant and
+/// latency class.
+#[derive(Debug, Clone, Default)]
+pub struct Tags {
+    /// Pool index of the device the event ran on.
+    pub device: Option<u32>,
+    /// Scheduler batch sequence number.
+    pub batch_seq: Option<u64>,
+    /// Tenant identity (the serve layer's job tag).
+    pub tenant: Option<String>,
+    /// Latency class name (`"interactive"` / `"bulk"`).
+    pub class: Option<&'static str>,
+    /// Probe (entry) index within the batch.
+    pub probe: Option<u32>,
+    /// Pose-block range `[start, end)` for minimize items.
+    pub pose_range: Option<(u32, u32)>,
+    /// Free-form numeric arguments (modeled stage seconds, byte counts, …),
+    /// rendered into the Perfetto `args` object.
+    pub nums: Vec<(&'static str, f64)>,
+}
+
+impl Tags {
+    /// Tags with just a device index.
+    pub fn device(index: u32) -> Self {
+        Tags { device: Some(index), ..Tags::default() }
+    }
+
+    /// Adds a numeric argument.
+    pub fn with_num(mut self, key: &'static str, value: f64) -> Self {
+        self.nums.push((key, value));
+        self
+    }
+}
+
+/// One recorded event: a span (`dur_s > 0`) or an instant (`dur_s == 0`) on a
+/// [`Track`], timed in modeled seconds.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// The track the event renders on.
+    pub track: Track,
+    /// Display name (kernel/phase name, lifecycle edge, …).
+    pub name: String,
+    /// Coarse category.
+    pub cat: Category,
+    /// Start instant in modeled seconds — absolute, or an offset when
+    /// [`Anchor::Within`].
+    pub start_s: f64,
+    /// Duration in modeled seconds (0 for instants).
+    pub dur_s: f64,
+    /// How `start_s` is interpreted.
+    pub anchor: Anchor,
+    /// Dimension tags.
+    pub tags: Tags,
+}
+
+impl TraceEvent {
+    /// A span with an absolute start instant.
+    pub fn span(
+        track: Track,
+        name: impl Into<String>,
+        cat: Category,
+        start_s: f64,
+        dur_s: f64,
+    ) -> Self {
+        TraceEvent {
+            track,
+            name: name.into(),
+            cat,
+            start_s,
+            dur_s,
+            anchor: Anchor::Absolute,
+            tags: Tags::default(),
+        }
+    }
+
+    /// An instant event at an absolute virtual time.
+    pub fn instant(track: Track, name: impl Into<String>, cat: Category, at_s: f64) -> Self {
+        Self::span(track, name, cat, at_s, 0.0)
+    }
+
+    /// Attaches tags.
+    pub fn with_tags(mut self, tags: Tags) -> Self {
+        self.tags = tags;
+        self
+    }
+
+    /// Marks this span as defining anchor `id`.
+    pub fn defines(mut self, id: u64) -> Self {
+        self.anchor = Anchor::Defines(id);
+        self
+    }
+
+    /// The end instant (`start + dur`); only meaningful once absolute.
+    pub fn end_s(&self) -> f64 {
+        self.start_s + self.dur_s
+    }
+
+    /// True when the event is an instant rather than a span.
+    pub fn is_instant(&self) -> bool {
+        self.dur_s == 0.0
+    }
+}

@@ -1,0 +1,40 @@
+//! # ftmap-trace
+//!
+//! Tracing and metrics for the modeled GPU stack: a lock-cheap span/event
+//! recorder on the **modeled virtual timeline**, a Chrome trace-event
+//! (Perfetto) JSON exporter, and a Prometheus-style metrics registry.
+//!
+//! This crate sits *below* `gpu-sim` in the dependency graph: it knows nothing
+//! about devices or schedulers, only about [`TraceEvent`]s on abstract
+//! [`Track`]s. The layers above emit into a [`TraceSink`]:
+//!
+//! * schedulers (`gpu_sim::sched`) open an [`ItemScope`] around each work item
+//!   and record the item's span once its virtual start/completion instants are
+//!   known;
+//! * leaf layers (kernel launches, transfers, residency lookups) call the
+//!   [`hook`] free functions, which attach **anchored** sub-events to whatever
+//!   item scope is active on the current thread — and cost one thread-local
+//!   read when none is (the no-op default);
+//! * the serve layer records queue/batch lifecycle events with absolute
+//!   virtual instants and feeds the [`MetricsRegistry`].
+//!
+//! Everything is keyed to modeled seconds; no wall clock enters any event or
+//! metric.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod perfetto;
+pub mod recorder;
+pub mod scope;
+pub mod sink;
+
+pub use event::{Anchor, Category, Tags, TraceEvent, Track};
+pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+pub use perfetto::export_chrome_trace;
+pub use recorder::Recorder;
+pub use scope::{hook, ItemScope};
+pub use sink::{noop, NoopSink, TraceSink};

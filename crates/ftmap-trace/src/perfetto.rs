@@ -1,0 +1,185 @@
+//! Chrome trace-event (Perfetto) JSON export.
+//!
+//! Renders a resolved event list as the classic `{"traceEvents": [...]}`
+//! document Perfetto (<https://ui.perfetto.dev>) and `chrome://tracing` load
+//! directly. The modeled virtual timeline maps 1 modeled second → 1e6 trace
+//! microseconds. Track layout:
+//!
+//! * **pid 1 "devices"** — one thread per pooled device (`tid` = pool index):
+//!   item spans with their anchored kernel/transfer/cache children;
+//! * **pid 2 "serve"** — `tid 0` is the admission queue (admit/resolve
+//!   instants plus a `queue_depth` counter series); each batch gets its own
+//!   `tid` (`100 + seq`) carrying submit→start→complete;
+//!
+//! Span events use phase `"X"` (complete events), instants `"i"`, the queue
+//! depth counter `"C"`, and track names are declared with `"M"` metadata
+//! events — the full set of phases the `trace_check` schema validator
+//! accepts.
+
+use crate::event::{Tags, TraceEvent, Track};
+use crate::json::{escape, number};
+use std::collections::BTreeSet;
+
+/// pid for the per-device tracks.
+const PID_DEVICES: u64 = 1;
+/// pid for the serve-layer tracks (queue + batches).
+const PID_SERVE: u64 = 2;
+/// tid of the admission-queue track within [`PID_SERVE`].
+const TID_QUEUE: u64 = 0;
+/// Batch `seq` maps to tid `BATCH_TID_BASE + seq`, keeping batch lanes away
+/// from the queue lane.
+const BATCH_TID_BASE: u64 = 100;
+
+fn track_ids(track: Track) -> (u64, u64) {
+    match track {
+        Track::Device(index) => (PID_DEVICES, index as u64),
+        Track::Queue => (PID_SERVE, TID_QUEUE),
+        Track::Batch(seq) => (PID_SERVE, BATCH_TID_BASE + seq),
+    }
+}
+
+fn track_name(track: Track) -> String {
+    match track {
+        Track::Device(index) => format!("device {index}"),
+        Track::Queue => "admission queue".to_string(),
+        Track::Batch(seq) => format!("batch {seq}"),
+    }
+}
+
+/// Modeled seconds → trace microseconds.
+fn us(seconds: f64) -> f64 {
+    seconds * 1e6
+}
+
+fn args_json(tags: &Tags) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    if let Some(device) = tags.device {
+        parts.push(format!("\"device\": {device}"));
+    }
+    if let Some(seq) = tags.batch_seq {
+        parts.push(format!("\"batch_seq\": {seq}"));
+    }
+    if let Some(tenant) = &tags.tenant {
+        parts.push(format!("\"tenant\": \"{}\"", escape(tenant)));
+    }
+    if let Some(class) = tags.class {
+        parts.push(format!("\"class\": \"{}\"", escape(class)));
+    }
+    if let Some(probe) = tags.probe {
+        parts.push(format!("\"probe\": {probe}"));
+    }
+    if let Some((start, end)) = tags.pose_range {
+        parts.push(format!("\"pose_start\": {start}"));
+        parts.push(format!("\"pose_end\": {end}"));
+    }
+    for (key, value) in &tags.nums {
+        parts.push(format!("\"{}\": {}", escape(key), number(*value)));
+    }
+    format!("{{{}}}", parts.join(", "))
+}
+
+fn event_json(event: &TraceEvent) -> String {
+    let (pid, tid) = track_ids(event.track);
+    let ts = number(us(event.start_s));
+    let name = escape(&event.name);
+    let cat = event.cat.as_str();
+    let args = args_json(&event.tags);
+    // The serve layer records queue depth as instants named "queue_depth"
+    // carrying a "depth" num; render those as counter ("C") samples so
+    // Perfetto draws the depth as a step chart.
+    if event.track == Track::Queue && event.name == "queue_depth" {
+        let depth =
+            event.tags.nums.iter().find(|(k, _)| *k == "depth").map(|(_, v)| *v).unwrap_or(0.0);
+        return format!(
+            "{{\"name\": \"queue_depth\", \"cat\": \"{cat}\", \"ph\": \"C\", \"ts\": {ts}, \
+             \"pid\": {pid}, \"tid\": {tid}, \"args\": {{\"depth\": {}}}}}",
+            number(depth)
+        );
+    }
+    if event.is_instant() {
+        format!(
+            "{{\"name\": \"{name}\", \"cat\": \"{cat}\", \"ph\": \"i\", \"s\": \"t\", \
+             \"ts\": {ts}, \"pid\": {pid}, \"tid\": {tid}, \"args\": {args}}}"
+        )
+    } else {
+        format!(
+            "{{\"name\": \"{name}\", \"cat\": \"{cat}\", \"ph\": \"X\", \"ts\": {ts}, \
+             \"dur\": {}, \"pid\": {pid}, \"tid\": {tid}, \"args\": {args}}}",
+            number(us(event.dur_s))
+        )
+    }
+}
+
+fn metadata_json(tracks: &BTreeSet<Track>) -> Vec<String> {
+    let mut out = vec![
+        format!(
+            "{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {PID_DEVICES}, \"tid\": 0, \
+             \"args\": {{\"name\": \"devices\"}}}}"
+        ),
+        format!(
+            "{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {PID_SERVE}, \"tid\": 0, \
+             \"args\": {{\"name\": \"serve\"}}}}"
+        ),
+    ];
+    for &track in tracks {
+        let (pid, tid) = track_ids(track);
+        out.push(format!(
+            "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": {tid}, \
+             \"args\": {{\"name\": \"{}\"}}}}",
+            escape(&track_name(track))
+        ));
+    }
+    out
+}
+
+/// Renders **resolved** events (see [`crate::Recorder::events`]) as a Chrome
+/// trace-event JSON document. The result loads directly in Perfetto; modeled
+/// seconds appear as microseconds on its timeline.
+pub fn export_chrome_trace(events: &[TraceEvent]) -> String {
+    let tracks: BTreeSet<Track> = events.iter().map(|e| e.track).collect();
+    let mut lines = metadata_json(&tracks);
+    lines.extend(events.iter().map(event_json));
+    let mut out = String::from("{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n");
+    out.push_str(&lines.iter().map(|l| format!("    {l}")).collect::<Vec<_>>().join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Category, Tags, TraceEvent, Track};
+    use crate::json::{parse, JsonValue};
+
+    #[test]
+    fn export_parses_back_with_expected_shape() {
+        let events = vec![
+            TraceEvent::span(Track::Device(0), "dock", Category::Sched, 0.001, 0.002)
+                .with_tags(Tags::device(0).with_num("kernel_s", 0.0015)),
+            TraceEvent::instant(Track::Queue, "admit", Category::Serve, 0.0),
+            TraceEvent::instant(Track::Queue, "queue_depth", Category::Serve, 0.0)
+                .with_tags(Tags::default().with_num("depth", 3.0)),
+            TraceEvent::instant(Track::Batch(2), "submit", Category::Batch, 0.0005),
+        ];
+        let doc = export_chrome_trace(&events);
+        let parsed = parse(&doc).expect("exporter output is valid JSON");
+        let trace_events =
+            parsed.get("traceEvents").and_then(JsonValue::as_array).expect("traceEvents array");
+        // 4 events + 2 process_name + 3 thread_name metadata rows.
+        assert_eq!(trace_events.len(), 9);
+        let phases: Vec<&str> =
+            trace_events.iter().filter_map(|e| e.get("ph").and_then(JsonValue::as_str)).collect();
+        assert_eq!(phases.iter().filter(|p| **p == "M").count(), 5);
+        assert!(phases.contains(&"X") && phases.contains(&"i") && phases.contains(&"C"));
+        let span = trace_events
+            .iter()
+            .find(|e| e.get("name").and_then(JsonValue::as_str) == Some("dock"))
+            .expect("dock span present");
+        assert_eq!(span.get("ts").and_then(JsonValue::as_f64), Some(1000.0));
+        assert_eq!(span.get("dur").and_then(JsonValue::as_f64), Some(2000.0));
+        assert_eq!(
+            span.get("args").and_then(|a| a.get("kernel_s")).and_then(JsonValue::as_f64),
+            Some(0.0015)
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! The sink trait instrumented layers emit into, and the no-op default.
+
+use crate::event::TraceEvent;
+use std::sync::Arc;
+
+/// Receives trace events from instrumented layers.
+///
+/// The contract the instrumentation relies on: when [`TraceSink::enabled`]
+/// returns `false`, callers skip event construction entirely — so a disabled
+/// sink costs one virtual call (schedulers check once per item) or one
+/// thread-local read (leaf hooks), never an allocation. [`NoopSink`] is the
+/// canonical disabled sink and the default everywhere a sink is optional.
+pub trait TraceSink: Send + Sync {
+    /// Whether events should be constructed and recorded at all.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one event. Must be cheap and safe to call from any worker
+    /// thread concurrently.
+    fn record(&self, event: TraceEvent);
+}
+
+/// The disabled sink: [`TraceSink::enabled`] is `false` and
+/// [`TraceSink::record`] drops events (it is never reached by well-behaved
+/// callers).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _event: TraceEvent) {}
+}
+
+/// A shared handle to the no-op sink — the default for every `with_trace`
+/// seam in the stack.
+pub fn noop() -> Arc<dyn TraceSink> {
+    Arc::new(NoopSink)
+}

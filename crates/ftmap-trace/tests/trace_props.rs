@@ -1,0 +1,170 @@
+//! Property tests on the trace pipeline: for arbitrary item structures the
+//! resolver keeps spans well-nested per track (every anchored child lands
+//! inside its defining item span), drops orphans instead of inventing
+//! instants, and the Perfetto export round-trips through a JSON parse with
+//! nothing lost.
+
+use ftmap_trace::json::{parse, JsonValue};
+use ftmap_trace::{
+    export_chrome_trace, hook, Anchor, Category, ItemScope, Recorder, Tags, TraceEvent, TraceSink,
+    Track,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// One generated work item: a device track, an absolute start instant, and
+/// the modeled durations of its staged sub-events.
+type Item = (u32, (f64, Vec<f64>));
+
+/// Replays `items` through the real scope machinery the schedulers use: an
+/// [`ItemScope`] per item, one kernel hook per stage, then the defining item
+/// span at the item's absolute start with the stages' summed duration.
+fn record_items(items: &[Item]) -> Vec<TraceEvent> {
+    let recorder = Arc::new(Recorder::new());
+    let sink: Arc<dyn TraceSink> = Arc::clone(&recorder) as _;
+    for (device, (start_s, stages)) in items {
+        let track = Track::Device(*device);
+        let scope =
+            ItemScope::enter(&sink, track, Tags::device(*device)).expect("recorder is enabled");
+        for (index, stage_s) in stages.iter().enumerate() {
+            hook::kernel(&format!("stage-{index}"), *stage_s, 1, 64);
+        }
+        let anchor = scope.anchor();
+        let dur_s: f64 = stages.iter().sum();
+        drop(scope);
+        recorder.record(
+            TraceEvent::span(track, "item", Category::Sched, *start_s, dur_s).defines(anchor),
+        );
+    }
+    recorder.events()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Resolved traces are well-nested per track: every anchored child starts
+    /// at or after its item's start, ends at or before its item's end, the
+    /// children of one item tile it in cursor order, and tags propagate.
+    #[test]
+    fn resolved_spans_are_well_nested_per_track(
+        items in prop::collection::vec(
+            (0u32..3, (0.0f64..50.0, prop::collection::vec(0.001f64..2.0, 0..6))),
+            1..16,
+        ),
+    ) {
+        let events = record_items(&items);
+        let expected: usize = items.len() + items.iter().map(|(_, (_, s))| s.len()).sum::<usize>();
+        // No event lost or invented.
+        prop_assert_eq!(events.len(), expected);
+
+        // Events are resolved to absolute instants, sorted by start and
+        // longest-first on ties (parents before their zero-offset children).
+        for pair in events.windows(2) {
+            prop_assert!(pair[0].start_s <= pair[1].start_s + 1e-12);
+        }
+        // Nothing stays offset-anchored: children are rebased to Absolute,
+        // item spans keep their Defines marker (already absolute).
+        for event in &events {
+            prop_assert!(!matches!(event.anchor, Anchor::Within(_)));
+        }
+
+        // Every generated item resolves to exactly one span at its absolute
+        // start with the stages' summed duration (resolution sorts by start,
+        // so pair by track + start — random f64 starts never collide).
+        for (device, (start_s, stages)) in &items {
+            let matches = events
+                .iter()
+                .filter(|e| {
+                    e.name == "item"
+                        && e.track == Track::Device(*device)
+                        && (e.start_s - start_s).abs() < 1e-9
+                })
+                .count();
+            prop_assert_eq!(matches, 1);
+            let item = events
+                .iter()
+                .find(|e| {
+                    e.name == "item"
+                        && e.track == Track::Device(*device)
+                        && (e.start_s - start_s).abs() < 1e-9
+                })
+                .expect("counted above");
+            let dur_s: f64 = stages.iter().sum();
+            prop_assert!((item.dur_s - dur_s).abs() < 1e-9);
+        }
+        for child in events.iter().filter(|e| e.name.starts_with("stage-")) {
+            prop_assert_eq!(child.cat, Category::Kernel);
+            // The child's device tag names its item; the child must sit
+            // inside that item's span on the same track.
+            let device = child.tags.device.expect("scope tags propagate");
+            prop_assert_eq!(child.track, Track::Device(device));
+            let host = events
+                .iter()
+                .filter(|e| e.name == "item" && e.track == child.track)
+                .find(|e| {
+                    child.start_s >= e.start_s - 1e-9 && child.end_s() <= e.end_s() + 1e-9
+                });
+            prop_assert!(host.is_some(), "child span escapes every item on its track");
+        }
+    }
+
+    /// Anchored events whose defining span never arrives are dropped by the
+    /// resolver — a trace never shows sub-events at made-up instants.
+    #[test]
+    fn orphaned_children_are_dropped(
+        items in prop::collection::vec(
+            (0u32..2, (0.0f64..10.0, prop::collection::vec(0.001f64..1.0, 1..4))),
+            1..6,
+        ),
+    ) {
+        let recorder = Arc::new(Recorder::new());
+        let sink: Arc<dyn TraceSink> = Arc::clone(&recorder) as _;
+        for (device, (_, stages)) in &items {
+            // Open a scope and emit children, but never record the defining
+            // item span (a worker that died mid-item).
+            let scope = ItemScope::enter(&sink, Track::Device(*device), Tags::device(*device))
+                .expect("recorder is enabled");
+            for stage_s in stages {
+                hook::kernel("orphan", *stage_s, 1, 64);
+            }
+            drop(scope);
+        }
+        prop_assert!(recorder.events().is_empty(), "orphans must not resolve");
+    }
+
+    /// The Perfetto export of any resolved trace parses back as JSON with
+    /// every event present, finite timestamps, and durations preserved.
+    #[test]
+    fn perfetto_export_round_trips_through_json(
+        items in prop::collection::vec(
+            (0u32..3, (0.0f64..50.0, prop::collection::vec(0.001f64..2.0, 0..5))),
+            1..12,
+        ),
+    ) {
+        let events = record_items(&items);
+        let doc = export_chrome_trace(&events);
+        let parsed = parse(&doc).expect("export is valid JSON");
+        let rows = parsed
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .expect("traceEvents array");
+        let tracks: std::collections::BTreeSet<Track> = events.iter().map(|e| e.track).collect();
+        // Every event, plus 2 process_name rows and one thread_name per track.
+        prop_assert_eq!(rows.len(), events.len() + 2 + tracks.len());
+        let mut spans = 0usize;
+        for row in rows {
+            let ph = row.get("ph").and_then(JsonValue::as_str).expect("ph field");
+            if ph == "M" {
+                continue;
+            }
+            let ts = row.get("ts").and_then(JsonValue::as_f64).expect("ts field");
+            prop_assert!(ts.is_finite() && ts >= 0.0);
+            if ph == "X" {
+                let dur = row.get("dur").and_then(JsonValue::as_f64).expect("dur field");
+                prop_assert!(dur.is_finite() && dur > 0.0);
+                spans += 1;
+            }
+        }
+        prop_assert_eq!(spans, events.iter().filter(|e| !e.is_instant()).count());
+    }
+}

@@ -234,14 +234,18 @@ impl Device {
     /// Records a host↔device transfer and returns its modeled duration in seconds.
     pub fn record_transfer(&self, transfer: Transfer) -> f64 {
         let t = self.cost.transfer_time(&transfer);
-        {
-            let mut split = self.transfer_time_s.lock();
-            match transfer.direction {
-                TransferDirection::HostToDevice => split.0 += t,
-                TransferDirection::DeviceToHost => split.1 += t,
+        let direction = match transfer.direction {
+            TransferDirection::HostToDevice => {
+                self.transfer_time_s.lock().0 += t;
+                "upload"
             }
-        }
+            TransferDirection::DeviceToHost => {
+                self.transfer_time_s.lock().1 += t;
+                "download"
+            }
+        };
         self.transfer_bytes.fetch_add(transfer.bytes as usize, Ordering::Relaxed);
+        ftmap_trace::hook::transfer(direction, transfer.bytes, t);
         t
     }
 

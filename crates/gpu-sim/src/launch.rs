@@ -152,13 +152,32 @@ impl<'d> KernelLaunch<'d> {
 
     /// Executes the kernel block-parallel on the device and returns its stats.
     pub fn run<K: BlockKernel>(&self, kernel: &K) -> KernelStats {
-        self.device.launch(&self.config(), kernel)
+        let stats = self.device.launch(&self.config(), kernel);
+        self.trace_launch::<K>(&stats);
+        stats
     }
 
     /// Executes the kernel serially (host-model baseline; no launch overhead,
     /// no worker threads) and returns its stats.
     pub fn run_serial<K: BlockKernel>(&self, kernel: &K) -> KernelStats {
-        self.device.run_serial(&self.config(), kernel)
+        let stats = self.device.run_serial(&self.config(), kernel);
+        self.trace_launch::<K>(&stats);
+        stats
+    }
+
+    /// Emits the launch as an anchored trace stage when an item scope is
+    /// active on this thread (free otherwise). The kernel's type name labels
+    /// the span.
+    fn trace_launch<K>(&self, stats: &KernelStats) {
+        if ftmap_trace::hook::active() {
+            let name = std::any::type_name::<K>().rsplit("::").next().unwrap_or("kernel");
+            ftmap_trace::hook::kernel(
+                name,
+                stats.modeled_time_s,
+                self.grid_blocks(),
+                self.threads_per_block,
+            );
+        }
     }
 
     /// Executes the kernel block-parallel and records the stats into `ledger`

@@ -204,6 +204,7 @@ impl CacheInner {
         let mut removed = 1;
         if victim.parent.is_none() {
             self.stats.evictions += 1;
+            ftmap_trace::hook::cache("evict", "raw", victim.key);
             // Cascade: drop every derived child of the evicted raw entry.
             let mut idx = 0;
             while idx < self.entries.len() {
@@ -211,6 +212,7 @@ impl CacheInner {
                     let child = self.entries.remove(idx);
                     self.resident_bytes -= child.bytes;
                     self.derived_stats.evictions += 1;
+                    ftmap_trace::hook::cache("evict", "derived", child.key);
                     removed += 1;
                 } else {
                     idx += 1;
@@ -218,6 +220,7 @@ impl CacheInner {
             }
         } else {
             self.derived_stats.evictions += 1;
+            ftmap_trace::hook::cache("evict", "derived", victim.key);
         }
         removed
     }
@@ -312,6 +315,7 @@ impl ResidencyCache {
         match inner.entries.iter().position(|e| e.key == key) {
             Some(pos) => {
                 inner.stats.hits += 1;
+                ftmap_trace::hook::cache("hit", "raw", key);
                 let entry = inner.entries.remove(pos);
                 let payload = Arc::clone(&entry.payload);
                 inner.entries.insert(0, entry);
@@ -319,6 +323,7 @@ impl ResidencyCache {
             }
             None => {
                 inner.stats.misses += 1;
+                ftmap_trace::hook::cache("miss", "raw", key);
                 None
             }
         }
@@ -338,12 +343,14 @@ impl ResidencyCache {
         let mut inner = self.inner.lock();
         if let Some(pos) = inner.entries.iter().position(|e| e.key == key) {
             inner.stats.hits += 1;
+            ftmap_trace::hook::cache("hit", "raw", key);
             let entry = inner.entries.remove(pos);
             let payload = Arc::clone(&entry.payload);
             inner.entries.insert(0, entry);
             return Residency::Hit(payload);
         }
         inner.stats.misses += 1;
+        ftmap_trace::hook::cache("miss", "raw", key);
         let (payload, bytes) = fill();
         if !inner.enabled || bytes > self.capacity_bytes {
             return Residency::Uncacheable;
@@ -384,6 +391,7 @@ impl ResidencyCache {
         match inner.entries.iter().position(|e| e.key == key) {
             Some(pos) => {
                 inner.derived_stats.hits += 1;
+                ftmap_trace::hook::cache("hit", "derived", key);
                 let entry = inner.entries.remove(pos);
                 let payload = Arc::clone(&entry.payload);
                 Self::promote_with_parent(&mut inner, entry);
@@ -391,6 +399,7 @@ impl ResidencyCache {
             }
             None => {
                 inner.derived_stats.misses += 1;
+                ftmap_trace::hook::cache("miss", "derived", key);
                 None
             }
         }
@@ -435,12 +444,14 @@ impl ResidencyCache {
         let mut inner = self.inner.lock();
         if let Some(pos) = inner.entries.iter().position(|e| e.key == key) {
             inner.derived_stats.hits += 1;
+            ftmap_trace::hook::cache("hit", "derived", key);
             let entry = inner.entries.remove(pos);
             let payload = Arc::clone(&entry.payload);
             Self::promote_with_parent(&mut inner, entry);
             return Residency::Hit(payload);
         }
         inner.derived_stats.misses += 1;
+        ftmap_trace::hook::cache("miss", "derived", key);
         let parent_resident = inner.entries.iter().any(|e| e.key == parent_key);
         let (payload, bytes) = fill();
         if !inner.enabled || !parent_resident || bytes > self.capacity_bytes {

@@ -40,7 +40,8 @@ pub mod stream;
 pub mod work;
 
 pub use pipeline::{
-    BatchHandle, BatchReport, Phase, PhasePipeline, PhasedBatch, PhasedDeviceReport, PhasedExec,
+    BatchHandle, BatchLabel, BatchReport, Phase, PhasePipeline, PhasedBatch, PhasedDeviceReport,
+    PhasedExec,
 };
 pub use pool::DevicePool;
 pub use shard::{DeviceShardReport, ShardCtx, ShardOutcome, ShardQueue, StealPolicy};

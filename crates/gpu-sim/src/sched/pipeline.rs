@@ -46,6 +46,7 @@ use crate::sched::pool::DevicePool;
 use crate::sched::shard::ShardCtx;
 use crate::sched::stream::Stream;
 use crate::timing::{StreamOp, StreamStats};
+use ftmap_trace::{Category, ItemScope, Tags, TraceEvent, TraceSink, Track};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::ops::Range;
@@ -79,6 +80,18 @@ pub trait PhasedExec: Send + Sync {
     fn minimize(&self, ctx: &ShardCtx<'_>, entry: usize, pose_range: Range<usize>) -> f64;
 }
 
+/// Trace identity a batch carries: who submitted it and at which urgency
+/// tier. Flows onto every trace event the batch's items emit; empty by
+/// default (`BatchLabel::default()`), which costs nothing when tracing is
+/// off.
+#[derive(Debug, Clone, Default)]
+pub struct BatchLabel {
+    /// Tenant identity (the serve layer's job tag).
+    pub tenant: Option<String>,
+    /// Latency class name (`"interactive"` / `"bulk"`).
+    pub class: Option<&'static str>,
+}
+
 /// One batch submitted to the pipeline.
 pub struct PhasedBatch {
     /// Scheduling priority: **lower is more urgent**. Ready items of a more
@@ -91,6 +104,9 @@ pub struct PhasedBatch {
     pub dock_weights: Vec<f64>,
     /// The executor that does the work and owns the results.
     pub exec: Arc<dyn PhasedExec>,
+    /// Trace identity (tenant / latency class); `BatchLabel::default()` when
+    /// the caller has none.
+    pub label: BatchLabel,
 }
 
 /// Per-device account of what one batch ran, split by phase.
@@ -245,6 +261,9 @@ struct ReadyItem {
     /// Virtual instant the item became runnable (its dock parent's completion
     /// for minimize items; the batch's submission instant for dock items).
     ready_v_s: f64,
+    /// Latency-class tag carried for trace item spans (`Copy`, so free even
+    /// when tracing is off).
+    class: Option<&'static str>,
 }
 
 /// In-flight bookkeeping for one batch.
@@ -262,6 +281,8 @@ struct BatchState {
     completed_v_s: f64,
     /// Per-device `[dock, minimize]` streams, scoped to this batch.
     streams: Vec<[Stream; 2]>,
+    /// Trace identity the batch was submitted with.
+    label: BatchLabel,
     slot: BatchSlot,
     on_complete: Option<Box<dyn FnOnce(BatchReport) + Send>>,
 }
@@ -347,6 +368,10 @@ struct Shared {
     /// Capacity/completion waiters ([`PhasePipeline::wait_capacity`],
     /// drain) park here.
     settled: Condvar,
+    /// Trace sink every worker records into. [`ftmap_trace::noop`] by
+    /// default: workers check `enabled()` once per item and skip all tag
+    /// assembly when tracing is off.
+    trace: Arc<dyn TraceSink>,
 }
 
 impl PhasePipeline {
@@ -354,9 +379,18 @@ impl PhasePipeline {
     /// pooled device. Workers idle (parked on a condvar) until batches arrive
     /// and exit on [`PhasePipeline::shutdown`] / drop.
     pub fn new(pool: Arc<DevicePool>) -> Self {
+        Self::with_trace(pool, ftmap_trace::noop())
+    }
+
+    /// Like [`PhasePipeline::new`], but every scheduler edge — item claim,
+    /// dock/minimize spans, batch submit/start/complete — plus the kernel,
+    /// transfer and cache events the items generate are recorded into `sink`
+    /// on the modeled virtual timeline.
+    pub fn with_trace(pool: Arc<DevicePool>, sink: Arc<dyn TraceSink>) -> Self {
         let n = pool.len();
         let shared = Arc::new(Shared {
             pool: Arc::clone(&pool),
+            trace: sink,
             state: Mutex::new(SchedState {
                 ready: BTreeMap::new(),
                 next_order: 0,
@@ -415,6 +449,26 @@ impl PhasePipeline {
         // could pick the new work up.
         let submitted_v_s = state.device_clock.iter().copied().fold(f64::INFINITY, f64::min);
         let entries = batch.entries;
+        let class = batch.label.class;
+        if self.shared.trace.enabled() {
+            let tags = Tags {
+                batch_seq: Some(seq as u64),
+                tenant: batch.label.tenant.clone(),
+                class,
+                ..Tags::default()
+            }
+            .with_num("entries", entries as f64)
+            .with_num("priority", f64::from(batch.priority));
+            self.shared.trace.record(
+                TraceEvent::instant(
+                    Track::Batch(seq as u64),
+                    "batch-submit",
+                    Category::Batch,
+                    submitted_v_s,
+                )
+                .with_tags(tags),
+            );
+        }
         state.batches.insert(
             seq,
             BatchState {
@@ -430,6 +484,7 @@ impl PhasePipeline {
                 streams: (0..self.shared.pool.len())
                     .map(|_| [Stream::new(), Stream::new()])
                     .collect(),
+                label: batch.label,
                 slot: Arc::clone(&slot),
                 on_complete,
             },
@@ -447,6 +502,7 @@ impl PhasePipeline {
                     pose_range: 0..0,
                     weight: batch.dock_weights[entry],
                     ready_v_s: submitted_v_s,
+                    class,
                 },
             );
         }
@@ -530,6 +586,22 @@ impl PhasePipeline {
         state.device_clock.iter().copied().fold(0.0, f64::max)
     }
 
+    /// Per-device modeled busy seconds (the virtual time each device spent
+    /// executing items, summed over every batch) — the numerator of a
+    /// utilization gauge.
+    pub fn device_busy_modeled_s(&self) -> Vec<f64> {
+        let state = self.shared.state.lock().expect("scheduler poisoned");
+        state.completed.iter().map(|t| t.0).collect()
+    }
+
+    /// Per-device virtual clocks: the instant each device's last item
+    /// completed. `busy / max(clock)` gives per-device utilization; the
+    /// spread of this vector is the pool's load skew.
+    pub fn device_clocks_v_s(&self) -> Vec<f64> {
+        let state = self.shared.state.lock().expect("scheduler poisoned");
+        state.device_clock.clone()
+    }
+
     /// Drains outstanding batches, stops the workers and joins them.
     pub fn shutdown(mut self) {
         self.stop_and_join();
@@ -590,6 +662,29 @@ fn finish_batch(shared: &Shared, mut batch: BatchState) {
         blocks: batch.blocks_done,
         per_device,
     };
+    if shared.trace.enabled() {
+        let tags = Tags {
+            batch_seq: Some(batch.seq as u64),
+            tenant: batch.label.tenant.clone(),
+            class: batch.label.class,
+            ..Tags::default()
+        }
+        .with_num("docks", batch.docks_done as f64)
+        .with_num("blocks", batch.blocks_done as f64)
+        .with_num("priority", f64::from(batch.priority))
+        .with_num("latency_s", report.latency_modeled_s())
+        .with_num("overlap_saved_s", report.overlap_saved_s());
+        shared.trace.record(
+            TraceEvent::span(
+                Track::Batch(batch.seq as u64),
+                "batch",
+                Category::Batch,
+                report.started_v_s,
+                report.span_modeled_s(),
+            )
+            .with_tags(tags),
+        );
+    }
     if let Some(cb) = batch.on_complete.take() {
         cb(report.clone());
     }
@@ -724,6 +819,27 @@ fn worker_loop(shared: &Shared, device_index: usize) {
         // (it has exactly one worker), so the snapshot delta is exactly this
         // item's transfers.
         let ctx = ShardCtx { device, device_index, item_index: item.entry };
+        // Tag assembly and scope entry only happen when a real sink is
+        // installed; the untraced path pays one `enabled()` call per item.
+        let item_tags = if shared.trace.enabled() {
+            let mut tags = Tags::device(device_index as u32);
+            tags.batch_seq = Some(item.batch_slot as u64);
+            tags.class = item.class;
+            tags.probe = Some(item.entry as u32);
+            if item.phase == Phase::Minimize {
+                tags.pose_range = Some((item.pose_range.start as u32, item.pose_range.end as u32));
+            }
+            Some(tags)
+        } else {
+            None
+        };
+        // While the scope is active, every kernel launch, transfer and cache
+        // lookup the item performs records an event anchored to this item:
+        // an offset from the item's start, rebased to absolute once the item
+        // span (recorded below with the same anchor id) fixes its start.
+        let scope = item_tags.as_ref().and_then(|tags| {
+            ItemScope::enter(&shared.trace, Track::Device(device_index as u32), tags.clone())
+        });
         let before = device.transfer_snapshot();
         let batch_slot = item.batch_slot;
         let (kernel_s, unlocked) = match item.phase {
@@ -733,9 +849,11 @@ fn worker_loop(shared: &Shared, device_index: usize) {
             }
         };
         let after = device.transfer_snapshot();
+        let anchor = scope.as_ref().map(|s| s.anchor());
+        drop(scope);
 
         // --- Account, advance the virtual timeline, unlock dependents.
-        let finished = {
+        let (finished, start_v, actual_s) = {
             let mut state = shared.state.lock().expect("scheduler poisoned");
             let op = {
                 let delta = after.delta_since(&before);
@@ -783,15 +901,31 @@ fn worker_loop(shared: &Shared, device_index: usize) {
                         pose_range,
                         weight,
                         ready_v_s: completion_v,
+                        class: item.class,
                     },
                 );
             }
-            if done {
-                state.batches.remove(&batch_slot)
-            } else {
-                None
-            }
+            let finished = if done { state.batches.remove(&batch_slot) } else { None };
+            (finished, start_v, actual_s)
         };
+        if let Some(tags) = item_tags {
+            let name = match item.phase {
+                Phase::Dock => "dock",
+                Phase::Minimize => "minimize",
+            };
+            let mut event = TraceEvent::span(
+                Track::Device(device_index as u32),
+                name,
+                Category::Sched,
+                start_v,
+                actual_s,
+            )
+            .with_tags(tags.with_num("ready_v_s", item.ready_v_s).with_num("kernel_s", kernel_s));
+            if let Some(id) = anchor {
+                event = event.defines(id);
+            }
+            shared.trace.record(event);
+        }
         if let Some(batch) = finished {
             // Report assembly + completion callback run outside the state
             // lock (the callback may do real work: clustering, job slots).
@@ -861,6 +995,7 @@ mod tests {
         let entries = exec.dock_count.len();
         pipeline.submit(
             PhasedBatch {
+                label: Default::default(),
                 priority,
                 entries,
                 dock_weights: vec![1.0; entries],
@@ -952,6 +1087,7 @@ mod tests {
         let fired_cb = Arc::clone(&fired);
         let handle = pipeline.submit(
             PhasedBatch {
+                label: Default::default(),
                 priority: 0,
                 entries: 2,
                 dock_weights: vec![1.0; 2],
@@ -1014,6 +1150,7 @@ mod tests {
         let pipeline = PhasePipeline::new(pool);
         let handle = pipeline.submit(
             PhasedBatch {
+                label: Default::default(),
                 priority: 0,
                 entries: 1,
                 dock_weights: vec![1.0],
@@ -1044,6 +1181,7 @@ mod tests {
         let exec = Arc::new(TestExec::new(1, 0));
         let handle = pipeline.submit(
             PhasedBatch {
+                label: Default::default(),
                 priority: 0,
                 entries: 1,
                 dock_weights: vec![1.0],
@@ -1078,6 +1216,7 @@ mod tests {
         let pipeline = PhasePipeline::new(pool);
         let handle = pipeline.submit(
             PhasedBatch {
+                label: Default::default(),
                 priority: 0,
                 entries: 6,
                 dock_weights: vec![1.0; 6],
@@ -1091,6 +1230,7 @@ mod tests {
         let resubmit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             pipeline.submit(
                 PhasedBatch {
+                    label: Default::default(),
                     priority: 0,
                     entries: 1,
                     dock_weights: vec![1.0],

@@ -5,6 +5,7 @@ use crate::device::Device;
 use crate::sched::pool::DevicePool;
 use crate::sched::stream::Stream;
 use crate::timing::StreamStats;
+use ftmap_trace::{Category, ItemScope, Tags, TraceEvent, TraceSink, Track};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -176,6 +177,9 @@ impl<R> ShardOutcome<R> {
 pub struct ShardQueue<'p> {
     pool: &'p DevicePool,
     policy: StealPolicy,
+    /// Trace sink item spans are recorded into; [`ftmap_trace::noop`] unless
+    /// [`ShardQueue::with_trace`] installed a real one.
+    trace: Arc<dyn TraceSink>,
 }
 
 /// Per-worker completion tally for modeled-cost stealing.
@@ -254,7 +258,16 @@ impl<'p> ShardQueue<'p> {
 
     /// A queue executing on `pool` with an explicit steal policy.
     pub fn with_policy(pool: &'p DevicePool, policy: StealPolicy) -> Self {
-        ShardQueue { pool, policy }
+        ShardQueue { pool, policy, trace: ftmap_trace::noop() }
+    }
+
+    /// Installs a trace sink: every serviced item records a `Sched` span on
+    /// its device's track (timed on the worker's modeled virtual clock), and
+    /// the kernel/transfer/cache events the item generates are anchored
+    /// inside it.
+    pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = sink;
+        self
     }
 
     /// The pool this queue schedules onto.
@@ -334,6 +347,7 @@ impl<'p> ShardQueue<'p> {
                 let turnstile = &turnstile;
                 let reports = &reports;
                 let work = &work;
+                let trace = &self.trace;
                 scope.spawn(move |_| {
                     let mut stream = Stream::new();
                     let mut item_indices = Vec::new();
@@ -342,7 +356,7 @@ impl<'p> ShardQueue<'p> {
                         // until this worker's virtual clock is close enough to
                         // the pool minimum; the minimum-clock worker never
                         // parks, so the queue cannot stall.
-                        let (item_index, estimate) = {
+                        let (item_index, estimate, start_v) = {
                             let mut state = claims.lock().expect("claim state poisoned");
                             loop {
                                 if state.next >= n_items {
@@ -361,8 +375,9 @@ impl<'p> ShardQueue<'p> {
                             let item_index = state.next;
                             state.next += 1;
                             let estimate = state.estimate_for(device_index, weights[item_index]);
+                            let start_v = state.vtime[device_index];
                             state.vtime[device_index] += estimate;
-                            (item_index, estimate)
+                            (item_index, estimate, start_v)
                         };
                         turnstile.notify_all();
 
@@ -371,6 +386,20 @@ impl<'p> ShardQueue<'p> {
                             .take()
                             .expect("work item claimed twice — claim cursor violated");
                         let ctx = ShardCtx { device, device_index, item_index };
+                        let item_tags = if trace.enabled() {
+                            let mut tags = Tags::device(device_index as u32);
+                            tags.probe = Some(item_index as u32);
+                            Some(tags)
+                        } else {
+                            None
+                        };
+                        let scope_guard = item_tags.as_ref().and_then(|tags| {
+                            ItemScope::enter(
+                                trace,
+                                Track::Device(device_index as u32),
+                                tags.clone(),
+                            )
+                        });
                         let before = device.transfer_snapshot();
                         let (result, kernel_s) = work(&ctx, item);
                         stream.record_between(&before, &device.transfer_snapshot(), kernel_s);
@@ -379,6 +408,25 @@ impl<'p> ShardQueue<'p> {
                             .last()
                             .map(crate::timing::StreamOp::serialized_s)
                             .unwrap_or(kernel_s);
+                        let anchor = scope_guard.as_ref().map(|s| s.anchor());
+                        drop(scope_guard);
+                        if let Some(tags) = item_tags {
+                            let mut event = TraceEvent::span(
+                                Track::Device(device_index as u32),
+                                "item",
+                                Category::Sched,
+                                start_v,
+                                actual_s,
+                            )
+                            .with_tags(
+                                tags.with_num("kernel_s", kernel_s)
+                                    .with_num("weight", weights[item_index]),
+                            );
+                            if let Some(id) = anchor {
+                                event = event.defines(id);
+                            }
+                            trace.record(event);
+                        }
                         item_indices.push(item_index);
                         *results[item_index].lock() = Some(result);
 

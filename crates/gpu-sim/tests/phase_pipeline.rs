@@ -75,6 +75,7 @@ proptest! {
             .map(|(i, exec)| {
                 pipeline.submit(
                     PhasedBatch {
+                        label: Default::default(),
                         // Alternate urgency so overtaking paths are exercised.
                         priority: (i % 2) as u32,
                         entries,

@@ -233,6 +233,7 @@ impl<'a> BatchedFftEngine<'a> {
         let dim = receptor.spec.dim;
         let flops_per_transform = Fft3Plan::new(dim, dim, dim).flops_per_transform();
         let output: Staged<Option<ReceptorTransforms>> = Staged::new(None);
+        ftmap_trace::hook::mark(PHASE_RECEPTOR_FFT);
         let kernel = ReceptorTransformKernel { receptor, flops_per_transform, output: &output };
         let stats = KernelLaunch::on(device).grid(receptor.n_terms()).threads(64).run(&kernel);
         let transforms = output.take().expect("transform kernel produced output");
@@ -298,6 +299,7 @@ impl<'a> BatchedFftEngine<'a> {
             (0..n_grids).map(|_| Staged::new(Vec::new())).collect();
 
         // 1. One batched forward transform over every ligand grid.
+        ftmap_trace::hook::mark(PHASE_LIGAND_FFT);
         let forward =
             LigandForwardKernel { batch, plan: &self.transforms, freq: &freq, n, n_terms };
         KernelLaunch::on(self.device).grid(n_grids).threads(self.threads_per_block).run_recorded(
@@ -308,6 +310,7 @@ impl<'a> BatchedFftEngine<'a> {
 
         // 2. One pointwise conjugate-multiply pass against the resident
         //    receptor transforms.
+        ftmap_trace::hook::mark(PHASE_CONJ_MULTIPLY);
         let multiply = ConjMultiplyKernel { transforms: &self.transforms, freq: &freq, n, n_terms };
         KernelLaunch::on(self.device).grid(n_grids).threads(self.threads_per_block).run_recorded(
             &mut ledger,
@@ -316,6 +319,7 @@ impl<'a> BatchedFftEngine<'a> {
         );
 
         // 3. One batched inverse transform, leaving real correlation grids.
+        ftmap_trace::hook::mark(PHASE_INVERSE_FFT);
         let results: Vec<Staged<Grid3<Real>>> =
             (0..n_grids).map(|_| Staged::new(Grid3::cubic(n))).collect();
         let inverse = InverseKernel { plan: &self.transforms, freq: &freq, results: &results, n };
@@ -328,6 +332,7 @@ impl<'a> BatchedFftEngine<'a> {
 
         // 4. Fused epilogue: accumulate + score + filter per rotation, one
         //    block per batch slot, before anything is downloaded.
+        ftmap_trace::hook::mark(PHASE_FUSED_EPILOGUE);
         let poses: Staged<Vec<Vec<Pose>>> = Staged::new(vec![Vec::new(); batch.len()]);
         let epilogue = FusedEpilogueKernel {
             results: &results,

@@ -67,6 +67,14 @@ fn main() {
             assert_eq!(a.rank, b.rank);
             assert!(a.cluster.center.distance(b.cluster.center) == 0.0);
         }
+
+        if devices == 4 {
+            println!("\n    Per-phase breakdown ({devices} devices):");
+            for line in sharded.profile.phase_table().lines() {
+                println!("    {line}");
+            }
+            println!();
+        }
     }
 
     // A heterogeneous pool: two Teslas plus the quad-core Xeon host as a

@@ -97,6 +97,10 @@ fn main() {
         assert!(!report.result.sites.is_empty(), "{}: no consensus sites", report.tag);
     }
 
+    // Per-phase profile of one job (modeled kernel/transfer/overlap seconds).
+    println!("\nper-phase profile of {}:", reports[0].tag);
+    print!("{}", reports[0].result.profile.phase_table());
+
     let stats = service.shutdown();
     let barrier_sum: f64 = {
         // What the two-phase-barrier dispatcher would have taken: each batch

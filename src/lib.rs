@@ -12,6 +12,7 @@
 //! * [`energy`] — CHARMM/ACE energy model and minimization ([`ftmap_energy`]).
 //! * [`core`] — the end-to-end mapping pipeline ([`ftmap_core`]).
 //! * [`serve`] — the asynchronous batch-mapping service ([`ftmap_serve`]).
+//! * [`trace`] — tracing, metrics, and Perfetto timeline export ([`ftmap_trace`]).
 //!
 //! ## Quickstart
 //!
@@ -37,6 +38,7 @@ pub use ftmap_energy as energy;
 pub use ftmap_math as math;
 pub use ftmap_molecule as molecule;
 pub use ftmap_serve as serve;
+pub use ftmap_trace as trace;
 pub use gpu_sim as gpu;
 pub use piper_dock as dock;
 
@@ -56,6 +58,7 @@ pub mod prelude {
         BatchMappingService, DispatchMode, JobHandle, JobStatus, LatencyClass, MappingRequest,
         ServeConfig,
     };
+    pub use ftmap_trace::{export_chrome_trace, MetricsSnapshot, Recorder, TraceSink};
     pub use gpu_sim::{
         BackendSelect, Device, DevicePool, DeviceSpec, ExecutionBackend, KernelLaunch, ShardQueue,
         StatsLedger, Stream,
