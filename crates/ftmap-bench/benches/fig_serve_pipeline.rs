@@ -31,7 +31,8 @@ use ftmap_core::{FtMapConfig, PipelineMode};
 use ftmap_molecule::{ForceField, ProbeType, ProteinSpec, SyntheticProtein};
 use ftmap_serve::service::ClassLatency;
 use ftmap_serve::{
-    BatchMappingService, DispatchMode, JobReport, LatencyClass, MappingRequest, ServeConfig,
+    BatchMappingService, DispatchMode, JobReport, LatencyClass, MappingRequest, Observability,
+    ServeConfig,
 };
 use gpu_sim::sched::DevicePool;
 use std::sync::Arc;
@@ -45,6 +46,9 @@ const MAX_INTERACTIVE_P95_RATIO: f64 = 0.5;
 /// Instrumentation feeds off the modeled timeline and must never perturb it —
 /// a full recorder run and the default no-op-sink run are the same schedule,
 /// so anything above 1% modeled drift means a hook started charging time.
+/// The same ceiling covers the flight-recorder sink (ring buffer + SLO
+/// engine + tail-sampled retention): the heaviest observability wiring the
+/// service supports must still leave the schedule untouched.
 const MAX_TRACE_OVERHEAD_RATIO: f64 = 1.01;
 
 const DEVICES: usize = 4;
@@ -108,8 +112,19 @@ fn run_with_sink(
     jobs: Vec<MappingRequest>,
     sink: Arc<dyn ftmap_trace::TraceSink>,
 ) -> RunOutcome {
+    run_with_observability(dispatch, jobs, Observability::trace(sink))
+}
+
+/// [`run`] with full observability wiring — trace sink, SLO engine, and
+/// (optionally) the tail-sampling flight recorder.
+fn run_with_observability(
+    dispatch: DispatchMode,
+    jobs: Vec<MappingRequest>,
+    observability: Observability,
+) -> RunOutcome {
     let pool = Arc::new(DevicePool::tesla(DEVICES));
-    let service = BatchMappingService::with_trace(pool, serve_config(dispatch), sink);
+    let service =
+        BatchMappingService::with_observability(pool, serve_config(dispatch), observability);
     let start = Instant::now();
     let handles: Vec<_> = jobs.into_iter().map(|r| service.submit(r).expect("admitted")).collect();
     let reports: Vec<Arc<JobReport>> = handles.iter().map(|h| h.wait()).collect();
@@ -193,6 +208,35 @@ fn main() {
     );
     assert!(trace_events > 0, "the recorder run must capture events");
 
+    // --- Flight recorder: the heaviest observability wiring — bounded ring
+    // sink + per-job SLO evaluation + tail-sampled tree retention (an
+    // unmeetable 0 s bulk target makes every request breach, so retention is
+    // exercised on every job). Same schedule, same gate.
+    let flight = Arc::new(ftmap_trace::FlightRecorder::new());
+    let flight_run = run_with_observability(
+        DispatchMode::Pipelined,
+        bulk_jobs(n_bulk),
+        Observability::flight(
+            Arc::clone(&flight),
+            vec![ftmap_trace::SloSpec::new(LatencyClass::Bulk.name(), 0.0, 0.99)],
+        ),
+    );
+    let flight_retained = flight.retained_total();
+    let flight_overhead = flight_run.span_modeled_s / pipelined.span_modeled_s.max(1e-12);
+    println!(
+        "flight rerun: {:.3} ms modeled span, {} ring events, {} retained trees \
+         ({:.4}x the untraced span)",
+        1e3 * flight_run.span_modeled_s,
+        flight.ring_len(),
+        flight_retained,
+        flight_overhead
+    );
+    assert!(flight.ring_len() > 0, "the flight ring must capture events");
+    assert!(
+        flight_retained as usize == n_bulk,
+        "the unmeetable SLO must retain every request's tree"
+    );
+
     // --- 2. Interactive latency under bulk load: FIFO vs priority classes.
     let mixed = |class: LatencyClass| -> Vec<MappingRequest> {
         let mut jobs = bulk_jobs(n_bulk);
@@ -223,6 +267,9 @@ fn main() {
         &traced,
         trace_events,
         trace_overhead,
+        &flight_run,
+        flight_retained,
+        flight_overhead,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_SERVE_PIPELINE.json");
     std::fs::write(path, json).expect("write BENCH_SERVE_PIPELINE.json");
@@ -243,10 +290,16 @@ fn main() {
         "REGRESSION: tracing inflated the modeled span {trace_overhead:.4}x, above the \
          {MAX_TRACE_OVERHEAD_RATIO}x gate — a hook is charging modeled time"
     );
+    assert!(
+        flight_overhead <= MAX_TRACE_OVERHEAD_RATIO,
+        "REGRESSION: the flight-recorder sink (ring + SLO engine + retention) inflated the \
+         modeled span {flight_overhead:.4}x, above the {MAX_TRACE_OVERHEAD_RATIO}x gate"
+    );
     println!(
         "gates ok: throughput {speedup:.2}x >= {MIN_PIPELINE_SPEEDUP}x, \
          interactive p95 {latency_ratio:.2}x <= {MAX_INTERACTIVE_P95_RATIO}x, \
-         trace overhead {trace_overhead:.4}x <= {MAX_TRACE_OVERHEAD_RATIO}x"
+         trace overhead {trace_overhead:.4}x <= {MAX_TRACE_OVERHEAD_RATIO}x, \
+         flight overhead {flight_overhead:.4}x <= {MAX_TRACE_OVERHEAD_RATIO}x"
     );
 }
 
@@ -263,6 +316,9 @@ fn format_json(
     traced: &RunOutcome,
     trace_events: usize,
     trace_overhead: f64,
+    flight_run: &RunOutcome,
+    flight_retained: u64,
+    flight_overhead: f64,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str(
@@ -297,9 +353,12 @@ fn format_json(
     out.push_str("  \"trace_overhead\": {\n");
     out.push_str(&format!(
         "    \"noop_span_ms\": {:.4},\n    \"traced_span_ms\": {:.4},\n    \
-         \"trace_events\": {trace_events},\n    \"traced_over_noop\": {trace_overhead:.4}\n  }},\n",
+         \"trace_events\": {trace_events},\n    \"traced_over_noop\": {trace_overhead:.4},\n    \
+         \"flight_span_ms\": {:.4},\n    \"flight_retained_requests\": {flight_retained},\n    \
+         \"flight_over_noop\": {flight_overhead:.4}\n  }},\n",
         1e3 * pipelined.span_modeled_s,
         1e3 * traced.span_modeled_s,
+        1e3 * flight_run.span_modeled_s,
     ));
     out.push_str(&format!(
         "  \"gates\": {{\n    \"pipelined_speedup\": {{ \"metric\": \"barrier span over \
@@ -307,7 +366,10 @@ fn format_json(
          }},\n    \"interactive_p95\": {{ \"metric\": \"priority p95 over FIFO p95\", \
          \"maximum\": {MAX_INTERACTIVE_P95_RATIO:.1}, \"measured\": {latency_ratio:.4} }},\n    \
          \"noop_trace_overhead\": {{ \"metric\": \"traced span over no-op-sink span\", \
-         \"maximum\": {MAX_TRACE_OVERHEAD_RATIO:.2}, \"measured\": {trace_overhead:.4} }}\n  }}\n"
+         \"maximum\": {MAX_TRACE_OVERHEAD_RATIO:.2}, \"measured\": {trace_overhead:.4} }},\n    \
+         \"flight_trace_overhead\": {{ \"metric\": \"flight-recorder-sink span over no-op-sink \
+         span\", \"maximum\": {MAX_TRACE_OVERHEAD_RATIO:.2}, \"measured\": {flight_overhead:.4} \
+         }}\n  }}\n"
     ));
     out.push_str("}\n");
     out

@@ -96,6 +96,12 @@ const GATED: &[GatedMetric] = &[
         anchors: &["\"noop_trace_overhead\"", "\"measured\":"],
     },
     GatedMetric {
+        file: "BENCH_SERVE_PIPELINE.json",
+        name: "serve-pipeline flight-recorder overhead",
+        direction: Direction::LowerBetter,
+        anchors: &["\"flight_trace_overhead\"", "\"measured\":"],
+    },
+    GatedMetric {
         file: "BENCH_BATCHED_FFT.json",
         name: "batched-FFT warm-receptor speedup",
         direction: Direction::HigherBetter,

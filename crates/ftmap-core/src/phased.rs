@@ -199,6 +199,7 @@ mod tests {
             let handle = sched.submit(
                 PhasedBatch {
                     label: Default::default(),
+                    entry_traces: Vec::new(),
                     priority: 0,
                     entries: batch.entries(),
                     dock_weights: batch.dock_weights(),

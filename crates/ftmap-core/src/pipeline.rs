@@ -413,6 +413,7 @@ impl FtMapPipeline {
         let handle = sched.submit(
             gpu_sim::sched::PhasedBatch {
                 label: Default::default(),
+                entry_traces: Vec::new(),
                 priority,
                 entries: batch.entries(),
                 dock_weights: batch.dock_weights(),

@@ -107,6 +107,15 @@ pub struct JobReport {
     pub result: MappingResult,
     /// What the batch that carried this job did.
     pub batch: BatchSummary,
+    /// The trace id this job carried through the pipeline (client-supplied or
+    /// the job id) — the key for the per-request causal tree in the trace.
+    pub trace_id: u64,
+    /// Virtual-timeline instant this job was admitted.
+    pub admitted_modeled_s: f64,
+    /// This job's own admission-to-completion modeled latency (batch
+    /// completion minus *this* job's admission — per-job, unlike
+    /// [`BatchSummary::latency_modeled_s`] which uses the earliest member).
+    pub latency_modeled_s: f64,
 }
 
 /// Shared completion slot between a [`JobHandle`] and the dispatcher.
@@ -228,6 +237,9 @@ mod tests {
                 overlap_saved_modeled_s: 0.0,
                 transfer_modeled_s: 0.0,
             },
+            trace_id: id.0,
+            admitted_modeled_s: 0.0,
+            latency_modeled_s: 0.0,
         })
     }
 

@@ -53,4 +53,6 @@ pub use batcher::{next_batch_prioritized, Batchable, LatencyClass};
 pub use job::{BatchSummary, JobHandle, JobId, JobReport, JobStatus};
 pub use queue::{JobQueue, SubmitError};
 pub use request::MappingRequest;
-pub use service::{BatchMappingService, ClassLatency, DispatchMode, ServeConfig, ServeStats};
+pub use service::{
+    BatchMappingService, ClassLatency, DispatchMode, Observability, ServeConfig, ServeStats,
+};

@@ -28,6 +28,11 @@ pub struct MappingRequest {
     /// [`crate::batcher`]). Scheduling only; results never depend on it.
     /// Defaults to [`LatencyClass::Bulk`].
     pub class: LatencyClass,
+    /// Client-supplied trace id for end-to-end causal tracing. When `None`
+    /// (the default) the service stamps the job id at admission, so every job
+    /// carries *some* trace id through admit → batch-form → scheduler items →
+    /// resolve. Observability only; results never depend on it.
+    pub trace_id: Option<u64>,
 }
 
 impl MappingRequest {
@@ -45,6 +50,7 @@ impl MappingRequest {
             config,
             tag: String::new(),
             class: LatencyClass::Bulk,
+            trace_id: None,
         }
     }
 
@@ -57,6 +63,13 @@ impl MappingRequest {
     /// Sets the latency class.
     pub fn with_class(mut self, class: LatencyClass) -> Self {
         self.class = class;
+        self
+    }
+
+    /// Sets a client-supplied trace id (see
+    /// [`trace_id`](MappingRequest::trace_id)).
+    pub fn with_trace_id(mut self, trace_id: u64) -> Self {
+        self.trace_id = Some(trace_id);
         self
     }
 

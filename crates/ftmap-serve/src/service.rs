@@ -48,7 +48,10 @@ use ftmap_core::{
     cluster_poses, minimize_pose_blocks, ClusterInput, FtMapPipeline, MappingProfile,
     MappingResult, PhasedMapBatch, ProbeShard,
 };
-use ftmap_trace::{Category, MetricsRegistry, MetricsSnapshot, Tags, TraceEvent, TraceSink, Track};
+use ftmap_trace::{
+    AlertState, Category, FlightRecorder, MetricsRegistry, MetricsSnapshot, SampleVerdict,
+    SloEngine, SloReport, SloSpec, Tags, TraceEvent, TraceSink, Track,
+};
 use gpu_sim::sched::{
     BatchLabel, BatchReport, DevicePool, PhasePipeline, PhasedBatch, PhasedExec, ShardQueue,
 };
@@ -186,6 +189,11 @@ pub struct ServeStats {
     /// every figure is modeled time, never wall clock, and every gauge agrees
     /// with the sibling `ServeStats` accessor it mirrors.
     pub metrics: MetricsSnapshot,
+    /// Point-in-time evaluation of the configured latency SLOs (multi-window
+    /// burn rates over the per-job latency histograms — see
+    /// [`ftmap_trace::SloEngine`]). Empty when the service was built without
+    /// objectives ([`Observability::slos`]).
+    pub slo: SloReport,
 }
 
 impl ServeStats {
@@ -231,6 +239,12 @@ impl ServeStats {
     pub fn prometheus(&self) -> String {
         self.metrics.prometheus()
     }
+
+    /// The worst alert state across the configured SLOs
+    /// ([`AlertState::Ok`] when none are configured).
+    pub fn slo_alert(&self) -> AlertState {
+        self.slo.worst_state()
+    }
 }
 
 /// One admitted job travelling through the queue.
@@ -245,6 +259,9 @@ struct Job {
     /// (waiting out `max_inflight_batches` flow control or being overtaken)
     /// counts as modeled queue wait, not just scheduler-residence time.
     admitted_v_s: f64,
+    /// The trace id threaded through this job's whole lifecycle: the client's
+    /// [`MappingRequest::trace_id`] when supplied, the job id otherwise.
+    trace_id: u64,
     slot: Arc<JobSlot>,
 }
 
@@ -343,6 +360,13 @@ struct Shared {
     metrics: Arc<MetricsRegistry>,
     /// The persistent phased scheduler (pipelined mode only).
     sched: Option<PhasePipeline>,
+    /// SLO burn-rate engine over per-job modeled latencies; `None` when no
+    /// objectives were configured (the untraced default).
+    slo: Option<Mutex<SloEngine>>,
+    /// Flight recorder for tail-sampled trace retention. When set it is
+    /// normally the same recorder behind [`Shared::trace`], so the trees it
+    /// retains on a breach/outlier verdict are complete.
+    flight: Option<Arc<FlightRecorder>>,
     ledger: Mutex<StatsLedger>,
     latency: Mutex<LatencyBook>,
     /// Last-seen per-device residency-cache counters, `(raw, derived)` per
@@ -374,6 +398,11 @@ const GRIDS_MEMO_CAP: usize = 8;
 /// produces, with headroom for deep bulk queues.
 const LATENCY_BOUNDS: [f64; 12] =
     [1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0];
+
+/// Per-job admission-to-completion latency histogram — the SLO engine's long
+/// burn-rate window. Unlike the batch histogram it counts every job from its
+/// *own* admission instant.
+const JOB_LATENCY_METRIC: &str = "ftmap_serve_job_latency_modeled_seconds";
 
 impl Shared {
     /// The memoized receptor grids for `fingerprint`, building them from the
@@ -456,7 +485,7 @@ impl Shared {
     /// The serve-layer admission edge for one job: submission counter, an
     /// `admit` instant (tenant + class tags) and a queue-depth sample on the
     /// queue track. Called after the queue accepted the job.
-    fn note_admitted(&self, tenant: &str, class: LatencyClass, admitted_v_s: f64) {
+    fn note_admitted(&self, tenant: &str, class: LatencyClass, admitted_v_s: f64, trace_id: u64) {
         self.metrics.counter_add(
             "ftmap_serve_jobs_submitted_total",
             &[("class", class.name())],
@@ -466,6 +495,7 @@ impl Shared {
             let tags = Tags {
                 tenant: Some(tenant.to_string()),
                 class: Some(class.name()),
+                trace: Some(trace_id),
                 ..Tags::default()
             };
             self.trace.record(
@@ -477,8 +507,11 @@ impl Shared {
     }
 
     /// The batch-formation edge: the dispatcher extracted `jobs` compatible
-    /// jobs into batch `batch_index` and is handing it to a dispatcher.
-    fn note_batch_formed(&self, batch_index: usize, jobs: usize, class: LatencyClass) {
+    /// jobs into batch `batch_index` and is handing it to a dispatcher. Emits
+    /// one `batch-form` instant plus a per-job `job-batched` instant carrying
+    /// each job's trace id, so a request's causal tree records how long it
+    /// waited between admission and joining a batch.
+    fn note_batch_formed(&self, batch_index: usize, jobs: &[Job], class: LatencyClass) {
         self.metrics.counter_add(
             "ftmap_serve_batches_formed_total",
             &[("class", class.name())],
@@ -491,13 +524,79 @@ impl Shared {
                 class: Some(class.name()),
                 ..Tags::default()
             }
-            .with_num("jobs", jobs as f64);
+            .with_num("jobs", jobs.len() as f64);
             self.trace.record(
                 TraceEvent::instant(Track::Queue, "batch-form", Category::Serve, at_v_s)
                     .with_tags(tags),
             );
+            for job in jobs {
+                let tags = Tags {
+                    batch_seq: Some(batch_index as u64),
+                    class: Some(class.name()),
+                    trace: Some(job.trace_id),
+                    ..Tags::default()
+                };
+                self.trace.record(
+                    TraceEvent::instant(Track::Queue, "job-batched", Category::Serve, at_v_s)
+                        .with_tags(tags),
+                );
+            }
             self.note_queue_depth(at_v_s);
         }
+    }
+
+    /// Per-job completion bookkeeping: the job's own admission-to-completion
+    /// latency feeds the [`JOB_LATENCY_METRIC`] histogram and the SLO engine,
+    /// a `job-resolve` instant closes the request's causal tree, and the
+    /// tail-sampling verdict tells the flight recorder whether to retain the
+    /// tree. Returns the job's modeled latency.
+    fn note_job_resolved(
+        &self,
+        job: &Job,
+        summary: &BatchSummary,
+        slo_snapshot: Option<&MetricsSnapshot>,
+    ) -> f64 {
+        let latency_job_s = (summary.completed_modeled_s - job.admitted_v_s).max(0.0);
+        let class = job.class.name();
+        // Observe into the engine *before* the metric: the long window must
+        // not yet contain this sample when classifying it as a p99 outlier.
+        let verdict = match (&self.slo, slo_snapshot) {
+            (Some(engine), Some(snapshot)) => {
+                let hist = snapshot.histogram(JOB_LATENCY_METRIC, &[("class", class)]);
+                engine.lock().expect("slo engine poisoned").observe(class, latency_job_s, hist)
+            }
+            _ => SampleVerdict::default(),
+        };
+        self.metrics.observe(
+            JOB_LATENCY_METRIC,
+            &[("class", class)],
+            &LATENCY_BOUNDS,
+            latency_job_s,
+        );
+        if self.trace.enabled() {
+            let tags = Tags {
+                batch_seq: Some(summary.batch_index as u64),
+                class: Some(class),
+                trace: Some(job.trace_id),
+                ..Tags::default()
+            }
+            .with_num("latency_s", latency_job_s)
+            .with_num("admitted_v_s", job.admitted_v_s);
+            self.trace.record(
+                TraceEvent::instant(
+                    Track::Queue,
+                    "job-resolve",
+                    Category::Serve,
+                    summary.completed_modeled_s,
+                )
+                .with_tags(tags),
+            );
+        }
+        // After the resolve instant, so a retained tree includes it.
+        if let Some(flight) = &self.flight {
+            flight.note_request(job.trace_id, verdict.retain());
+        }
+        latency_job_s
     }
 
     /// Batch-completion bookkeeping shared by both dispatchers: completion
@@ -560,6 +659,9 @@ impl Shared {
     fn refresh_gauges(&self, interactive: &ClassLatency, bulk: &ClassLatency) {
         let metrics = &self.metrics;
         metrics.gauge_set("ftmap_serve_queue_depth", &[], self.queue.len() as f64);
+        // Trace-loss visibility: orphaned anchored events plus (for a flight
+        // recorder) ring evictions. 0 for the no-op sink.
+        metrics.gauge_set("ftmap_trace_dropped_events", &[], self.trace.dropped_events() as f64);
         for (class, lat) in [("interactive", interactive), ("bulk", bulk)] {
             for (stat, value) in [("mean", lat.mean_s), ("p95", lat.p95_s), ("max", lat.max_s)] {
                 metrics.gauge_set(
@@ -608,6 +710,45 @@ impl Shared {
     }
 }
 
+/// Observability wiring for [`BatchMappingService::with_observability`]:
+/// the trace sink every layer records into, plus the optional SLO objectives
+/// and flight recorder built on top of it.
+pub struct Observability {
+    /// The trace sink (scheduler items, kernels, transfers, serve edges).
+    pub sink: Arc<dyn TraceSink>,
+    /// Latency objectives evaluated per completed job (multi-window burn
+    /// rates — see [`ftmap_trace::SloEngine`]). Empty disables the engine.
+    pub slos: Vec<SloSpec>,
+    /// Flight recorder for tail-sampled trace retention. Should be the same
+    /// recorder `sink` records into (use [`Observability::flight`]) so the
+    /// trees it retains are complete.
+    pub flight: Option<Arc<FlightRecorder>>,
+}
+
+impl Observability {
+    /// Tracing only: record into `sink`, no SLOs, no flight recorder.
+    pub fn trace(sink: Arc<dyn TraceSink>) -> Self {
+        Observability { sink, slos: Vec::new(), flight: None }
+    }
+
+    /// Flight-recorder wiring: `recorder` is both the trace sink and the
+    /// tail-sampled retention store, with `slos` driving the retention
+    /// verdicts (and the `ServeStats::slo` report).
+    pub fn flight(recorder: Arc<FlightRecorder>, slos: Vec<SloSpec>) -> Self {
+        Observability {
+            sink: Arc::clone(&recorder) as Arc<dyn TraceSink>,
+            slos,
+            flight: Some(recorder),
+        }
+    }
+
+    /// Adds latency objectives.
+    pub fn with_slos(mut self, slos: Vec<SloSpec>) -> Self {
+        self.slos = slos;
+        self
+    }
+}
+
 /// The multi-tenant batch-mapping service. See the [module docs](crate::service).
 pub struct BatchMappingService {
     shared: Arc<Shared>,
@@ -645,6 +786,26 @@ impl BatchMappingService {
         config: ServeConfig,
         sink: Arc<dyn TraceSink>,
     ) -> Self {
+        Self::with_observability(pool, config, Observability::trace(sink))
+    }
+
+    /// [`BatchMappingService::with_trace`] plus SLO objectives and an optional
+    /// flight recorder ([`Observability`]): per-job latencies feed a
+    /// burn-rate [`SloEngine`] (evaluated into [`ServeStats::slo`] and the
+    /// `ftmap_serve_slo_*` gauges at every [`stats`](BatchMappingService::stats)
+    /// call), and each job's tail-sampling verdict — SLO breach or long-window
+    /// p99 outlier — tells the flight recorder whether to retain the request's
+    /// full causal tree.
+    ///
+    /// # Panics
+    /// Same construction-time bound validation as
+    /// [`BatchMappingService::new`].
+    pub fn with_observability(
+        pool: Arc<DevicePool>,
+        config: ServeConfig,
+        observability: Observability,
+    ) -> Self {
+        let Observability { sink, slos, flight } = observability;
         assert!(config.max_batch_jobs > 0, "ServeConfig.max_batch_jobs must be at least 1");
         assert!(
             config.max_inflight_batches > 0,
@@ -668,6 +829,8 @@ impl BatchMappingService {
             trace: sink,
             metrics: Arc::new(MetricsRegistry::new()),
             sched,
+            slo: if slos.is_empty() { None } else { Some(Mutex::new(SloEngine::new(slos))) },
+            flight,
             ledger: Mutex::new(StatsLedger::new()),
             latency: Mutex::new(LatencyBook::default()),
             cache_mark: Mutex::new(cache_mark),
@@ -706,6 +869,7 @@ impl BatchMappingService {
             class: request.class,
             overtaken: 0,
             admitted_v_s,
+            trace_id: request.trace_id.unwrap_or(id.0),
             slot: JobSlot::new(),
             request,
         }
@@ -722,11 +886,11 @@ impl BatchMappingService {
     ) -> Result<JobHandle, SubmitError<MappingRequest>> {
         let job = self.admit(request);
         let handle = JobHandle::new(job.id, job.request.tag.clone(), Arc::clone(&job.slot));
-        let (class, admitted_v_s) = (job.class, job.admitted_v_s);
+        let (class, admitted_v_s, trace_id) = (job.class, job.admitted_v_s, job.trace_id);
         match self.shared.queue.push(job) {
             Ok(()) => {
                 self.shared.jobs_submitted.fetch_add(1, Ordering::Relaxed);
-                self.shared.note_admitted(handle.tag(), class, admitted_v_s);
+                self.shared.note_admitted(handle.tag(), class, admitted_v_s, trace_id);
                 Ok(handle)
             }
             Err(err) => Err(strip(err)),
@@ -742,11 +906,11 @@ impl BatchMappingService {
     ) -> Result<JobHandle, SubmitError<MappingRequest>> {
         let job = self.admit(request);
         let handle = JobHandle::new(job.id, job.request.tag.clone(), Arc::clone(&job.slot));
-        let (class, admitted_v_s) = (job.class, job.admitted_v_s);
+        let (class, admitted_v_s, trace_id) = (job.class, job.admitted_v_s, job.trace_id);
         match self.shared.queue.try_push(job) {
             Ok(()) => {
                 self.shared.jobs_submitted.fetch_add(1, Ordering::Relaxed);
-                self.shared.note_admitted(handle.tag(), class, admitted_v_s);
+                self.shared.note_admitted(handle.tag(), class, admitted_v_s, trace_id);
                 Ok(handle)
             }
             Err(err) => Err(strip(err)),
@@ -766,6 +930,18 @@ impl BatchMappingService {
             )
         };
         self.shared.refresh_gauges(&interactive, &bulk);
+        let slo = match &self.shared.slo {
+            Some(engine) => {
+                let snapshot = self.shared.metrics.snapshot();
+                let report = engine
+                    .lock()
+                    .expect("slo engine poisoned")
+                    .evaluate(|class| snapshot.histogram(JOB_LATENCY_METRIC, &[("class", class)]));
+                report.export_gauges(&self.shared.metrics, "ftmap_serve_slo");
+                report
+            }
+            None => SloReport::default(),
+        };
         ServeStats {
             jobs_submitted: self.shared.jobs_submitted.load(Ordering::Relaxed),
             jobs_completed: self.shared.jobs_completed.load(Ordering::Relaxed),
@@ -776,6 +952,7 @@ impl BatchMappingService {
             span_modeled_s,
             cross_batch_overlap_modeled_s,
             metrics: self.shared.metrics.snapshot(),
+            slo,
         }
     }
 
@@ -865,7 +1042,7 @@ fn submit_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
     // receptor- and class-homogeneous; per-job identity stays on the admit
     // instants).
     let tenant = batch[0].request.tag.clone();
-    shared.note_batch_formed(batch_index, batch.len(), class);
+    shared.note_batch_formed(batch_index, &batch, class);
     let receptor = shared.receptor_for(batch[0].fingerprint, &batch[0]);
     let receptor_key = receptor.content_key();
     let pipelines = shared.job_pipelines(&batch, &receptor);
@@ -881,6 +1058,14 @@ fn submit_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
                 .collect::<Vec<_>>()
         })
         .collect();
+    // Per-entry trace ids: the scheduler stamps them onto its dock/minimize
+    // item spans (and, via scope-tag inheritance, their kernel / transfer /
+    // cache children), tying device work back to the owning request.
+    let entry_traces: Vec<u64> = if shared.trace.enabled() {
+        entries.iter().map(|(job_idx, _)| batch[*job_idx].trace_id).collect()
+    } else {
+        Vec::new()
+    };
     let exec = Arc::new(PhasedMapBatch::new(pipelines, entries, shared.config.pose_block));
 
     let callback = {
@@ -901,6 +1086,7 @@ fn submit_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
     sched.submit(
         PhasedBatch {
             label: BatchLabel { tenant: Some(tenant), class: Some(class.name()) },
+            entry_traces,
             priority: class.priority(),
             entries: exec.entries(),
             dock_weights: exec.dock_weights(),
@@ -973,7 +1159,7 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
         job.slot.set_running();
     }
     let class = batch[0].class;
-    shared.note_batch_formed(batch_index, batch.len(), class);
+    shared.note_batch_formed(batch_index, &batch, class);
 
     // One host-side grid build per receptor fingerprint (memoized, bounded).
     let receptor = shared.receptor_for(batch[0].fingerprint, &batch[0]);
@@ -1106,7 +1292,11 @@ fn finish_jobs(
         *conformations += shard.conformations;
         inputs.extend(shard.inputs);
     }
+    // One registry snapshot for the whole batch: the SLO engine compares each
+    // job against the long window as it stood *before* this batch completed.
+    let slo_snapshot = shared.slo.as_ref().map(|_| shared.metrics.snapshot());
     for (job, (profile, inputs, conformations)) in batch.into_iter().zip(per_job) {
+        let latency_job_s = shared.note_job_resolved(&job, &summary, slo_snapshot.as_ref());
         let pose_centers = inputs.iter().map(|i| (i.probe, i.center)).collect();
         let sites = cluster_poses(&inputs, job.request.config.cluster_radius);
         let result =
@@ -1116,6 +1306,9 @@ fn finish_jobs(
             tag: job.request.tag.clone(),
             result,
             batch: summary.clone(),
+            trace_id: job.trace_id,
+            admitted_modeled_s: job.admitted_v_s,
+            latency_modeled_s: latency_job_s,
         });
         job.slot.complete(report);
         shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
@@ -1480,5 +1673,120 @@ mod tests {
         // [3,4) is covered twice: one modeled second of cross-batch overlap.
         assert!((overlap - 1.0).abs() < 1e-12);
         assert_eq!(LatencyBook::default().span_stats(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn trace_ids_thread_through_admit_batching_items_and_resolve() {
+        // The tentpole end-to-end: every job's trace id must appear on its
+        // admit / job-batched / job-resolve instants AND on the scheduler's
+        // dock (and, under pose blocks, minimize) item spans, so the causal
+        // tree reassembles and its exact latency breakdown sums to the job's
+        // own modeled latency.
+        let recorder = Arc::new(ftmap_trace::Recorder::new());
+        let service = BatchMappingService::with_trace(
+            Arc::new(DevicePool::tesla(2)),
+            ServeConfig { pose_block: 1, ..ServeConfig::default() },
+            Arc::clone(&recorder) as Arc<dyn TraceSink>,
+        );
+        let a = service.submit(request(&[ProbeType::Ethanol], "a")).expect("admitted");
+        let b = service
+            .submit(request(&[ProbeType::Acetone], "b").with_trace_id(0xFEED))
+            .expect("admitted");
+        let report_a = a.wait();
+        let report_b = b.wait();
+        assert_eq!(report_b.trace_id, 0xFEED, "client-supplied trace ids are honored");
+        assert_eq!(report_a.trace_id, report_a.job_id.0, "default trace id is the job id");
+        assert!(report_a.latency_modeled_s >= 0.0 && report_a.admitted_modeled_s >= 0.0);
+        service.shutdown();
+
+        let trees = ftmap_trace::build_request_trees(&recorder.events());
+        for report in [&report_a, &report_b] {
+            let tree = trees
+                .iter()
+                .find(|t| t.trace_id == report.trace_id)
+                .expect("each job has a causal tree");
+            assert!(tree.admitted_v_s.is_some(), "admit instant recorded");
+            assert!(tree.batched.is_some(), "job-batched instant recorded");
+            assert!(tree.resolved_v_s.is_some(), "job-resolve instant recorded");
+            assert!(
+                (tree.latency_s().expect("latency") - report.latency_modeled_s).abs() < 1e-9,
+                "stamped latency matches the report"
+            );
+            assert!(tree.items.iter().any(ftmap_trace::ItemNode::is_dock), "dock item tagged");
+            assert!(
+                tree.items.iter().any(|i| !i.is_dock()),
+                "minimize items tagged under pose blocks"
+            );
+            let analysis = ftmap_trace::analyze(tree).expect("analyzable tree");
+            assert!(
+                (analysis.breakdown.total_s() - report.latency_modeled_s).abs() < 1e-9,
+                "breakdown segments sum exactly to the job's modeled latency"
+            );
+        }
+    }
+
+    #[test]
+    fn slo_breaches_page_and_the_flight_recorder_retains_the_trees() {
+        // An unmeetable objective (any positive latency breaches a 0-second
+        // target) must drive both burn windows past PAGE_BURN, and every
+        // breaching request's tree must survive in the flight recorder.
+        let flight = Arc::new(ftmap_trace::FlightRecorder::new());
+        let service = BatchMappingService::with_observability(
+            Arc::new(DevicePool::tesla(2)),
+            ServeConfig { max_batch_jobs: 1, ..ServeConfig::default() },
+            Observability::flight(
+                Arc::clone(&flight),
+                vec![SloSpec::new(LatencyClass::Bulk.name(), 0.0, 0.99)],
+            ),
+        );
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                service.submit(request(&[ProbeType::Ethanol], &format!("s{i}"))).expect("admitted")
+            })
+            .collect();
+        let reports: Vec<_> = handles.iter().map(|h| h.wait()).collect();
+        let stats = service.shutdown();
+
+        let status = stats.slo.class("bulk").expect("bulk SLO evaluated");
+        assert_eq!(status.samples, 3);
+        assert!(status.burn_long >= ftmap_trace::PAGE_BURN);
+        assert_eq!(status.state, AlertState::Page);
+        assert_eq!(stats.slo_alert(), AlertState::Page);
+        assert!(
+            stats.metrics.gauge("ftmap_serve_slo_alert_state", &[("class", "bulk")]).is_some(),
+            "alert gauge exported into the registry"
+        );
+        assert!(
+            stats
+                .metrics
+                .histogram(JOB_LATENCY_METRIC, &[("class", "bulk")])
+                .is_some_and(|h| h.count == 3),
+            "per-job latency histogram fed once per job"
+        );
+
+        let retained = flight.retained_trace_ids();
+        for report in &reports {
+            assert!(
+                retained.contains(&report.trace_id),
+                "breaching request {} retained by tail-sampling",
+                report.trace_id
+            );
+        }
+        let dump = flight.dump_perfetto();
+        assert!(dump.contains("job-resolve"), "retained trees include the resolve edge");
+    }
+
+    #[test]
+    fn untraced_service_keeps_slo_and_flight_disabled() {
+        // The default path must not pay for observability: no SLO report, no
+        // trace-loss, and reports still carry per-job latencies.
+        let service =
+            BatchMappingService::new(Arc::new(DevicePool::tesla(1)), ServeConfig::default());
+        let report = service.submit(request(&[ProbeType::Ethanol], "plain")).expect("ok").wait();
+        assert!(report.latency_modeled_s >= 0.0);
+        let stats = service.shutdown();
+        assert!(stats.slo.classes.is_empty());
+        assert_eq!(stats.slo_alert(), AlertState::Ok);
+        assert_eq!(stats.metrics.gauge("ftmap_trace_dropped_events", &[]), Some(0.0));
     }
 }

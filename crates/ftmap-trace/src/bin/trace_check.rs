@@ -48,6 +48,21 @@ fn check_event(index: usize, event: &JsonValue, errors: &mut Vec<String>) {
                 fail("instant event missing scope \"s\"".to_string());
             }
         }
+        // Flow events (critical-path arrows): start / step / finish share a
+        // flow id and each binds to a timestamp on some track.
+        "s" | "t" | "f" => {
+            match event.get("ts").and_then(JsonValue::as_f64) {
+                Some(ts) if ts >= 0.0 => {}
+                Some(_) => fail("negative \"ts\" on flow event".to_string()),
+                None => fail("missing numeric \"ts\" on flow event".to_string()),
+            }
+            if event.get("id").and_then(JsonValue::as_f64).is_none() {
+                fail("flow event missing numeric \"id\"".to_string());
+            }
+            if ph == "f" && event.get("bp").and_then(JsonValue::as_str) != Some("e") {
+                fail("flow finish missing binding point \"bp\": \"e\"".to_string());
+            }
+        }
         other => fail(format!("unexpected phase {other:?}")),
     }
 }
@@ -80,6 +95,24 @@ fn main() {
         events.iter().filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X")).count();
     if events.is_empty() {
         errors.push("traceEvents is empty".to_string());
+    }
+    // Flow sanity: every flow id with a start must also finish (a dangling
+    // arrow renders as a broken critical path in the viewer).
+    let flow_ids = |phase: &str| -> std::collections::BTreeSet<u64> {
+        events
+            .iter()
+            .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some(phase))
+            .filter_map(|e| e.get("id").and_then(JsonValue::as_f64))
+            .map(|id| id as u64)
+            .collect()
+    };
+    let starts = flow_ids("s");
+    let finishes = flow_ids("f");
+    for id in starts.difference(&finishes) {
+        errors.push(format!("flow id {id} starts but never finishes"));
+    }
+    for id in finishes.difference(&starts) {
+        errors.push(format!("flow id {id} finishes but never starts"));
     }
     for error in &errors {
         eprintln!("trace_check: {path}: {error}");

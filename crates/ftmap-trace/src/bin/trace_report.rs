@@ -1,0 +1,100 @@
+//! Per-request latency reporter over an exported `trace.json`.
+//!
+//! Re-imports a Chrome trace-event document (written by
+//! [`ftmap_trace::export_chrome_trace`] or the `_with_flows` variant),
+//! reassembles the per-request causal trees from the trace-id tags, runs the
+//! critical-path analysis, and prints the top-N slowest requests with their
+//! exact latency breakdowns. CI runs this after `examples/trace_mapping.rs`
+//! (following `trace_check`) so the round-trip — export → import → tree →
+//! breakdown — stays validated on a real workload.
+//!
+//! Usage: `cargo run -p ftmap-trace --bin trace_report -- trace.json [top_n]`
+//!
+//! Exit status 0 when every analyzed request's breakdown segments sum to its
+//! recorded latency within 1e-9 (the exact-attribution invariant); 1 on any
+//! violation, an unreadable file, or a trace with no analyzable requests.
+
+use ftmap_trace::{analyze_all, build_request_trees, import_chrome_trace};
+
+/// Exact-attribution tolerance: breakdown segments must telescope to the
+/// stamped latency within this (mirrors `tests/trace_breakdown.rs`).
+const SUM_TOLERANCE: f64 = 1e-9;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = args.next().unwrap_or_else(|| "trace.json".to_string());
+    let top_n: usize = args.next().and_then(|n| n.parse().ok()).unwrap_or(10);
+
+    let content = match std::fs::read_to_string(&path) {
+        Ok(content) => content,
+        Err(err) => {
+            eprintln!("trace_report: cannot read {path}: {err}");
+            std::process::exit(1);
+        }
+    };
+    let events = match import_chrome_trace(&content) {
+        Ok(events) => events,
+        Err(err) => {
+            eprintln!("trace_report: {path}: {err}");
+            std::process::exit(1);
+        }
+    };
+    let trees = build_request_trees(&events);
+    let analyses = analyze_all(&trees);
+    if analyses.is_empty() {
+        eprintln!(
+            "trace_report: {path}: no analyzable requests ({} events, {} trace ids) — \
+             was the trace recorded through the pipelined service with tracing enabled?",
+            events.len(),
+            trees.len()
+        );
+        std::process::exit(1);
+    }
+
+    println!(
+        "trace_report: {path} — {} requests analyzed ({} events), slowest first",
+        analyses.len(),
+        events.len()
+    );
+    let mut violations = 0usize;
+    for (rank, analysis) in analyses.iter().enumerate() {
+        let sum = analysis.breakdown.total_s();
+        let drift = (sum - analysis.latency_s).abs();
+        if drift > SUM_TOLERANCE {
+            violations += 1;
+        }
+        if rank >= top_n && drift <= SUM_TOLERANCE {
+            continue; // still audit every request, print only the top N
+        }
+        println!(
+            "\n#{rank} trace {} ({}, tenant {}) latency {:.6}s critical-path span {:.6}s{}",
+            analysis.trace_id,
+            analysis.class.unwrap_or("?"),
+            analysis.tenant.as_deref().unwrap_or("-"),
+            analysis.latency_s,
+            analysis.path.execution_span_s(),
+            if drift > SUM_TOLERANCE { "  [SUM VIOLATION]" } else { "" },
+        );
+        for (name, value) in analysis.breakdown.segments() {
+            if value > 0.0 {
+                println!(
+                    "    {name:<22} {value:>12.6}s  {:5.1}%",
+                    if analysis.latency_s > 0.0 { 100.0 * value / analysis.latency_s } else { 0.0 }
+                );
+            }
+        }
+        let steps: Vec<String> =
+            analysis.path.steps.iter().map(|s| format!("{}@{:.6}", s.name, s.at_s)).collect();
+        println!("    path: {}", steps.join(" -> "));
+    }
+    if violations > 0 {
+        eprintln!(
+            "trace_report: {path}: {violations} request(s) whose breakdown does not sum to \
+             the recorded latency within {SUM_TOLERANCE:e}"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "\ntrace_report: ok — every breakdown sums to its request's latency within {SUM_TOLERANCE:e}"
+    );
+}

@@ -1,0 +1,370 @@
+//! Critical-path extraction and exact latency breakdown for request trees.
+//!
+//! For each [`RequestTrace`] the analysis walks the request's causal chain on
+//! the modeled timeline — admit → batch-form → dock (ready → run) → minimize
+//! (ready → run) → resolve — and decomposes admission-to-completion latency
+//! into **exact, summing segments**: the segment durations are differences of
+//! successive (monotonically clamped) chain instants, so they sum to the
+//! request's `latency_modeled_s` to within floating-point association error
+//! (< 1e-9 in the replay tests), never an approximation.
+//!
+//! The chain is anchored at the request's *terminal item* (the item finishing
+//! last, which gates the batch completion the request waits on). When that is
+//! a minimize item, its dock parent is the dock item of the same entry — the
+//! pipeline stamps the minimize's `ready_v_s` with exactly that dock's
+//! completion instant, so the chain's edges are the scheduler's real
+//! dependency edges, not heuristics.
+//!
+//! Segment definitions (all in modeled seconds):
+//!
+//! | segment | interval |
+//! |---|---|
+//! | `admission_wait_s` | admit → batch formed |
+//! | `batch_form_wait_s` | batch formed → batch submitted (dock ready) |
+//! | `dock_ready_wait_s` | dock ready → dock start (device contention) |
+//! | `dock_transfer_s` / `dock_kernel_s` | inside the dock span |
+//! | `minimize_ready_wait_s` | dock end → minimize start |
+//! | `minimize_transfer_s` / `minimize_kernel_s` | inside the minimize span |
+//! | `cache_miss_penalty_s` | uploads inside items that recorded a cache miss |
+//! | `resolve_wait_s` | terminal item end → batch resolve |
+//!
+//! Within an item span, transfer seconds are the anchored upload/download
+//! children and kernel seconds are the exact remainder (`span − transfers`),
+//! which keeps the within-span split exact too. Uploads inside an item that
+//! recorded a residency-cache miss are attributed to `cache_miss_penalty_s`
+//! instead of the phase's transfer segment: that staging cost only exists
+//! because residency was cold.
+
+use crate::event::Track;
+use crate::perfetto::{Flow, FlowStep};
+use crate::tree::{ItemNode, RequestTrace};
+
+/// The exact latency decomposition of one request. Segment values are ≥ 0
+/// except for float rounding in the kernel remainders; they sum to the
+/// request latency exactly (see [`Breakdown::total_s`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Breakdown {
+    /// Admission → batch formation: time spent queued before a batch took
+    /// the job.
+    pub admission_wait_s: f64,
+    /// Batch formation → scheduler submit: batch assembly (grid prep, probe
+    /// pipeline construction) ahead of the dock items becoming ready.
+    pub batch_form_wait_s: f64,
+    /// Dock ready → dock start: device contention ahead of the dock phase.
+    pub dock_ready_wait_s: f64,
+    /// Modeled kernel seconds inside the critical dock item.
+    pub dock_kernel_s: f64,
+    /// Modeled transfer seconds inside the critical dock item (staging not
+    /// attributable to a cache miss).
+    pub dock_transfer_s: f64,
+    /// Dock end → minimize start: device contention ahead of the minimize
+    /// phase (zero when the terminal item is the dock itself).
+    pub minimize_ready_wait_s: f64,
+    /// Modeled kernel seconds inside the critical minimize item.
+    pub minimize_kernel_s: f64,
+    /// Modeled transfer seconds inside the critical minimize item.
+    pub minimize_transfer_s: f64,
+    /// Upload seconds inside critical items that recorded a residency-cache
+    /// miss — staging that steady-state residency would have avoided.
+    pub cache_miss_penalty_s: f64,
+    /// Terminal item end → batch resolve: waiting for the rest of the batch
+    /// plus completion bookkeeping.
+    pub resolve_wait_s: f64,
+}
+
+impl Breakdown {
+    /// Segment labels and values, in chain order (for report tables).
+    pub fn segments(&self) -> [(&'static str, f64); 10] {
+        [
+            ("admission_wait", self.admission_wait_s),
+            ("batch_form_wait", self.batch_form_wait_s),
+            ("dock_ready_wait", self.dock_ready_wait_s),
+            ("dock_transfer", self.dock_transfer_s),
+            ("dock_kernel", self.dock_kernel_s),
+            ("minimize_ready_wait", self.minimize_ready_wait_s),
+            ("minimize_transfer", self.minimize_transfer_s),
+            ("minimize_kernel", self.minimize_kernel_s),
+            ("cache_miss_penalty", self.cache_miss_penalty_s),
+            ("resolve_wait", self.resolve_wait_s),
+        ]
+    }
+
+    /// Sum of every segment — equals the request's modeled latency.
+    pub fn total_s(&self) -> f64 {
+        self.segments().iter().map(|(_, v)| v).sum()
+    }
+}
+
+/// One anchor instant on the critical path (rendered as a Perfetto flow
+/// step).
+#[derive(Debug, Clone)]
+pub struct CriticalStep {
+    /// Step label.
+    pub name: &'static str,
+    /// Track the instant lives on.
+    pub track: Track,
+    /// Absolute modeled instant.
+    pub at_s: f64,
+}
+
+/// The request's critical path: the chain of instants from admission to
+/// resolve through its terminal items.
+#[derive(Debug, Clone, Default)]
+pub struct CriticalPath {
+    /// Chain instants in order: admit, batch-form, dock, minimize (absent
+    /// on fused chains), resolve.
+    pub steps: Vec<CriticalStep>,
+    /// Start of the first item on the path (modeled seconds).
+    pub exec_start_s: f64,
+    /// End of the last item on the path.
+    pub exec_end_s: f64,
+}
+
+impl CriticalPath {
+    /// The execution span of the path — first item start to last item end.
+    /// Always ≤ the batch makespan; equal on a single-chain workload (one
+    /// job, one probe, one pose block) where the request *is* the batch.
+    pub fn execution_span_s(&self) -> f64 {
+        self.exec_end_s - self.exec_start_s
+    }
+}
+
+/// Full analysis of one request.
+#[derive(Debug, Clone)]
+pub struct RequestAnalysis {
+    /// The request's trace id.
+    pub trace_id: u64,
+    /// Tenant tag, if known.
+    pub tenant: Option<String>,
+    /// Latency class name, if known.
+    pub class: Option<&'static str>,
+    /// Admission-to-completion modeled latency.
+    pub latency_s: f64,
+    /// The exact segment decomposition.
+    pub breakdown: Breakdown,
+    /// The chain of instants the breakdown was cut along.
+    pub path: CriticalPath,
+}
+
+impl RequestAnalysis {
+    /// Renders the critical path as a Perfetto flow (arrows across tracks).
+    pub fn flow(&self) -> Flow {
+        Flow {
+            id: self.trace_id,
+            name: format!("request {}", self.trace_id),
+            steps: self
+                .path
+                .steps
+                .iter()
+                .map(|s| FlowStep { track: s.track, at_s: s.at_s, name: s.name.to_string() })
+                .collect(),
+        }
+    }
+}
+
+/// Splits an item span `[start, end]` into (transfer, cache-penalty, kernel)
+/// seconds: transfers are the anchored upload/download children, a recorded
+/// cache miss moves the uploads into the penalty bucket, and the kernel
+/// share is the exact remainder so the three sum to `end - start`.
+fn split_item(item: &ItemNode, start: f64, end: f64) -> (f64, f64, f64) {
+    let (upload, download) = item.transfer_split_s();
+    let (transfer, penalty) =
+        if item.had_cache_miss() { (download, upload) } else { (upload + download, 0.0) };
+    let kernel = (end - start) - transfer - penalty;
+    (transfer, penalty, kernel)
+}
+
+/// Analyses one request tree: extracts the critical path and cuts the
+/// admission-to-completion latency into exact segments. Returns `None` when
+/// the tree lacks the lifecycle instants or item spans the chain needs
+/// (e.g. barrier-mode dispatch, which has no per-item trace tags).
+pub fn analyze(tree: &RequestTrace) -> Option<RequestAnalysis> {
+    let admitted = tree.admitted_v_s?;
+    let resolved = tree.resolved_v_s?;
+    let terminal = tree.last_item()?.clone();
+    let dock =
+        if terminal.is_dock() { Some(&terminal) } else { tree.dock_for_entry(terminal.entry()) };
+
+    // Raw chain instants; each is clamped to be ≥ its predecessor so the
+    // segment differences are non-negative and telescope exactly to
+    // `resolved - admitted`.
+    let formed = tree.batched.map(|(at, _)| at).unwrap_or(admitted);
+    let (dock_ready, dock_start, dock_end) = match dock {
+        Some(d) => (d.ready_v_s().unwrap_or(d.span.start_s), d.span.start_s, d.span.end_s()),
+        // Dock span missing (partial trace): collapse its segments onto the
+        // terminal item's ready instant.
+        None => {
+            let ready = terminal.ready_v_s().unwrap_or(terminal.span.start_s);
+            (ready, ready, ready)
+        }
+    };
+    let mut at = admitted;
+    let mut clamp = move |raw: f64| {
+        at = at.max(raw);
+        at
+    };
+    let t_formed = clamp(formed);
+    let t_dock_ready = clamp(dock_ready);
+    let t_dock_start = clamp(dock_start);
+    let t_dock_end = clamp(dock_end);
+    let (t_min_start, t_min_end) = if terminal.is_dock() {
+        (t_dock_end, t_dock_end)
+    } else {
+        (clamp(terminal.span.start_s), clamp(terminal.span.end_s()))
+    };
+    let t_resolved = clamp(resolved);
+
+    let mut breakdown = Breakdown {
+        admission_wait_s: t_formed - admitted,
+        batch_form_wait_s: t_dock_ready - t_formed,
+        dock_ready_wait_s: t_dock_start - t_dock_ready,
+        minimize_ready_wait_s: t_min_start - t_dock_end,
+        resolve_wait_s: t_resolved - t_min_end,
+        ..Breakdown::default()
+    };
+    if let Some(d) = dock {
+        let (transfer, penalty, kernel) = split_item(d, t_dock_start, t_dock_end);
+        breakdown.dock_transfer_s = transfer;
+        breakdown.dock_kernel_s = kernel;
+        breakdown.cache_miss_penalty_s += penalty;
+    }
+    if !terminal.is_dock() {
+        let (transfer, penalty, kernel) = split_item(&terminal, t_min_start, t_min_end);
+        breakdown.minimize_transfer_s = transfer;
+        breakdown.minimize_kernel_s = kernel;
+        breakdown.cache_miss_penalty_s += penalty;
+    }
+
+    let mut steps = vec![CriticalStep { name: "admit", track: Track::Queue, at_s: admitted }];
+    if let Some((at, _)) = tree.batched {
+        steps.push(CriticalStep { name: "batch-form", track: Track::Queue, at_s: at });
+    }
+    let mut exec_start = terminal.span.start_s;
+    if let Some(d) = dock {
+        steps.push(CriticalStep { name: "dock", track: d.span.track, at_s: t_dock_start });
+        exec_start = d.span.start_s;
+    }
+    if !terminal.is_dock() {
+        steps.push(CriticalStep {
+            name: "minimize",
+            track: terminal.span.track,
+            at_s: t_min_start,
+        });
+    }
+    steps.push(CriticalStep { name: "resolve", track: Track::Queue, at_s: t_resolved });
+
+    Some(RequestAnalysis {
+        trace_id: tree.trace_id,
+        tenant: tree.tenant.clone(),
+        class: tree.class,
+        latency_s: resolved - admitted,
+        breakdown,
+        path: CriticalPath { steps, exec_start_s: exec_start, exec_end_s: terminal.span.end_s() },
+    })
+}
+
+/// Analyses every tree, dropping requests without enough trace data, sorted
+/// slowest-first.
+pub fn analyze_all(trees: &[RequestTrace]) -> Vec<RequestAnalysis> {
+    let mut out: Vec<RequestAnalysis> = trees.iter().filter_map(analyze).collect();
+    out.sort_by(|a, b| b.latency_s.total_cmp(&a.latency_s));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Category, TraceEvent, Track};
+    use crate::tree::build_request_trees;
+
+    fn tagged(mut event: TraceEvent, trace: u64) -> TraceEvent {
+        event.tags.trace = Some(trace);
+        event
+    }
+
+    /// Hand-built two-item chain: admit 0.0, formed 0.1, submit 0.2, dock
+    /// [0.3, 0.7] (upload 0.1 + kernel 0.25 + download 0.05), minimize
+    /// [0.9, 1.4] ready at 0.7, resolve 1.5.
+    fn chain_events() -> Vec<TraceEvent> {
+        let mut admit = tagged(TraceEvent::instant(Track::Queue, "admit", Category::Serve, 0.0), 1);
+        admit.tags.class = Some("bulk");
+        let mut batched =
+            tagged(TraceEvent::instant(Track::Queue, "job-batched", Category::Serve, 0.1), 1);
+        batched.tags.batch_seq = Some(0);
+        let mut dock =
+            tagged(TraceEvent::span(Track::Device(0), "dock", Category::Sched, 0.3, 0.4), 1);
+        dock.tags.probe = Some(0);
+        dock.tags.nums.push(("ready_v_s", 0.2));
+        let up =
+            tagged(TraceEvent::span(Track::Device(0), "upload", Category::Transfer, 0.3, 0.1), 1);
+        let down = tagged(
+            TraceEvent::span(Track::Device(0), "download", Category::Transfer, 0.65, 0.05),
+            1,
+        );
+        let miss =
+            tagged(TraceEvent::instant(Track::Device(0), "cache-miss", Category::Cache, 0.3), 1);
+        let mut minimize =
+            tagged(TraceEvent::span(Track::Device(1), "minimize", Category::Sched, 0.9, 0.5), 1);
+        minimize.tags.probe = Some(0);
+        minimize.tags.nums.push(("ready_v_s", 0.7));
+        let min_down =
+            tagged(TraceEvent::span(Track::Device(1), "download", Category::Transfer, 1.3, 0.1), 1);
+        let mut resolve =
+            tagged(TraceEvent::instant(Track::Queue, "job-resolve", Category::Serve, 1.5), 1);
+        resolve.tags.nums.push(("latency_s", 1.5));
+        vec![admit, batched, dock, up, down, miss, minimize, min_down, resolve]
+    }
+
+    #[test]
+    fn breakdown_segments_sum_exactly_and_match_chain() {
+        let trees = build_request_trees(&chain_events());
+        let analysis = analyze(&trees[0]).expect("complete tree analyses");
+        let b = analysis.breakdown;
+        assert!((analysis.latency_s - 1.5).abs() < 1e-12);
+        assert!((b.total_s() - 1.5).abs() < 1e-9, "segments must sum to latency");
+        assert!((b.admission_wait_s - 0.1).abs() < 1e-12);
+        assert!((b.batch_form_wait_s - 0.1).abs() < 1e-12);
+        assert!((b.dock_ready_wait_s - 0.1).abs() < 1e-12);
+        // The dock's upload rides the cache miss; the download stays transfer.
+        assert!((b.cache_miss_penalty_s - 0.1).abs() < 1e-12);
+        assert!((b.dock_transfer_s - 0.05).abs() < 1e-12);
+        assert!((b.dock_kernel_s - 0.25).abs() < 1e-12);
+        assert!((b.minimize_ready_wait_s - 0.2).abs() < 1e-12);
+        assert!((b.minimize_transfer_s - 0.1).abs() < 1e-12);
+        assert!((b.minimize_kernel_s - 0.4).abs() < 1e-12);
+        assert!((b.resolve_wait_s - 0.1).abs() < 1e-12);
+        // Path anchors: admit → batch-form → dock → minimize → resolve.
+        let names: Vec<&str> = analysis.path.steps.iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["admit", "batch-form", "dock", "minimize", "resolve"]);
+        assert!((analysis.path.execution_span_s() - 1.1).abs() < 1e-12);
+        let flow = analysis.flow();
+        assert_eq!(flow.id, 1);
+        assert_eq!(flow.steps.len(), 5);
+    }
+
+    #[test]
+    fn dock_only_chain_has_zero_minimize_segments() {
+        let events: Vec<TraceEvent> = chain_events()
+            .into_iter()
+            .filter(|e| e.track != Track::Device(1)) // drop the minimize item + child
+            .collect();
+        let trees = build_request_trees(&events);
+        let analysis = analyze(&trees[0]).expect("dock-only tree analyses");
+        let b = analysis.breakdown;
+        assert_eq!(b.minimize_ready_wait_s, 0.0);
+        assert_eq!(b.minimize_kernel_s, 0.0);
+        assert_eq!(b.minimize_transfer_s, 0.0);
+        // resolve_wait absorbs dock-end → resolve: 1.5 - 0.7 = 0.8.
+        assert!((b.resolve_wait_s - 0.8).abs() < 1e-12);
+        assert!((b.total_s() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incomplete_trees_are_skipped() {
+        let only_admit =
+            vec![tagged(TraceEvent::instant(Track::Queue, "admit", Category::Serve, 0.0), 9)];
+        let trees = build_request_trees(&only_admit);
+        assert!(analyze(&trees[0]).is_none());
+        assert!(analyze_all(&trees).is_empty());
+    }
+}

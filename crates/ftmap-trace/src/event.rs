@@ -80,6 +80,11 @@ pub struct Tags {
     pub probe: Option<u32>,
     /// Pose-block range `[start, end)` for minimize items.
     pub pose_range: Option<(u32, u32)>,
+    /// Request trace id: the serve layer stamps every job with one and threads
+    /// it through admit → batch-form → scheduler item spans → resolve, so the
+    /// per-request causal tree ([`crate::tree`]) can be reassembled from the
+    /// flat event stream.
+    pub trace: Option<u64>,
     /// Free-form numeric arguments (modeled stage seconds, byte counts, …),
     /// rendered into the Perfetto `args` object.
     pub nums: Vec<(&'static str, f64)>,

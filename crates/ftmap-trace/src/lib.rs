@@ -18,23 +18,43 @@
 //! * the serve layer records queue/batch lifecycle events with absolute
 //!   virtual instants and feeds the [`MetricsRegistry`].
 //!
+//! On top of the raw stream sit the request-centric analysis layers:
+//! [`tree`] reassembles per-request **causal trees** from trace-id tags,
+//! [`critical_path`] cuts each request's admission-to-completion latency
+//! into exact summing segments and extracts its critical path (exported to
+//! Perfetto as flow arrows), [`slo`] evaluates declarative latency
+//! objectives as multi-window burn rates, and [`flight`] is the bounded
+//! always-on ring sink that tail-samples full trees for slow requests only.
+//!
 //! Everything is keyed to modeled seconds; no wall clock enters any event or
 //! metric.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod critical_path;
 pub mod event;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod perfetto;
 pub mod recorder;
 pub mod scope;
 pub mod sink;
+pub mod slo;
+pub mod tree;
 
+pub use critical_path::{analyze, analyze_all, Breakdown, CriticalPath, RequestAnalysis};
 pub use event::{Anchor, Category, Tags, TraceEvent, Track};
+pub use flight::FlightRecorder;
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
-pub use perfetto::export_chrome_trace;
+pub use perfetto::{
+    export_chrome_trace, export_chrome_trace_with_flows, import_chrome_trace, Flow,
+};
 pub use recorder::Recorder;
 pub use scope::{hook, ItemScope};
 pub use sink::{noop, NoopSink, TraceSink};
+pub use slo::{
+    AlertState, SampleVerdict, SloEngine, SloReport, SloSpec, SloStatus, PAGE_BURN, WARN_BURN,
+};
+pub use tree::{build_request_trees, ItemNode, RequestTrace};

@@ -53,6 +53,56 @@ impl Histogram {
     pub fn cumulative(&self, i: usize) -> u64 {
         self.counts.iter().take(i + 1).sum()
     }
+
+    /// Fraction of observations ≤ `value` (the empirical CDF at a bucket
+    /// boundary). `value` is rounded **up** to the nearest bucket bound, the
+    /// resolution the histogram actually has; exact when `value` is a bound.
+    /// Returns 1.0 for an empty histogram (no observations ⇒ no breaches).
+    pub fn fraction_le(&self, value: f64) -> f64 {
+        if self.count == 0 {
+            return 1.0;
+        }
+        match self.bounds.iter().position(|&b| value <= b) {
+            Some(i) => self.cumulative(i) as f64 / self.count as f64,
+            None => 1.0,
+        }
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`) estimated Prometheus
+    /// `histogram_quantile`-style: find the first bucket whose cumulative
+    /// count reaches `q·count`, then interpolate linearly within it (the first
+    /// bucket's lower bound is 0). Exact at bucket bounds: if exactly a
+    /// fraction `q` of observations are ≤ `bounds[i]`, returns `bounds[i]`.
+    /// Quantiles landing in the `+Inf` overflow bucket clamp to the last
+    /// finite bound. Returns `None` for an empty histogram or `q` outside
+    /// `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = q * self.count as f64;
+        let mut cumulative = 0u64;
+        for (i, &bucket_count) in self.counts.iter().enumerate() {
+            let lower_cumulative = cumulative;
+            cumulative += bucket_count;
+            if (cumulative as f64) < rank {
+                continue;
+            }
+            if i == self.bounds.len() {
+                // Overflow bucket: no finite upper bound to interpolate
+                // toward; clamp like histogram_quantile does.
+                return self.bounds.last().copied();
+            }
+            let upper = self.bounds[i];
+            let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+            if bucket_count == 0 {
+                return Some(upper);
+            }
+            let within = (rank - lower_cumulative as f64) / bucket_count as f64;
+            return Some(lower + (upper - lower) * within);
+        }
+        self.bounds.last().copied()
+    }
 }
 
 #[derive(Debug, Default)]
@@ -116,12 +166,18 @@ pub struct MetricsSnapshot {
     histograms: BTreeMap<Key, Histogram>,
 }
 
+/// Escapes a label value per the Prometheus text exposition format: backslash
+/// first (so later escapes aren't double-escaped), then newline, then quote.
+fn escape_label_value(value: &str) -> String {
+    value.replace('\\', "\\\\").replace('\n', "\\n").replace('"', "\\\"")
+}
+
 fn labels_text(labels: &[(String, String)]) -> String {
     if labels.is_empty() {
         return String::new();
     }
     let body: Vec<String> =
-        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", v.replace('"', "\\\""))).collect();
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v))).collect();
     format!("{{{}}}", body.join(","))
 }
 
@@ -234,5 +290,68 @@ mod tests {
         assert!(text.contains("ftmap_latency_seconds_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("ftmap_latency_seconds_sum 0.25"));
         assert!(text.contains("ftmap_latency_seconds_count 1"));
+    }
+
+    #[test]
+    fn label_values_escape_backslash_newline_and_quote() {
+        let registry = MetricsRegistry::new();
+        registry.gauge_set("g", &[("tenant", "a\\b\n\"c\"")], 1.0);
+        let text = registry.snapshot().prometheus();
+        // Exposition format: backslash → \\, newline → \n, quote → \". The
+        // backslash must be escaped first so the others aren't double-escaped.
+        assert!(
+            text.contains(r#"g{tenant="a\\b\n\"c\""} 1"#),
+            "unexpected exposition line in:\n{text}"
+        );
+        // A value that is itself a literal `\n` (backslash + n) must stay
+        // distinguishable from a newline: it renders as `\\n`, not `\n`.
+        let registry = MetricsRegistry::new();
+        registry.gauge_set("g", &[("tenant", "\\n")], 1.0);
+        let text = registry.snapshot().prometheus();
+        assert!(text.contains(r#"g{tenant="\\n"} 1"#), "unexpected exposition line in:\n{text}");
+    }
+
+    #[test]
+    fn quantile_interpolates_and_is_exact_at_bounds() {
+        let registry = MetricsRegistry::new();
+        let bounds = [1.0, 2.0, 4.0];
+        // 2 obs in (0,1], 2 in (1,2], 4 in (2,4]: CDF is 0.25 @1, 0.5 @2, 1.0 @4.
+        for v in [0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0] {
+            registry.observe("h", &[], &bounds, v);
+        }
+        let snap = registry.snapshot();
+        let hist = snap.histogram("h", &[]).expect("histogram");
+        // Exact at bucket bounds.
+        assert!((hist.quantile(0.25).unwrap() - 1.0).abs() < 1e-12);
+        assert!((hist.quantile(0.5).unwrap() - 2.0).abs() < 1e-12);
+        assert!((hist.quantile(1.0).unwrap() - 4.0).abs() < 1e-12);
+        // Linear interpolation inside a bucket: q=0.75 is rank 6 of 8 —
+        // halfway through the (2,4] bucket of 4 observations → 3.0.
+        assert!((hist.quantile(0.75).unwrap() - 3.0).abs() < 1e-12);
+        // First bucket interpolates from lower bound 0.
+        assert!((hist.quantile(0.125).unwrap() - 0.5).abs() < 1e-12);
+        // q=0 is the distribution floor.
+        assert!((hist.quantile(0.0).unwrap() - 0.0).abs() < 1e-12);
+        // Out-of-range q is rejected.
+        assert_eq!(hist.quantile(1.5), None);
+        // fraction_le is exact at bounds and rounds interior values up.
+        assert!((hist.fraction_le(2.0) - 0.5).abs() < 1e-12);
+        assert!((hist.fraction_le(1.5) - 0.5).abs() < 1e-12);
+        assert!((hist.fraction_le(100.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_clamps_overflow_and_handles_empty() {
+        let registry = MetricsRegistry::new();
+        let bounds = [1.0, 2.0];
+        registry.observe("h", &[], &bounds, 0.5);
+        registry.observe("h", &[], &bounds, 50.0); // overflow bucket
+        let snap = registry.snapshot();
+        let hist = snap.histogram("h", &[]).expect("histogram");
+        // The p100 lands in +Inf: clamp to the last finite bound.
+        assert!((hist.quantile(1.0).unwrap() - 2.0).abs() < 1e-12);
+        let empty = Histogram::new(&bounds);
+        assert_eq!(empty.quantile(0.5), None);
+        assert!((empty.fraction_le(1.0) - 1.0).abs() < 1e-12);
     }
 }

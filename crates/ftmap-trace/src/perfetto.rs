@@ -16,7 +16,7 @@
 //! events — the full set of phases the `trace_check` schema validator
 //! accepts.
 
-use crate::event::{Tags, TraceEvent, Track};
+use crate::event::{Category, Tags, TraceEvent, Track};
 use crate::json::{escape, number};
 use std::collections::BTreeSet;
 
@@ -71,6 +71,9 @@ fn args_json(tags: &Tags) -> String {
     if let Some((start, end)) = tags.pose_range {
         parts.push(format!("\"pose_start\": {start}"));
         parts.push(format!("\"pose_end\": {end}"));
+    }
+    if let Some(trace) = tags.trace {
+        parts.push(format!("\"trace\": {trace}"));
     }
     for (key, value) in &tags.nums {
         parts.push(format!("\"{}\": {}", escape(key), number(*value)));
@@ -132,17 +135,188 @@ fn metadata_json(tracks: &BTreeSet<Track>) -> Vec<String> {
     out
 }
 
+/// One step of a causal flow: an arrow anchor at `at_s` on `track`, labelled
+/// for the Perfetto UI.
+#[derive(Debug, Clone)]
+pub struct FlowStep {
+    /// Track the arrow attaches to.
+    pub track: Track,
+    /// Absolute modeled instant of the anchor.
+    pub at_s: f64,
+    /// Step label (shown on hover).
+    pub name: String,
+}
+
+/// A causal flow — rendered as Chrome trace-event flow phases (`"s"` start,
+/// `"t"` step, `"f"` end sharing an `id`) so Perfetto draws arrows along a
+/// request's critical path across tracks.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    /// Flow id (the request's trace id).
+    pub id: u64,
+    /// Flow category label.
+    pub name: String,
+    /// Ordered anchor points; flows with fewer than 2 steps are skipped.
+    pub steps: Vec<FlowStep>,
+}
+
+fn flow_json(flow: &Flow) -> Vec<String> {
+    if flow.steps.len() < 2 {
+        return Vec::new();
+    }
+    let last = flow.steps.len() - 1;
+    flow.steps
+        .iter()
+        .enumerate()
+        .map(|(i, step)| {
+            let (pid, tid) = track_ids(step.track);
+            let ph = if i == 0 {
+                "s"
+            } else if i == last {
+                "f"
+            } else {
+                "t"
+            };
+            // `"bp": "e"` binds the terminating arrow to the enclosing slice
+            // rather than the next slice on the track.
+            let bp = if ph == "f" { ", \"bp\": \"e\"" } else { "" };
+            format!(
+                "{{\"name\": \"{}\", \"cat\": \"critical-path\", \"ph\": \"{ph}\", \
+                 \"id\": {}, \"ts\": {}, \"pid\": {pid}, \"tid\": {tid}{bp}, \
+                 \"args\": {{\"step\": \"{}\"}}}}",
+                escape(&flow.name),
+                flow.id,
+                number(us(step.at_s)),
+                escape(&step.name)
+            )
+        })
+        .collect()
+}
+
 /// Renders **resolved** events (see [`crate::Recorder::events`]) as a Chrome
 /// trace-event JSON document. The result loads directly in Perfetto; modeled
 /// seconds appear as microseconds on its timeline.
 pub fn export_chrome_trace(events: &[TraceEvent]) -> String {
+    export_chrome_trace_with_flows(events, &[])
+}
+
+/// Like [`export_chrome_trace`] but also renders causal flows (request
+/// critical paths) as Perfetto flow events.
+pub fn export_chrome_trace_with_flows(events: &[TraceEvent], flows: &[Flow]) -> String {
     let tracks: BTreeSet<Track> = events.iter().map(|e| e.track).collect();
     let mut lines = metadata_json(&tracks);
     lines.extend(events.iter().map(event_json));
+    lines.extend(flows.iter().flat_map(flow_json));
     let mut out = String::from("{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n");
     out.push_str(&lines.iter().map(|l| format!("    {l}")).collect::<Vec<_>>().join(",\n"));
     out.push_str("\n  ]\n}\n");
     out
+}
+
+/// Numeric arg keys the exporter emits; the importer interns them back to
+/// `&'static str` so a re-imported event carries the same `nums` tags.
+const KNOWN_NUM_KEYS: &[&str] = &[
+    "kernel_s",
+    "ready_v_s",
+    "bytes",
+    "grid_blocks",
+    "threads_per_block",
+    "depth",
+    "jobs",
+    "latency_s",
+    "admitted_v_s",
+    "makespan_s",
+    "entries",
+    "priority",
+    "docks",
+    "blocks",
+    "overlap_saved_s",
+    "bucket_derived",
+    "key_lo32",
+];
+
+fn intern_class(class: &str) -> Option<&'static str> {
+    match class {
+        "interactive" => Some("interactive"),
+        "bulk" => Some("bulk"),
+        _ => None,
+    }
+}
+
+fn import_cat(cat: &str) -> Category {
+    match cat {
+        "kernel" => Category::Kernel,
+        "transfer" => Category::Transfer,
+        "cache" => Category::Cache,
+        "sched" => Category::Sched,
+        "batch" => Category::Batch,
+        _ => Category::Serve,
+    }
+}
+
+fn import_track(pid: u64, tid: u64) -> Option<Track> {
+    match pid {
+        PID_DEVICES => Some(Track::Device(tid as u32)),
+        PID_SERVE if tid == TID_QUEUE => Some(Track::Queue),
+        PID_SERVE if tid >= BATCH_TID_BASE => Some(Track::Batch(tid - BATCH_TID_BASE)),
+        _ => None,
+    }
+}
+
+fn import_tags(args: &crate::json::JsonValue) -> Tags {
+    let mut tags = Tags::default();
+    let f = |key: &str| args.get(key).and_then(crate::json::JsonValue::as_f64);
+    tags.device = f("device").map(|v| v as u32);
+    tags.batch_seq = f("batch_seq").map(|v| v as u64);
+    tags.trace = f("trace").map(|v| v as u64);
+    tags.probe = f("probe").map(|v| v as u32);
+    if let (Some(start), Some(end)) = (f("pose_start"), f("pose_end")) {
+        tags.pose_range = Some((start as u32, end as u32));
+    }
+    tags.tenant =
+        args.get("tenant").and_then(crate::json::JsonValue::as_str).map(|s| s.to_string());
+    tags.class = args.get("class").and_then(crate::json::JsonValue::as_str).and_then(intern_class);
+    for &key in KNOWN_NUM_KEYS {
+        if let Some(value) = f(key) {
+            tags.nums.push((key, value));
+        }
+    }
+    tags
+}
+
+/// Parses a Chrome trace-event document produced by [`export_chrome_trace`]
+/// back into resolved [`TraceEvent`]s (metadata and flow rows are skipped;
+/// `queue_depth` counter samples become instants again). This is the reverse
+/// mapping `trace_report` uses to analyse an exported `trace.json` offline.
+pub fn import_chrome_trace(text: &str) -> Result<Vec<TraceEvent>, String> {
+    use crate::json::{parse, JsonValue};
+    let doc = parse(text).map_err(|e| e.to_string())?;
+    let rows = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "missing traceEvents array".to_string())?;
+    let mut events = Vec::new();
+    for row in rows {
+        let ph = row.get("ph").and_then(JsonValue::as_str).unwrap_or("");
+        if !matches!(ph, "X" | "i" | "C") {
+            continue; // metadata ("M") and flow ("s"/"t"/"f") rows carry no span data
+        }
+        let pid = row.get("pid").and_then(JsonValue::as_f64).unwrap_or(-1.0);
+        let tid = row.get("tid").and_then(JsonValue::as_f64).unwrap_or(-1.0);
+        let track = match import_track(pid as u64, tid as u64) {
+            Some(track) if pid >= 0.0 && tid >= 0.0 => track,
+            _ => continue,
+        };
+        let name = row.get("name").and_then(JsonValue::as_str).unwrap_or("").to_string();
+        let cat = import_cat(row.get("cat").and_then(JsonValue::as_str).unwrap_or(""));
+        let start_s = row.get("ts").and_then(JsonValue::as_f64).unwrap_or(0.0) / 1e6;
+        let dur_s = row.get("dur").and_then(JsonValue::as_f64).unwrap_or(0.0) / 1e6;
+        let tags = row.get("args").map(import_tags).unwrap_or_default();
+        let mut event = TraceEvent::span(track, name, cat, start_s, dur_s);
+        event.tags = tags;
+        events.push(event);
+    }
+    Ok(events)
 }
 
 #[cfg(test)]
@@ -181,5 +355,70 @@ mod tests {
             span.get("args").and_then(|a| a.get("kernel_s")).and_then(JsonValue::as_f64),
             Some(0.0015)
         );
+    }
+
+    #[test]
+    fn flows_render_as_s_t_f_with_shared_id() {
+        let events = vec![TraceEvent::instant(Track::Queue, "admit", Category::Serve, 0.0)];
+        let flow = Flow {
+            id: 7,
+            name: "request 7".to_string(),
+            steps: vec![
+                FlowStep { track: Track::Queue, at_s: 0.0, name: "admit".to_string() },
+                FlowStep { track: Track::Device(1), at_s: 0.001, name: "dock".to_string() },
+                FlowStep { track: Track::Queue, at_s: 0.002, name: "resolve".to_string() },
+            ],
+        };
+        let doc = export_chrome_trace_with_flows(&events, &[flow]);
+        let parsed = parse(&doc).expect("valid JSON");
+        let rows = parsed.get("traceEvents").and_then(JsonValue::as_array).unwrap();
+        let phases: Vec<&str> = rows
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(JsonValue::as_str))
+            .filter(|p| matches!(*p, "s" | "t" | "f"))
+            .collect();
+        assert_eq!(phases, vec!["s", "t", "f"]);
+        for row in rows.iter().filter(|e| {
+            matches!(e.get("ph").and_then(JsonValue::as_str), Some("s") | Some("t") | Some("f"))
+        }) {
+            assert_eq!(row.get("id").and_then(JsonValue::as_f64), Some(7.0));
+            assert!(row.get("ts").and_then(JsonValue::as_f64).is_some());
+        }
+    }
+
+    #[test]
+    fn import_round_trips_exported_events() {
+        let events = vec![
+            TraceEvent::span(Track::Device(2), "minimize", Category::Sched, 0.003, 0.004)
+                .with_tags({
+                    let mut tags = Tags::device(2).with_num("ready_v_s", 0.002);
+                    tags.trace = Some(42);
+                    tags.probe = Some(1);
+                    tags.pose_range = Some((0, 8));
+                    tags.class = Some("bulk");
+                    tags
+                }),
+            TraceEvent::instant(Track::Queue, "admit", Category::Serve, 0.0).with_tags(Tags {
+                trace: Some(42),
+                tenant: Some("t0".to_string()),
+                ..Default::default()
+            }),
+        ];
+        let doc = export_chrome_trace(&events);
+        let imported = import_chrome_trace(&doc).expect("import succeeds");
+        assert_eq!(imported.len(), 2);
+        let span = imported.iter().find(|e| e.name == "minimize").expect("span imported");
+        assert_eq!(span.track, Track::Device(2));
+        assert!((span.start_s - 0.003).abs() < 1e-12 && (span.dur_s - 0.004).abs() < 1e-12);
+        assert_eq!(span.tags.trace, Some(42));
+        assert_eq!(span.tags.pose_range, Some((0, 8)));
+        assert_eq!(span.tags.class, Some("bulk"));
+        assert!(span
+            .tags
+            .nums
+            .iter()
+            .any(|(k, v)| *k == "ready_v_s" && (*v - 0.002).abs() < 1e-12));
+        let admit = imported.iter().find(|e| e.name == "admit").expect("instant imported");
+        assert_eq!(admit.tags.tenant.as_deref(), Some("t0"));
     }
 }

@@ -7,6 +7,7 @@ use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of independent event buffers. Each recording thread hashes to one
 /// shard, so with a handful of scheduler workers every worker effectively owns
@@ -22,6 +23,7 @@ const SHARDS: usize = 16;
 #[derive(Debug, Default)]
 pub struct Recorder {
     shards: [Mutex<Vec<TraceEvent>>; SHARDS],
+    dropped_orphans: AtomicU64,
 }
 
 impl Recorder {
@@ -59,14 +61,30 @@ impl Recorder {
     /// The recorded timeline: anchored sub-events rebased onto their defining
     /// spans, sorted by absolute start instant (ties broken longest-first so
     /// enclosing spans sort before their children). Leaves the buffers empty.
+    /// Orphans dropped during resolution are added to
+    /// [`Recorder::dropped_orphans`].
     pub fn events(&self) -> Vec<TraceEvent> {
-        resolve(self.drain_raw())
+        let (resolved, orphans) = resolve_counted(self.drain_raw());
+        self.dropped_orphans.fetch_add(orphans, Ordering::Relaxed);
+        resolved
+    }
+
+    /// Total anchored sub-events dropped so far because their defining item
+    /// span was never recorded (counted across every [`Recorder::events`]
+    /// call). Surfaced through [`TraceSink::dropped_events`] so the serve
+    /// layer can export trace data loss as a gauge.
+    pub fn dropped_orphans(&self) -> u64 {
+        self.dropped_orphans.load(Ordering::Relaxed)
     }
 }
 
 impl TraceSink for Recorder {
     fn record(&self, event: TraceEvent) {
         self.shards[Self::shard_index()].lock().push(event);
+    }
+
+    fn dropped_events(&self) -> u64 {
+        self.dropped_orphans()
     }
 }
 
@@ -75,25 +93,37 @@ impl TraceSink for Recorder {
 /// defining span was never recorded (an item that panicked mid-flight) are
 /// dropped — an offset with no origin has no place on the timeline.
 pub fn resolve(events: Vec<TraceEvent>) -> Vec<TraceEvent> {
+    resolve_counted(events).0
+}
+
+/// [`resolve`], also returning how many orphaned anchored events were dropped.
+pub fn resolve_counted(events: Vec<TraceEvent>) -> (Vec<TraceEvent>, u64) {
     let mut origins: HashMap<u64, f64> = HashMap::new();
     for event in &events {
         if let Anchor::Defines(id) = event.anchor {
             origins.insert(id, event.start_s);
         }
     }
+    let mut orphans = 0u64;
     let mut resolved: Vec<TraceEvent> = events
         .into_iter()
         .filter_map(|mut event| match event.anchor {
             Anchor::Absolute | Anchor::Defines(_) => Some(event),
-            Anchor::Within(id) => origins.get(&id).map(|origin| {
-                event.start_s += origin;
-                event.anchor = Anchor::Absolute;
-                event
-            }),
+            Anchor::Within(id) => {
+                let origin = origins.get(&id);
+                if origin.is_none() {
+                    orphans += 1;
+                }
+                origin.map(|origin| {
+                    event.start_s += origin;
+                    event.anchor = Anchor::Absolute;
+                    event
+                })
+            }
         })
         .collect();
     resolved.sort_by(|a, b| a.start_s.total_cmp(&b.start_s).then(b.dur_s.total_cmp(&a.dur_s)));
-    resolved
+    (resolved, orphans)
 }
 
 #[cfg(test)]
@@ -123,6 +153,20 @@ mod tests {
         assert_eq!(events[1].name, "kernel");
         assert!((events[1].start_s - 11.5).abs() < 1e-12);
         assert_eq!(events[1].anchor, Anchor::Absolute);
+        assert_eq!(recorder.dropped_orphans(), 1, "the dropped orphan is counted");
+        assert_eq!(recorder.dropped_events(), 1, "and surfaced through the sink trait");
+    }
+
+    #[test]
+    fn orphan_counter_accumulates_across_drains() {
+        let recorder = Recorder::new();
+        for round in 0..3u64 {
+            let mut orphan = TraceEvent::instant(Track::Device(0), "lost", Category::Cache, 0.5);
+            orphan.anchor = Anchor::Within(1000 + round);
+            recorder.record(orphan);
+            assert!(recorder.events().is_empty());
+            assert_eq!(recorder.dropped_orphans(), round + 1);
+        }
     }
 
     #[test]

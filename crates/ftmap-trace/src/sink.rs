@@ -19,6 +19,15 @@ pub trait TraceSink: Send + Sync {
     /// Records one event. Must be cheap and safe to call from any worker
     /// thread concurrently.
     fn record(&self, event: TraceEvent);
+
+    /// How many recorded events this sink has since lost — orphaned anchored
+    /// sub-events a [`crate::Recorder`] dropped at resolve time, or ring
+    /// evictions in a bounded flight recorder. Trace data loss must itself be
+    /// observable; the serve layer exports this as a gauge. Defaults to 0 for
+    /// sinks that never drop.
+    fn dropped_events(&self) -> u64 {
+        0
+    }
 }
 
 /// The disabled sink: [`TraceSink::enabled`] is `false` and

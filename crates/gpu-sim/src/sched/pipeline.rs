@@ -107,6 +107,12 @@ pub struct PhasedBatch {
     /// Trace identity (tenant / latency class); `BatchLabel::default()` when
     /// the caller has none.
     pub label: BatchLabel,
+    /// Request trace id per dock entry (empty when the caller doesn't do
+    /// request-level tracing; otherwise must have `entries` elements). Each
+    /// entry's id flows onto its dock item span and every minimize item the
+    /// dock unlocks, so per-request causal trees can be reassembled from the
+    /// event stream.
+    pub entry_traces: Vec<u64>,
 }
 
 /// Per-device account of what one batch ran, split by phase.
@@ -264,6 +270,9 @@ struct ReadyItem {
     /// Latency-class tag carried for trace item spans (`Copy`, so free even
     /// when tracing is off).
     class: Option<&'static str>,
+    /// Request trace id of the entry this item serves (from
+    /// [`PhasedBatch::entry_traces`]); minimize items inherit their dock's.
+    trace: Option<u64>,
 }
 
 /// In-flight bookkeeping for one batch.
@@ -433,6 +442,10 @@ impl PhasePipeline {
         on_complete: Option<Box<dyn FnOnce(BatchReport) + Send>>,
     ) -> BatchHandle {
         assert_eq!(batch.dock_weights.len(), batch.entries, "dock_weights must cover every entry");
+        assert!(
+            batch.entry_traces.is_empty() || batch.entry_traces.len() == batch.entries,
+            "entry_traces must be empty or cover every entry"
+        );
         let slot = new_slot();
         let exec = Arc::clone(&batch.exec);
         let mut state = self.shared.state.lock().expect("scheduler poisoned");
@@ -503,6 +516,7 @@ impl PhasePipeline {
                     weight: batch.dock_weights[entry],
                     ready_v_s: submitted_v_s,
                     class,
+                    trace: batch.entry_traces.get(entry).copied(),
                 },
             );
         }
@@ -826,6 +840,7 @@ fn worker_loop(shared: &Shared, device_index: usize) {
             tags.batch_seq = Some(item.batch_slot as u64);
             tags.class = item.class;
             tags.probe = Some(item.entry as u32);
+            tags.trace = item.trace;
             if item.phase == Phase::Minimize {
                 tags.pose_range = Some((item.pose_range.start as u32, item.pose_range.end as u32));
             }
@@ -902,6 +917,7 @@ fn worker_loop(shared: &Shared, device_index: usize) {
                         weight,
                         ready_v_s: completion_v,
                         class: item.class,
+                        trace: item.trace,
                     },
                 );
             }
@@ -996,6 +1012,7 @@ mod tests {
         pipeline.submit(
             PhasedBatch {
                 label: Default::default(),
+                entry_traces: Vec::new(),
                 priority,
                 entries,
                 dock_weights: vec![1.0; entries],
@@ -1088,6 +1105,7 @@ mod tests {
         let handle = pipeline.submit(
             PhasedBatch {
                 label: Default::default(),
+                entry_traces: Vec::new(),
                 priority: 0,
                 entries: 2,
                 dock_weights: vec![1.0; 2],
@@ -1151,6 +1169,7 @@ mod tests {
         let handle = pipeline.submit(
             PhasedBatch {
                 label: Default::default(),
+                entry_traces: Vec::new(),
                 priority: 0,
                 entries: 1,
                 dock_weights: vec![1.0],
@@ -1182,6 +1201,7 @@ mod tests {
         let handle = pipeline.submit(
             PhasedBatch {
                 label: Default::default(),
+                entry_traces: Vec::new(),
                 priority: 0,
                 entries: 1,
                 dock_weights: vec![1.0],
@@ -1217,6 +1237,7 @@ mod tests {
         let handle = pipeline.submit(
             PhasedBatch {
                 label: Default::default(),
+                entry_traces: Vec::new(),
                 priority: 0,
                 entries: 6,
                 dock_weights: vec![1.0; 6],
@@ -1231,6 +1252,7 @@ mod tests {
             pipeline.submit(
                 PhasedBatch {
                     label: Default::default(),
+                    entry_traces: Vec::new(),
                     priority: 0,
                     entries: 1,
                     dock_weights: vec![1.0],
@@ -1262,6 +1284,76 @@ mod tests {
         assert!(
             (total_batches - pool_total).abs() < 1e-12,
             "batch-scoped transfers {total_batches} != pool total {pool_total}"
+        );
+    }
+
+    #[test]
+    fn entry_traces_flow_onto_item_spans_and_children() {
+        let pool = Arc::new(DevicePool::tesla(2));
+        let recorder = Arc::new(ftmap_trace::Recorder::new());
+        let pipeline = PhasePipeline::with_trace(pool, Arc::clone(&recorder) as Arc<dyn TraceSink>);
+        let exec = Arc::new(TestExec::new(3, 2));
+        let handle = pipeline.submit(
+            PhasedBatch {
+                label: Default::default(),
+                entry_traces: vec![100, 101, 102],
+                priority: 0,
+                entries: 3,
+                dock_weights: vec![1.0; 3],
+                exec: Arc::clone(&exec) as Arc<dyn PhasedExec>,
+            },
+            None,
+        );
+        handle.wait();
+        pipeline.shutdown();
+        let events = recorder.events();
+        for trace_id in [100u64, 101, 102] {
+            let docks: Vec<_> = events
+                .iter()
+                .filter(|e| e.name == "dock" && e.tags.trace == Some(trace_id))
+                .collect();
+            assert_eq!(docks.len(), 1, "one dock span per traced entry");
+            let minimizes: Vec<_> = events
+                .iter()
+                .filter(|e| e.name == "minimize" && e.tags.trace == Some(trace_id))
+                .collect();
+            assert_eq!(minimizes.len(), 2, "minimize items inherit the dock's trace id");
+            // Anchored children (transfers) inherit the scope tags too.
+            assert!(events
+                .iter()
+                .any(|e| e.cat == Category::Transfer && e.tags.trace == Some(trace_id)));
+            // The dependency edge survives in the tags: each minimize's
+            // ready_v_s is its dock's completion instant.
+            let dock_end = docks[0].end_s();
+            for minimize in minimizes {
+                let ready = minimize
+                    .tags
+                    .nums
+                    .iter()
+                    .find(|(k, _)| *k == "ready_v_s")
+                    .map(|(_, v)| *v)
+                    .expect("minimize spans carry ready_v_s");
+                assert!((ready - dock_end).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "entry_traces must be empty or cover every entry")]
+    fn partial_entry_traces_are_rejected() {
+        let pool = Arc::new(DevicePool::tesla(1));
+        let pipeline = PhasePipeline::new(pool);
+        let exec = Arc::new(TestExec::new(2, 1));
+        pipeline.submit(
+            PhasedBatch {
+                label: Default::default(),
+                entry_traces: vec![1],
+                priority: 0,
+                entries: 2,
+                dock_weights: vec![1.0; 2],
+                exec: Arc::clone(&exec) as Arc<dyn PhasedExec>,
+            },
+            None,
         );
     }
 }

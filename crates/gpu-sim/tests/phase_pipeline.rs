@@ -76,6 +76,7 @@ proptest! {
                 pipeline.submit(
                     PhasedBatch {
                         label: Default::default(),
+                        entry_traces: Vec::new(),
                         // Alternate urgency so overtaking paths are exercised.
                         priority: (i % 2) as u32,
                         entries,

@@ -10,6 +10,12 @@
 //! submit→span lifecycle, and the admission queue's admit/batch-form/resolve
 //! edges plus a queue-depth counter series.
 //!
+//! On top of the raw timeline this run exercises the request-centric layers:
+//! every job's trace id is threaded through admit → batch-form → scheduler
+//! items → resolve, so the export carries per-request **critical-path flow
+//! arrows**, the console gets each request's exact latency breakdown, and the
+//! configured SLOs are evaluated as burn rates into `ServeStats::slo`.
+//!
 //! Run with: `cargo run --release --example trace_mapping`
 
 use ftmap::prelude::*;
@@ -25,10 +31,13 @@ fn main() {
 
     let recorder = Arc::new(Recorder::new());
     let pool = Arc::new(DevicePool::tesla(2));
-    let service = BatchMappingService::with_trace(
+    let service = BatchMappingService::with_observability(
         Arc::clone(&pool),
         ServeConfig { max_batch_jobs: 2, ..ServeConfig::default() },
-        Arc::clone(&recorder) as Arc<dyn TraceSink>,
+        Observability::trace(Arc::clone(&recorder) as Arc<dyn TraceSink>).with_slos(vec![
+            SloSpec::new("interactive", 0.1, 0.99),
+            SloSpec::new("bulk", 1.0, 0.95),
+        ]),
     );
 
     // A warm stream: several bulk jobs against one receptor (grids upload
@@ -57,9 +66,13 @@ fn main() {
     }
     let stats = service.shutdown();
 
-    // Resolve anchored children onto the absolute timeline and export.
+    // Resolve anchored children onto the absolute timeline, reassemble the
+    // per-request causal trees, and export with critical-path flow arrows.
     let events = recorder.events();
-    let json = export_chrome_trace(&events);
+    let trees = build_request_trees(&events);
+    let analyses = analyze_all(&trees);
+    let flows: Vec<_> = analyses.iter().map(|a| a.flow()).collect();
+    let json = export_chrome_trace_with_flows(&events, &flows);
     std::fs::write("trace.json", &json).expect("write trace.json");
 
     let spans = events.iter().filter(|e| !e.is_instant()).count();
@@ -99,6 +112,44 @@ fn main() {
             .sum();
         println!("device {device}: {:.3} ms of traced item spans", 1e3 * busy);
         assert!(busy > 0.0);
+    }
+
+    // Request-centric view: one causal tree per submitted job, each with an
+    // exactly-summing latency breakdown and a critical path in the export.
+    assert_eq!(trees.len(), handles.len(), "one causal tree per job");
+    assert_eq!(analyses.len(), handles.len(), "every tree analyzes");
+    println!("\nslowest requests (exact breakdown, modeled seconds):");
+    for analysis in analyses.iter().take(3) {
+        let sum = analysis.breakdown.total_s();
+        assert!(
+            (sum - analysis.latency_s).abs() < 1e-9,
+            "breakdown must sum to the request latency"
+        );
+        println!(
+            "  trace {} ({}) latency {:.6}s:",
+            analysis.trace_id,
+            analysis.class.unwrap_or("?"),
+            analysis.latency_s
+        );
+        for (name, value) in analysis.breakdown.segments() {
+            if value > 0.0 {
+                println!("    {name:<22} {value:.6}s");
+            }
+        }
+    }
+
+    println!("\nSLO burn rates (multi-window):");
+    for status in &stats.slo.classes {
+        println!(
+            "  {}: {} of requests ≤ {:.3}s — {} samples, burn long {:.2} / short {:.2} => {}",
+            status.spec.class,
+            status.spec.objective,
+            status.spec.target_s,
+            status.samples,
+            status.burn_long,
+            status.burn_short,
+            status.state.as_str(),
+        );
     }
 
     println!("\nmetrics snapshot (Prometheus exposition):");

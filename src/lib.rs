@@ -56,9 +56,13 @@ pub mod prelude {
     };
     pub use ftmap_serve::{
         BatchMappingService, DispatchMode, JobHandle, JobStatus, LatencyClass, MappingRequest,
-        ServeConfig,
+        Observability, ServeConfig,
     };
-    pub use ftmap_trace::{export_chrome_trace, MetricsSnapshot, Recorder, TraceSink};
+    pub use ftmap_trace::{
+        analyze, analyze_all, build_request_trees, export_chrome_trace,
+        export_chrome_trace_with_flows, AlertState, FlightRecorder, MetricsSnapshot, Recorder,
+        RequestTrace, SloReport, SloSpec, TraceSink,
+    };
     pub use gpu_sim::{
         BackendSelect, Device, DevicePool, DeviceSpec, ExecutionBackend, KernelLaunch, ShardQueue,
         StatsLedger, Stream,
