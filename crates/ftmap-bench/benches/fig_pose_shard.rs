@@ -75,6 +75,8 @@ fn assert_identical(a: &MappingResult, b: &MappingResult, label: &str) {
     }
 }
 
+// lint-allow(justified-allows): the scenario runner threads every fixture
+// through one call; a params struct would be built once and read once.
 #[allow(clippy::too_many_arguments)]
 fn scenario(
     label: &'static str,

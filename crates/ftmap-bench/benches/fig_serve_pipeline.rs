@@ -303,6 +303,8 @@ fn main() {
     );
 }
 
+// lint-allow(justified-allows): the JSON row simply has this many fields;
+// a one-use builder struct would double the code for a bench formatter.
 #[allow(clippy::too_many_arguments)]
 fn format_json(
     n_bulk: usize,

@@ -11,6 +11,7 @@
 //! which changes nothing, where the crossovers sit.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(clippy::all)]
 
 use ftmap_energy::gpu::{GpuMinimizationEngine, PairTerm};

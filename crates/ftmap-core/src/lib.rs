@@ -17,6 +17,7 @@
 //! that regenerates Fig. 2(a) and the overall §V.C speedup.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(clippy::all)]
 
 pub mod cluster;

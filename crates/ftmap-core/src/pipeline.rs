@@ -24,12 +24,11 @@ use ftmap_energy::minimize::{MinimizationConfig, Minimizer};
 use ftmap_math::{RotationSet, Vec3};
 use ftmap_molecule::{Complex, ForceField, Probe, ProbeLibrary, ProbeType, SyntheticProtein};
 use gpu_sim::sched::{pose_blocks, DevicePool, ShardQueue, WorkItem};
-use gpu_sim::{BackendSelect, Device, ExecutionBackend};
+use gpu_sim::{wall_timed, BackendSelect, Device, ExecutionBackend};
 use piper_dock::{Docking, DockingConfig, DockingRun};
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Whether the pipeline uses the original serial engines, the accelerated ones,
 /// or the accelerated ones sharded over a device pool.
@@ -581,14 +580,13 @@ impl FtMapPipeline {
     /// (upload charged on first sighting only).
     pub fn dock_probe_shard(&self, probe: &Probe, device: &Arc<Device>) -> DockedProbe {
         let mut profile = MappingProfile::default();
-        let t0 = Instant::now();
         let docking = Docking::from_grids(
             Arc::clone(&self.receptor),
             self.config.docking.clone(),
             Arc::clone(device),
         );
-        let run = docking.run(probe);
-        profile.docking_wall_s += t0.elapsed().as_secs_f64();
+        let (run, dock_wall_s) = wall_timed(|| docking.run(probe));
+        profile.docking_wall_s += dock_wall_s;
         profile.docking_modeled_s += run.modeled.total();
         // Pure kernel time for the stream model: the run reports how much
         // transfer time it folded into its modeled steps, so those seconds are
@@ -631,9 +629,8 @@ impl FtMapPipeline {
             }
             let mut complex = Complex::new(&self.protein, &posed_probe);
 
-            let t1 = Instant::now();
-            let result = minimizer.minimize(&mut complex, device);
-            profile.minimization_wall_s += t1.elapsed().as_secs_f64();
+            let (result, minimize_wall_s) = wall_timed(|| minimizer.minimize(&mut complex, device));
+            profile.minimization_wall_s += minimize_wall_s;
             let modeled_s = match self.config.mode {
                 PipelineMode::Accelerated | PipelineMode::Sharded { .. } => {
                     result.modeled_kernel_total_s()

@@ -9,8 +9,8 @@
 use crate::terms;
 use ftmap_math::{Real, Vec3};
 use ftmap_molecule::{Complex, ForceField, NeighborList};
+use gpu_sim::wall_timed;
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// Energy of one conformation, split by term (the decomposition of Equation 3).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -95,101 +95,107 @@ impl Evaluator {
         let mut breakdown = EnergyBreakdown::default();
 
         // --- Electrostatics: Born self term per atom, ACE pair corrections and GB pairs.
-        let t0 = Instant::now();
-        let mut elec = 0.0;
-        for (i, atom) in complex.atoms.iter().enumerate() {
-            let e = terms::born_self_energy(atom, &self.ff);
-            atom_energies[i] += e;
-            elec += e;
-        }
-        for (i, j) in neighbors.iter_pairs() {
-            let ai = &complex.atoms[i];
-            let aj = &complex.atoms[j];
-            let r = ai.position.distance(aj.position);
+        let (elec, elec_wall_s) = wall_timed(|| {
+            let mut elec = 0.0;
+            for (i, atom) in complex.atoms.iter().enumerate() {
+                let e = terms::born_self_energy(atom, &self.ff);
+                atom_energies[i] += e;
+                elec += e;
+            }
+            for (i, j) in neighbors.iter_pairs() {
+                let ai = &complex.atoms[i];
+                let aj = &complex.atoms[j];
+                let r = ai.position.distance(aj.position);
 
-            // ACE pairwise self-energy corrections, both directions (E_ik and E_ki).
-            let (e_ik, d_ik) = terms::ace_pair_self_energy(ai, aj, r, &self.ff);
-            let (e_ki, d_ki) = terms::ace_pair_self_energy(aj, ai, r, &self.ff);
-            // GB pairwise interaction, shared half-and-half between the two atoms.
-            let (e_gb, d_gb) = terms::gb_pair_energy(ai, aj, r, &self.ff);
+                // ACE pairwise self-energy corrections, both directions (E_ik and E_ki).
+                let (e_ik, d_ik) = terms::ace_pair_self_energy(ai, aj, r, &self.ff);
+                let (e_ki, d_ki) = terms::ace_pair_self_energy(aj, ai, r, &self.ff);
+                // GB pairwise interaction, shared half-and-half between the two atoms.
+                let (e_gb, d_gb) = terms::gb_pair_energy(ai, aj, r, &self.ff);
 
-            atom_energies[i] += e_ik + 0.5 * e_gb;
-            atom_energies[j] += e_ki + 0.5 * e_gb;
-            elec += e_ik + e_ki + e_gb;
+                atom_energies[i] += e_ik + 0.5 * e_gb;
+                atom_energies[j] += e_ki + 0.5 * e_gb;
+                elec += e_ik + e_ki + e_gb;
 
-            let de_dr = d_ik + d_ki + d_gb;
-            let f = terms::radial_force(ai.position, aj.position, de_dr);
-            forces[i] += f;
-            forces[j] -= f;
-        }
+                let de_dr = d_ik + d_ki + d_gb;
+                let f = terms::radial_force(ai.position, aj.position, de_dr);
+                forces[i] += f;
+                forces[j] -= f;
+            }
+            elec
+        });
         breakdown.electrostatics = elec;
-        breakdown.elec_time_s = t0.elapsed().as_secs_f64();
+        breakdown.elec_time_s = elec_wall_s;
 
         // --- van der Waals over the same pairs.
-        let t1 = Instant::now();
-        let mut vdw = 0.0;
-        for (i, j) in neighbors.iter_pairs() {
-            let ai = &complex.atoms[i];
-            let aj = &complex.atoms[j];
-            let r = ai.position.distance(aj.position);
-            let (e, de_dr) = terms::vdw_pair_energy(ai, aj, r, &self.ff);
-            atom_energies[i] += 0.5 * e;
-            atom_energies[j] += 0.5 * e;
-            vdw += e;
-            let f = terms::radial_force(ai.position, aj.position, de_dr);
-            forces[i] += f;
-            forces[j] -= f;
-        }
+        let (vdw, vdw_wall_s) = wall_timed(|| {
+            let mut vdw = 0.0;
+            for (i, j) in neighbors.iter_pairs() {
+                let ai = &complex.atoms[i];
+                let aj = &complex.atoms[j];
+                let r = ai.position.distance(aj.position);
+                let (e, de_dr) = terms::vdw_pair_energy(ai, aj, r, &self.ff);
+                atom_energies[i] += 0.5 * e;
+                atom_energies[j] += 0.5 * e;
+                vdw += e;
+                let f = terms::radial_force(ai.position, aj.position, de_dr);
+                forces[i] += f;
+                forces[j] -= f;
+            }
+            vdw
+        });
         breakdown.vdw = vdw;
-        breakdown.vdw_time_s = t1.elapsed().as_secs_f64();
+        breakdown.vdw_time_s = vdw_wall_s;
 
         // --- Bonded terms (left on the host in the paper as well).
         if !include_bonded {
             return Evaluation { atom_energies, forces, breakdown };
         }
-        let t2 = Instant::now();
-        let mut bonded = 0.0;
-        for bond in complex.topology.bonds() {
-            let pi = complex.atoms[bond.i].position;
-            let pj = complex.atoms[bond.j].position;
-            let r = pi.distance(pj);
-            let (e, de_dr) = terms::bond_energy(r, &self.ff);
-            bonded += e;
-            let f = terms::radial_force(pi, pj, de_dr);
-            forces[bond.i] += f;
-            forces[bond.j] -= f;
-        }
-        for angle in complex.topology.angles() {
-            let (e, _) = terms::angle_energy(
-                complex.atoms[angle.i].position,
-                complex.atoms[angle.j].position,
-                complex.atoms[angle.k].position,
-                &self.ff,
-            );
-            bonded += e;
-        }
-        for torsion in complex.topology.torsions() {
-            let (e, _) = terms::torsion_energy(
-                complex.atoms[torsion.i].position,
-                complex.atoms[torsion.j].position,
-                complex.atoms[torsion.k].position,
-                complex.atoms[torsion.l].position,
-                &self.ff,
-            );
-            bonded += e;
-        }
-        for improper in complex.topology.impropers() {
-            let (e, _) = terms::improper_energy(
-                complex.atoms[improper.i].position,
-                complex.atoms[improper.j].position,
-                complex.atoms[improper.k].position,
-                complex.atoms[improper.l].position,
-                &self.ff,
-            );
-            bonded += e;
-        }
+        let (bonded, bonded_wall_s) = wall_timed(|| {
+            let mut bonded = 0.0;
+            for bond in complex.topology.bonds() {
+                let pi = complex.atoms[bond.i].position;
+                let pj = complex.atoms[bond.j].position;
+                let r = pi.distance(pj);
+                let (e, de_dr) = terms::bond_energy(r, &self.ff);
+                bonded += e;
+                let f = terms::radial_force(pi, pj, de_dr);
+                forces[bond.i] += f;
+                forces[bond.j] -= f;
+            }
+            for angle in complex.topology.angles() {
+                let (e, _) = terms::angle_energy(
+                    complex.atoms[angle.i].position,
+                    complex.atoms[angle.j].position,
+                    complex.atoms[angle.k].position,
+                    &self.ff,
+                );
+                bonded += e;
+            }
+            for torsion in complex.topology.torsions() {
+                let (e, _) = terms::torsion_energy(
+                    complex.atoms[torsion.i].position,
+                    complex.atoms[torsion.j].position,
+                    complex.atoms[torsion.k].position,
+                    complex.atoms[torsion.l].position,
+                    &self.ff,
+                );
+                bonded += e;
+            }
+            for improper in complex.topology.impropers() {
+                let (e, _) = terms::improper_energy(
+                    complex.atoms[improper.i].position,
+                    complex.atoms[improper.j].position,
+                    complex.atoms[improper.k].position,
+                    complex.atoms[improper.l].position,
+                    &self.ff,
+                );
+                bonded += e;
+            }
+            bonded
+        });
         breakdown.bonded = bonded;
-        breakdown.bonded_time_s = t2.elapsed().as_secs_f64();
+        breakdown.bonded_time_s = bonded_wall_s;
 
         Evaluation { atom_energies, forces, breakdown }
     }

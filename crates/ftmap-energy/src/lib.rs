@@ -24,6 +24,7 @@
 //!   per-phase profile.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(clippy::all)]
 
 pub mod evaluator;

@@ -12,9 +12,8 @@ use crate::evaluator::{EnergyBreakdown, Evaluator};
 use crate::gpu::GpuMinimizationEngine;
 use ftmap_math::{Real, Vec3};
 use ftmap_molecule::{Complex, ForceField, NeighborList};
-use gpu_sim::{BackendSelect, Device, ExecutionBackend};
+use gpu_sim::{wall_timed, BackendSelect, Device, ExecutionBackend};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// Which engine evaluates energies and forces each iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -161,9 +160,8 @@ impl Minimizer {
         let mut kernel_times = (0.0, 0.0, 0.0);
 
         // Evaluate the starting energy (bonded terms always from the host evaluator).
-        let t0 = Instant::now();
-        let initial_eval = evaluator.evaluate(complex, &neighbors);
-        eval_time += t0.elapsed().as_secs_f64();
+        let (initial_eval, initial_wall_s) = wall_timed(|| evaluator.evaluate(complex, &neighbors));
+        eval_time += initial_wall_s;
         let initial_energy = initial_eval.breakdown.total();
         let mut current_energy = initial_energy;
         let mut step = self.config.initial_step;
@@ -182,53 +180,57 @@ impl Minimizer {
             }
 
             // Energy + force evaluation.
-            let t_eval = Instant::now();
-            let forces: Vec<Vec3> = match (&self.config.path, gpu_engine.as_ref()) {
-                (EvaluationPath::Gpu, Some(engine)) => {
-                    let result = engine.evaluate(complex);
-                    kernel_times.0 += result.self_energy_stats().modeled_time_s;
-                    kernel_times.1 += result.pairwise_vdw_stats().modeled_time_s;
-                    kernel_times.2 += result.force_update_stats().modeled_time_s;
-                    result.forces
+            let (forces, forces_wall_s) = wall_timed(|| -> Vec<Vec3> {
+                match (&self.config.path, gpu_engine.as_mut()) {
+                    (EvaluationPath::Gpu, Some(engine)) => {
+                        let result = engine.evaluate(complex);
+                        kernel_times.0 += result.self_energy_stats().modeled_time_s;
+                        kernel_times.1 += result.pairwise_vdw_stats().modeled_time_s;
+                        kernel_times.2 += result.force_update_stats().modeled_time_s;
+                        result.forces
+                    }
+                    _ => evaluator.evaluate(complex, &neighbors).forces,
                 }
-                _ => evaluator.evaluate(complex, &neighbors).forces,
-            };
-            eval_time += t_eval.elapsed().as_secs_f64();
+            });
+            eval_time += forces_wall_s;
 
             // Optimization move (host): steepest descent on the mobile atoms with a
             // backtracking step-size control.
-            let t_update = Instant::now();
-            let mut trial_positions = complex.positions();
-            for (i, pos) in trial_positions.iter_mut().enumerate() {
-                if complex.is_mobile(i) {
-                    *pos += forces[i] * step;
+            let (saved_positions, move_wall_s) = wall_timed(|| {
+                let mut trial_positions = complex.positions();
+                for (i, pos) in trial_positions.iter_mut().enumerate() {
+                    if complex.is_mobile(i) {
+                        *pos += forces[i] * step;
+                    }
                 }
-            }
-            let saved_positions = complex.positions();
-            complex.set_positions(&trial_positions);
-            update_time += t_update.elapsed().as_secs_f64();
+                let saved_positions = complex.positions();
+                complex.set_positions(&trial_positions);
+                saved_positions
+            });
+            update_time += move_wall_s;
 
-            let t_eval2 = Instant::now();
-            let trial_energy = evaluator.evaluate(complex, &neighbors).breakdown.total();
-            eval_time += t_eval2.elapsed().as_secs_f64();
+            let (trial_energy, trial_wall_s) =
+                wall_timed(|| evaluator.evaluate(complex, &neighbors).breakdown.total());
+            eval_time += trial_wall_s;
 
-            let t_update2 = Instant::now();
-            if trial_energy <= current_energy {
-                let delta = current_energy - trial_energy;
-                current_energy = trial_energy;
-                step = (step * 1.2).min(0.05);
-                if delta < self.config.energy_tolerance {
-                    converged = true;
+            let ((), accept_wall_s) = wall_timed(|| {
+                if trial_energy <= current_energy {
+                    let delta = current_energy - trial_energy;
+                    current_energy = trial_energy;
+                    step = (step * 1.2).min(0.05);
+                    if delta < self.config.energy_tolerance {
+                        converged = true;
+                    }
+                } else {
+                    // Reject the step, shrink and retry next iteration.
+                    complex.set_positions(&saved_positions);
+                    step *= 0.5;
+                    if step < 1e-9 {
+                        converged = true;
+                    }
                 }
-            } else {
-                // Reject the step, shrink and retry next iteration.
-                complex.set_positions(&saved_positions);
-                step *= 0.5;
-                if step < 1e-9 {
-                    converged = true;
-                }
-            }
-            update_time += t_update2.elapsed().as_secs_f64();
+            });
+            update_time += accept_wall_s;
 
             if converged {
                 break;

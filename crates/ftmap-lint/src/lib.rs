@@ -1,0 +1,23 @@
+//! # ftmap-lint
+//!
+//! Project-invariant static analyzer for the ftmap-rs workspace, run as a CI
+//! gate (`cargo run --release --bin ftmap-lint`).
+//!
+//! The workspace's architecture rests on invariants no compiler checks: the
+//! timeline is *modeled* (wall-clock reads are confined to the profiling
+//! layer), kernel launches and transfer accounting go through `gpu-sim`'s
+//! audited entry points, and the scheduler/serve hot paths fail through
+//! typed poison channels instead of unwinding. This crate enforces those
+//! invariants with a dependency-free Rust lexer ([`lexer`]) feeding a
+//! token-level rule engine ([`rules`]) — see [`rules::RULES`] for the
+//! catalog and the README's *Correctness tooling* section for the
+//! suppression format.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+#![warn(clippy::all)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{lint_source, lint_workspace, Diagnostic, RuleInfo, RULES};

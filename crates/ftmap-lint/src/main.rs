@@ -1,0 +1,77 @@
+//! CI entry point: lint the workspace, print `path:line: rule: message`
+//! diagnostics, exit 1 on any violation.
+//!
+//! ```text
+//! ftmap-lint [--root <dir>] [--list-rules]
+//! ```
+//!
+//! With no `--root` the workspace root is auto-detected: the manifest dir's
+//! grandparent when running via `cargo run -p ftmap-lint` (the crate lives
+//! at `crates/ftmap-lint`), else the current directory.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+#![warn(clippy::all)]
+
+use ftmap_lint::{lint_workspace, RULES};
+use std::path::PathBuf;
+
+fn workspace_root(explicit: Option<PathBuf>) -> PathBuf {
+    if let Some(root) = explicit {
+        return root;
+    }
+    // crates/ftmap-lint/../.. == the workspace root.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    if let Some(root) = manifest.parent().and_then(|p| p.parent()) {
+        if root.join("Cargo.toml").is_file() {
+            return root.to_path_buf();
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut root = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list-rules" => {
+                for rule in RULES {
+                    println!("{}: {}", rule.name, rule.summary);
+                }
+                return;
+            }
+            "--root" => {
+                root = args.next().map(PathBuf::from);
+                if root.is_none() {
+                    eprintln!("ftmap-lint: --root needs a path");
+                    std::process::exit(2);
+                }
+            }
+            other => {
+                eprintln!("ftmap-lint: unknown argument `{other}`");
+                eprintln!("usage: ftmap-lint [--root <dir>] [--list-rules]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let root = workspace_root(root);
+    let (diags, files) = match lint_workspace(&root) {
+        Ok(out) => out,
+        Err(err) => {
+            eprintln!("ftmap-lint: cannot scan {}: {err}", root.display());
+            std::process::exit(2);
+        }
+    };
+
+    for diag in &diags {
+        println!("{diag}");
+    }
+    if diags.is_empty() {
+        eprintln!("ftmap-lint: clean ({files} files, {} rules)", RULES.len());
+    } else {
+        eprintln!("ftmap-lint: {} violation(s) across {files} files", diags.len());
+        std::process::exit(1);
+    }
+}

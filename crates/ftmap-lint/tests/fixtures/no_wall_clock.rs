@@ -1,0 +1,32 @@
+// Fixture: seeded `no-wall-clock` violations. Never compiled — lexed by the
+// rule tests with a modeled-code path and with an allowlisted path.
+use std::time::Instant; // line 4: violation (Instant)
+
+fn measure() -> f64 {
+    let start = Instant::now(); // line 7: violation (Instant)
+    work();
+    start.elapsed().as_secs_f64()
+}
+
+fn stamp() -> u64 {
+    let t = std::time::SystemTime::now(); // line 13: violation (SystemTime)
+    0
+}
+
+fn fine() {
+    // A comment naming Instant::now() is not a violation.
+    let s = "Instant::now()"; // string content is not a violation
+    let r = r#"SystemTime in a raw string"#;
+    // lint-allow(no-wall-clock): suppressed on purpose for the fixture.
+    let t0 = Instant::now(); // line 22: suppressed
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant; // test region: skipped
+
+    #[test]
+    fn wall_time_in_tests_is_fine() {
+        let _ = Instant::now();
+    }
+}

@@ -1,0 +1,44 @@
+// Fixture: seeded `no-panic-in-workers` violations, linted under a
+// scheduler hot-path pseudo-path. Never compiled.
+use std::sync::Mutex;
+
+fn worker_body(state: &Mutex<Vec<u64>>) -> u64 {
+    let guard = state.lock().unwrap(); // line 6: violation (.unwrap)
+    let first = guard.first().expect("non-empty"); // line 7: violation (.expect)
+    if *first == 0 {
+        panic!("zero item"); // line 9: violation (panic!)
+    }
+    match *first {
+        1 => todo!(), // line 12: violation (todo!)
+        2 => unimplemented!(), // line 13: violation (unimplemented!)
+        3 => unreachable!(), // line 14: violation (unreachable!)
+        n => n,
+    }
+}
+
+fn typed_body(state: &Mutex<Vec<u64>>) -> Option<u64> {
+    // The sanctioned shapes: poison-tolerant helpers and typed options.
+    let guard = gpu_sim::sync::locked(state);
+    let value = guard.first().copied();
+    // `assert!` with a message is the documented precondition style:
+    assert!(!guard.is_empty(), "submit() admits no empty batches");
+    // unwrap_or / unwrap_or_else are totally fine (not `.unwrap()`):
+    let fallback = value.unwrap_or(0);
+    let lazy = value.unwrap_or_else(|| 1);
+    // Mentioning .unwrap() or panic! in a comment or string is fine.
+    let doc = "call .unwrap() and panic! freely in prose";
+    // lint-allow(no-panic-in-workers): the fixture's justified loud failure.
+    let loud = value.expect("stranded batch — documented failure"); // line 31: suppressed
+    Some(fallback + lazy + loud)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let r: Result<u32, ()> = Ok(2);
+        r.expect("fine in tests");
+    }
+}

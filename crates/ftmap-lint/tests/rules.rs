@@ -1,0 +1,167 @@
+//! Per-rule fixture tests: every rule catches its seeded violations, stays
+//! quiet on sanctioned shapes, honors suppressions and test regions — and
+//! the workspace itself lints clean.
+//!
+//! Fixtures live in `tests/fixtures/` (never compiled; the directory is
+//! also excluded from workspace scans). Violation lines are marked with a
+//! trailing `… violation …` comment, so expectations are derived from the
+//! fixture text itself instead of hard-coded line numbers.
+
+use ftmap_lint::{lint_source, lint_workspace, Diagnostic};
+
+const NO_WALL_CLOCK: &str = include_str!("fixtures/no_wall_clock.rs");
+const LAUNCH_LAYER: &str = include_str!("fixtures/launch_layer.rs");
+const TRANSFERS: &str = include_str!("fixtures/transfers.rs");
+const PANICS: &str = include_str!("fixtures/panics.rs");
+const ALLOWS: &str = include_str!("fixtures/allows.rs");
+const CLEAN: &str = include_str!("fixtures/clean.rs");
+
+/// A path every path-scoped rule applies to.
+const HOT_PATH: &str = "crates/gpu-sim/src/sched/fixture.rs";
+/// A modeled-code path outside every allowlist.
+const MODELED_PATH: &str = "crates/ftmap-core/src/fixture.rs";
+
+/// Lines whose trailing marker comment declares them violations. `two
+/// violations` marks a line expected to fire twice.
+fn marked_lines(fixture: &str) -> Vec<usize> {
+    let mut lines = Vec::new();
+    for (idx, line) in fixture.lines().enumerate() {
+        if let Some(comment) = line.split("//").nth(1) {
+            // The marker is the colon form (`: violation`, `: two
+            // violations`) so prose mentioning "violations" in fixture
+            // headers does not count.
+            if comment.contains(": violation") || comment.contains(": two violations") {
+                lines.push(idx + 1);
+                if comment.contains("two violations") {
+                    lines.push(idx + 1);
+                }
+            }
+        }
+    }
+    lines
+}
+
+fn diag_lines(diags: &[Diagnostic], rule: &str) -> Vec<usize> {
+    diags
+        .iter()
+        .inspect(|d| assert_eq!(d.rule, rule, "unexpected rule fired: {d}"))
+        .map(|d| d.line)
+        .collect()
+}
+
+#[test]
+fn no_wall_clock_catches_seeded_violations() {
+    let diags = lint_source(MODELED_PATH, NO_WALL_CLOCK);
+    assert_eq!(diag_lines(&diags, "no-wall-clock"), marked_lines(NO_WALL_CLOCK));
+    assert!(diags.iter().all(|d| d.message.contains("wall_timed")));
+}
+
+#[test]
+fn no_wall_clock_allowlists_profiling_layer_and_benches() {
+    for path in [
+        "crates/gpu-sim/src/timing.rs",
+        "crates/gpu-sim/src/device.rs",
+        "crates/ftmap-bench/benches/fig_fixture.rs",
+    ] {
+        assert!(
+            lint_source(path, NO_WALL_CLOCK).is_empty(),
+            "{path} should be allowlisted for wall-clock reads"
+        );
+    }
+}
+
+#[test]
+fn launch_layer_only_catches_seeded_violations() {
+    let diags = lint_source("crates/piper-dock/src/fixture.rs", LAUNCH_LAYER);
+    assert_eq!(diag_lines(&diags, "launch-layer-only"), marked_lines(LAUNCH_LAYER));
+}
+
+#[test]
+fn launch_layer_raw_api_is_free_inside_gpu_sim() {
+    assert!(lint_source("crates/gpu-sim/src/launch.rs", LAUNCH_LAYER).is_empty());
+}
+
+#[test]
+fn accounted_transfers_catches_seeded_violations() {
+    let diags = lint_source(MODELED_PATH, TRANSFERS);
+    assert_eq!(diag_lines(&diags, "accounted-transfers"), marked_lines(TRANSFERS));
+}
+
+#[test]
+fn accounted_transfers_is_free_inside_gpu_sim() {
+    assert!(lint_source("crates/gpu-sim/src/memory.rs", TRANSFERS).is_empty());
+}
+
+#[test]
+fn no_panic_in_workers_catches_seeded_violations() {
+    let diags = lint_source(HOT_PATH, PANICS);
+    assert_eq!(diag_lines(&diags, "no-panic-in-workers"), marked_lines(PANICS));
+    let serve = lint_source("crates/ftmap-serve/src/fixture.rs", PANICS);
+    assert_eq!(serve.len(), diags.len(), "serve hot paths use the same rule scope");
+}
+
+#[test]
+fn no_panic_rule_only_covers_hot_paths() {
+    assert!(
+        lint_source(MODELED_PATH, PANICS).is_empty(),
+        "panic shapes outside sched/serve are not this rule's business"
+    );
+}
+
+#[test]
+fn justified_allows_catches_seeded_violations() {
+    let diags = lint_source(MODELED_PATH, ALLOWS);
+    assert_eq!(diag_lines(&diags, "justified-allows"), marked_lines(ALLOWS));
+}
+
+#[test]
+fn clean_fixture_is_clean_under_the_strictest_path() {
+    let diags = lint_source(HOT_PATH, CLEAN);
+    assert!(diags.is_empty(), "clean fixture produced: {diags:?}");
+}
+
+#[test]
+fn every_fixture_rule_pairing_is_exclusive() {
+    // A fixture seeded for one rule must not trip others under its test
+    // path (guards against rules bleeding into each other's token shapes).
+    for (fixture, path) in [
+        (NO_WALL_CLOCK, MODELED_PATH),
+        (TRANSFERS, MODELED_PATH),
+        (ALLOWS, MODELED_PATH),
+        (PANICS, HOT_PATH),
+    ] {
+        let rules: std::collections::BTreeSet<&str> =
+            lint_source(path, fixture).iter().map(|d| d.rule).collect();
+        assert!(rules.len() <= 1, "fixture tripped multiple rules: {rules:?}");
+    }
+}
+
+#[test]
+fn workspace_lints_clean() {
+    // The same invocation CI gates on: the shipped tree has zero violations.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crate lives at crates/ftmap-lint")
+        .to_path_buf();
+    let (diags, files) = lint_workspace(&root).expect("workspace scan");
+    assert!(files > 50, "scan found only {files} files — wrong root?");
+    assert!(diags.is_empty(), "workspace violations:\n{}", {
+        let mut s = String::new();
+        for d in &diags {
+            s.push_str(&format!("{d}\n"));
+        }
+        s
+    });
+}
+
+#[test]
+fn diagnostics_render_machine_readable() {
+    let diags = lint_source(MODELED_PATH, "use std::time::Instant;\n");
+    assert_eq!(diags.len(), 1);
+    let rendered = diags[0].to_string();
+    assert!(
+        rendered.starts_with("crates/ftmap-core/src/fixture.rs:1: no-wall-clock: "),
+        "got: {rendered}"
+    );
+}

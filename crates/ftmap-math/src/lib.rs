@@ -21,6 +21,7 @@
 //! perf-book-style guidance followed throughout the workspace).
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(clippy::all)]
 
 pub mod complex;

@@ -21,6 +21,7 @@
 //! * [`pdbio`] — minimal PDB-like text I/O so examples can dump and reload structures.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(clippy::all)]
 
 pub mod atom;

@@ -2,6 +2,7 @@
 
 use crate::batcher::LatencyClass;
 use ftmap_core::MappingResult;
+use gpu_sim::sync::{locked, wait_on};
 use gpu_sim::CacheStats;
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -140,27 +141,29 @@ impl JobSlot {
     }
 
     pub(crate) fn set_running(&self) {
-        let mut state = self.state.lock().expect("job slot poisoned");
+        let mut state = locked(&self.state);
         state.status = JobStatus::Running;
     }
 
     pub(crate) fn complete(&self, report: Arc<JobReport>) {
-        let mut state = self.state.lock().expect("job slot poisoned");
+        let mut state = locked(&self.state);
         state.status = JobStatus::Completed;
         state.report = Some(report);
         self.done.notify_all();
     }
 
     fn status(&self) -> JobStatus {
-        self.state.lock().expect("job slot poisoned").status
+        locked(&self.state).status
     }
 
     fn wait(&self) -> Arc<JobReport> {
-        let mut state = self.state.lock().expect("job slot poisoned");
-        while state.report.is_none() {
-            state = self.done.wait(state).expect("job slot poisoned");
+        let mut state = locked(&self.state);
+        loop {
+            if let Some(report) = state.report.as_ref() {
+                return Arc::clone(report);
+            }
+            state = wait_on(&self.done, state);
         }
-        Arc::clone(state.report.as_ref().expect("checked above"))
     }
 }
 

@@ -41,6 +41,7 @@
 //!   phase-overlap savings and batch-scoped transfer seconds.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(clippy::all)]
 
 pub mod batcher;

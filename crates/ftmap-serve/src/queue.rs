@@ -8,6 +8,7 @@
 //! dispatcher waiting on work); the dispatcher drains whole pending runs with
 //! [`JobQueue::drain_wait`] so the batcher sees every compatible job at once.
 
+use gpu_sim::sync::{locked, wait_on};
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
@@ -59,7 +60,7 @@ impl<T> JobQueue<T> {
 
     /// Number of items currently pending.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").items.len()
+        locked(&self.inner).items.len()
     }
 
     /// True when nothing is pending.
@@ -70,7 +71,7 @@ impl<T> JobQueue<T> {
     /// Admits `item`, blocking while the queue is full (backpressure). Returns
     /// the item back if the queue closed while waiting.
     pub fn push(&self, item: T) -> Result<(), SubmitError<T>> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = locked(&self.inner);
         loop {
             if inner.closed {
                 return Err(SubmitError::Closed(item));
@@ -80,7 +81,7 @@ impl<T> JobQueue<T> {
                 self.work.notify_all();
                 return Ok(());
             }
-            inner = self.space.wait(inner).expect("queue poisoned");
+            inner = wait_on(&self.space, inner);
         }
     }
 
@@ -88,7 +89,7 @@ impl<T> JobQueue<T> {
     /// back (the client decides whether to retry, shed, or block via
     /// [`JobQueue::push`]).
     pub fn try_push(&self, item: T) -> Result<(), SubmitError<T>> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = locked(&self.inner);
         if inner.closed {
             return Err(SubmitError::Closed(item));
         }
@@ -104,7 +105,7 @@ impl<T> JobQueue<T> {
     /// Returns `None` once the queue is closed **and** drained — the
     /// dispatcher's termination condition.
     pub fn drain_wait(&self) -> Option<Vec<T>> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = locked(&self.inner);
         loop {
             if !inner.items.is_empty() {
                 let drained: Vec<T> = inner.items.drain(..).collect();
@@ -114,7 +115,7 @@ impl<T> JobQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.work.wait(inner).expect("queue poisoned");
+            inner = wait_on(&self.work, inner);
         }
     }
 
@@ -122,7 +123,7 @@ impl<T> JobQueue<T> {
     /// dispatcher's opportunistic top-up, so jobs that arrived while a batch
     /// ran can join the next compatible batch.
     pub fn drain_now(&self) -> Vec<T> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = locked(&self.inner);
         let drained: Vec<T> = inner.items.drain(..).collect();
         if !drained.is_empty() {
             self.space.notify_all();
@@ -133,7 +134,7 @@ impl<T> JobQueue<T> {
     /// Closes the queue: pending items still drain, new submissions are
     /// refused, and a dispatcher blocked in [`JobQueue::drain_wait`] wakes.
     pub fn close(&self) {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = locked(&self.inner);
         inner.closed = true;
         self.work.notify_all();
         self.space.notify_all();
@@ -141,7 +142,7 @@ impl<T> JobQueue<T> {
 
     /// True once [`JobQueue::close`] has been called.
     pub fn is_closed(&self) -> bool {
-        self.inner.lock().expect("queue poisoned").closed
+        locked(&self.inner).closed
     }
 }
 

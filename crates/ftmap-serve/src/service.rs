@@ -55,6 +55,7 @@ use ftmap_trace::{
 use gpu_sim::sched::{
     BatchLabel, BatchReport, DevicePool, PhasePipeline, PhasedBatch, PhasedExec, ShardQueue,
 };
+use gpu_sim::sync::locked;
 use gpu_sim::{CacheStats, StatsLedger};
 use piper_dock::{Docking, ReceptorGrids};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -409,7 +410,7 @@ impl Shared {
     /// anchor job's request on first sight. Promotes to MRU; evicts LRU past
     /// the cap.
     fn receptor_for(&self, fingerprint: u64, anchor: &Job) -> Arc<ReceptorGrids> {
-        let mut memo = self.grids.lock().expect("grids memo poisoned");
+        let mut memo = locked(&self.grids);
         if let Some(pos) = memo.iter().position(|(key, _)| *key == fingerprint) {
             let entry = memo.remove(pos);
             let grids = Arc::clone(&entry.1);
@@ -427,7 +428,7 @@ impl Shared {
     /// windows never overlap (each event is counted against exactly one
     /// completion), which is what keeps the aggregate exact under pipelining.
     fn take_cache_delta(&self) -> (CacheStats, CacheStats) {
-        let mut mark = self.cache_mark.lock().expect("cache mark poisoned");
+        let mut mark = locked(&self.cache_mark);
         let mut raw = CacheStats::default();
         let mut derived = CacheStats::default();
         for (device, (raw_before, derived_before)) in
@@ -467,7 +468,7 @@ impl Shared {
     fn now_v_s(&self) -> f64 {
         match &self.sched {
             Some(sched) => sched.now_v_s(),
-            None => *self.modeled_clock.lock().expect("modeled clock poisoned"),
+            None => *locked(&self.modeled_clock),
         }
     }
 
@@ -563,7 +564,7 @@ impl Shared {
         let verdict = match (&self.slo, slo_snapshot) {
             (Some(engine), Some(snapshot)) => {
                 let hist = snapshot.histogram(JOB_LATENCY_METRIC, &[("class", class)]);
-                engine.lock().expect("slo engine poisoned").observe(class, latency_job_s, hist)
+                locked(engine).observe(class, latency_job_s, hist)
             }
             _ => SampleVerdict::default(),
         };
@@ -672,7 +673,7 @@ impl Shared {
             }
         }
         let (raw, derived) = {
-            let ledger = self.ledger.lock().expect("ledger poisoned");
+            let ledger = locked(&self.ledger);
             (ledger.cache_stats(), ledger.derived_cache_stats())
         };
         let mut combined = raw;
@@ -861,7 +862,7 @@ impl BatchMappingService {
         let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let admitted_v_s = match &self.shared.sched {
             Some(sched) => sched.now_v_s(),
-            None => *self.shared.modeled_clock.lock().expect("modeled clock poisoned"),
+            None => *locked(&self.shared.modeled_clock),
         };
         Job {
             id,
@@ -877,8 +878,9 @@ impl BatchMappingService {
 
     /// Submits a request, **blocking** while the admission queue is full
     /// (backpressure). Fails only when the service is shutting down.
-    // A refused submission hands the (large) request back by value so the
-    // client can retry or shed without ever cloning a protein.
+    // lint-allow(justified-allows): a refused submission hands the (large)
+    // request back by value so the client can retry or shed without ever
+    // cloning a protein — the big error variant is the point.
     #[allow(clippy::result_large_err)]
     pub fn submit(
         &self,
@@ -899,6 +901,8 @@ impl BatchMappingService {
 
     /// Submits a request without blocking; a full queue refuses and hands the
     /// request back, so the client owns the shedding/retry policy.
+    // lint-allow(justified-allows): same contract as `submit` — the refused
+    // request rides the error variant back to the caller by value.
     #[allow(clippy::result_large_err)]
     pub fn try_submit(
         &self,
@@ -920,7 +924,7 @@ impl BatchMappingService {
     /// A snapshot of the service counters, ledger and latency views.
     pub fn stats(&self) -> ServeStats {
         let (span_modeled_s, cross_batch_overlap_modeled_s, interactive, bulk) = {
-            let book = self.shared.latency.lock().expect("latency book poisoned");
+            let book = locked(&self.shared.latency);
             let (span, overlap) = book.span_stats();
             (
                 span,
@@ -933,9 +937,7 @@ impl BatchMappingService {
         let slo = match &self.shared.slo {
             Some(engine) => {
                 let snapshot = self.shared.metrics.snapshot();
-                let report = engine
-                    .lock()
-                    .expect("slo engine poisoned")
+                let report = locked(engine)
                     .evaluate(|class| snapshot.histogram(JOB_LATENCY_METRIC, &[("class", class)]));
                 report.export_gauges(&self.shared.metrics, "ftmap_serve_slo");
                 report
@@ -946,7 +948,7 @@ impl BatchMappingService {
             jobs_submitted: self.shared.jobs_submitted.load(Ordering::Relaxed),
             jobs_completed: self.shared.jobs_completed.load(Ordering::Relaxed),
             batches_run: self.shared.batches_run.load(Ordering::Relaxed),
-            ledger: self.shared.ledger.lock().expect("ledger poisoned").clone(),
+            ledger: locked(&self.shared.ledger).clone(),
             interactive,
             bulk,
             span_modeled_s,
@@ -1027,7 +1029,13 @@ fn submit_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
     if batch.is_empty() {
         return;
     }
-    let sched = shared.sched.as_ref().expect("pipelined dispatch without a scheduler");
+    // A pipelined service always constructs its scheduler; if a future
+    // configuration path ever violates that, degrade to the barrier
+    // dispatcher (same results, no overlap) instead of panicking the
+    // dispatch thread mid-service.
+    let Some(sched) = shared.sched.as_ref() else {
+        return run_batch(shared, batch);
+    };
     // Flow control: keep at most `max_inflight_batches` on the pool — enough
     // that batch N+1 docks under batch N's minimization, bounded so priority
     // admission stays responsive and memory stays flat.
@@ -1110,7 +1118,7 @@ fn complete_pipelined_batch(
     let (cache_delta, derived_delta) = shared.take_cache_delta();
     let transfer_s = report.transfer_modeled_s();
     {
-        let mut ledger = shared.ledger.lock().expect("ledger poisoned");
+        let mut ledger = locked(&shared.ledger);
         ledger.record_cache(&cache_delta);
         ledger.record_derived_cache(&derived_delta);
         // Batch-scoped bucket: `transfer_s` was measured around exactly this
@@ -1123,7 +1131,7 @@ fn complete_pipelined_batch(
     let admitted_v_s =
         batch.iter().map(|job| job.admitted_v_s).fold(report.submitted_v_s, f64::min);
     let latency_modeled_s = (report.completed_v_s - admitted_v_s).max(0.0);
-    shared.latency.lock().expect("latency book poisoned").record(
+    locked(&shared.latency).record(
         class,
         latency_modeled_s,
         (report.started_v_s, report.completed_v_s),
@@ -1231,7 +1239,7 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
     let (cache_delta, derived_delta) = shared.take_cache_delta();
     let transfer_s = shared.pool.total_transfer_time();
     {
-        let mut ledger = shared.ledger.lock().expect("ledger poisoned");
+        let mut ledger = locked(&shared.ledger);
         ledger.record_cache(&cache_delta);
         ledger.record_derived_cache(&derived_delta);
         ledger.record_transfer_s("serve.batch", transfer_s);
@@ -1241,14 +1249,14 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
     // counts from the earliest job's admission instant (the clock value when
     // it was admitted), so queue wait behind earlier batches is included.
     let (started_modeled_s, completed_modeled_s) = {
-        let mut clock = shared.modeled_clock.lock().expect("modeled clock poisoned");
+        let mut clock = locked(&shared.modeled_clock);
         let started = *clock;
         *clock += makespan_modeled_s;
         (started, *clock)
     };
     let admitted_v_s = batch.iter().map(|job| job.admitted_v_s).fold(started_modeled_s, f64::min);
     let latency_modeled_s = (completed_modeled_s - admitted_v_s).max(0.0);
-    shared.latency.lock().expect("latency book poisoned").record(
+    locked(&shared.latency).record(
         class,
         latency_modeled_s,
         (started_modeled_s, completed_modeled_s),

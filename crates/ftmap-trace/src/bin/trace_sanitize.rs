@@ -1,0 +1,75 @@
+//! Schedule sanitizer for exported `trace.json` files.
+//!
+//! Where `trace_check` validates the Chrome trace-event *schema*, this tool
+//! replays the *schedule* the events describe and checks the scheduler's
+//! causal invariants: dock→minimize happens-before edges, ready-instant
+//! gating, one-item-per-device lanes, duplicate/lost item detection against
+//! batch tallies, pose-range tiling, and single-item transfer attribution.
+//! CI runs it against the `trace_mapping` example's export; it also works on
+//! any trace produced by `Recorder` + `export_chrome_trace`.
+//!
+//! Usage: `cargo run -p ftmap-trace --bin trace_sanitize -- trace.json`
+//!        `cargo run -p ftmap-trace --bin trace_sanitize -- --list-checks`
+//!
+//! Exit status 0 on a causally consistent schedule, 1 on any violation
+//! (each printed as `t=<instant>s: <check>: <detail>`), 2 on usage or
+//! read/parse errors.
+
+use ftmap_trace::import_chrome_trace;
+use ftmap_trace::sanitize::{sanitize, CHECKS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list-checks") {
+        for (name, description) in CHECKS {
+            println!("{name}: {description}");
+        }
+        return;
+    }
+    let path = match args.as_slice() {
+        [] => "trace.json",
+        [path] => path.as_str(),
+        _ => {
+            eprintln!("usage: trace_sanitize [trace.json | --list-checks]");
+            std::process::exit(2);
+        }
+    };
+    let content = match std::fs::read_to_string(path) {
+        Ok(content) => content,
+        Err(err) => {
+            eprintln!("trace_sanitize: cannot read {path}: {err}");
+            std::process::exit(2);
+        }
+    };
+    let events = match import_chrome_trace(&content) {
+        Ok(events) => events,
+        Err(err) => {
+            eprintln!("trace_sanitize: {path}: {err}");
+            std::process::exit(2);
+        }
+    };
+    let report = sanitize(&events);
+    if report.items == 0 {
+        // A trace with no item spans would make every check vacuous; treat
+        // it as a failure so a mis-pointed CI invocation cannot pass silently.
+        eprintln!("trace_sanitize: {path}: no scheduler item spans found — nothing to replay");
+        std::process::exit(1);
+    }
+    for violation in &report.violations {
+        println!("trace_sanitize: {path}: {violation}");
+    }
+    if report.is_clean() {
+        println!(
+            "trace_sanitize: {path} ok — replayed {} items / {} batches / {} transfers across \
+             {} device lanes, {} checks clean",
+            report.items,
+            report.batches,
+            report.transfers,
+            report.devices,
+            CHECKS.len()
+        );
+    } else {
+        eprintln!("trace_sanitize: {path}: {} violation(s)", report.violations.len());
+        std::process::exit(1);
+    }
+}

@@ -30,6 +30,7 @@
 //! metric.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(clippy::all)]
 
 pub mod critical_path;
@@ -39,6 +40,7 @@ pub mod json;
 pub mod metrics;
 pub mod perfetto;
 pub mod recorder;
+pub mod sanitize;
 pub mod scope;
 pub mod sink;
 pub mod slo;
@@ -52,6 +54,7 @@ pub use perfetto::{
     export_chrome_trace, export_chrome_trace_with_flows, import_chrome_trace, Flow,
 };
 pub use recorder::Recorder;
+pub use sanitize::{sanitize, SanitizeReport, ScheduleViolation};
 pub use scope::{hook, ItemScope};
 pub use sink::{noop, NoopSink, TraceSink};
 pub use slo::{

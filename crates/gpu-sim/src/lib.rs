@@ -49,8 +49,10 @@
 //! * [`memory`] — access counters and the host↔device transfer model.
 //! * [`cost`] — the analytic cost model that turns counters into modeled times.
 //! * [`timing`] — wall-clock helpers and the combined [`timing::KernelStats`] report.
+//! * [`sync`] — poison-tolerant lock helpers for the scheduler/serve hot paths.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(clippy::all)]
 
 pub mod backend;
@@ -61,6 +63,7 @@ pub mod launch;
 pub mod memory;
 pub mod residency;
 pub mod sched;
+pub mod sync;
 pub mod timing;
 
 pub use backend::{BackendSelect, ExecutionBackend};
@@ -71,4 +74,5 @@ pub use launch::{KernelLaunch, Staged, StatsLedger};
 pub use memory::{MemoryCounters, Transfer};
 pub use residency::{CacheStats, Fnv1a, Residency, ResidencyCache, ResidentPayload};
 pub use sched::{DevicePool, ShardQueue, Stream};
-pub use timing::{KernelStats, StreamOp, StreamStats};
+pub use sync::{locked, wait_on};
+pub use timing::{wall_timed, KernelStats, StreamOp, StreamStats};

@@ -45,6 +45,7 @@ use crate::device::Device;
 use crate::sched::pool::DevicePool;
 use crate::sched::shard::ShardCtx;
 use crate::sched::stream::Stream;
+use crate::sync::{locked, wait_on};
 use crate::timing::{StreamOp, StreamStats};
 use ftmap_trace::{Category, ItemScope, Tags, TraceEvent, TraceSink, Track};
 use serde::{Deserialize, Serialize};
@@ -228,7 +229,7 @@ impl BatchHandle {
 
     /// True once the batch completed ([`BatchHandle::wait`] will not block).
     pub fn is_completed(&self) -> bool {
-        self.slot.0.lock().expect("batch slot poisoned").report.is_some()
+        locked(&self.slot.0).report.is_some()
     }
 
     /// Blocks until the batch completes, returning its report.
@@ -238,7 +239,7 @@ impl BatchHandle {
     /// (the batch is stranded and would otherwise never resolve).
     pub fn wait(&self) -> BatchReport {
         let (lock, done) = &*self.slot;
-        let mut state = lock.lock().expect("batch slot poisoned");
+        let mut state = locked(lock);
         loop {
             if let Some(report) = &state.report {
                 return report.clone();
@@ -247,9 +248,12 @@ impl BatchHandle {
                 // Release the guard before panicking so the slot mutex stays
                 // usable for other waiters (they will observe `stranded` too).
                 drop(state);
+                // lint-allow(no-panic-in-workers): the documented loud-failure
+                // API for stranded batches — this runs on the *waiter's*
+                // thread, after the worker panic that poisoned the scheduler.
                 panic!("phase-pipeline worker panicked; batch {} is stranded", self.seq);
             }
-            state = done.wait(state).expect("batch slot poisoned");
+            state = wait_on(done, state);
         }
     }
 }
@@ -448,7 +452,7 @@ impl PhasePipeline {
         );
         let slot = new_slot();
         let exec = Arc::clone(&batch.exec);
-        let mut state = self.shared.state.lock().expect("scheduler poisoned");
+        let mut state = locked(&self.shared.state);
         assert!(!state.shutdown, "submit after PhasePipeline::shutdown");
         assert!(
             !state.poisoned,
@@ -482,26 +486,41 @@ impl PhasePipeline {
                 .with_tags(tags),
             );
         }
-        state.batches.insert(
+        let batch_state = BatchState {
             seq,
-            BatchState {
-                seq,
-                priority: batch.priority,
-                outstanding: entries,
-                docks_pending: entries,
-                docks_done: 0,
-                blocks_done: 0,
-                submitted_v_s,
-                started_v_s: f64::INFINITY,
-                completed_v_s: submitted_v_s,
-                streams: (0..self.shared.pool.len())
-                    .map(|_| [Stream::new(), Stream::new()])
-                    .collect(),
-                label: batch.label,
-                slot: Arc::clone(&slot),
-                on_complete,
-            },
-        );
+            priority: batch.priority,
+            outstanding: entries,
+            docks_pending: entries,
+            docks_done: 0,
+            blocks_done: 0,
+            submitted_v_s,
+            started_v_s: f64::INFINITY,
+            completed_v_s: submitted_v_s,
+            streams: (0..self.shared.pool.len()).map(|_| [Stream::new(), Stream::new()]).collect(),
+            label: batch.label,
+            slot: Arc::clone(&slot),
+            on_complete,
+        };
+        // An empty batch completes immediately (no items will ever run), so it
+        // never enters the live-batch table at all.
+        if entries == 0 {
+            drop(state);
+            {
+                // A callback panic here unwinds the *submitting* thread —
+                // loud on its own, but `unfinished` would stay forever
+                // nonzero: poison the scheduler and strand the slot so later
+                // drain()/wait() calls fail instead of hanging.
+                let _poison_guard = PoisonGuard { shared: &self.shared };
+                let strand_guard = StrandGuard::new(&slot);
+                finish_batch(&self.shared, batch_state);
+                strand_guard.disarm();
+            }
+            locked(&self.shared.state).unfinished -= 1;
+            self.shared.settled.notify_all();
+            self.shared.work.notify_all();
+            return BatchHandle { slot, seq };
+        }
+        state.batches.insert(seq, batch_state);
         for entry in 0..entries {
             let order = state.next_order;
             state.next_order += 1;
@@ -520,25 +539,6 @@ impl PhasePipeline {
                 },
             );
         }
-        // An empty batch completes immediately (no items will ever run).
-        if entries == 0 {
-            let batch = state.batches.remove(&seq).expect("just inserted");
-            drop(state);
-            {
-                // A callback panic here unwinds the *submitting* thread —
-                // loud on its own, but `unfinished` would stay forever
-                // nonzero: poison the scheduler and strand the slot so later
-                // drain()/wait() calls fail instead of hanging.
-                let _poison_guard = PoisonGuard { shared: &self.shared };
-                let strand_guard = StrandGuard::new(&slot);
-                finish_batch(&self.shared, batch);
-                strand_guard.disarm();
-            }
-            self.shared.state.lock().expect("scheduler poisoned").unfinished -= 1;
-            self.shared.settled.notify_all();
-            self.shared.work.notify_all();
-            return BatchHandle { slot, seq };
-        }
         drop(state);
         self.shared.work.notify_all();
         BatchHandle { slot, seq }
@@ -551,13 +551,15 @@ impl PhasePipeline {
     /// # Panics
     /// Panics if a scheduler worker panicked (capacity may never free up).
     pub fn wait_capacity(&self, max_inflight: usize) {
-        let mut state = self.shared.state.lock().expect("scheduler poisoned");
+        let mut state = locked(&self.shared.state);
         while state.inflight() >= max_inflight.max(1) {
             if state.poisoned {
-                drop(state); // keep the state mutex unpoisoned for shutdown
+                drop(state); // keep the state mutex held by nobody while panicking
+                             // lint-allow(no-panic-in-workers): documented loud-failure API
+                             // on the caller's thread once the scheduler is poisoned.
                 panic!("phase-pipeline worker panicked; batches are stranded");
             }
-            state = self.shared.settled.wait(state).expect("scheduler poisoned");
+            state = wait_on(&self.shared.settled, state);
         }
     }
 
@@ -567,19 +569,21 @@ impl PhasePipeline {
     /// Panics if a scheduler worker panicked (stranded batches never
     /// complete — hanging here silently would hide the failure).
     pub fn drain(&self) {
-        let mut state = self.shared.state.lock().expect("scheduler poisoned");
+        let mut state = locked(&self.shared.state);
         while !state.all_batches_done() {
             if state.poisoned {
-                drop(state); // keep the state mutex unpoisoned for shutdown
+                drop(state); // keep the state mutex held by nobody while panicking
+                             // lint-allow(no-panic-in-workers): documented loud-failure API
+                             // on the caller's thread once the scheduler is poisoned.
                 panic!("phase-pipeline worker panicked; batches are stranded");
             }
-            state = self.shared.settled.wait(state).expect("scheduler poisoned");
+            state = wait_on(&self.shared.settled, state);
         }
     }
 
     /// Number of batches currently incomplete.
     pub fn inflight(&self) -> usize {
-        self.shared.state.lock().expect("scheduler poisoned").inflight()
+        locked(&self.shared.state).inflight()
     }
 
     /// The scheduler's current virtual instant: the earliest point any
@@ -588,7 +592,7 @@ impl PhasePipeline {
     /// Admission layers stamp requests with this at arrival to measure
     /// modeled queue wait that accrues *before* batch submission.
     pub fn now_v_s(&self) -> f64 {
-        let state = self.shared.state.lock().expect("scheduler poisoned");
+        let state = locked(&self.shared.state);
         state.device_clock.iter().copied().fold(f64::INFINITY, f64::min)
     }
 
@@ -596,7 +600,7 @@ impl PhasePipeline {
     /// After [`PhasePipeline::drain`] this is the modeled time the whole
     /// pipelined run took — the figure barrier dispatch is compared against.
     pub fn makespan_modeled_s(&self) -> f64 {
-        let state = self.shared.state.lock().expect("scheduler poisoned");
+        let state = locked(&self.shared.state);
         state.device_clock.iter().copied().fold(0.0, f64::max)
     }
 
@@ -604,7 +608,7 @@ impl PhasePipeline {
     /// executing items, summed over every batch) — the numerator of a
     /// utilization gauge.
     pub fn device_busy_modeled_s(&self) -> Vec<f64> {
-        let state = self.shared.state.lock().expect("scheduler poisoned");
+        let state = locked(&self.shared.state);
         state.completed.iter().map(|t| t.0).collect()
     }
 
@@ -612,7 +616,7 @@ impl PhasePipeline {
     /// completed. `busy / max(clock)` gives per-device utilization; the
     /// spread of this vector is the pool's load skew.
     pub fn device_clocks_v_s(&self) -> Vec<f64> {
-        let state = self.shared.state.lock().expect("scheduler poisoned");
+        let state = locked(&self.shared.state);
         state.device_clock.clone()
     }
 
@@ -623,15 +627,11 @@ impl PhasePipeline {
 
     fn stop_and_join(&mut self) {
         {
-            // Recover from a poisoned mutex: shutdown runs during Drop (and
-            // so possibly during a panic's cleanup), where a second panic
-            // would abort the process. The explicit `poisoned` flag — not
-            // mutex poisoning — is what guards scheduler invariants.
-            let mut state = match self.shared.state.lock() {
-                Ok(state) => state,
-                Err(recovered) => recovered.into_inner(),
-            };
-            state.shutdown = true;
+            // `locked` recovers from a poisoned mutex: shutdown runs during
+            // Drop (and so possibly during a panic's cleanup), where a second
+            // panic would abort the process. The explicit `poisoned` flag —
+            // not mutex poisoning — is what guards scheduler invariants.
+            locked(&self.shared.state).shutdown = true;
         }
         self.shared.work.notify_all();
         for worker in self.workers.drain(..) {
@@ -703,7 +703,7 @@ fn finish_batch(shared: &Shared, mut batch: BatchState) {
         cb(report.clone());
     }
     let (lock, done) = &*batch.slot;
-    lock.lock().expect("batch slot poisoned").report = Some(report);
+    locked(lock).report = Some(report);
     done.notify_all();
 }
 
@@ -715,10 +715,7 @@ fn poison(state: &mut SchedState) {
     state.poisoned = true;
     for batch in state.batches.values() {
         let (lock, done) = &*batch.slot;
-        match lock.lock() {
-            Ok(mut slot) => slot.stranded = true,
-            Err(poisoned) => poisoned.into_inner().stranded = true,
-        }
+        locked(lock).stranded = true;
         done.notify_all();
     }
     // Every ready item belongs to a now-stranded batch; drop them so the
@@ -754,10 +751,7 @@ impl Drop for StrandGuard {
             return;
         }
         let (lock, done) = &**slot;
-        match lock.lock() {
-            Ok(mut state) => state.stranded = true,
-            Err(poisoned) => poisoned.into_inner().stranded = true,
-        }
+        locked(lock).stranded = true;
         done.notify_all();
     }
 }
@@ -808,8 +802,8 @@ fn worker_loop(shared: &Shared, device_index: usize) {
     let _poison_guard = PoisonGuard { shared };
     loop {
         // --- Claim.
-        let item = {
-            let mut state = shared.state.lock().expect("scheduler poisoned");
+        let claimed = {
+            let mut state = locked(&shared.state);
             loop {
                 if !state.ready.is_empty() && state.may_claim(device_index) {
                     break;
@@ -823,11 +817,13 @@ fn worker_loop(shared: &Shared, device_index: usize) {
                 {
                     return;
                 }
-                state = shared.work.wait(state).expect("scheduler poisoned");
+                state = wait_on(&shared.work, state);
             }
-            let key = *state.ready.keys().next().expect("checked non-empty");
-            state.ready.remove(&key).expect("key just read")
+            state.ready.pop_first().map(|(_key, item)| item)
         };
+        // The wait loop only breaks on a non-empty ready set, but claim
+        // defensively rather than planting an unwrap in the worker body.
+        let Some(item) = claimed else { continue };
 
         // --- Execute outside the lock. The device runs one item at a time
         // (it has exactly one worker), so the snapshot delta is exactly this
@@ -869,7 +865,7 @@ fn worker_loop(shared: &Shared, device_index: usize) {
 
         // --- Account, advance the virtual timeline, unlock dependents.
         let (finished, start_v, actual_s) = {
-            let mut state = shared.state.lock().expect("scheduler poisoned");
+            let mut state = locked(&shared.state);
             let op = {
                 let delta = after.delta_since(&before);
                 StreamOp::new(delta.upload_s, kernel_s, delta.download_s)
@@ -883,7 +879,16 @@ fn worker_loop(shared: &Shared, device_index: usize) {
             tally.1 += item.weight;
             tally.2 += 1;
 
-            let batch = state.batches.get_mut(&batch_slot).expect("batch still live");
+            let Some(batch) = state.batches.get_mut(&batch_slot) else {
+                // A live item's batch has vanished: a scheduler invariant is
+                // broken. Route it through the typed poison path (strand the
+                // remaining batches loudly) instead of panicking mid-lock.
+                poison(&mut state);
+                drop(state);
+                shared.work.notify_all();
+                shared.settled.notify_all();
+                continue;
+            };
             let phase_idx = match item.phase {
                 Phase::Dock => 0,
                 Phase::Minimize => 1,
@@ -951,7 +956,7 @@ fn worker_loop(shared: &Shared, device_index: usize) {
             let strand_guard = StrandGuard::new(&batch.slot);
             finish_batch(shared, batch);
             strand_guard.disarm();
-            shared.state.lock().expect("scheduler poisoned").unfinished -= 1;
+            locked(&shared.state).unfinished -= 1;
             shared.settled.notify_all();
         }
         shared.work.notify_all();

@@ -4,6 +4,7 @@
 use crate::device::Device;
 use crate::sched::pool::DevicePool;
 use crate::sched::stream::Stream;
+use crate::sync::{locked, wait_on};
 use crate::timing::StreamStats;
 use ftmap_trace::{Category, ItemScope, Tags, TraceEvent, TraceSink, Track};
 use parking_lot::Mutex;
@@ -357,7 +358,7 @@ impl<'p> ShardQueue<'p> {
                         // the pool minimum; the minimum-clock worker never
                         // parks, so the queue cannot stall.
                         let (item_index, estimate, start_v) = {
-                            let mut state = claims.lock().expect("claim state poisoned");
+                            let mut state = locked(claims);
                             loop {
                                 if state.next >= n_items {
                                     break;
@@ -366,7 +367,7 @@ impl<'p> ShardQueue<'p> {
                                 {
                                     break;
                                 }
-                                state = turnstile.wait(state).expect("claim state poisoned");
+                                state = wait_on(turnstile, state);
                             }
                             if state.next >= n_items {
                                 turnstile.notify_all();
@@ -384,6 +385,10 @@ impl<'p> ShardQueue<'p> {
                         let item = slots[item_index]
                             .lock()
                             .take()
+                            // lint-allow(no-panic-in-workers): a drained slot
+                            // means the claim cursor handed one index out twice
+                            // — results would be silently wrong, so fail
+                            // loudly; the scope join propagates this by design.
                             .expect("work item claimed twice — claim cursor violated");
                         let ctx = ShardCtx { device, device_index, item_index };
                         let item_tags = if trace.enabled() {
@@ -433,7 +438,7 @@ impl<'p> ShardQueue<'p> {
                         // Replace the claim-time estimate with the item's
                         // actual modeled cost (kernel + transfers).
                         {
-                            let mut state = claims.lock().expect("claim state poisoned");
+                            let mut state = locked(claims);
                             state.vtime[device_index] += actual_s - estimate;
                             let tally = &mut state.completed[device_index];
                             tally.cost += actual_s;
@@ -451,15 +456,25 @@ impl<'p> ShardQueue<'p> {
                 });
             }
         })
+        // lint-allow(no-panic-in-workers): the barrier path's documented
+        // failure mode — a worker panic re-raises on the caller's thread at
+        // the join, instead of leaving partially-filled results behind.
         .expect("shard worker panicked");
 
+        // The join above proved every worker ran to completion, and a worker
+        // only exits its claim loop once the cursor has passed the end, so
+        // every slot and report is filled.
         let results = results
             .into_iter()
+            // lint-allow(no-panic-in-workers): post-join completeness
+            // invariant — an empty slot after a clean join is unrecoverable.
             .map(|slot| slot.into_inner().expect("work item produced no result"))
             .collect();
         let reports = reports
             .into_inner()
             .into_iter()
+            // lint-allow(no-panic-in-workers): same post-join invariant as
+            // the result slots above.
             .map(|r| r.expect("worker exited without reporting"))
             .collect();
         ShardOutcome { results, reports }

@@ -1,0 +1,76 @@
+//! Poison-tolerant synchronization helpers for scheduler and serve hot paths.
+//!
+//! The scheduler layers carry their own explicit failure channel: a worker
+//! that panics mid-item trips the strand/poison flags ([`crate::sched`]'s
+//! `stranded` slots), and every waiter surfaces that as a loud, typed
+//! failure. `std`'s mutex poisoning is redundant next to that channel — and
+//! turning every `lock()` into `lock().expect(...)` plants a panic site in
+//! exactly the code that must never panic (the `no-panic-in-workers` lint
+//! rule). These helpers recover the guard from a poisoned lock instead:
+//! the data under the mutex is a scheduler bookkeeping structure whose
+//! consistency is re-established by the explicit poison flags, so recovery
+//! is safe and the *typed* path stays the only failure surface.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Locks `mutex`, recovering the guard if a previous holder panicked.
+///
+/// Poisoning is deliberately ignored: the callers' own strand/poison flags
+/// (set by panic guards around worker bodies) carry the failure to waiters
+/// as typed errors, which is strictly more informative than a propagated
+/// `PoisonError` panic.
+pub fn locked<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Blocks on `condvar`, recovering the re-acquired guard on poison like
+/// [`locked`].
+pub fn wait_on<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    #[test]
+    fn locked_recovers_from_poison() {
+        let mutex = Arc::new(Mutex::new(7u32));
+        let clone = Arc::clone(&mutex);
+        let _ = std::thread::spawn(move || {
+            let _guard = clone.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(mutex.is_poisoned());
+        // A plain `lock().unwrap()` would panic here; `locked` hands the
+        // guard back so the typed poison paths stay in charge.
+        assert_eq!(*locked(&mutex), 7);
+        *locked(&mutex) = 8;
+        assert_eq!(*locked(&mutex), 8);
+    }
+
+    #[test]
+    fn wait_on_recovers_from_poison() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let clone = Arc::clone(&pair);
+        let _ = std::thread::spawn(move || {
+            let _guard = clone.0.lock().unwrap();
+            panic!("poison while holding the condvar mutex");
+        })
+        .join();
+        let waker = Arc::clone(&pair);
+        let waker_thread = std::thread::spawn(move || {
+            *locked(&waker.0) = true;
+            waker.1.notify_all();
+        });
+        let (lock, condvar) = &*pair;
+        let mut guard = locked(lock);
+        while !*guard {
+            guard = wait_on(condvar, guard);
+        }
+        assert!(*guard);
+        waker_thread.join().expect("waker thread");
+    }
+}

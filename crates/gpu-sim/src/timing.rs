@@ -12,7 +12,22 @@
 use crate::memory::MemoryCounters;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+// lint-allow(no-wall-clock): this module IS the wall-profiling layer — the one
+// place modeled code is allowed to read the host clock from.
 use std::time::Instant;
+
+/// Runs `f`, returning its result and the measured wall-clock seconds it took.
+///
+/// This is the workspace's **only** sanctioned wall-clock entry point for
+/// modeled code (enforced by the `no-wall-clock` lint rule): pipelines that
+/// report a measured `wall_*` figure next to their modeled one route the
+/// measurement through here, so no `Instant::now` can leak into modeled-time
+/// arithmetic unnoticed.
+pub fn wall_timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
 
 /// Statistics for one kernel launch (or one serial run).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

@@ -20,10 +20,11 @@ use crate::grids::{EnergyWeights, GridSpec, LigandGrids, ReceptorGrids};
 use crate::pose::{sort_best_first, Pose};
 use ftmap_math::{Real, RotationSet};
 use ftmap_molecule::{Atom, Probe};
-use gpu_sim::{BackendSelect, CostModel, Device, DeviceSpec, ExecutionBackend, MemoryCounters};
+use gpu_sim::{
+    wall_timed, BackendSelect, CostModel, Device, DeviceSpec, ExecutionBackend, MemoryCounters,
+};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Which engine scores the rotations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -457,21 +458,22 @@ impl Docking {
     ) {
         let (acc_counters, score_counters) = self.host_finish_counters();
 
-        let t0 = Instant::now();
-        let desolv = filter::accumulate_desolvation(results, self.config.n_desolv);
-        wall.accumulation_s += t0.elapsed().as_secs_f64();
+        let (desolv, accumulate_wall_s) =
+            wall_timed(|| filter::accumulate_desolvation(results, self.config.n_desolv));
+        wall.accumulation_s += accumulate_wall_s;
         modeled.accumulation_s += self.xeon.serial_time(&acc_counters);
 
-        let t1 = Instant::now();
-        let scores =
-            filter::score_grid(results, &desolv, &self.config.weights, self.config.n_desolv);
-        let selected = filter::filter_top_k(
-            &scores,
-            self.config.poses_per_rotation,
-            self.config.exclusion_radius,
-            rot_idx,
-        );
-        wall.scoring_filtering_s += t1.elapsed().as_secs_f64();
+        let (selected, score_wall_s) = wall_timed(|| {
+            let scores =
+                filter::score_grid(results, &desolv, &self.config.weights, self.config.n_desolv);
+            filter::filter_top_k(
+                &scores,
+                self.config.poses_per_rotation,
+                self.config.exclusion_radius,
+                rot_idx,
+            )
+        });
+        wall.scoring_filtering_s += score_wall_s;
         modeled.scoring_filtering_s += self.xeon.serial_time(&score_counters);
         poses.extend(selected);
     }
@@ -502,19 +504,19 @@ impl Docking {
         let rotation_counters = self.rotation_grid_counters(probe);
 
         for (rot_idx, rotation) in self.rotations.iter().enumerate() {
-            let t0 = Instant::now();
-            let ligand = LigandGrids::build(
-                &probe.atoms,
-                rotation,
-                self.config.spacing,
-                self.config.n_desolv,
-            );
-            wall.rotation_grid_s += t0.elapsed().as_secs_f64();
+            let (ligand, grid_wall_s) = wall_timed(|| {
+                LigandGrids::build(
+                    &probe.atoms,
+                    rotation,
+                    self.config.spacing,
+                    self.config.n_desolv,
+                )
+            });
+            wall.rotation_grid_s += grid_wall_s;
             modeled.rotation_grid_s += self.xeon.serial_time(&rotation_counters);
 
-            let t1 = Instant::now();
-            let results = engine.correlate_rotation(&ligand);
-            wall.correlation_s += t1.elapsed().as_secs_f64();
+            let (results, corr_wall_s) = wall_timed(|| engine.correlate_rotation(&ligand));
+            wall.correlation_s += corr_wall_s;
             // The multicore baseline distributes whole rotations over cores, so the
             // modeled per-rotation time divides by the thread count.
             modeled.correlation_s += self.xeon.serial_time(&fft_counters) / n_threads as f64;
@@ -543,15 +545,16 @@ impl Docking {
         let rotation_counters = self.rotation_grid_counters(probe);
 
         for (rot_idx, rotation) in self.rotations.iter().enumerate() {
-            let t0 = Instant::now();
-            let ligand = LigandGrids::build(
-                &probe.atoms,
-                rotation,
-                self.config.spacing,
-                self.config.n_desolv,
-            );
-            let sparse = SparseLigand::from_grids(&ligand);
-            wall.rotation_grid_s += t0.elapsed().as_secs_f64();
+            let (sparse, grid_wall_s) = wall_timed(|| {
+                let ligand = LigandGrids::build(
+                    &probe.atoms,
+                    rotation,
+                    self.config.spacing,
+                    self.config.n_desolv,
+                );
+                SparseLigand::from_grids(&ligand)
+            });
+            wall.rotation_grid_s += grid_wall_s;
             modeled.rotation_grid_s += self.xeon.serial_time(&rotation_counters);
 
             let direct_counters = MemoryCounters {
@@ -561,13 +564,14 @@ impl Docking {
                 ..Default::default()
             };
 
-            let t1 = Instant::now();
-            let results = if n_threads == 1 {
-                engine.correlate_rotation_serial(&sparse)
-            } else {
-                engine.correlate_rotation_multicore(&sparse, n_threads)
-            };
-            wall.correlation_s += t1.elapsed().as_secs_f64();
+            let (results, corr_wall_s) = wall_timed(|| {
+                if n_threads == 1 {
+                    engine.correlate_rotation_serial(&sparse)
+                } else {
+                    engine.correlate_rotation_multicore(&sparse, n_threads)
+                }
+            });
+            wall.correlation_s += corr_wall_s;
             modeled.correlation_s += self.xeon.serial_time(&direct_counters) / n_threads as f64;
 
             self.finish_rotation_on_host(rot_idx, &results, &mut poses, &mut wall, &mut modeled);
@@ -596,56 +600,58 @@ impl Docking {
         let rotations: Vec<_> = self.rotations.rotations().to_vec();
         let mut rot_idx = 0usize;
         while rot_idx < rotations.len() {
-            let t0 = Instant::now();
-            let mut batch = Vec::new();
-            let mut batch_indices = Vec::new();
-            while rot_idx < rotations.len() && batch.len() < requested_batch {
-                let ligand = LigandGrids::build(
-                    &probe.atoms,
-                    &rotations[rot_idx],
-                    self.config.spacing,
-                    self.config.n_desolv,
-                );
-                let sparse = SparseLigand::from_grids(&ligand);
-                // Respect the constant-memory capacity limit.
-                let max_batch = gpu.max_batch(&sparse);
-                if batch.len() >= max_batch {
-                    break;
+            let ((batch, batch_indices), build_wall_s) = wall_timed(|| {
+                let mut batch = Vec::new();
+                let mut batch_indices = Vec::new();
+                while rot_idx < rotations.len() && batch.len() < requested_batch {
+                    let ligand = LigandGrids::build(
+                        &probe.atoms,
+                        &rotations[rot_idx],
+                        self.config.spacing,
+                        self.config.n_desolv,
+                    );
+                    let sparse = SparseLigand::from_grids(&ligand);
+                    // Respect the constant-memory capacity limit.
+                    let max_batch = gpu.max_batch(&sparse);
+                    if batch.len() >= max_batch {
+                        break;
+                    }
+                    batch.push(sparse);
+                    batch_indices.push(rot_idx);
+                    rot_idx += 1;
                 }
-                batch.push(sparse);
-                batch_indices.push(rot_idx);
-                rot_idx += 1;
-            }
-            wall.rotation_grid_s += t0.elapsed().as_secs_f64();
+                (batch, batch_indices)
+            });
+            wall.rotation_grid_s += build_wall_s;
             modeled.rotation_grid_s +=
                 batch.len() as f64 * self.xeon.serial_time(&rotation_counters);
 
             // Device correlation for the whole batch.
-            let t1 = Instant::now();
-            let corr = gpu.correlate_batch(&batch);
-            wall.correlation_s += t1.elapsed().as_secs_f64();
+            let (corr, corr_wall_s) = wall_timed(|| gpu.correlate_batch(&batch));
+            wall.correlation_s += corr_wall_s;
             modeled.correlation_s += corr.stats.modeled_time_s + corr.upload_time_s;
             modeled_transfer_s += corr.upload_time_s;
 
             // Device accumulation + scoring/filtering per rotation in the batch.
             for (slot, &orig_rot) in batch_indices.iter().enumerate() {
                 let results = &corr.results[slot];
-                let t2 = Instant::now();
-                let (desolv, acc_stats) = gpu.accumulate_desolvation(results, self.config.n_desolv);
-                wall.accumulation_s += t2.elapsed().as_secs_f64();
+                let ((desolv, acc_stats), acc_wall_s) =
+                    wall_timed(|| gpu.accumulate_desolvation(results, self.config.n_desolv));
+                wall.accumulation_s += acc_wall_s;
                 modeled.accumulation_s += acc_stats.modeled_time_s;
 
-                let t3 = Instant::now();
-                let (selected, score_stats) = gpu.score_and_filter(
-                    results,
-                    &desolv,
-                    &self.config.weights,
-                    self.config.n_desolv,
-                    self.config.poses_per_rotation,
-                    self.config.exclusion_radius,
-                    orig_rot,
-                );
-                wall.scoring_filtering_s += t3.elapsed().as_secs_f64();
+                let ((selected, score_stats), score_wall_s) = wall_timed(|| {
+                    gpu.score_and_filter(
+                        results,
+                        &desolv,
+                        &self.config.weights,
+                        self.config.n_desolv,
+                        self.config.poses_per_rotation,
+                        self.config.exclusion_radius,
+                        orig_rot,
+                    )
+                });
+                wall.scoring_filtering_s += score_wall_s;
                 modeled.scoring_filtering_s += score_stats.modeled_time_s;
                 poses.extend(selected);
             }
@@ -677,33 +683,35 @@ impl Docking {
         for (chunk_idx, chunk) in rotations.chunks(requested_batch).enumerate() {
             let base = chunk_idx * requested_batch;
 
-            let t0 = Instant::now();
-            let batch: Vec<LigandGrids> = chunk
-                .iter()
-                .map(|rotation| {
-                    LigandGrids::build(
-                        &probe.atoms,
-                        rotation,
-                        self.config.spacing,
-                        self.config.n_desolv,
-                    )
-                })
-                .collect();
+            let (batch, build_wall_s) = wall_timed(|| -> Vec<LigandGrids> {
+                chunk
+                    .iter()
+                    .map(|rotation| {
+                        LigandGrids::build(
+                            &probe.atoms,
+                            rotation,
+                            self.config.spacing,
+                            self.config.n_desolv,
+                        )
+                    })
+                    .collect()
+            });
             let indices: Vec<usize> = (base..base + batch.len()).collect();
-            wall.rotation_grid_s += t0.elapsed().as_secs_f64();
+            wall.rotation_grid_s += build_wall_s;
             modeled.rotation_grid_s +=
                 batch.len() as f64 * self.xeon.serial_time(&rotation_counters);
 
-            let t1 = Instant::now();
-            let out = engine.dock_batch(
-                &batch,
-                &indices,
-                &self.config.weights,
-                self.config.n_desolv,
-                self.config.poses_per_rotation,
-                self.config.exclusion_radius,
-            );
-            wall.correlation_s += t1.elapsed().as_secs_f64();
+            let (out, dock_wall_s) = wall_timed(|| {
+                engine.dock_batch(
+                    &batch,
+                    &indices,
+                    &self.config.weights,
+                    self.config.n_desolv,
+                    self.config.poses_per_rotation,
+                    self.config.exclusion_radius,
+                )
+            });
+            wall.correlation_s += dock_wall_s;
 
             // Correlation: the three batched transform launches + the ligand
             // upload; scoring/filtering: the fused epilogue + the pose-only

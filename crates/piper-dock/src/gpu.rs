@@ -127,6 +127,9 @@ impl<'a> GpuDockingEngine<'a> {
     /// Only the retained poses are transferred back to the host (one of the benefits the
     /// paper cites for filtering on the device); the returned stats include the modeled
     /// kernel time, and the pose download is charged to the device transfer accounting.
+    // lint-allow(justified-allows): mirrors the host filter pipeline's
+    // parameter list (weights, desolvation depth, top-K, exclusion radius)
+    // so the two paths stay diffable side by side.
     #[allow(clippy::too_many_arguments)]
     pub fn score_and_filter(
         &self,

@@ -31,6 +31,7 @@
 //! Fig. 2(b) and Table 1.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(clippy::all)]
 
 pub mod batched_fft;

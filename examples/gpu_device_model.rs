@@ -3,6 +3,8 @@
 //!
 //! Run with: `cargo run --release --example gpu_device_model`
 
+// lint-allow(launch-layer-only): this example deliberately tours the raw
+// device layer (see the annotated call sites below).
 use ftmap::gpu::{BlockContext, BlockKernel, Device, DeviceSpec, LaunchConfig, Transfer};
 use parking_lot::Mutex;
 
@@ -46,9 +48,14 @@ fn main() {
     let blocks = 240;
     let partials = Mutex::new(vec![0.0; blocks]);
     let kernel = SumSquares { input: &input, partials: &partials };
+    // lint-allow(launch-layer-only): this example *is* the tour of the raw
+    // device layer — real consumers go through the `KernelLaunch` builder.
     let config = LaunchConfig::new(blocks, 128);
 
+    // lint-allow(accounted-transfers): raw transfer accounting shown on
+    // purpose here; pipelines use the `upload_*`/`download_*` helpers.
     let upload = gpu.record_transfer(Transfer::upload((n * 8) as u64));
+    // lint-allow(launch-layer-only): raw launch shown on purpose (see above).
     let stats = gpu.launch(&config, &kernel);
     let total: f64 = partials.lock().iter().sum();
 
@@ -57,6 +64,8 @@ fn main() {
     println!("kernel wall (this CPU):  {:.3} ms", 1e3 * stats.wall_time_s);
     println!("kernel modeled (C1060):  {:.3} ms", 1e3 * stats.modeled_time_s);
 
+    // lint-allow(launch-layer-only): serial baseline through the raw layer,
+    // same teaching purpose as the launch above.
     let serial = cpu.run_serial(&LaunchConfig::new(blocks, 1), &kernel);
     println!("serial modeled (Xeon):   {:.3} ms", 1e3 * serial.modeled_time_s);
     println!("modeled speedup:         {:.1}x", serial.modeled_time_s / stats.modeled_time_s);

@@ -31,6 +31,7 @@
 //! assert!(!run.poses.is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(clippy::all)]
 
 pub use ftmap_core as core;
@@ -60,8 +61,8 @@ pub mod prelude {
     };
     pub use ftmap_trace::{
         analyze, analyze_all, build_request_trees, export_chrome_trace,
-        export_chrome_trace_with_flows, AlertState, FlightRecorder, MetricsSnapshot, Recorder,
-        RequestTrace, SloReport, SloSpec, TraceSink,
+        export_chrome_trace_with_flows, sanitize, AlertState, FlightRecorder, MetricsSnapshot,
+        Recorder, RequestTrace, SanitizeReport, SloReport, SloSpec, TraceSink,
     };
     pub use gpu_sim::{
         BackendSelect, Device, DevicePool, DeviceSpec, ExecutionBackend, KernelLaunch, ShardQueue,
