@@ -17,7 +17,7 @@
 
 use ftmap_core::{FtMapConfig, PipelineMode};
 use ftmap_molecule::{ForceField, ProbeType, ProteinSpec, SyntheticProtein};
-use ftmap_serve::{BatchMappingService, JobReport, MappingRequest, ServeConfig};
+use ftmap_serve::{BatchMappingService, JobReport, MappingRequest};
 use gpu_sim::sched::DevicePool;
 use gpu_sim::CacheStats;
 use std::collections::BTreeMap;
@@ -71,10 +71,10 @@ fn run(label: &'static str, pool: Arc<DevicePool>, requests: Vec<MappingRequest>
     let n = requests.len();
     let cache_before: Vec<CacheStats> =
         pool.devices().iter().map(|d| d.residency().stats()).collect();
-    let service = BatchMappingService::new(Arc::clone(&pool), ServeConfig::default());
+    let service = BatchMappingService::builder(Arc::clone(&pool)).build();
     let start = Instant::now();
     let handles: Vec<_> =
-        requests.into_iter().map(|r| service.submit(r).expect("admitted")).collect();
+        requests.into_iter().map(|r| service.submit(r).expect_admitted("admitted")).collect();
     let reports: Vec<Arc<JobReport>> = handles.iter().map(|h| h.wait()).collect();
     let wall_s = start.elapsed().as_secs_f64();
     service.shutdown();

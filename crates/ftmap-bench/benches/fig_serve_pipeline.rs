@@ -18,6 +18,17 @@
 //!    interactive jobs' p95 modeled latency (priority ÷ FIFO) — **CI-gated at
 //!    ≤ 0.5×**.
 //!
+//! 3. **SLO-aware admission under overload** — the same bulk stream bursted
+//!    at a deadline only the head of the queue can meet. Uncontrolled, the
+//!    tail blows through the deadline; with the admission controller on
+//!    (degrade + refuse), every admission is estimate-backed and the
+//!    miss rate is **CI-gated at ≤ 0.5×** the uncontrolled rate while goodput
+//!    stays **≥ 0.9×**.
+//! 4. **Tenant fairness** — a hot tenant floods the queue ahead of a light
+//!    tenant; weighted in-flight quotas interleave the light tenant's jobs
+//!    instead of making them wait out the flood (**CI-gated at ≤ 0.8×** the
+//!    unquoted light-tenant latency).
+//!
 //! Results are written to `BENCH_SERVE_PIPELINE.json` at the workspace root;
 //! the committed snapshot is the bench-trend baseline (`bench_trend` fails CI
 //! if a gated metric regresses > 15% against it).
@@ -27,12 +38,12 @@
 //! experiments; CI runs the full default scale — the latency ratio depends
 //! on queue depth, so the trend gate must compare like with like).
 
-use ftmap_core::{FtMapConfig, PipelineMode};
+use ftmap_core::{DegradePolicy, FtMapConfig, PipelineMode};
 use ftmap_molecule::{ForceField, ProbeType, ProteinSpec, SyntheticProtein};
 use ftmap_serve::service::ClassLatency;
 use ftmap_serve::{
-    BatchMappingService, DispatchMode, JobReport, LatencyClass, MappingRequest, Observability,
-    ServeConfig,
+    AdmissionConfig, AdmissionVerdict, BatchConfig, BatchMappingService, DispatchMode, JobReport,
+    LatencyClass, MappingRequest, Observability, ServeConfig, TenantQuota,
 };
 use gpu_sim::sched::DevicePool;
 use std::sync::Arc;
@@ -50,6 +61,16 @@ const MAX_INTERACTIVE_P95_RATIO: f64 = 0.5;
 /// engine + tail-sampled retention): the heaviest observability wiring the
 /// service supports must still leave the schedule untouched.
 const MAX_TRACE_OVERHEAD_RATIO: f64 = 1.01;
+
+/// Admission gate: controlled deadline-miss rate over uncontrolled (the
+/// SLO-aware controller must cut misses at least 2×).
+const MAX_ADMISSION_MISS_RATIO: f64 = 0.5;
+/// Admission gate: controlled over uncontrolled goodput (jobs per modeled
+/// second) — admission control may cost at most 10% throughput.
+const MIN_ADMISSION_THROUGHPUT_RATIO: f64 = 0.9;
+/// Fairness gate: light-tenant mean latency under quotas over without — the
+/// weighted quota must shield the light tenant from the hot tenant's flood.
+const MAX_TENANT_FAIRNESS_RATIO: f64 = 0.8;
 
 const DEVICES: usize = 4;
 
@@ -82,14 +103,13 @@ fn interactive_job(
 }
 
 fn serve_config(dispatch: DispatchMode) -> ServeConfig {
-    ServeConfig {
+    ServeConfig::with_batch(BatchConfig {
         dispatch,
         max_batch_jobs: 1, // one job per batch: the batch stream the pipeline overlaps
         pose_block: 2,
         max_inflight_batches: 2,
         bulk_aging: 4,
-        ..ServeConfig::default()
-    }
+    })
 }
 
 struct RunOutcome {
@@ -100,8 +120,8 @@ struct RunOutcome {
 }
 
 /// Runs `jobs` through a fresh service (fresh pool) and collects the modeled
-/// figures. `BatchMappingService::new` installs the no-op trace sink, so this
-/// is the untraced baseline the overhead gate compares against.
+/// figures. The builder installs the no-op trace sink by default, so this is
+/// the untraced baseline the overhead gate compares against.
 fn run(dispatch: DispatchMode, jobs: Vec<MappingRequest>) -> RunOutcome {
     run_with_sink(dispatch, jobs, ftmap_trace::noop())
 }
@@ -123,10 +143,13 @@ fn run_with_observability(
     observability: Observability,
 ) -> RunOutcome {
     let pool = Arc::new(DevicePool::tesla(DEVICES));
-    let service =
-        BatchMappingService::with_observability(pool, serve_config(dispatch), observability);
+    let service = BatchMappingService::builder(pool)
+        .config(serve_config(dispatch))
+        .observability(observability)
+        .build();
     let start = Instant::now();
-    let handles: Vec<_> = jobs.into_iter().map(|r| service.submit(r).expect("admitted")).collect();
+    let handles: Vec<_> =
+        jobs.into_iter().map(|r| service.submit(r).expect_admitted("admitted")).collect();
     let reports: Vec<Arc<JobReport>> = handles.iter().map(|h| h.wait()).collect();
     let wall_s = start.elapsed().as_secs_f64();
     let stats = service.shutdown();
@@ -136,6 +159,104 @@ fn run_with_observability(
         cross_batch_overlap_s: stats.cross_batch_overlap_modeled_s,
         wall_s,
     }
+}
+
+/// One overload run for the admission figure: two warmup jobs calibrate the
+/// cost model (and warm the residency cache) outside the measurement, then
+/// `n_burst` heavy bulk jobs arrive back to back against the live backlog.
+struct AdmissionRun {
+    /// Reports of the jobs that were admitted (possibly degraded or
+    /// reprioritized) — the population the miss rate is computed over.
+    reports: Vec<Arc<JobReport>>,
+    degraded: usize,
+    reprioritized: usize,
+    rejected: usize,
+}
+
+impl AdmissionRun {
+    /// Admission-to-completion span of the burst on the virtual timeline.
+    fn burst_span_s(&self) -> f64 {
+        let start = self.reports.iter().map(|r| r.admitted_modeled_s).fold(f64::INFINITY, f64::min);
+        let end = self.reports.iter().map(|r| r.batch.completed_modeled_s).fold(0.0f64, f64::max);
+        (end - start).max(1e-12)
+    }
+
+    /// Completed jobs per modeled second of the burst (goodput).
+    fn throughput(&self) -> f64 {
+        self.reports.len() as f64 / self.burst_span_s()
+    }
+
+    /// Fraction of admitted jobs whose realized modeled latency exceeded
+    /// `deadline_s`.
+    fn miss_rate(&self, deadline_s: f64) -> f64 {
+        let missed = self.reports.iter().filter(|r| r.latency_modeled_s > deadline_s).count();
+        missed as f64 / (self.reports.len() as f64).max(1.0)
+    }
+}
+
+fn run_admission(
+    admission: AdmissionConfig,
+    protein: &SyntheticProtein,
+    ff: &ForceField,
+    n_burst: usize,
+) -> AdmissionRun {
+    let pool = Arc::new(DevicePool::tesla(DEVICES));
+    let service = BatchMappingService::builder(pool)
+        .config(serve_config(DispatchMode::Pipelined))
+        .admission(admission)
+        .build();
+    for i in 0..2 {
+        let job = bulk_job(protein, ff, i).with_tag(format!("warm-{i}"));
+        service.submit(job).expect_admitted("warmup admitted").wait();
+    }
+    let mut handles = Vec::new();
+    let (mut degraded, mut reprioritized, mut rejected) = (0usize, 0usize, 0usize);
+    for i in 0..n_burst {
+        match service.submit(bulk_job(protein, ff, i)) {
+            AdmissionVerdict::Admitted(handle) => handles.push(handle),
+            AdmissionVerdict::Reprioritized { handle, .. } => {
+                reprioritized += 1;
+                handles.push(handle);
+            }
+            AdmissionVerdict::Degraded { handle, .. } => {
+                degraded += 1;
+                handles.push(handle);
+            }
+            AdmissionVerdict::Rejected { .. } => rejected += 1,
+        }
+    }
+    let reports: Vec<Arc<JobReport>> = handles.iter().map(|h| h.wait()).collect();
+    service.shutdown();
+    AdmissionRun { reports, degraded, reprioritized, rejected }
+}
+
+/// One run of the tenant-fairness figure: the hot tenant floods the queue,
+/// then the light tenant submits a couple of jobs behind it. Returns the
+/// light tenant's mean modeled latency.
+fn run_tenant_mix(admission: AdmissionConfig, protein: &SyntheticProtein, ff: &ForceField) -> f64 {
+    let (n_hot, n_light) = (8usize, 2usize);
+    let pool = Arc::new(DevicePool::tesla(DEVICES));
+    let service = BatchMappingService::builder(pool)
+        .config(serve_config(DispatchMode::Pipelined))
+        .admission(admission)
+        .build();
+    let mut handles = Vec::new();
+    for i in 0..n_hot {
+        let job = bulk_job(protein, ff, i).with_tag(format!("hot-{i}")).with_tenant("hot");
+        handles.push(service.submit(job).expect_admitted("hot admitted"));
+    }
+    for i in 0..n_light {
+        let job = bulk_job(protein, ff, i).with_tag(format!("light-{i}")).with_tenant("light");
+        handles.push(service.submit(job).expect_admitted("light admitted"));
+    }
+    let reports: Vec<Arc<JobReport>> = handles.iter().map(|h| h.wait()).collect();
+    service.shutdown();
+    let light: Vec<f64> = reports
+        .iter()
+        .filter(|r| r.tag.starts_with("light-"))
+        .map(|r| r.latency_modeled_s)
+        .collect();
+    light.iter().sum::<f64>() / light.len() as f64
 }
 
 /// p95 of the tagged jobs' modeled batch latencies — through the service's
@@ -255,6 +376,106 @@ fn main() {
         latency_ratio
     );
 
+    // --- 3. SLO-aware admission under overload: the same heavy bulk stream,
+    // bursted at a service whose deadline only the head of the queue can
+    // meet. Uncontrolled, every job is admitted and the tail blows through
+    // the deadline; controlled, the admission controller estimates each
+    // request against the live backlog and degrades (fewer rotations /
+    // conformations) or refuses the ones that cannot make it.
+    let n_burst = n_bulk;
+    let uncontrolled = run_admission(AdmissionConfig::default(), &protein, &ff, n_burst);
+    let mut realized: Vec<f64> = uncontrolled.reports.iter().map(|r| r.latency_modeled_s).collect();
+    realized.sort_by(f64::total_cmp);
+    // The overload deadline: rank ~40% of the uncontrolled burst latencies,
+    // so the majority of the uncontrolled burst misses it.
+    let deadline_s = realized[(realized.len() * 2 / 5).min(realized.len() - 1)];
+    let uncontrolled_miss = uncontrolled.miss_rate(deadline_s);
+    let controlled = run_admission(
+        AdmissionConfig {
+            bulk_deadline_s: Some(deadline_s),
+            degrade: Some(DegradePolicy {
+                rotation_factor: 0.5,
+                min_rotations: 1,
+                conformation_factor: 0.5,
+                min_conformations: 1,
+            }),
+            // Reprioritizing a bulk-only burst would let late arrivals
+            // overtake already-admitted jobs and invalidate their
+            // admission-time estimates; degrade/refuse keeps every admitted
+            // estimate structurally honest.
+            reprioritize: false,
+            ..AdmissionConfig::default()
+        },
+        &protein,
+        &ff,
+        n_burst,
+    );
+    let controlled_miss = controlled.miss_rate(deadline_s);
+    let miss_ratio = controlled_miss / uncontrolled_miss.max(1e-12);
+    let admission_throughput_ratio = controlled.throughput() / uncontrolled.throughput().max(1e-12);
+    println!(
+        "\nadmission under overload (deadline {:.3} ms): uncontrolled miss {:.0}% over \
+         {} jobs; controlled miss {:.0}% over {} admitted ({} degraded, {} reprioritized, \
+         {} refused) — miss ratio {:.3}x, goodput ratio {:.3}x",
+        1e3 * deadline_s,
+        100.0 * uncontrolled_miss,
+        uncontrolled.reports.len(),
+        100.0 * controlled_miss,
+        controlled.reports.len(),
+        controlled.degraded,
+        controlled.reprioritized,
+        controlled.rejected,
+        miss_ratio,
+        admission_throughput_ratio,
+    );
+    assert!(uncontrolled_miss > 0.0, "the uncontrolled burst must overload the deadline");
+    assert!(!controlled.reports.is_empty(), "the controller must admit part of the burst");
+    // Structural invariant: everything the controller admitted, it admitted
+    // because the live estimate fit the deadline.
+    for report in &controlled.reports {
+        let estimate = report.estimated_latency_s.expect("calibrated burst admissions estimate");
+        let deadline = report.deadline_s.expect("burst jobs carry the bulk deadline");
+        assert!(
+            estimate <= deadline + 1e-9,
+            "{}: admitted with estimate {estimate} above deadline {deadline}",
+            report.tag
+        );
+    }
+
+    // --- 4. Tenant fairness: a hot tenant floods the queue ahead of a light
+    // tenant; weighted in-flight quotas let the light tenant's jobs interleave
+    // instead of waiting out the whole flood.
+    let unquoted_light_s = run_tenant_mix(AdmissionConfig::default(), &protein, &ff);
+    let quota = AdmissionConfig {
+        tenant_quotas: vec![
+            TenantQuota { tenant: "hot".into(), weight: 1.0 },
+            TenantQuota { tenant: "light".into(), weight: 1.0 },
+        ],
+        ..AdmissionConfig::default()
+    };
+    let quoted_light_s = run_tenant_mix(quota, &protein, &ff);
+    let fairness_ratio = quoted_light_s / unquoted_light_s.max(1e-12);
+    println!(
+        "tenant fairness: light-tenant mean latency {:.3} ms unquoted vs {:.3} ms under \
+         weighted quotas ({:.3}x)",
+        1e3 * unquoted_light_s,
+        1e3 * quoted_light_s,
+        fairness_ratio,
+    );
+
+    let admission = AdmissionFigures {
+        deadline_s,
+        uncontrolled_miss,
+        controlled_miss,
+        miss_ratio,
+        throughput_ratio: admission_throughput_ratio,
+        degraded: controlled.degraded,
+        reprioritized: controlled.reprioritized,
+        rejected: controlled.rejected,
+        unquoted_light_s,
+        quoted_light_s,
+        fairness_ratio,
+    };
     let json = format_json(
         n_bulk,
         n_interactive,
@@ -270,6 +491,7 @@ fn main() {
         &flight_run,
         flight_retained,
         flight_overhead,
+        &admission,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_SERVE_PIPELINE.json");
     std::fs::write(path, json).expect("write BENCH_SERVE_PIPELINE.json");
@@ -295,12 +517,46 @@ fn main() {
         "REGRESSION: the flight-recorder sink (ring + SLO engine + retention) inflated the \
          modeled span {flight_overhead:.4}x, above the {MAX_TRACE_OVERHEAD_RATIO}x gate"
     );
+    assert!(
+        miss_ratio <= MAX_ADMISSION_MISS_RATIO,
+        "REGRESSION: admission control left the deadline-miss rate at {miss_ratio:.2}x the \
+         uncontrolled run, above the {MAX_ADMISSION_MISS_RATIO}x gate"
+    );
+    assert!(
+        admission_throughput_ratio >= MIN_ADMISSION_THROUGHPUT_RATIO,
+        "REGRESSION: admission control cost {admission_throughput_ratio:.2}x of the \
+         uncontrolled goodput, below the {MIN_ADMISSION_THROUGHPUT_RATIO}x gate"
+    );
+    assert!(
+        fairness_ratio <= MAX_TENANT_FAIRNESS_RATIO,
+        "REGRESSION: weighted tenant quotas left the light tenant at {fairness_ratio:.2}x its \
+         unquoted latency, above the {MAX_TENANT_FAIRNESS_RATIO}x gate"
+    );
     println!(
         "gates ok: throughput {speedup:.2}x >= {MIN_PIPELINE_SPEEDUP}x, \
          interactive p95 {latency_ratio:.2}x <= {MAX_INTERACTIVE_P95_RATIO}x, \
          trace overhead {trace_overhead:.4}x <= {MAX_TRACE_OVERHEAD_RATIO}x, \
-         flight overhead {flight_overhead:.4}x <= {MAX_TRACE_OVERHEAD_RATIO}x"
+         flight overhead {flight_overhead:.4}x <= {MAX_TRACE_OVERHEAD_RATIO}x, \
+         admission miss {miss_ratio:.2}x <= {MAX_ADMISSION_MISS_RATIO}x at goodput \
+         {admission_throughput_ratio:.2}x >= {MIN_ADMISSION_THROUGHPUT_RATIO}x, \
+         tenant fairness {fairness_ratio:.2}x <= {MAX_TENANT_FAIRNESS_RATIO}x"
     );
+}
+
+/// The admission-control and tenant-fairness figures, bundled for the JSON
+/// formatter.
+struct AdmissionFigures {
+    deadline_s: f64,
+    uncontrolled_miss: f64,
+    controlled_miss: f64,
+    miss_ratio: f64,
+    throughput_ratio: f64,
+    degraded: usize,
+    reprioritized: usize,
+    rejected: usize,
+    unquoted_light_s: f64,
+    quoted_light_s: f64,
+    fairness_ratio: f64,
 }
 
 // lint-allow(justified-allows): the JSON row simply has this many fields;
@@ -321,6 +577,7 @@ fn format_json(
     flight_run: &RunOutcome,
     flight_retained: u64,
     flight_overhead: f64,
+    admission: &AdmissionFigures,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str(
@@ -362,6 +619,25 @@ fn format_json(
         1e3 * traced.span_modeled_s,
         1e3 * flight_run.span_modeled_s,
     ));
+    out.push_str("  \"admission_control\": {\n");
+    out.push_str(&format!(
+        "    \"deadline_ms\": {:.4},\n    \"uncontrolled_miss_rate\": {:.4},\n    \
+         \"controlled_miss_rate\": {:.4},\n    \"degraded\": {},\n    \"reprioritized\": {},\n    \
+         \"rejected\": {},\n    \"goodput_ratio\": {:.4}\n  }},\n",
+        1e3 * admission.deadline_s,
+        admission.uncontrolled_miss,
+        admission.controlled_miss,
+        admission.degraded,
+        admission.reprioritized,
+        admission.rejected,
+        admission.throughput_ratio,
+    ));
+    out.push_str("  \"fairness\": {\n");
+    out.push_str(&format!(
+        "    \"light_tenant_unquoted_ms\": {:.4},\n    \"light_tenant_quoted_ms\": {:.4}\n  }},\n",
+        1e3 * admission.unquoted_light_s,
+        1e3 * admission.quoted_light_s,
+    ));
     out.push_str(&format!(
         "  \"gates\": {{\n    \"pipelined_speedup\": {{ \"metric\": \"barrier span over \
          pipelined span\", \"minimum\": {MIN_PIPELINE_SPEEDUP:.1}, \"measured\": {speedup:.4} \
@@ -371,7 +647,14 @@ fn format_json(
          \"maximum\": {MAX_TRACE_OVERHEAD_RATIO:.2}, \"measured\": {trace_overhead:.4} }},\n    \
          \"flight_trace_overhead\": {{ \"metric\": \"flight-recorder-sink span over no-op-sink \
          span\", \"maximum\": {MAX_TRACE_OVERHEAD_RATIO:.2}, \"measured\": {flight_overhead:.4} \
-         }}\n  }}\n"
+         }},\n    \"admission_miss\": {{ \"metric\": \"controlled deadline-miss rate over \
+         uncontrolled\", \"maximum\": {MAX_ADMISSION_MISS_RATIO:.1}, \"measured\": {:.4} }},\n    \
+         \"admission_goodput\": {{ \"metric\": \"controlled goodput over uncontrolled\", \
+         \"minimum\": {MIN_ADMISSION_THROUGHPUT_RATIO:.1}, \"measured\": {:.4} }},\n    \
+         \"tenant_fairness\": {{ \"metric\": \"light-tenant mean latency, quoted over \
+         unquoted\", \"maximum\": {MAX_TENANT_FAIRNESS_RATIO:.1}, \"measured\": {:.4} \
+         }}\n  }}\n",
+        admission.miss_ratio, admission.throughput_ratio, admission.fairness_ratio,
     ));
     out.push_str("}\n");
     out

@@ -102,6 +102,18 @@ const GATED: &[GatedMetric] = &[
         anchors: &["\"flight_trace_overhead\"", "\"measured\":"],
     },
     GatedMetric {
+        file: "BENCH_SERVE_PIPELINE.json",
+        name: "serve-pipeline admission miss ratio",
+        direction: Direction::LowerBetter,
+        anchors: &["\"admission_miss\"", "\"measured\":"],
+    },
+    GatedMetric {
+        file: "BENCH_SERVE_PIPELINE.json",
+        name: "serve-pipeline tenant fairness ratio",
+        direction: Direction::LowerBetter,
+        anchors: &["\"tenant_fairness\"", "\"measured\":"],
+    },
+    GatedMetric {
         file: "BENCH_BATCHED_FFT.json",
         name: "batched-FFT warm-receptor speedup",
         direction: Direction::HigherBetter,

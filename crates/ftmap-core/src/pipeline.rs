@@ -160,6 +160,98 @@ impl FtMapConfig {
     pub fn small_test_on(backend: ExecutionBackend) -> Self {
         Self::small_test(backend.into())
     }
+
+    /// Applies a [`DegradePolicy`] to this configuration, returning the
+    /// degraded copy plus a record of what changed. Degradation only ever
+    /// shrinks the per-request work knobs (`docking.n_rotations`,
+    /// `conformations_per_probe`); grid geometry, probes and clustering are
+    /// untouched, so the degraded request still batches with its siblings
+    /// (the receptor fingerprint depends only on grid geometry and atoms).
+    pub fn degraded(&self, policy: &DegradePolicy) -> (FtMapConfig, AppliedDegrade) {
+        let scale = |from: usize, factor: f64, floor: usize| -> usize {
+            let scaled = (from as f64 * factor.clamp(0.0, 1.0)).ceil() as usize;
+            scaled.max(floor.min(from)).min(from)
+        };
+        let from_rot = self.docking.n_rotations;
+        let to_rot = scale(from_rot, policy.rotation_factor, policy.min_rotations);
+        let from_conf = self.conformations_per_probe;
+        let mut to_conf = scale(from_conf, policy.conformation_factor, policy.min_conformations);
+        // Fewer rotations also means fewer retained docked poses; never ask
+        // minimization for more conformations than docking can retain.
+        let retained = to_rot.saturating_mul(self.docking.poses_per_rotation);
+        if retained > 0 {
+            to_conf = to_conf.min(retained);
+        }
+        let mut config = self.clone();
+        config.docking.n_rotations = to_rot;
+        config.conformations_per_probe = to_conf;
+        (
+            config,
+            AppliedDegrade { rotations: (from_rot, to_rot), conformations: (from_conf, to_conf) },
+        )
+    }
+}
+
+/// How far an admission controller may degrade a request whose deadline is
+/// otherwise unmeetable: multiplicative reductions of the two per-request
+/// work knobs, each with a floor. `Default` halves both with conservative
+/// floors; a policy with both factors at `1.0` never degrades anything.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradePolicy {
+    /// Multiplier applied to `docking.n_rotations` (clamped to `(0, 1]`).
+    pub rotation_factor: f64,
+    /// Rotations are never reduced below this floor.
+    pub min_rotations: usize,
+    /// Multiplier applied to `conformations_per_probe`.
+    pub conformation_factor: f64,
+    /// Conformations are never reduced below this floor.
+    pub min_conformations: usize,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> Self {
+        DegradePolicy {
+            rotation_factor: 0.5,
+            min_rotations: 8,
+            conformation_factor: 0.5,
+            min_conformations: 1,
+        }
+    }
+}
+
+/// What [`FtMapConfig::degraded`] actually changed, as `(from, to)` pairs —
+/// carried on the admission verdict so clients know what accuracy they
+/// traded for latency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AppliedDegrade {
+    /// `docking.n_rotations` before and after.
+    pub rotations: (usize, usize),
+    /// `conformations_per_probe` before and after.
+    pub conformations: (usize, usize),
+}
+
+impl AppliedDegrade {
+    /// True when the policy could not reduce anything (already at floors).
+    pub fn is_noop(&self) -> bool {
+        self.rotations.0 == self.rotations.1 && self.conformations.0 == self.conformations.1
+    }
+
+    /// Predicted work ratio of the degraded request versus the original:
+    /// docking scales with rotations, minimization with conformations; the
+    /// combined factor assumes the two phases contribute equally, which is
+    /// what an estimator without per-phase costs should assume. Estimators
+    /// with a calibrated per-phase model should use the `(from, to)` pairs
+    /// directly instead.
+    pub fn cost_factor(&self) -> f64 {
+        let ratio = |(from, to): (usize, usize)| {
+            if from == 0 {
+                1.0
+            } else {
+                to as f64 / from as f64
+            }
+        };
+        0.5 * ratio(self.rotations) + 0.5 * ratio(self.conformations)
+    }
 }
 
 /// Result of mapping one protein with a probe library.
@@ -738,6 +830,63 @@ mod tests {
         config.docking.engine = engine;
         let pipeline = FtMapPipeline::new(protein, ff, config);
         (pipeline, library)
+    }
+
+    #[test]
+    fn degrade_policy_shrinks_work_knobs_with_floors() {
+        let config = FtMapConfig::paper_scale(PipelineMode::Accelerated);
+        let (degraded, applied) = config.degraded(&DegradePolicy::default());
+        assert_eq!(applied.rotations, (500, 250));
+        assert_eq!(applied.conformations, (2000, 1000));
+        assert_eq!(degraded.docking.n_rotations, 250);
+        assert_eq!(degraded.conformations_per_probe, 1000);
+        assert!(!applied.is_noop());
+        assert!(applied.cost_factor() < 1.0);
+        // Grid geometry is untouched — the degraded request still batches
+        // with its undegraded siblings.
+        assert_eq!(degraded.docking.grid_dim, config.docking.grid_dim);
+        assert_eq!(degraded.docking.spacing, config.docking.spacing);
+        assert_eq!(degraded.docking.n_desolv, config.docking.n_desolv);
+
+        // Floors hold: an aggressive policy cannot go below them.
+        let aggressive = DegradePolicy {
+            rotation_factor: 0.001,
+            min_rotations: 16,
+            conformation_factor: 0.001,
+            min_conformations: 2,
+        };
+        let (floored, applied) = config.degraded(&aggressive);
+        assert_eq!(floored.docking.n_rotations, 16);
+        assert_eq!(floored.conformations_per_probe, 2);
+        assert!(applied.cost_factor() > 0.0);
+
+        // A no-op policy reports itself as such.
+        let noop = DegradePolicy {
+            rotation_factor: 1.0,
+            min_rotations: 0,
+            conformation_factor: 1.0,
+            min_conformations: 0,
+        };
+        let (same, applied) = config.degraded(&noop);
+        assert!(applied.is_noop());
+        assert_eq!(applied.cost_factor(), 1.0);
+        assert_eq!(same.docking.n_rotations, config.docking.n_rotations);
+
+        // Conformations never exceed what the degraded docking can retain.
+        let mut tiny = FtMapConfig::small_test(PipelineMode::Accelerated);
+        tiny.docking.n_rotations = 4;
+        tiny.docking.poses_per_rotation = 1;
+        tiny.conformations_per_probe = 4;
+        let (degraded, _) = tiny.degraded(&DegradePolicy {
+            rotation_factor: 0.5,
+            min_rotations: 1,
+            conformation_factor: 1.0,
+            min_conformations: 1,
+        });
+        assert!(
+            degraded.conformations_per_probe
+                <= degraded.docking.n_rotations * degraded.docking.poses_per_rotation
+        );
     }
 
     #[test]

@@ -181,6 +181,95 @@ pub fn next_batch_prioritized<T: Batchable>(
     batch
 }
 
+/// [`next_batch_prioritized`] with fairness gates: `eligible` is a pure
+/// per-job check (receptor in-flight cap, tenant quota headroom) consulted
+/// during anchor selection and member collection; `budget` is a stateful
+/// reservation invoked once per job actually added to the batch (in batch
+/// order, anchor first) and may refuse when a cumulative limit — e.g. a
+/// tenant's remaining in-flight allowance — runs out mid-batch. Refused and
+/// ineligible jobs keep their queue positions.
+///
+/// Returns an **empty batch from a non-empty queue** when no eligible job
+/// exists (every pending job is blocked on in-flight work) or when `budget`
+/// refuses the chosen anchor — the caller must then wait for a completion
+/// rather than spin. Anchor selection mirrors [`next_batch_prioritized`]
+/// restricted to eligible jobs: the earliest eligible interactive job
+/// overtakes (bumping every bulk job it passes, eligible or not — they were
+/// passed over either way), unless an eligible aged bulk job ahead of it
+/// blocks the overtake. With both closures always `true` this is exactly
+/// [`next_batch_prioritized`].
+pub fn next_batch_admission<T: Batchable>(
+    pending: &mut Vec<T>,
+    max_jobs: usize,
+    aging: usize,
+    mut eligible: impl FnMut(&T) -> bool,
+    mut budget: impl FnMut(&T) -> bool,
+) -> Vec<T> {
+    if pending.is_empty() {
+        return Vec::new();
+    }
+    let max_jobs = max_jobs.max(1);
+    let open: Vec<bool> = pending.iter().map(&mut eligible).collect();
+    let first_interactive = pending
+        .iter()
+        .zip(&open)
+        .position(|(job, open)| *open && job.class() == LatencyClass::Interactive);
+    let anchor_pos = match first_interactive {
+        None => match open.iter().position(|open| *open) {
+            Some(pos) => pos,
+            None => return Vec::new(), // everything is fairness-blocked
+        },
+        Some(interactive_pos) => pending[..interactive_pos]
+            .iter()
+            .zip(&open)
+            .position(|(job, open)| {
+                *open && job.class() == LatencyClass::Bulk && job.overtaken() >= aging
+            })
+            .unwrap_or(interactive_pos),
+    };
+    let anchor_fp = pending[anchor_pos].fingerprint();
+    let anchor_class = pending[anchor_pos].class();
+    if !budget(&pending[anchor_pos]) {
+        return Vec::new(); // cumulative limit exhausted before the anchor
+    }
+    if anchor_class == LatencyClass::Interactive {
+        for job in pending[..anchor_pos].iter_mut() {
+            if job.class() == LatencyClass::Bulk {
+                job.note_overtaken();
+            }
+        }
+    }
+    let mut batch = Vec::new();
+    let mut rest: Vec<T> = Vec::with_capacity(pending.len());
+    rest.extend(pending.drain(..anchor_pos));
+    {
+        let mut drain = pending.drain(..);
+        // The anchor is present by construction (`anchor_pos` indexes the
+        // queue); its budget is already reserved, members reserve as added.
+        if let Some(anchor) = drain.next() {
+            batch.push(anchor);
+        }
+        for job in drain.by_ref() {
+            if batch.len() == max_jobs {
+                rest.push(job);
+                break;
+            }
+            if job.fingerprint() == anchor_fp
+                && job.class() == anchor_class
+                && eligible(&job)
+                && budget(&job)
+            {
+                batch.push(job);
+            } else {
+                rest.push(job);
+            }
+        }
+        rest.extend(drain);
+    }
+    *pending = rest;
+    batch
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -371,5 +460,80 @@ mod tests {
         let batch = next_batch_prioritized(&mut pending, 0, 4);
         assert_eq!(batch, vec![inter(1, "i")]);
         assert_eq!(pending, vec![inter(1, "j")]);
+    }
+
+    #[test]
+    fn admission_form_with_open_gates_matches_prioritized() {
+        let jobs = || vec![bulk(1, "b0"), inter(2, "i0"), bulk(1, "b1"), inter(2, "i1")];
+        let mut a = jobs();
+        let mut b = jobs();
+        let left = next_batch_prioritized(&mut a, 8, 4);
+        let right = next_batch_admission(&mut b, 8, 4, |_| true, |_| true);
+        assert_eq!(left, right);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ineligible_jobs_are_skipped_without_losing_their_positions() {
+        // Receptor 1 is capped (ineligible): the batch anchors on the first
+        // eligible job instead, and receptor-1 jobs keep their queue slots.
+        let mut pending = vec![bulk(1, "hot0"), bulk(2, "cold"), bulk(1, "hot1")];
+        let batch = next_batch_admission(&mut pending, 8, 4, |j| j.fingerprint() != 1, |_| true);
+        assert_eq!(batch, vec![bulk(2, "cold")]);
+        assert_eq!(pending, vec![bulk(1, "hot0"), bulk(1, "hot1")]);
+    }
+
+    #[test]
+    fn fully_blocked_queue_yields_an_empty_batch() {
+        let mut pending = vec![bulk(1, "a"), inter(2, "b")];
+        let batch = next_batch_admission(&mut pending, 8, 4, |_| false, |_| true);
+        assert!(batch.is_empty(), "no eligible job ⇒ the caller must wait, not spin");
+        assert_eq!(pending.len(), 2, "blocked jobs keep their positions");
+        // A refused anchor budget behaves the same way.
+        let batch = next_batch_admission(&mut pending, 8, 4, |_| true, |_| false);
+        assert!(batch.is_empty());
+        assert_eq!(pending.len(), 2);
+    }
+
+    #[test]
+    fn budget_truncates_a_batch_mid_collection() {
+        // Three compatible jobs but budget for two: the third stays pending.
+        let mut pending = vec![bulk(1, "a"), bulk(1, "b"), bulk(1, "c")];
+        let mut granted = 0;
+        let batch = next_batch_admission(
+            &mut pending,
+            8,
+            4,
+            |_| true,
+            |_| {
+                granted += 1;
+                granted <= 2
+            },
+        );
+        assert_eq!(batch, vec![bulk(1, "a"), bulk(1, "b")]);
+        assert_eq!(pending, vec![bulk(1, "c")]);
+    }
+
+    #[test]
+    fn eligible_interactive_overtakes_and_blocked_interactive_does_not() {
+        // The eligible-subsequence anchor rule: an interactive job blocked by
+        // a cap must not overtake — the eligible bulk head anchors instead.
+        let mut pending = vec![bulk(1, "b"), inter(2, "i")];
+        let batch = next_batch_admission(&mut pending, 8, 4, |j| j.fingerprint() != 2, |_| true);
+        assert_eq!(batch, vec![bulk(1, "b")]);
+        assert_eq!(pending[0].overtaken(), 0, "a blocked interactive job bumps nobody");
+
+        // Once eligible, it overtakes and bumps the passed-over bulk job.
+        let mut pending = vec![bulk(1, "b"), inter(2, "i")];
+        let batch = next_batch_admission(&mut pending, 8, 4, |_| true, |_| true);
+        assert_eq!(batch, vec![inter(2, "i")]);
+        assert_eq!(pending[0].overtaken(), 1);
+    }
+
+    #[test]
+    fn aged_eligible_bulk_still_blocks_overtakes_under_admission() {
+        let mut pending = vec![P(1, LatencyClass::Bulk, "aged", 2), inter(2, "i")];
+        let batch = next_batch_admission(&mut pending, 8, 2, |_| true, |_| true);
+        assert_eq!(batch[0].2, "aged", "aging semantics survive the fairness gates");
     }
 }

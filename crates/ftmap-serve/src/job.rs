@@ -1,7 +1,7 @@
 //! Job identity, status, and the handle a client waits on.
 
 use crate::batcher::LatencyClass;
-use ftmap_core::MappingResult;
+use ftmap_core::{AppliedDegrade, MappingResult};
 use gpu_sim::sync::{locked, wait_on};
 use gpu_sim::CacheStats;
 use std::sync::{Arc, Condvar, Mutex};
@@ -117,6 +117,28 @@ pub struct JobReport {
     /// completion minus *this* job's admission — per-job, unlike
     /// [`BatchSummary::latency_modeled_s`] which uses the earliest member).
     pub latency_modeled_s: f64,
+    /// The modeled deadline the admission controller held this job to
+    /// (per-request override or the class-wide default); `None` when no
+    /// deadline applied.
+    pub deadline_s: Option<f64>,
+    /// The admission controller's admission-to-completion latency estimate
+    /// for this job, made at submit time against the live modeled state;
+    /// `None` when the controller was off or not yet calibrated. Compare to
+    /// [`latency_modeled_s`](JobReport::latency_modeled_s) for the
+    /// estimator's realized error.
+    pub estimated_latency_s: Option<f64>,
+    /// The work reduction applied when the job was admitted degraded
+    /// (`AdmissionVerdict::Degraded`); `None` for full-fidelity jobs.
+    pub degrade: Option<AppliedDegrade>,
+}
+
+impl JobReport {
+    /// Whether the job missed its modeled deadline: `Some(true)` when a
+    /// deadline applied and the realized latency exceeded it, `Some(false)`
+    /// when it was met, `None` when no deadline applied.
+    pub fn deadline_missed(&self) -> Option<bool> {
+        self.deadline_s.map(|deadline| self.latency_modeled_s > deadline)
+    }
 }
 
 /// Shared completion slot between a [`JobHandle`] and the dispatcher.
@@ -243,6 +265,9 @@ mod tests {
             trace_id: id.0,
             admitted_modeled_s: 0.0,
             latency_modeled_s: 0.0,
+            deadline_s: None,
+            estimated_latency_s: None,
+            degrade: None,
         })
     }
 

@@ -17,13 +17,24 @@
 //!              JobHandle ◄──────────── JobReport ◄──── per-job assembly
 //! ```
 //!
-//! * **Admission** ([`queue`]) — a bounded queue: [`BatchMappingService::submit`]
-//!   blocks under load (backpressure), [`BatchMappingService::try_submit`]
-//!   refuses and hands the request back (load shedding).
+//! * **Admission** ([`admission`], [`queue`]) — an **SLO-aware admission
+//!   controller** in front of a bounded queue. At submit time the service
+//!   estimates the request's admission-to-completion latency against the live
+//!   modeled state (scheduler projection, admitted backlog, receptor-cache
+//!   warmth, a continuously calibrated cost model) and returns a typed
+//!   [`AdmissionVerdict`]: admitted, reprioritized (bulk → interactive),
+//!   degraded (fewer rotations/conformations under a
+//!   [`ftmap_core::DegradePolicy`]), or rejected with a **modeled**
+//!   retry-after hint. [`BatchMappingService::submit`] blocks while the queue
+//!   is full (backpressure); [`BatchMappingService::try_submit`] rejects
+//!   instead (load shedding).
 //! * **Batching** ([`batcher`]) — FIFO-fair grouping of jobs that share a
 //!   receptor, with **latency classes** on top: interactive jobs form batches
 //!   ahead of bulk scans (aging-bounded, so bulk never starves), and batches
-//!   are class-homogeneous so each carries one scheduler priority.
+//!   are class-homogeneous so each carries one scheduler priority. Two
+//!   fairness gates bound hot spots at batch formation
+//!   ([`config::AdmissionConfig`]): per-receptor in-flight caps and weighted
+//!   per-tenant quotas.
 //! * **Execution** ([`service`]) — by default the **pipelined dispatcher**:
 //!   batches flow through a persistent [`gpu_sim::sched::PhasePipeline`]
 //!   whose phase-tagged items (dock → minimize, per probe) let batch N+1's
@@ -44,16 +55,20 @@
 #![forbid(unsafe_code)]
 #![warn(clippy::all)]
 
+pub mod admission;
 pub mod batcher;
+pub mod config;
 pub mod job;
 pub mod queue;
 pub mod request;
 pub mod service;
 
+pub use admission::{AdmissionVerdict, CostModel, LatencyEstimate, RejectReason};
 pub use batcher::{next_batch_prioritized, Batchable, LatencyClass};
+pub use config::{
+    AdmissionConfig, BatchConfig, DispatchMode, QueueConfig, ServeConfig, TenantQuota,
+};
 pub use job::{BatchSummary, JobHandle, JobId, JobReport, JobStatus};
 pub use queue::{JobQueue, SubmitError};
 pub use request::MappingRequest;
-pub use service::{
-    BatchMappingService, ClassLatency, DispatchMode, Observability, ServeConfig, ServeStats,
-};
+pub use service::{BatchMappingService, ClassLatency, Observability, ServeStats, ServiceBuilder};

@@ -33,6 +33,18 @@ pub struct MappingRequest {
     /// carries *some* trace id through admit → batch-form → scheduler items →
     /// resolve. Observability only; results never depend on it.
     pub trace_id: Option<u64>,
+    /// Tenant identity for fairness accounting: weighted per-tenant quotas
+    /// and the in-flight counters the batcher enforces at batch formation
+    /// ([`crate::config::AdmissionConfig`]). `None` (the default) falls back
+    /// to [`tag`](MappingRequest::tag), so single-tenant callers need not set
+    /// anything. Scheduling only; results never depend on it.
+    pub tenant: Option<String>,
+    /// Per-request completion deadline in modeled seconds from admission,
+    /// overriding the class-wide default in
+    /// [`crate::config::AdmissionConfig`]. The admission controller compares
+    /// its modeled latency estimate against this bound and reprioritizes,
+    /// degrades, or refuses the request when it cannot be met.
+    pub deadline_s: Option<f64>,
 }
 
 impl MappingRequest {
@@ -51,6 +63,8 @@ impl MappingRequest {
             tag: String::new(),
             class: LatencyClass::Bulk,
             trace_id: None,
+            tenant: None,
+            deadline_s: None,
         }
     }
 
@@ -71,6 +85,27 @@ impl MappingRequest {
     pub fn with_trace_id(mut self, trace_id: u64) -> Self {
         self.trace_id = Some(trace_id);
         self
+    }
+
+    /// Sets the tenant identity the fairness controls account this request
+    /// under (see [`tenant`](MappingRequest::tenant)).
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Sets a per-request modeled-latency deadline (see
+    /// [`deadline_s`](MappingRequest::deadline_s)).
+    pub fn with_deadline_s(mut self, deadline_s: f64) -> Self {
+        self.deadline_s = Some(deadline_s);
+        self
+    }
+
+    /// The tenant label fairness accounting uses: the explicit
+    /// [`tenant`](MappingRequest::tenant) when set, the
+    /// [`tag`](MappingRequest::tag) otherwise.
+    pub fn tenant_label(&self) -> &str {
+        self.tenant.as_deref().unwrap_or(&self.tag)
     }
 
     /// The probe library this request maps.

@@ -1,11 +1,17 @@
 //! The batch-mapping service: admission → queue → batcher → pool → reports.
 //!
 //! [`BatchMappingService`] is the serving layer between clients and the
-//! multi-device scheduler. Clients submit [`MappingRequest`]s from any thread
-//! and get a [`JobHandle`] back immediately (asynchronous completion); a
-//! dispatcher thread drains the bounded admission queue, forms
-//! receptor-compatible, class-homogeneous batches ([`crate::batcher`]), and
-//! hands each batch to one of two dispatchers:
+//! multi-device scheduler. Services are constructed with
+//! [`BatchMappingService::builder`]; clients submit [`MappingRequest`]s from
+//! any thread and get a typed [`crate::AdmissionVerdict`] back immediately —
+//! the SLO-aware admission controller ([`crate::admission`]) estimates each
+//! request's admission-to-completion latency against the live modeled state
+//! and admits, reprioritizes, degrades, or refuses it. Admitted jobs carry a
+//! [`JobHandle`] (asynchronous completion); a dispatcher thread drains the
+//! bounded admission queue, forms receptor-compatible, class-homogeneous
+//! batches under the fairness gates ([`crate::batcher`],
+//! [`crate::config::AdmissionConfig`]), and hands each batch to one of two
+//! dispatchers:
 //!
 //! * **Pipelined** ([`DispatchMode::Pipelined`], the default) — batches are
 //!   submitted to a persistent [`PhasePipeline`]: each `(job, probe)` entry is
@@ -40,13 +46,17 @@
 //! never consensus sites (`tests/service_determinism.rs`,
 //! `tests/pipelined_service.rs`).
 
-use crate::batcher::{next_batch_prioritized, Batchable, LatencyClass};
+use crate::admission::{
+    decide, request_weight, AdmissionState, AdmissionVerdict, Decision, LatencyEstimate,
+    RejectReason,
+};
+use crate::batcher::{next_batch_admission, Batchable, LatencyClass};
 use crate::job::{BatchSummary, JobHandle, JobId, JobReport, JobSlot};
 use crate::queue::{JobQueue, SubmitError};
 use crate::request::MappingRequest;
 use ftmap_core::{
-    cluster_poses, minimize_pose_blocks, ClusterInput, FtMapPipeline, MappingProfile,
-    MappingResult, PhasedMapBatch, ProbeShard,
+    cluster_poses, minimize_pose_blocks, AppliedDegrade, ClusterInput, FtMapConfig, FtMapPipeline,
+    MappingProfile, MappingResult, PhasedMapBatch, ProbeShard,
 };
 use ftmap_trace::{
     AlertState, Category, FlightRecorder, MetricsRegistry, MetricsSnapshot, SampleVerdict,
@@ -55,64 +65,20 @@ use ftmap_trace::{
 use gpu_sim::sched::{
     BatchLabel, BatchReport, DevicePool, PhasePipeline, PhasedBatch, PhasedExec, ShardQueue,
 };
-use gpu_sim::sync::locked;
+use gpu_sim::sync::{locked, wait_on};
 use gpu_sim::{CacheStats, StatsLedger};
 use piper_dock::{Docking, ReceptorGrids};
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-/// How the service turns batches into device work.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum DispatchMode {
-    /// Two-phase barrier per batch over a [`ShardQueue`], batches strictly
-    /// serial — the pre-pipelining behavior, kept as the comparator.
-    Barrier,
-    /// Cross-batch phased pipelining over a persistent [`PhasePipeline`]
-    /// with class priorities. The default.
-    #[default]
-    Pipelined,
-}
-
-/// Service tuning knobs.
-#[derive(Debug, Clone, Copy)]
-pub struct ServeConfig {
-    /// Maximum jobs pending admission (the backpressure bound).
-    pub max_pending: usize,
-    /// Maximum jobs co-scheduled in one batch.
-    pub max_batch_jobs: usize,
-    /// Scheduling granularity of a batch's minimization phase: retained poses
-    /// per work item. `0` fuses dock + minimize into one item per `(job,
-    /// probe)` pair (the coarse schedule); any positive value docks every
-    /// probe once and then schedules pose blocks from *all* the batch's jobs,
-    /// so one hot job's — or one hot probe's — minimizations spread across
-    /// the whole pool.
-    pub pose_block: usize,
-    /// Which dispatcher runs the batches.
-    pub dispatch: DispatchMode,
-    /// Pipelined mode only: how many batches may be in flight on the pool at
-    /// once. 2 is the classic double-buffer — batch N+1 docks under batch N's
-    /// minimization; higher values deepen the pipeline at the cost of
-    /// latency-class responsiveness for work already submitted.
-    pub max_inflight_batches: usize,
-    /// Aging bound for the priority batcher: how many interactive batches may
-    /// overtake a pending bulk job before it anchors the next batch itself.
-    /// `0` disables overtaking entirely (pure FIFO).
-    pub bulk_aging: usize,
-}
-
-impl Default for ServeConfig {
-    fn default() -> Self {
-        ServeConfig {
-            max_pending: 64,
-            max_batch_jobs: 16,
-            pose_block: ftmap_core::DEFAULT_POSE_BLOCK,
-            dispatch: DispatchMode::default(),
-            max_inflight_batches: 2,
-            bulk_aging: 4,
-        }
-    }
-}
+// The configuration types moved to `crate::config` when the flat ServeConfig
+// split into sub-configs; re-exported here so `service::ServeConfig` paths
+// keep compiling.
+pub use crate::config::{
+    AdmissionConfig, BatchConfig, DispatchMode, QueueConfig, ServeConfig, TenantQuota,
+};
 
 /// Latency summary over one class's completed batches (modeled seconds on the
 /// scheduler's virtual timeline).
@@ -263,6 +229,19 @@ struct Job {
     /// The trace id threaded through this job's whole lifecycle: the client's
     /// [`MappingRequest::trace_id`] when supplied, the job id otherwise.
     trace_id: u64,
+    /// The fairness-quota tenant label ([`MappingRequest::tenant_label`]),
+    /// resolved once at admission.
+    tenant: String,
+    /// The job's work units ([`request_weight`]) under the config it was
+    /// admitted with (post-degrade) — the admission backlog currency.
+    weight: f64,
+    /// The admission controller's latency estimate at submit time (`None`
+    /// until the cost model calibrates).
+    estimated_s: Option<f64>,
+    /// The modeled deadline the job was held to, if any.
+    deadline_s: Option<f64>,
+    /// The degrade the controller applied, if any.
+    degrade: Option<AppliedDegrade>,
     slot: Arc<JobSlot>,
 }
 
@@ -389,6 +368,16 @@ struct Shared {
     /// reason; resident `Arc`s stay alive through the caches even after the
     /// memo forgets them).
     grids: Mutex<Vec<(u64, Arc<ReceptorGrids>)>>,
+    /// The admission controller's mutable state: the calibrated cost model,
+    /// the not-yet-scheduled backlog per class, the fairness in-flight
+    /// counters, warm-receptor tracking and the slack epoch. Lock ordering:
+    /// never taken while holding a scheduler-internal lock — the submit path
+    /// reads the scheduler projection *before* locking this.
+    admission: Mutex<AdmissionState>,
+    /// Signalled whenever admission-state slack appears (a job completes or a
+    /// new job is admitted); the dispatcher waits on it when every pending
+    /// job is fairness-blocked.
+    slack: Condvar,
 }
 
 /// Receptor grid sets the host-side memo retains (MRU).
@@ -404,6 +393,13 @@ const LATENCY_BOUNDS: [f64; 12] =
 /// burn-rate window. Unlike the batch histogram it counts every job from its
 /// *own* admission instant.
 const JOB_LATENCY_METRIC: &str = "ftmap_serve_job_latency_modeled_seconds";
+
+/// Upper bounds of the estimator-error histogram: the ratio of the admission
+/// controller's estimate to the realized per-job modeled latency, log-spaced
+/// around 1 (perfect). Ratios below 1 are under-estimates (the dangerous
+/// direction for deadlines), above 1 over-estimates (the load-shedding
+/// direction).
+const ERROR_RATIO_BOUNDS: [f64; 7] = [0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
 
 impl Shared {
     /// The memoized receptor grids for `fingerprint`, building them from the
@@ -472,6 +468,78 @@ impl Shared {
         }
     }
 
+    /// The modeled seconds until the pool's ready backlog at priorities
+    /// `<= priority_cutoff` drains, from the scheduler's projection (0 under
+    /// the barrier dispatcher, whose batches the pending-weight term covers).
+    fn projected_wait_s(&self, priority_cutoff: Option<u32>) -> f64 {
+        let Some(sched) = &self.sched else {
+            return 0.0;
+        };
+        let now = sched.now_v_s();
+        let earliest = sched
+            .projected_completion_v_s(priority_cutoff)
+            .into_iter()
+            .fold(f64::INFINITY, f64::min);
+        if earliest.is_finite() {
+            (earliest - now).max(0.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// The admission controller's latency estimate for a candidate
+    /// `(config, class)` against the live modeled state. `None` until the
+    /// cost model calibrates. Lock ordering: the scheduler projection is read
+    /// *before* the admission mutex — scheduler completion callbacks take the
+    /// admission lock, so the reverse order could invert.
+    fn estimate_for(
+        &self,
+        config: &FtMapConfig,
+        n_probes: usize,
+        fingerprint: u64,
+        class: LatencyClass,
+    ) -> Option<LatencyEstimate> {
+        let wait_base_s = self.projected_wait_s(Some(class.priority()));
+        let n_devices = self.pool.devices().len();
+        let admission = locked(&self.admission);
+        let pending = admission.pending_weight_through(class.priority());
+        let cold = !admission.is_warm(fingerprint);
+        admission.model.estimate(
+            wait_base_s,
+            pending,
+            request_weight(config, n_probes),
+            n_probes,
+            n_devices,
+            cold,
+        )
+    }
+
+    /// The modeled retry-after hint handed back with a `QueueFull` rejection:
+    /// the earliest projected completion across the pool — when slack is next
+    /// expected to appear.
+    fn retry_after_hint(&self) -> f64 {
+        self.projected_wait_s(None)
+    }
+
+    /// Counts one admission verdict onto the verdict counter.
+    fn note_verdict(&self, verdict: &'static str, class: LatencyClass) {
+        self.metrics.counter_add(
+            "ftmap_serve_admission_verdicts_total",
+            &[("verdict", verdict), ("class", class.name())],
+            1.0,
+        );
+    }
+
+    /// Blocks the dispatcher until the admission epoch moves past
+    /// `seen_epoch` — a completion released an in-flight slot or a new job
+    /// was admitted, either of which can unblock a fairness-gated batch.
+    fn wait_for_slack(&self, seen_epoch: u64) {
+        let mut admission = locked(&self.admission);
+        while admission.epoch == seen_epoch {
+            admission = wait_on(&self.slack, admission);
+        }
+    }
+
     /// Samples the admission-queue depth onto the queue track (rendered as a
     /// Perfetto counter series) — call after any push/drain that changes it.
     fn note_queue_depth(&self, at_v_s: f64) {
@@ -483,10 +551,19 @@ impl Shared {
         }
     }
 
-    /// The serve-layer admission edge for one job: submission counter, an
-    /// `admit` instant (tenant + class tags) and a queue-depth sample on the
-    /// queue track. Called after the queue accepted the job.
-    fn note_admitted(&self, tenant: &str, class: LatencyClass, admitted_v_s: f64, trace_id: u64) {
+    /// The serve-layer admission edge for one job: verdict + submission
+    /// counters, an `admit` instant (tenant + class + verdict tags) and a
+    /// queue-depth sample on the queue track. Called after the queue accepted
+    /// the job.
+    fn note_admitted(
+        &self,
+        tenant: &str,
+        class: LatencyClass,
+        admitted_v_s: f64,
+        trace_id: u64,
+        verdict: &'static str,
+    ) {
+        self.note_verdict(verdict, class);
         self.metrics.counter_add(
             "ftmap_serve_jobs_submitted_total",
             &[("class", class.name())],
@@ -498,7 +575,8 @@ impl Shared {
                 class: Some(class.name()),
                 trace: Some(trace_id),
                 ..Tags::default()
-            };
+            }
+            .with_verdict(verdict);
             self.trace.record(
                 TraceEvent::instant(Track::Queue, "admit", Category::Serve, admitted_v_s)
                     .with_tags(tags),
@@ -574,6 +652,34 @@ impl Shared {
             &LATENCY_BOUNDS,
             latency_job_s,
         );
+        // Estimator accuracy: the ratio of the admission-time estimate to the
+        // realized latency (1 = perfect, <1 under-estimated).
+        if let Some(estimated_s) = job.estimated_s {
+            if latency_job_s > 0.0 {
+                self.metrics.observe(
+                    "ftmap_serve_estimator_error_ratio",
+                    &[("class", class)],
+                    &ERROR_RATIO_BOUNDS,
+                    (estimated_s / latency_job_s).min(1e6),
+                );
+            }
+        }
+        let missed = job.deadline_s.map(|deadline| latency_job_s > deadline);
+        if let Some(missed) = missed {
+            self.metrics.counter_add(
+                "ftmap_serve_deadline_outcomes_total",
+                &[("class", class), ("outcome", if missed { "missed" } else { "met" })],
+                1.0,
+            );
+        }
+        {
+            let mut admission = locked(&self.admission);
+            admission.release_inflight(job.fingerprint, &job.tenant);
+            if let Some(missed) = missed {
+                admission.note_deadline(job.class.priority(), missed);
+            }
+        }
+        self.slack.notify_all();
         if self.trace.enabled() {
             let tags = Tags {
                 batch_seq: Some(summary.batch_index as u64),
@@ -672,6 +778,17 @@ impl Shared {
                 );
             }
         }
+        let outcomes = locked(&self.admission).deadline_outcomes;
+        for (class, (met, missed)) in [("interactive", outcomes[0]), ("bulk", outcomes[1])] {
+            let total = met + missed;
+            if total > 0 {
+                metrics.gauge_set(
+                    "ftmap_serve_deadline_miss_ratio",
+                    &[("class", class)],
+                    missed as f64 / total as f64,
+                );
+            }
+        }
         let (raw, derived) = {
             let ledger = locked(&self.ledger);
             (ledger.cache_stats(), ledger.derived_cache_stats())
@@ -757,95 +874,199 @@ pub struct BatchMappingService {
     next_id: AtomicU64,
 }
 
-impl BatchMappingService {
-    /// Starts a service over `pool` and spawns its dispatcher thread (plus,
-    /// in pipelined mode, one persistent scheduler worker per pooled device).
+/// Builds a [`BatchMappingService`]: the one construction path, replacing the
+/// old `new` / `with_trace` / `with_observability` ladder. Obtain one from
+/// [`BatchMappingService::builder`], layer on configuration and observability
+/// in any order, and [`build`](ServiceBuilder::build).
+///
+/// ```ignore
+/// let service = BatchMappingService::builder(pool)
+///     .batch(BatchConfig { max_batch_jobs: 8, ..BatchConfig::default() })
+///     .admission(AdmissionConfig { bulk_deadline_s: Some(5.0), ..AdmissionConfig::default() })
+///     .trace(recorder)
+///     .build();
+/// ```
+pub struct ServiceBuilder {
+    pool: Arc<DevicePool>,
+    config: ServeConfig,
+    observability: Observability,
+}
+
+impl ServiceBuilder {
+    /// Replaces the whole service configuration.
+    pub fn config(mut self, config: ServeConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the admission-queue knobs ([`QueueConfig`]).
+    pub fn queue(mut self, queue: QueueConfig) -> Self {
+        self.config.queue = queue;
+        self
+    }
+
+    /// Sets the batch-formation/dispatch knobs ([`BatchConfig`]).
+    pub fn batch(mut self, batch: BatchConfig) -> Self {
+        self.config.batch = batch;
+        self
+    }
+
+    /// Sets the SLO-aware admission-control and fairness knobs
+    /// ([`AdmissionConfig`]).
+    pub fn admission(mut self, admission: AdmissionConfig) -> Self {
+        self.config.admission = admission;
+        self
+    }
+
+    /// Records every scheduler item, kernel, transfer, residency event and
+    /// serve-layer edge into `sink` on the modeled virtual timeline (resolve
+    /// with [`ftmap_trace::Recorder::events`], export with
+    /// [`ftmap_trace::export_chrome_trace`]). The no-op sink — one boolean
+    /// check per edge — when not called.
+    pub fn trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.observability.sink = sink;
+        self
+    }
+
+    /// Adds latency objectives: per-job latencies feed a burn-rate
+    /// [`SloEngine`], evaluated into [`ServeStats::slo`] and the
+    /// `ftmap_serve_slo_*` gauges at every
+    /// [`stats`](BatchMappingService::stats) call.
+    pub fn slos(mut self, slos: Vec<SloSpec>) -> Self {
+        self.observability.slos = slos;
+        self
+    }
+
+    /// Wires `recorder` as both the trace sink and the tail-sampled retention
+    /// store: each job's tail-sampling verdict — SLO breach or long-window
+    /// p99 outlier — tells the recorder whether to retain the request's full
+    /// causal tree.
+    pub fn flight_recorder(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.observability.sink = Arc::clone(&recorder) as Arc<dyn TraceSink>;
+        self.observability.flight = Some(recorder);
+        self
+    }
+
+    /// Replaces the whole observability wiring at once ([`Observability`]).
+    pub fn observability(mut self, observability: Observability) -> Self {
+        self.observability = observability;
+        self
+    }
+
+    /// Starts the service: spawns its dispatcher thread (plus, in pipelined
+    /// mode, one persistent scheduler worker per pooled device).
     ///
     /// # Panics
-    /// Panics if `config.max_pending`, `config.max_batch_jobs` or
-    /// `config.max_inflight_batches` is zero — validated here, at
+    /// Panics if `queue.max_pending`, `batch.max_batch_jobs` or
+    /// `batch.max_inflight_batches` is zero — validated here, at
     /// construction, because a bad bound discovered later, on the dispatcher
     /// thread, would kill the dispatcher and strand every in-flight job
     /// handle.
-    pub fn new(pool: Arc<DevicePool>, config: ServeConfig) -> Self {
-        Self::with_trace(pool, config, ftmap_trace::noop())
+    pub fn build(self) -> BatchMappingService {
+        build_service(self.pool, self.config, self.observability)
+    }
+}
+
+/// The construction body every public path funnels through (the builder and
+/// the deprecated constructors alike).
+fn build_service(
+    pool: Arc<DevicePool>,
+    config: ServeConfig,
+    observability: Observability,
+) -> BatchMappingService {
+    let Observability { sink, slos, flight } = observability;
+    assert!(config.batch.max_batch_jobs > 0, "BatchConfig.max_batch_jobs must be at least 1");
+    assert!(
+        config.batch.max_inflight_batches > 0,
+        "BatchConfig.max_inflight_batches must be at least 1"
+    );
+    let sched = match config.batch.dispatch {
+        DispatchMode::Pipelined => {
+            Some(PhasePipeline::with_trace(Arc::clone(&pool), Arc::clone(&sink)))
+        }
+        DispatchMode::Barrier => None,
+    };
+    let cache_mark = pool
+        .devices()
+        .iter()
+        .map(|d| (d.residency().stats(), d.residency().derived_stats()))
+        .collect();
+    let shared = Arc::new(Shared {
+        queue: JobQueue::new(config.queue.max_pending),
+        pool,
+        config,
+        trace: sink,
+        metrics: Arc::new(MetricsRegistry::new()),
+        sched,
+        slo: if slos.is_empty() { None } else { Some(Mutex::new(SloEngine::new(slos))) },
+        flight,
+        ledger: Mutex::new(StatsLedger::new()),
+        latency: Mutex::new(LatencyBook::default()),
+        cache_mark: Mutex::new(cache_mark),
+        modeled_clock: Mutex::new(0.0),
+        jobs_submitted: AtomicUsize::new(0),
+        jobs_completed: AtomicUsize::new(0),
+        batches_run: AtomicUsize::new(0),
+        grids: Mutex::new(Vec::new()),
+        admission: Mutex::new(AdmissionState::default()),
+        slack: Condvar::new(),
+    });
+    let dispatcher = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || dispatch_loop(&shared))
+    };
+    BatchMappingService { shared, dispatcher: Some(dispatcher), next_id: AtomicU64::new(0) }
+}
+
+impl BatchMappingService {
+    /// Starts building a service over `pool` — see [`ServiceBuilder`].
+    pub fn builder(pool: Arc<DevicePool>) -> ServiceBuilder {
+        ServiceBuilder {
+            pool,
+            config: ServeConfig::default(),
+            observability: Observability::trace(ftmap_trace::noop()),
+        }
     }
 
-    /// [`BatchMappingService::new`] with a trace sink: every scheduler item,
-    /// kernel, transfer, residency event and serve-layer edge the service
-    /// causes is recorded into `sink` on the modeled virtual timeline
-    /// (resolve with [`ftmap_trace::Recorder::events`], export with
-    /// [`ftmap_trace::export_chrome_trace`]). Pass [`ftmap_trace::noop`] —
-    /// or call [`BatchMappingService::new`] — for the untraced service; the
-    /// disabled sink costs one boolean check per edge.
+    /// Starts a service over `pool` with `config` and no tracing.
     ///
     /// # Panics
     /// Same construction-time bound validation as
-    /// [`BatchMappingService::new`].
+    /// [`ServiceBuilder::build`].
+    #[deprecated(note = "use BatchMappingService::builder(pool).config(config).build()")]
+    pub fn new(pool: Arc<DevicePool>, config: ServeConfig) -> Self {
+        build_service(pool, config, Observability::trace(ftmap_trace::noop()))
+    }
+
+    /// Starts a service with a trace sink.
+    ///
+    /// # Panics
+    /// Same construction-time bound validation as
+    /// [`ServiceBuilder::build`].
+    #[deprecated(
+        note = "use BatchMappingService::builder(pool).config(config).trace(sink).build()"
+    )]
     pub fn with_trace(
         pool: Arc<DevicePool>,
         config: ServeConfig,
         sink: Arc<dyn TraceSink>,
     ) -> Self {
-        Self::with_observability(pool, config, Observability::trace(sink))
+        build_service(pool, config, Observability::trace(sink))
     }
 
-    /// [`BatchMappingService::with_trace`] plus SLO objectives and an optional
-    /// flight recorder ([`Observability`]): per-job latencies feed a
-    /// burn-rate [`SloEngine`] (evaluated into [`ServeStats::slo`] and the
-    /// `ftmap_serve_slo_*` gauges at every [`stats`](BatchMappingService::stats)
-    /// call), and each job's tail-sampling verdict — SLO breach or long-window
-    /// p99 outlier — tells the flight recorder whether to retain the request's
-    /// full causal tree.
+    /// Starts a service with full observability wiring.
     ///
     /// # Panics
     /// Same construction-time bound validation as
-    /// [`BatchMappingService::new`].
+    /// [`ServiceBuilder::build`].
+    #[deprecated(note = "use BatchMappingService::builder(pool).config(config)\
+                .observability(observability).build()")]
     pub fn with_observability(
         pool: Arc<DevicePool>,
         config: ServeConfig,
         observability: Observability,
     ) -> Self {
-        let Observability { sink, slos, flight } = observability;
-        assert!(config.max_batch_jobs > 0, "ServeConfig.max_batch_jobs must be at least 1");
-        assert!(
-            config.max_inflight_batches > 0,
-            "ServeConfig.max_inflight_batches must be at least 1"
-        );
-        let sched = match config.dispatch {
-            DispatchMode::Pipelined => {
-                Some(PhasePipeline::with_trace(Arc::clone(&pool), Arc::clone(&sink)))
-            }
-            DispatchMode::Barrier => None,
-        };
-        let cache_mark = pool
-            .devices()
-            .iter()
-            .map(|d| (d.residency().stats(), d.residency().derived_stats()))
-            .collect();
-        let shared = Arc::new(Shared {
-            queue: JobQueue::new(config.max_pending),
-            pool,
-            config,
-            trace: sink,
-            metrics: Arc::new(MetricsRegistry::new()),
-            sched,
-            slo: if slos.is_empty() { None } else { Some(Mutex::new(SloEngine::new(slos))) },
-            flight,
-            ledger: Mutex::new(StatsLedger::new()),
-            latency: Mutex::new(LatencyBook::default()),
-            cache_mark: Mutex::new(cache_mark),
-            modeled_clock: Mutex::new(0.0),
-            jobs_submitted: AtomicUsize::new(0),
-            jobs_completed: AtomicUsize::new(0),
-            batches_run: AtomicUsize::new(0),
-            grids: Mutex::new(Vec::new()),
-        });
-        let dispatcher = {
-            let shared = Arc::clone(&shared);
-            std::thread::spawn(move || dispatch_loop(&shared))
-        };
-        BatchMappingService { shared, dispatcher: Some(dispatcher), next_id: AtomicU64::new(0) }
+        build_service(pool, config, observability)
     }
 
     /// The device pool the service schedules onto.
@@ -854,11 +1075,31 @@ impl BatchMappingService {
     }
 
     /// The service configuration.
-    pub fn config(&self) -> ServeConfig {
-        self.shared.config
+    pub fn config(&self) -> &ServeConfig {
+        &self.shared.config
     }
 
-    fn admit(&self, request: MappingRequest) -> Job {
+    /// The admission controller's current latency estimate for `request`,
+    /// against the live modeled state — what `submit` would compare to the
+    /// deadline right now. `None` until the cost model calibrates (the first
+    /// batch completion).
+    pub fn estimate_request(&self, request: &MappingRequest) -> Option<LatencyEstimate> {
+        self.shared.estimate_for(
+            &request.config,
+            request.probes.len(),
+            request.receptor_fingerprint(),
+            request.class,
+        )
+    }
+
+    fn admit(
+        &self,
+        request: MappingRequest,
+        class: LatencyClass,
+        estimated_s: Option<f64>,
+        deadline_s: Option<f64>,
+        degrade: Option<AppliedDegrade>,
+    ) -> Job {
         let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let admitted_v_s = match &self.shared.sched {
             Some(sched) => sched.now_v_s(),
@@ -867,57 +1108,111 @@ impl BatchMappingService {
         Job {
             id,
             fingerprint: request.receptor_fingerprint(),
-            class: request.class,
+            class,
             overtaken: 0,
             admitted_v_s,
             trace_id: request.trace_id.unwrap_or(id.0),
+            tenant: request.tenant_label().to_string(),
+            weight: request_weight(&request.config, request.probes.len()),
+            estimated_s,
+            deadline_s,
+            degrade,
             slot: JobSlot::new(),
             request,
         }
     }
 
-    /// Submits a request, **blocking** while the admission queue is full
-    /// (backpressure). Fails only when the service is shutting down.
-    // lint-allow(justified-allows): a refused submission hands the (large)
-    // request back by value so the client can retry or shed without ever
-    // cloning a protein — the big error variant is the point.
-    #[allow(clippy::result_large_err)]
-    pub fn submit(
-        &self,
-        request: MappingRequest,
-    ) -> Result<JobHandle, SubmitError<MappingRequest>> {
-        let job = self.admit(request);
-        let handle = JobHandle::new(job.id, job.request.tag.clone(), Arc::clone(&job.slot));
-        let (class, admitted_v_s, trace_id) = (job.class, job.admitted_v_s, job.trace_id);
-        match self.shared.queue.push(job) {
-            Ok(()) => {
-                self.shared.jobs_submitted.fetch_add(1, Ordering::Relaxed);
-                self.shared.note_admitted(handle.tag(), class, admitted_v_s, trace_id);
-                Ok(handle)
-            }
-            Err(err) => Err(strip(err)),
-        }
+    /// Submits a request through the admission controller, **blocking** while
+    /// the admission queue is full (backpressure), and returns the typed
+    /// [`AdmissionVerdict`]: admitted (plain, reprioritized, or degraded)
+    /// with a [`JobHandle`], or rejected with the request handed back and a
+    /// modeled retry-after hint. A blocking submit is only rejected on an
+    /// unmeetable deadline or a closing service.
+    pub fn submit(&self, request: MappingRequest) -> AdmissionVerdict {
+        self.submit_inner(request, true)
     }
 
-    /// Submits a request without blocking; a full queue refuses and hands the
-    /// request back, so the client owns the shedding/retry policy.
-    // lint-allow(justified-allows): same contract as `submit` — the refused
-    // request rides the error variant back to the caller by value.
-    #[allow(clippy::result_large_err)]
-    pub fn try_submit(
-        &self,
-        request: MappingRequest,
-    ) -> Result<JobHandle, SubmitError<MappingRequest>> {
-        let job = self.admit(request);
+    /// [`submit`](BatchMappingService::submit) without blocking: a full
+    /// admission queue rejects ([`RejectReason::QueueFull`]) instead of
+    /// waiting, so the client owns the shedding/retry policy.
+    pub fn try_submit(&self, request: MappingRequest) -> AdmissionVerdict {
+        self.submit_inner(request, false)
+    }
+
+    fn submit_inner(&self, mut request: MappingRequest, blocking: bool) -> AdmissionVerdict {
+        let requested_class = request.class;
+        let deadline_s = request
+            .deadline_s
+            .or_else(|| self.shared.config.admission.deadline_for(requested_class));
+        let fingerprint = request.receptor_fingerprint();
+        let n_probes = request.probes.len();
+        let decision = decide(
+            &self.shared.config.admission,
+            requested_class,
+            deadline_s,
+            &request.config,
+            |config, class| self.shared.estimate_for(config, n_probes, fingerprint, class),
+        );
+        let (class, estimated_s, degrade) = match decision {
+            Decision::Admit { estimated_s } => (requested_class, estimated_s, None),
+            Decision::Reprioritize { to, estimated_s } => (to, Some(estimated_s), None),
+            Decision::Degrade { config, applied, estimated_s } => {
+                // Grid geometry is untouched by degradation, so the receptor
+                // fingerprint — the batching key — is preserved.
+                request.config = config;
+                (requested_class, Some(estimated_s), Some(applied))
+            }
+            Decision::Reject { estimated_s, deadline_s } => {
+                self.shared.note_verdict("rejected", requested_class);
+                return AdmissionVerdict::Rejected {
+                    request,
+                    reason: RejectReason::DeadlineUnmeetable { estimated_s, deadline_s },
+                    retry_after_modeled_s: Some((estimated_s - deadline_s).max(0.0)),
+                };
+            }
+        };
+        let job = self.admit(request, class, estimated_s, deadline_s, degrade);
         let handle = JobHandle::new(job.id, job.request.tag.clone(), Arc::clone(&job.slot));
-        let (class, admitted_v_s, trace_id) = (job.class, job.admitted_v_s, job.trace_id);
-        match self.shared.queue.try_push(job) {
+        let (priority, weight) = (class.priority(), job.weight);
+        let (admitted_v_s, trace_id) = (job.admitted_v_s, job.trace_id);
+        let tenant = job.tenant.clone();
+        let pushed =
+            if blocking { self.shared.queue.push(job) } else { self.shared.queue.try_push(job) };
+        match pushed {
             Ok(()) => {
                 self.shared.jobs_submitted.fetch_add(1, Ordering::Relaxed);
-                self.shared.note_admitted(handle.tag(), class, admitted_v_s, trace_id);
-                Ok(handle)
+                {
+                    let mut admission = locked(&self.shared.admission);
+                    admission.add_pending(priority, weight);
+                    admission.epoch = admission.epoch.wrapping_add(1);
+                }
+                self.shared.slack.notify_all();
+                let verdict = match degrade {
+                    Some(applied) => AdmissionVerdict::Degraded { handle, applied },
+                    None if class != requested_class => {
+                        AdmissionVerdict::Reprioritized { handle, from: requested_class, to: class }
+                    }
+                    None => AdmissionVerdict::Admitted(handle),
+                };
+                self.shared.note_admitted(&tenant, class, admitted_v_s, trace_id, verdict.name());
+                verdict
             }
-            Err(err) => Err(strip(err)),
+            Err(SubmitError::Full(job)) => {
+                self.shared.note_verdict("rejected", class);
+                AdmissionVerdict::Rejected {
+                    request: job.request,
+                    reason: RejectReason::QueueFull,
+                    retry_after_modeled_s: Some(self.shared.retry_after_hint()),
+                }
+            }
+            Err(SubmitError::Closed(job)) => {
+                self.shared.note_verdict("rejected", class);
+                AdmissionVerdict::Rejected {
+                    request: job.request,
+                    reason: RejectReason::Closed,
+                    retry_after_modeled_s: None,
+                }
+            }
         }
     }
 
@@ -984,16 +1279,44 @@ impl Drop for BatchMappingService {
     }
 }
 
-/// Maps a queue error on `Job` back onto the caller's request.
-fn strip(err: SubmitError<Job>) -> SubmitError<MappingRequest> {
-    match err {
-        SubmitError::Full(job) => SubmitError::Full(job.request),
-        SubmitError::Closed(job) => SubmitError::Closed(job.request),
-    }
+/// Forms the next batch under the fairness gates, reserving an in-flight
+/// slot for every member as it joins. Returns the batch and the admission
+/// epoch observed while forming it — when the batch comes back empty from a
+/// non-empty pending list, every candidate anchor was fairness-blocked, and
+/// the dispatcher waits for the epoch to move (a completion releasing slots,
+/// or a fresh admission).
+fn form_batch(shared: &Shared, pending: &mut Vec<Job>) -> (Vec<Job>, u64) {
+    let admission = &shared.config.admission;
+    let receptor_cap = admission.max_inflight_per_receptor.map(|cap| cap.max(1));
+    let quota_total = admission.quota_total(&shared.config.batch);
+    let state = RefCell::new(locked(&shared.admission));
+    let epoch = state.borrow().epoch;
+    let fits = |job: &Job, state: &AdmissionState| {
+        receptor_cap.is_none_or(|cap| state.receptor_load(job.fingerprint) < cap)
+            && state.tenant_load(&job.tenant) < admission.tenant_allowance(&job.tenant, quota_total)
+    };
+    let batch = next_batch_admission(
+        pending,
+        shared.config.batch.max_batch_jobs,
+        shared.config.batch.bulk_aging,
+        |job| fits(job, &state.borrow()),
+        |job| {
+            // Re-check under the same lock, then reserve: earlier members of
+            // this very batch count against the later ones' caps/quotas.
+            let mut state = state.borrow_mut();
+            let ok = fits(job, &state);
+            if ok {
+                state.reserve_inflight(job.fingerprint, &job.tenant);
+            }
+            ok
+        },
+    );
+    (batch, epoch)
 }
 
-/// The dispatcher: drain → batch → dispatch, until closed and empty; then
-/// wait out whatever the phased scheduler still has in flight.
+/// The dispatcher: drain → batch (under the fairness gates) → dispatch,
+/// until closed and empty; then wait out whatever the phased scheduler still
+/// has in flight.
 fn dispatch_loop(shared: &Arc<Shared>) {
     let mut pending: Vec<Job> = Vec::new();
     loop {
@@ -1006,12 +1329,15 @@ fn dispatch_loop(shared: &Arc<Shared>) {
                 None => break, // closed and fully drained
             }
         }
-        let batch = next_batch_prioritized(
-            &mut pending,
-            shared.config.max_batch_jobs,
-            shared.config.bulk_aging,
-        );
-        match shared.config.dispatch {
+        let (batch, epoch) = form_batch(shared, &mut pending);
+        if batch.is_empty() {
+            // Every pending anchor is fairness-blocked. Allowances and caps
+            // are clamped to ≥ 1, so a blocked job implies work in flight —
+            // a completion is coming, and it bumps the epoch.
+            shared.wait_for_slack(epoch);
+            continue;
+        }
+        match shared.config.batch.dispatch {
             DispatchMode::Barrier => run_batch(shared, batch),
             DispatchMode::Pipelined => submit_batch(shared, batch),
         }
@@ -1039,17 +1365,17 @@ fn submit_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
     // Flow control: keep at most `max_inflight_batches` on the pool — enough
     // that batch N+1 docks under batch N's minimization, bounded so priority
     // admission stays responsive and memory stays flat.
-    sched.wait_capacity(shared.config.max_inflight_batches);
+    sched.wait_capacity(shared.config.batch.max_inflight_batches);
 
     let batch_index = shared.batches_run.fetch_add(1, Ordering::Relaxed);
     for job in &batch {
         job.slot.set_running();
     }
     let class = batch[0].class;
-    // The anchor job's tag stands in as the batch's tenant label (batches are
+    // The anchor job's tenant label stands in for the batch (batches are
     // receptor- and class-homogeneous; per-job identity stays on the admit
     // instants).
-    let tenant = batch[0].request.tag.clone();
+    let tenant = batch[0].tenant.clone();
     shared.note_batch_formed(batch_index, &batch, class);
     let receptor = shared.receptor_for(batch[0].fingerprint, &batch[0]);
     let receptor_key = receptor.content_key();
@@ -1074,7 +1400,17 @@ fn submit_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
     } else {
         Vec::new()
     };
-    let exec = Arc::new(PhasedMapBatch::new(pipelines, entries, shared.config.pose_block));
+    let exec = Arc::new(PhasedMapBatch::new(pipelines, entries, shared.config.batch.pose_block));
+
+    // The batch is now the scheduler's: its jobs leave the admission
+    // controller's pending backlog (the scheduler projection covers them from
+    // here on).
+    {
+        let mut admission = locked(&shared.admission);
+        for job in &batch {
+            admission.remove_pending(job.class.priority(), job.weight);
+        }
+    }
 
     let callback = {
         let shared = Arc::clone(shared);
@@ -1124,6 +1460,27 @@ fn complete_pipelined_batch(
         // Batch-scoped bucket: `transfer_s` was measured around exactly this
         // batch's items, so concurrent batches can never double-charge it.
         ledger.record_transfer_s("serve.batch", transfer_s);
+    }
+    // Calibrate the admission controller's cost model and warm set with what
+    // the batch actually did.
+    {
+        let batch_weight: f64 = batch.iter().map(|job| job.weight).sum();
+        let cold = cache_delta.misses > 0;
+        // The fraction of the pool this batch actually occupied: devices the
+        // scheduler can fill with queue neighbors drain the backlog in
+        // parallel, so a half-pool batch works off queued weight twice as
+        // fast as its span alone suggests.
+        let footprint = report.per_device.iter().filter(|d| d.items() > 0).count();
+        let device_share = footprint as f64 / report.per_device.len().max(1) as f64;
+        let mut admission = locked(&shared.admission);
+        admission.model.observe_batch(
+            report.span_modeled_s(),
+            device_share,
+            batch_weight,
+            cold,
+            transfer_s,
+        );
+        admission.note_warm(batch[0].fingerprint);
     }
     // Latency counts from the earliest job's *admission* instant, so modeled
     // queue wait spent in the dispatcher's pending list (flow control,
@@ -1190,7 +1547,7 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
         .collect();
     let n_items = items.len();
     let queue = ShardQueue::new(&shared.pool).with_trace(Arc::clone(&shared.trace));
-    let (shards, n_pose_blocks, makespan_modeled_s) = if shared.config.pose_block == 0 {
+    let (shards, n_pose_blocks, makespan_modeled_s) = if shared.config.batch.pose_block == 0 {
         let outcome = queue.execute(items, |ctx, (job_idx, probe)| {
             let shard = pipelines[job_idx].map_probe_shard(&probe, ctx.device);
             let kernel_s = shard.kernel_modeled_s;
@@ -1214,7 +1571,7 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
         let phase = minimize_pose_blocks(
             &queue,
             &dock.results,
-            shared.config.pose_block,
+            shared.config.batch.pose_block,
             &|(job_idx, docked)| pipelines[*job_idx].retained_pose_count(docked),
             &|ctx, (job_idx, docked), range| {
                 pipelines[*job_idx].minimize_pose_block(docked, range, ctx.device)
@@ -1243,6 +1600,27 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
         ledger.record_cache(&cache_delta);
         ledger.record_derived_cache(&derived_delta);
         ledger.record_transfer_s("serve.batch", transfer_s);
+    }
+    // Admission-controller feedback: the batch has executed, so its jobs
+    // leave the pending backlog (kept there through execution on this path —
+    // barrier batches have no scheduler projection covering them), and the
+    // realized makespan calibrates the cost model.
+    {
+        let batch_weight: f64 = batch.iter().map(|job| job.weight).sum();
+        let mut admission = locked(&shared.admission);
+        for job in &batch {
+            admission.remove_pending(job.class.priority(), job.weight);
+        }
+        // Barrier batches run strictly back to back and monopolize the
+        // modeled timeline whatever their footprint: full device share.
+        admission.model.observe_batch(
+            makespan_modeled_s,
+            1.0,
+            batch_weight,
+            cache_delta.misses > 0,
+            transfer_s,
+        );
+        admission.note_warm(batch[0].fingerprint);
     }
 
     // Barrier batches run back to back on the modeled timeline; latency
@@ -1317,6 +1695,9 @@ fn finish_jobs(
             trace_id: job.trace_id,
             admitted_modeled_s: job.admitted_v_s,
             latency_modeled_s: latency_job_s,
+            deadline_s: job.deadline_s,
+            estimated_latency_s: job.estimated_s,
+            degrade: job.degrade,
         });
         job.slot.complete(report);
         shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
@@ -1341,11 +1722,11 @@ mod tests {
 
     #[test]
     fn submitted_jobs_complete_with_results() {
-        let service =
-            BatchMappingService::new(Arc::new(DevicePool::tesla(2)), ServeConfig::default());
-        let a = service.submit(request(&[ProbeType::Ethanol], "a")).expect("admitted");
-        let b =
-            service.submit(request(&[ProbeType::Acetone, ProbeType::Urea], "b")).expect("admitted");
+        let service = BatchMappingService::builder(Arc::new(DevicePool::tesla(2))).build();
+        let a = service.submit(request(&[ProbeType::Ethanol], "a")).expect_admitted("admitted");
+        let b = service
+            .submit(request(&[ProbeType::Acetone, ProbeType::Urea], "b"))
+            .expect_admitted("admitted");
         let report_a = a.wait();
         let report_b = b.wait();
         assert_eq!(a.status(), JobStatus::Completed);
@@ -1375,12 +1756,12 @@ mod tests {
         let req = request(&[ProbeType::Ethanol, ProbeType::Benzene], "solo");
         let dedicated = FtMapPipeline::new(req.protein.clone(), req.ff.clone(), req.config.clone())
             .map(&req.library());
-        let service =
-            BatchMappingService::new(Arc::new(DevicePool::tesla(2)), ServeConfig::default());
+        let service = BatchMappingService::builder(Arc::new(DevicePool::tesla(2))).build();
         // Surround it with noise jobs in the same batch.
-        let noise1 = service.submit(request(&[ProbeType::Acetone], "n1")).expect("admitted");
-        let job = service.submit(req).expect("admitted");
-        let noise2 = service.submit(request(&[ProbeType::Urea], "n2")).expect("admitted");
+        let noise1 =
+            service.submit(request(&[ProbeType::Acetone], "n1")).expect_admitted("admitted");
+        let job = service.submit(req).expect_admitted("admitted");
+        let noise2 = service.submit(request(&[ProbeType::Urea], "n2")).expect_admitted("admitted");
         let report = job.wait();
         noise1.wait();
         noise2.wait();
@@ -1409,10 +1790,10 @@ mod tests {
         let req = make(&[ProbeType::Ethanol, ProbeType::Benzene], "first");
         let dedicated = FtMapPipeline::new(req.protein.clone(), req.ff.clone(), req.config.clone())
             .map(&req.library());
-        let service =
-            BatchMappingService::new(Arc::new(DevicePool::tesla(1)), ServeConfig::default());
-        let first = service.submit(req).expect("admitted");
-        let second = service.submit(make(&[ProbeType::Acetone], "second")).expect("admitted");
+        let service = BatchMappingService::builder(Arc::new(DevicePool::tesla(1))).build();
+        let first = service.submit(req).expect_admitted("admitted");
+        let second =
+            service.submit(make(&[ProbeType::Acetone], "second")).expect_admitted("admitted");
         let first_report = first.wait();
         second.wait();
         assert_eq!(first_report.result.sites.len(), dedicated.sites.len());
@@ -1444,18 +1825,16 @@ mod tests {
             req.config.conformations_per_probe = 2;
             req
         };
-        let fused_service = BatchMappingService::new(
-            Arc::new(DevicePool::tesla(2)),
-            ServeConfig { pose_block: 0, ..ServeConfig::default() },
-        );
-        let fused = fused_service.submit(make()).expect("admitted").wait();
+        let fused_service = BatchMappingService::builder(Arc::new(DevicePool::tesla(2)))
+            .batch(BatchConfig { pose_block: 0, ..BatchConfig::default() })
+            .build();
+        let fused = fused_service.submit(make()).expect_admitted("admitted").wait();
         assert_eq!(fused.batch.pose_blocks, 0, "fused batches schedule no blocks");
 
-        let pose_service = BatchMappingService::new(
-            Arc::new(DevicePool::tesla(2)),
-            ServeConfig { pose_block: 1, ..ServeConfig::default() },
-        );
-        let pose = pose_service.submit(make()).expect("admitted").wait();
+        let pose_service = BatchMappingService::builder(Arc::new(DevicePool::tesla(2)))
+            .batch(BatchConfig { pose_block: 1, ..BatchConfig::default() })
+            .build();
+        let pose = pose_service.submit(make()).expect_admitted("admitted").wait();
         assert_eq!(pose.result.conformations_minimized, 4);
         // Block size 1 ⇒ one block per minimized conformation across the batch.
         assert_eq!(pose.batch.pose_blocks, pose.result.conformations_minimized);
@@ -1479,16 +1858,14 @@ mod tests {
         // The comparator path: same job set through DispatchMode::Barrier and
         // DispatchMode::Pipelined — identical per-job sites.
         let make = || request(&[ProbeType::Ethanol, ProbeType::Acetone], "cmp");
-        let barrier_service = BatchMappingService::new(
-            Arc::new(DevicePool::tesla(2)),
-            ServeConfig { dispatch: DispatchMode::Barrier, ..ServeConfig::default() },
-        );
-        let barrier = barrier_service.submit(make()).expect("admitted").wait();
-        let pipelined_service = BatchMappingService::new(
-            Arc::new(DevicePool::tesla(2)),
-            ServeConfig { dispatch: DispatchMode::Pipelined, ..ServeConfig::default() },
-        );
-        let pipelined = pipelined_service.submit(make()).expect("admitted").wait();
+        let barrier_service = BatchMappingService::builder(Arc::new(DevicePool::tesla(2)))
+            .batch(BatchConfig { dispatch: DispatchMode::Barrier, ..BatchConfig::default() })
+            .build();
+        let barrier = barrier_service.submit(make()).expect_admitted("admitted").wait();
+        let pipelined_service = BatchMappingService::builder(Arc::new(DevicePool::tesla(2)))
+            .batch(BatchConfig { dispatch: DispatchMode::Pipelined, ..BatchConfig::default() })
+            .build();
+        let pipelined = pipelined_service.submit(make()).expect_admitted("admitted").wait();
         assert_eq!(barrier.result.sites.len(), pipelined.result.sites.len());
         for (a, b) in barrier.result.sites.iter().zip(&pipelined.result.sites) {
             assert_eq!(a.rank, b.rank);
@@ -1505,14 +1882,14 @@ mod tests {
 
     #[test]
     fn interactive_jobs_report_their_class_and_latency_view() {
-        let service = BatchMappingService::new(
-            Arc::new(DevicePool::tesla(2)),
-            ServeConfig { max_batch_jobs: 1, ..ServeConfig::default() },
-        );
-        let bulk = service.submit(request(&[ProbeType::Ethanol], "bulk")).expect("admitted");
+        let service = BatchMappingService::builder(Arc::new(DevicePool::tesla(2)))
+            .batch(BatchConfig { max_batch_jobs: 1, ..BatchConfig::default() })
+            .build();
+        let bulk =
+            service.submit(request(&[ProbeType::Ethanol], "bulk")).expect_admitted("admitted");
         let inter = service
             .submit(request(&[ProbeType::Acetone], "inter").with_class(LatencyClass::Interactive))
-            .expect("admitted");
+            .expect_admitted("admitted");
         let bulk_report = bulk.wait();
         let inter_report = inter.wait();
         assert_eq!(bulk_report.batch.class, LatencyClass::Bulk);
@@ -1536,16 +1913,19 @@ mod tests {
         // charge batch N+1's uploads to batch N as well.
         let pool = Arc::new(DevicePool::tesla(2));
         pool.reset_transfer_stats();
-        let service = BatchMappingService::new(
-            Arc::clone(&pool),
+        let service = BatchMappingService::builder(Arc::clone(&pool))
             // Force distinct consecutive batches that overlap in flight.
-            ServeConfig { max_batch_jobs: 1, max_inflight_batches: 2, ..ServeConfig::default() },
-        );
+            .batch(BatchConfig {
+                max_batch_jobs: 1,
+                max_inflight_batches: 2,
+                ..BatchConfig::default()
+            })
+            .build();
         let handles: Vec<_> = (0..4)
             .map(|i| {
                 service
                     .submit(request(&[ProbeType::Ethanol, ProbeType::Urea], &format!("t{i}")))
-                    .expect("admitted")
+                    .expect_admitted("admitted")
             })
             .collect();
         let reports: Vec<_> = handles.iter().map(|h| h.wait()).collect();
@@ -1571,37 +1951,46 @@ mod tests {
         );
     }
 
+    fn tiny_service() -> BatchMappingService {
+        BatchMappingService::builder(Arc::new(DevicePool::tesla(1)))
+            .queue(QueueConfig { max_pending: 1 })
+            .batch(BatchConfig { max_batch_jobs: 1, ..BatchConfig::default() })
+            .build()
+    }
+
     #[test]
     fn try_submit_sheds_when_the_queue_is_full() {
         // A service whose dispatcher is busy accumulates pending jobs; with
-        // max_pending = 1 the second concurrent try_submit must be refused
+        // max_pending = 1 the second concurrent try_submit must be rejected
         // and hand the request back. Use a closed service for a deterministic
         // variant as well.
-        let service = BatchMappingService::new(
-            Arc::new(DevicePool::tesla(1)),
-            ServeConfig { max_pending: 1, max_batch_jobs: 1, ..ServeConfig::default() },
-        );
+        let service = tiny_service();
         let stats = service.shutdown();
         assert_eq!(stats.jobs_submitted, 0);
 
-        let service = BatchMappingService::new(
-            Arc::new(DevicePool::tesla(1)),
-            ServeConfig { max_pending: 1, max_batch_jobs: 1, ..ServeConfig::default() },
-        );
-        // Saturate: keep pushing until one submission reports Full. The
+        let service = tiny_service();
+        // Saturate: keep pushing until one submission reports QueueFull. The
         // dispatcher drains concurrently, so retry a few times.
         let mut saw_full = false;
         let mut handles = Vec::new();
         for i in 0..32 {
             match service.try_submit(request(&[ProbeType::Ethanol], &format!("j{i}"))) {
-                Ok(handle) => handles.push(handle),
-                Err(SubmitError::Full(req)) => {
+                AdmissionVerdict::Rejected {
+                    request: req,
+                    reason: RejectReason::QueueFull,
+                    retry_after_modeled_s,
+                } => {
                     saw_full = true;
-                    // The request comes back intact for the client to retry.
+                    // The request comes back intact for the client to retry,
+                    // with a modeled retry-after hint.
                     assert_eq!(req.probes, vec![ProbeType::Ethanol]);
+                    assert!(retry_after_modeled_s.is_some_and(|s| s >= 0.0));
                     break;
                 }
-                Err(SubmitError::Closed(_)) => panic!("service is open"),
+                AdmissionVerdict::Rejected { reason, .. } => {
+                    panic!("unexpected rejection: {reason:?}")
+                }
+                verdict => handles.push(verdict.expect_admitted("open service admits")),
             }
         }
         assert!(saw_full, "a 1-deep queue must refuse under a 32-job burst");
@@ -1612,41 +2001,53 @@ mod tests {
     }
 
     #[test]
+    fn closed_service_rejects_with_no_retry_hint() {
+        let mut service = tiny_service();
+        service.close_and_join();
+        match service.try_submit(request(&[ProbeType::Ethanol], "late")) {
+            AdmissionVerdict::Rejected {
+                reason: RejectReason::Closed,
+                retry_after_modeled_s,
+                ..
+            } => assert_eq!(retry_after_modeled_s, None, "closed has no later"),
+            verdict => panic!("expected Closed rejection, got {}", verdict.name()),
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "max_batch_jobs")]
     fn zero_batch_bound_is_rejected_at_construction() {
         // Validated on the caller thread — discovered on the dispatcher
         // thread it would strand every job handle instead of failing fast.
-        let _ = BatchMappingService::new(
-            Arc::new(DevicePool::tesla(1)),
-            ServeConfig { max_pending: 4, max_batch_jobs: 0, ..ServeConfig::default() },
-        );
+        let _ = BatchMappingService::builder(Arc::new(DevicePool::tesla(1)))
+            .batch(BatchConfig { max_batch_jobs: 0, ..BatchConfig::default() })
+            .build();
     }
 
     #[test]
     #[should_panic(expected = "capacity")]
     fn zero_admission_bound_is_rejected_at_construction() {
-        let _ = BatchMappingService::new(
-            Arc::new(DevicePool::tesla(1)),
-            ServeConfig { max_pending: 0, max_batch_jobs: 4, ..ServeConfig::default() },
-        );
+        let _ = BatchMappingService::builder(Arc::new(DevicePool::tesla(1)))
+            .queue(QueueConfig { max_pending: 0 })
+            .build();
     }
 
     #[test]
     #[should_panic(expected = "max_inflight_batches")]
     fn zero_inflight_bound_is_rejected_at_construction() {
-        let _ = BatchMappingService::new(
-            Arc::new(DevicePool::tesla(1)),
-            ServeConfig { max_inflight_batches: 0, ..ServeConfig::default() },
-        );
+        let _ = BatchMappingService::builder(Arc::new(DevicePool::tesla(1)))
+            .batch(BatchConfig { max_inflight_batches: 0, ..BatchConfig::default() })
+            .build();
     }
 
     #[test]
     fn shutdown_drains_pending_jobs_before_returning() {
-        let service =
-            BatchMappingService::new(Arc::new(DevicePool::tesla(1)), ServeConfig::default());
+        let service = BatchMappingService::builder(Arc::new(DevicePool::tesla(1))).build();
         let handles: Vec<_> = (0..3)
             .map(|i| {
-                service.submit(request(&[ProbeType::Ethanol], &format!("x{i}"))).expect("admitted")
+                service
+                    .submit(request(&[ProbeType::Ethanol], &format!("x{i}")))
+                    .expect_admitted("admitted")
             })
             .collect();
         let stats = service.shutdown();
@@ -1691,15 +2092,14 @@ mod tests {
         // tree reassembles and its exact latency breakdown sums to the job's
         // own modeled latency.
         let recorder = Arc::new(ftmap_trace::Recorder::new());
-        let service = BatchMappingService::with_trace(
-            Arc::new(DevicePool::tesla(2)),
-            ServeConfig { pose_block: 1, ..ServeConfig::default() },
-            Arc::clone(&recorder) as Arc<dyn TraceSink>,
-        );
-        let a = service.submit(request(&[ProbeType::Ethanol], "a")).expect("admitted");
+        let service = BatchMappingService::builder(Arc::new(DevicePool::tesla(2)))
+            .batch(BatchConfig { pose_block: 1, ..BatchConfig::default() })
+            .trace(Arc::clone(&recorder) as Arc<dyn TraceSink>)
+            .build();
+        let a = service.submit(request(&[ProbeType::Ethanol], "a")).expect_admitted("admitted");
         let b = service
             .submit(request(&[ProbeType::Acetone], "b").with_trace_id(0xFEED))
-            .expect("admitted");
+            .expect_admitted("admitted");
         let report_a = a.wait();
         let report_b = b.wait();
         assert_eq!(report_b.trace_id, 0xFEED, "client-supplied trace ids are honored");
@@ -1739,17 +2139,16 @@ mod tests {
         // target) must drive both burn windows past PAGE_BURN, and every
         // breaching request's tree must survive in the flight recorder.
         let flight = Arc::new(ftmap_trace::FlightRecorder::new());
-        let service = BatchMappingService::with_observability(
-            Arc::new(DevicePool::tesla(2)),
-            ServeConfig { max_batch_jobs: 1, ..ServeConfig::default() },
-            Observability::flight(
-                Arc::clone(&flight),
-                vec![SloSpec::new(LatencyClass::Bulk.name(), 0.0, 0.99)],
-            ),
-        );
+        let service = BatchMappingService::builder(Arc::new(DevicePool::tesla(2)))
+            .batch(BatchConfig { max_batch_jobs: 1, ..BatchConfig::default() })
+            .flight_recorder(Arc::clone(&flight))
+            .slos(vec![SloSpec::new(LatencyClass::Bulk.name(), 0.0, 0.99)])
+            .build();
         let handles: Vec<_> = (0..3)
             .map(|i| {
-                service.submit(request(&[ProbeType::Ethanol], &format!("s{i}"))).expect("admitted")
+                service
+                    .submit(request(&[ProbeType::Ethanol], &format!("s{i}")))
+                    .expect_admitted("admitted")
             })
             .collect();
         let reports: Vec<_> = handles.iter().map(|h| h.wait()).collect();
@@ -1785,12 +2184,157 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_constructors_still_build_working_services() {
+        // The migration contract: the old ladder keeps compiling (against the
+        // nested config) and behaving until callers move to the builder.
+        // lint-allow(justified-allows): this test exists to exercise the
+        // deprecated shims; suppressing the deprecation warning is the point.
+        #[allow(deprecated)]
+        {
+            let service =
+                BatchMappingService::new(Arc::new(DevicePool::tesla(1)), ServeConfig::default());
+            let report = service
+                .submit(request(&[ProbeType::Ethanol], "old-new"))
+                .expect_admitted("admitted")
+                .wait();
+            assert!(!report.result.sites.is_empty());
+
+            let recorder = Arc::new(ftmap_trace::Recorder::new());
+            let service = BatchMappingService::with_trace(
+                Arc::new(DevicePool::tesla(1)),
+                ServeConfig::default(),
+                Arc::clone(&recorder) as Arc<dyn TraceSink>,
+            );
+            service
+                .submit(request(&[ProbeType::Ethanol], "old-trace"))
+                .expect_admitted("admitted")
+                .wait();
+            service.shutdown();
+            assert!(!recorder.events().is_empty());
+
+            let service = BatchMappingService::with_observability(
+                Arc::new(DevicePool::tesla(1)),
+                ServeConfig::default(),
+                Observability::trace(ftmap_trace::noop()),
+            );
+            service
+                .submit(request(&[ProbeType::Ethanol], "old-obs"))
+                .expect_admitted("admitted")
+                .wait();
+        }
+    }
+
+    #[test]
+    fn reports_carry_estimates_deadlines_and_degrades() {
+        // First job: uncalibrated model, no deadline configured → plain
+        // admission, no estimate on the report. Second job (same receptor,
+        // model now calibrated): the report carries the admission-time
+        // estimate, the per-request deadline, and the deadline outcome.
+        let service = BatchMappingService::builder(Arc::new(DevicePool::tesla(1))).build();
+        let first = service
+            .submit(request(&[ProbeType::Ethanol], "calibrate"))
+            .expect_admitted("admitted")
+            .wait();
+        assert_eq!(first.estimated_latency_s, None, "model was uncalibrated");
+        assert_eq!(first.deadline_s, None);
+        assert_eq!(first.deadline_missed(), None);
+        assert_eq!(first.degrade, None);
+
+        let estimate = service
+            .estimate_request(&request(&[ProbeType::Ethanol], "probe"))
+            .expect("calibrated after first batch");
+        assert!(estimate.total_s() > 0.0);
+        let second = service
+            .submit(request(&[ProbeType::Ethanol], "timed").with_deadline_s(1e9))
+            .expect_admitted("admitted")
+            .wait();
+        assert!(second.estimated_latency_s.is_some_and(|s| s > 0.0));
+        assert_eq!(second.deadline_s, Some(1e9));
+        assert_eq!(second.deadline_missed(), Some(false));
+        let stats = service.shutdown();
+        assert!(
+            stats
+                .metrics
+                .counter(
+                    "ftmap_serve_admission_verdicts_total",
+                    &[("verdict", "admitted"), ("class", "bulk"),]
+                )
+                .is_some_and(|count| count >= 2.0),
+            "verdict counter fed per submission"
+        );
+    }
+
+    #[test]
+    fn unmeetable_deadlines_degrade_then_reject() {
+        use ftmap_core::DegradePolicy;
+        // Calibrate on one completed batch, then submit with deadlines the
+        // estimator cannot meet: with a degrade policy the request is
+        // admitted reduced; without headroom even degraded, it is rejected
+        // with a modeled retry-after.
+        let policy = DegradePolicy {
+            rotation_factor: 0.5,
+            min_rotations: 1,
+            conformation_factor: 1.0,
+            min_conformations: 1,
+        };
+        let service = BatchMappingService::builder(Arc::new(DevicePool::tesla(1)))
+            .admission(AdmissionConfig { degrade: Some(policy), ..AdmissionConfig::default() })
+            .build();
+        service
+            .submit(request(&[ProbeType::Ethanol], "calibrate"))
+            .expect_admitted("admitted")
+            .wait();
+        let estimate = service
+            .estimate_request(&request(&[ProbeType::Ethanol], "probe"))
+            .expect("calibrated")
+            .total_s();
+
+        // An impossible deadline: nothing — not even the degraded config —
+        // fits a 1e-6× margin. Structural guarantee: flagged-unmeetable is
+        // rejected, never admitted-then-missed.
+        match service
+            .submit(request(&[ProbeType::Ethanol], "doomed").with_deadline_s(estimate * 1e-6))
+        {
+            AdmissionVerdict::Rejected {
+                reason: RejectReason::DeadlineUnmeetable { estimated_s, deadline_s },
+                retry_after_modeled_s,
+                ..
+            } => {
+                assert!(estimated_s > deadline_s);
+                assert!(retry_after_modeled_s.is_some_and(|s| s > 0.0));
+            }
+            verdict => panic!("expected rejection, got {}", verdict.name()),
+        }
+
+        // A deadline only the degraded request fits: the test config runs 2
+        // rotations + 1 conformation per probe (weight 3); halving rotations
+        // gives weight 2, ≈ 2/3 of the estimate. A deadline at 0.8× the
+        // full-fidelity estimate is unmeetable as-is but fits degraded.
+        match service
+            .submit(request(&[ProbeType::Ethanol], "reduced").with_deadline_s(estimate * 0.8))
+        {
+            AdmissionVerdict::Degraded { handle, applied } => {
+                assert!(!applied.is_noop());
+                assert_eq!(applied.rotations, (2, 1), "rotation halving, clamped to min 1");
+                let report = handle.wait();
+                assert_eq!(report.degrade, Some(applied));
+                assert!(
+                    report.result.conformations_minimized > 0,
+                    "degraded jobs still produce results"
+                );
+            }
+            verdict => panic!("expected degraded admission, got {}", verdict.name()),
+        }
+        service.shutdown();
+    }
+
+    #[test]
     fn untraced_service_keeps_slo_and_flight_disabled() {
         // The default path must not pay for observability: no SLO report, no
         // trace-loss, and reports still carry per-job latencies.
-        let service =
-            BatchMappingService::new(Arc::new(DevicePool::tesla(1)), ServeConfig::default());
-        let report = service.submit(request(&[ProbeType::Ethanol], "plain")).expect("ok").wait();
+        let service = BatchMappingService::builder(Arc::new(DevicePool::tesla(1))).build();
+        let report =
+            service.submit(request(&[ProbeType::Ethanol], "plain")).expect_admitted("ok").wait();
         assert!(report.latency_modeled_s >= 0.0);
         let stats = service.shutdown();
         assert!(stats.slo.classes.is_empty());

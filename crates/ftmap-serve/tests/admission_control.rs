@@ -1,0 +1,191 @@
+//! Acceptance gates for the SLO-aware admission controller:
+//!
+//! * **Estimator accuracy** — once the cost model is calibrated, the
+//!   admission-time latency estimate recorded on every report stays within a
+//!   stated multiplicative bound of the realized modeled latency, across pool
+//!   sizes, latency-class mixes, and warm/cold receptor mixes.
+//! * **Receptor in-flight caps** — with `max_inflight_per_receptor: 1`, no
+//!   batch ever co-schedules two jobs of one receptor, however deep the
+//!   backlog.
+//! * **Tenant quotas** — with weighted quotas, no batch carries more jobs of
+//!   one tenant than that tenant's in-flight allowance, and every tenant
+//!   still makes progress (no starvation).
+
+use ftmap_core::{FtMapConfig, PipelineMode};
+use ftmap_molecule::{ForceField, ProbeType, ProteinSpec, SyntheticProtein};
+use ftmap_serve::{
+    AdmissionConfig, BatchConfig, BatchMappingService, JobReport, LatencyClass, MappingRequest,
+    TenantQuota,
+};
+use gpu_sim::sched::DevicePool;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The estimator-accuracy bound the controller is held to on these small
+/// workloads: estimate and realized latency within 3x of each other.
+const ACCURACY_BOUND: f64 = 3.0;
+
+fn protein(seed: u64) -> SyntheticProtein {
+    let ff = ForceField::charmm_like();
+    let mut spec = ProteinSpec::small_test();
+    spec.seed = seed;
+    SyntheticProtein::generate(&spec, &ff)
+}
+
+fn request(protein: &SyntheticProtein, tag: &str, class: LatencyClass) -> MappingRequest {
+    let ff = ForceField::charmm_like();
+    let mut config = FtMapConfig::small_test(PipelineMode::Accelerated);
+    config.docking.n_rotations = 2;
+    config.conformations_per_probe = 2;
+    MappingRequest::new(protein.clone(), ff, vec![ProbeType::Ethanol], config)
+        .with_tag(tag)
+        .with_class(class)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Calibrate on one job, then burst a mixed stream and compare every
+    /// recorded admission-time estimate to the realized modeled latency.
+    #[test]
+    fn calibrated_estimates_track_realized_latencies(
+        pool_size in 1usize..5,
+        n_jobs in 2usize..6,
+        class_mask in 0u8..4,
+        cold_mix in 0u8..2,
+    ) {
+        let warm_receptor = protein(1000);
+        let cold_receptor = protein(2000);
+        let service = BatchMappingService::builder(Arc::new(DevicePool::tesla(pool_size)))
+            .batch(BatchConfig { max_batch_jobs: 2, ..BatchConfig::default() })
+            .build();
+        // Calibration: one completed batch teaches the cost model the
+        // per-weight kernel cost and the cold-upload cost.
+        service
+            .submit(request(&warm_receptor, "calibrate", LatencyClass::Bulk))
+            .expect_admitted("calibration job")
+            .wait();
+
+        let handles: Vec<_> = (0..n_jobs)
+            .map(|i| {
+                let class = if (class_mask >> (i % 2)) & 1 == 1 {
+                    LatencyClass::Interactive
+                } else {
+                    LatencyClass::Bulk
+                };
+                let receptor =
+                    if cold_mix == 1 && i % 2 == 1 { &cold_receptor } else { &warm_receptor };
+                service
+                    .submit(request(receptor, &format!("j{i}"), class))
+                    .expect_admitted("admitted")
+            })
+            .collect();
+        let reports: Vec<Arc<JobReport>> = handles.iter().map(|h| h.wait()).collect();
+        service.shutdown();
+
+        for report in &reports {
+            let estimate = report
+                .estimated_latency_s
+                .expect("a calibrated service records an estimate on every admission");
+            prop_assert!(estimate > 0.0, "{}: estimate must be positive", report.tag);
+            let realized = report.latency_modeled_s;
+            prop_assert!(realized > 0.0, "{}: realized latency must be positive", report.tag);
+            let ratio = estimate / realized;
+            prop_assert!(
+                (1.0 / ACCURACY_BOUND..=ACCURACY_BOUND).contains(&ratio),
+                "{}: estimate {estimate:.6}s vs realized {realized:.6}s (ratio {ratio:.3}) \
+                 escapes the {ACCURACY_BOUND}x bound",
+                report.tag
+            );
+        }
+    }
+}
+
+/// With a receptor in-flight cap of 1, a deep backlog of one receptor is
+/// forced into strictly single-job batches: the cap bounds co-residency at
+/// batch formation, not just queue order.
+#[test]
+fn receptor_cap_bounds_per_batch_co_residency() {
+    let receptor = protein(1000);
+    let service = BatchMappingService::builder(Arc::new(DevicePool::tesla(2)))
+        .batch(BatchConfig { max_batch_jobs: 4, ..BatchConfig::default() })
+        .admission(AdmissionConfig {
+            max_inflight_per_receptor: Some(1),
+            ..AdmissionConfig::default()
+        })
+        .build();
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            service
+                .submit(request(&receptor, &format!("job-{i}"), LatencyClass::Bulk))
+                .expect_admitted("admitted")
+        })
+        .collect();
+    let reports: Vec<Arc<JobReport>> = handles.iter().map(|h| h.wait()).collect();
+    service.shutdown();
+
+    let mut batches = std::collections::BTreeSet::new();
+    for report in &reports {
+        assert_eq!(
+            report.batch.jobs, 1,
+            "{}: the cap must keep a hot receptor's batches single-job",
+            report.tag
+        );
+        batches.insert(report.batch.batch_index);
+    }
+    assert_eq!(batches.len(), 4, "one batch per job under the in-flight cap");
+}
+
+/// Weighted tenant quotas bound how many of one tenant's jobs a batch may
+/// co-schedule — and never starve anyone: every tenant's allowance is at
+/// least one job, so all jobs complete.
+#[test]
+fn tenant_quotas_bound_per_batch_share_without_starvation() {
+    let receptor = protein(1000);
+    // Budget 4 over weights {hot: 1, light: 1, default pool: 1} = allowance
+    // round(4/3) = 1 job in flight per tenant.
+    let admission = AdmissionConfig {
+        tenant_quotas: vec![
+            TenantQuota { tenant: "hot".into(), weight: 1.0 },
+            TenantQuota { tenant: "light".into(), weight: 1.0 },
+        ],
+        quota_inflight_total: 4,
+        ..AdmissionConfig::default()
+    };
+    let allowance = admission.tenant_allowance("hot", 4);
+    assert_eq!(allowance, 1);
+    let service = BatchMappingService::builder(Arc::new(DevicePool::tesla(2)))
+        .batch(BatchConfig { max_batch_jobs: 8, ..BatchConfig::default() })
+        .admission(admission)
+        .build();
+
+    let mut handles = Vec::new();
+    for i in 0..6 {
+        let job = request(&receptor, &format!("hot-{i}"), LatencyClass::Bulk).with_tenant("hot");
+        handles.push(service.submit(job).expect_admitted("hot admitted"));
+    }
+    for i in 0..2 {
+        let job =
+            request(&receptor, &format!("light-{i}"), LatencyClass::Bulk).with_tenant("light");
+        handles.push(service.submit(job).expect_admitted("light admitted"));
+    }
+    let reports: Vec<Arc<JobReport>> = handles.iter().map(|h| h.wait()).collect();
+    service.shutdown();
+    assert_eq!(reports.len(), 8, "quotas must never starve a tenant");
+
+    // Per batch, per tenant: never more jobs than the allowance.
+    let mut per_batch: BTreeMap<usize, BTreeMap<&str, usize>> = BTreeMap::new();
+    for report in &reports {
+        let tenant = if report.tag.starts_with("hot-") { "hot" } else { "light" };
+        *per_batch.entry(report.batch.batch_index).or_default().entry(tenant).or_default() += 1;
+    }
+    for (batch, tenants) in &per_batch {
+        for (tenant, jobs) in tenants {
+            assert!(
+                *jobs <= allowance,
+                "batch {batch}: {jobs} jobs of tenant {tenant} exceed the allowance {allowance}"
+            );
+        }
+    }
+}

@@ -6,7 +6,7 @@
 
 use ftmap_core::{FtMapConfig, MappingResult, PipelineMode};
 use ftmap_molecule::{ForceField, ProbeType, ProteinSpec, SyntheticProtein};
-use ftmap_serve::{BatchMappingService, MappingRequest, ServeConfig};
+use ftmap_serve::{BatchMappingService, MappingRequest};
 use gpu_sim::sched::DevicePool;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -45,9 +45,9 @@ fn job_set() -> Vec<MappingRequest> {
 /// given submission order and returns each job's result keyed by tag.
 fn run_in_order(jobs: Vec<MappingRequest>) -> HashMap<String, MappingResult> {
     let pool = Arc::new(DevicePool::tesla(2));
-    let service = BatchMappingService::new(pool, ServeConfig::default());
+    let service = BatchMappingService::builder(pool).build();
     let handles: Vec<_> =
-        jobs.into_iter().map(|job| service.submit(job).expect("admitted")).collect();
+        jobs.into_iter().map(|job| service.submit(job).expect_admitted("admitted")).collect();
     let mut results = HashMap::new();
     for handle in handles {
         let report = handle.wait();
@@ -104,12 +104,12 @@ fn concurrent_submission_yields_identical_per_job_results() {
     let sequential = run_in_order(jobs.clone());
 
     let pool = Arc::new(DevicePool::tesla(2));
-    let service = Arc::new(BatchMappingService::new(pool, ServeConfig::default()));
+    let service = Arc::new(BatchMappingService::builder(pool).build());
     let mut clients = Vec::new();
     for job in jobs {
         let service = Arc::clone(&service);
         clients.push(std::thread::spawn(move || {
-            let handle = service.submit(job).expect("admitted");
+            let handle = service.submit(job).expect_admitted("admitted");
             let report = handle.wait();
             (report.tag.clone(), report.result.clone())
         }));

@@ -85,6 +85,10 @@ pub struct Tags {
     /// per-request causal tree ([`crate::tree`]) can be reassembled from the
     /// flat event stream.
     pub trace: Option<u64>,
+    /// Admission verdict name (`"admitted"` / `"reprioritized"` /
+    /// `"degraded"` / `"rejected"`), stamped by the serve layer's admission
+    /// controller on the request's `admit` instant.
+    pub verdict: Option<&'static str>,
     /// Free-form numeric arguments (modeled stage seconds, byte counts, …),
     /// rendered into the Perfetto `args` object.
     pub nums: Vec<(&'static str, f64)>,
@@ -99,6 +103,12 @@ impl Tags {
     /// Adds a numeric argument.
     pub fn with_num(mut self, key: &'static str, value: f64) -> Self {
         self.nums.push((key, value));
+        self
+    }
+
+    /// Sets the admission-verdict name.
+    pub fn with_verdict(mut self, verdict: &'static str) -> Self {
+        self.verdict = Some(verdict);
         self
     }
 }

@@ -75,6 +75,9 @@ fn args_json(tags: &Tags) -> String {
     if let Some(trace) = tags.trace {
         parts.push(format!("\"trace\": {trace}"));
     }
+    if let Some(verdict) = tags.verdict {
+        parts.push(format!("\"verdict\": \"{}\"", escape(verdict)));
+    }
     for (key, value) in &tags.nums {
         parts.push(format!("\"{}\": {}", escape(key), number(*value)));
     }

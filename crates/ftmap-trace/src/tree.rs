@@ -84,6 +84,10 @@ pub struct RequestTrace {
     pub trace_id: u64,
     /// Tenant tag, if the admit event carried one.
     pub tenant: Option<String>,
+    /// Admission verdict name, if the admit event carried one
+    /// (`"admitted"` / `"reprioritized"` / `"degraded"`; rejected requests
+    /// never reach the queue, so their verdict only shows in metrics).
+    pub verdict: Option<&'static str>,
     /// Latency class name.
     pub class: Option<&'static str>,
     /// Admission instant on the modeled timeline (`admit` event).
@@ -153,6 +157,7 @@ pub fn build_request_trees(events: &[TraceEvent]) -> Vec<RequestTrace> {
             "admit" => {
                 node.admitted_v_s = Some(event.start_s);
                 node.tenant = event.tags.tenant.clone();
+                node.verdict = node.verdict.or(event.tags.verdict);
                 node.class = node.class.or(event.tags.class);
             }
             "job-batched" => {
@@ -210,6 +215,7 @@ mod tests {
         let mut admit = tagged(TraceEvent::instant(Track::Queue, "admit", Category::Serve, 0.0), 5);
         admit.tags.tenant = Some("t".to_string());
         admit.tags.class = Some("bulk");
+        admit.tags.verdict = Some("admitted");
         let mut batched =
             tagged(TraceEvent::instant(Track::Queue, "job-batched", Category::Serve, 0.1), 5);
         batched.tags.batch_seq = Some(3);
@@ -234,6 +240,7 @@ mod tests {
         assert_eq!(tree.trace_id, 5);
         assert_eq!(tree.tenant.as_deref(), Some("t"));
         assert_eq!(tree.class, Some("bulk"));
+        assert_eq!(tree.verdict, Some("admitted"));
         assert_eq!(tree.admitted_v_s, Some(0.0));
         assert_eq!(tree.batched, Some((0.1, 3)));
         assert_eq!(tree.resolved_v_s, Some(0.9));

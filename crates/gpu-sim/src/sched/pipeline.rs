@@ -620,6 +620,33 @@ impl PhasePipeline {
         state.device_clock.clone()
     }
 
+    /// Per-device **projected completion instants**: each device's virtual
+    /// clock plus an even share of the ready backlog's modeled cost — the
+    /// admission estimator's view of when the pool frees up for new work.
+    ///
+    /// Ready-item cost is projected from the pool's observed mean cost per
+    /// unit weight (before any item has completed the backlog projects as
+    /// zero, so the instants degrade gracefully to the raw clocks).
+    /// `priority_cutoff` restricts the backlog to items at least as urgent as
+    /// the given priority (lower is more urgent): an interactive admission
+    /// (`Some(0)`) ignores patient bulk items it would overtake, while
+    /// `None` counts everything.
+    pub fn projected_completion_v_s(&self, priority_cutoff: Option<u32>) -> Vec<f64> {
+        let state = locked(&self.shared.state);
+        let n = state.device_clock.len().max(1);
+        let (cost, weight) =
+            state.completed.iter().fold((0.0, 0.0), |(c, w), t| (c + t.0, w + t.1));
+        let per_weight = if weight > 0.0 { cost / weight } else { 0.0 };
+        let backlog_weight: f64 = state
+            .ready
+            .iter()
+            .filter(|((priority, _, _), _)| priority_cutoff.is_none_or(|cut| *priority <= cut))
+            .map(|(_, item)| item.weight)
+            .sum();
+        let share = backlog_weight * per_weight / n as f64;
+        state.device_clock.iter().map(|clock| clock + share).collect()
+    }
+
     /// Drains outstanding batches, stops the workers and joins them.
     pub fn shutdown(mut self) {
         self.stop_and_join();
@@ -1341,6 +1368,29 @@ mod tests {
                 assert!((ready - dock_end).abs() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn projected_completion_tracks_clocks_and_backlog() {
+        let pool = Arc::new(DevicePool::tesla(2));
+        let pipeline = PhasePipeline::new(pool);
+        // Idle pipeline: no backlog, no completions — projections are the raw
+        // clocks (all zero).
+        assert_eq!(pipeline.projected_completion_v_s(None), vec![0.0, 0.0]);
+        let exec = Arc::new(TestExec::new(4, 3));
+        let handle = submit_test_batch(&pipeline, &exec, 1);
+        handle.wait();
+        pipeline.drain();
+        // Drained: the ready set is empty again, so projections collapse to
+        // the device clocks regardless of the cutoff.
+        let clocks = pipeline.device_clocks_v_s();
+        assert_eq!(pipeline.projected_completion_v_s(None), clocks);
+        assert_eq!(pipeline.projected_completion_v_s(Some(0)), clocks);
+        // And a projection can never fall below the device clocks.
+        for (proj, clock) in pipeline.projected_completion_v_s(None).iter().zip(&clocks) {
+            assert!(proj >= clock);
+        }
+        pipeline.shutdown();
     }
 
     #[test]

@@ -6,7 +6,6 @@
 //! Run with: `cargo run --release --example batch_service`
 
 use ftmap::prelude::*;
-use ftmap::serve::SubmitError;
 use std::sync::Arc;
 
 fn main() {
@@ -40,11 +39,11 @@ fn main() {
     let n_jobs = jobs.len();
 
     let pool = Arc::new(DevicePool::tesla(2));
-    let service = Arc::new(BatchMappingService::new(Arc::clone(&pool), ServeConfig::default()));
+    let service = Arc::new(BatchMappingService::builder(Arc::clone(&pool)).build());
     println!(
         "batch service up: {} devices, admission queue depth {}, {} jobs incoming\n",
         pool.len(),
-        service.config().max_pending,
+        service.config().queue.max_pending,
         n_jobs
     );
 
@@ -54,13 +53,7 @@ fn main() {
     for job in jobs {
         let service = Arc::clone(&service);
         clients.push(std::thread::spawn(move || {
-            let handle = match service.submit(job) {
-                Ok(handle) => handle,
-                Err(SubmitError::Full(req) | SubmitError::Closed(req)) => {
-                    panic!("job {} refused", req.tag)
-                }
-            };
-            handle.wait()
+            service.submit(job).expect_admitted("job refused").wait()
         }));
     }
     let mut reports: Vec<_> =
@@ -89,7 +82,7 @@ fn main() {
     let rerun =
         MappingRequest::new(protein_a.clone(), ff.clone(), probe_sets[3].to_vec(), config.clone())
             .with_tag("receptor-A/job-3");
-    let rerun_report = service.submit(rerun).expect("admitted").wait();
+    let rerun_report = service.submit(rerun).expect_admitted("admitted").wait();
     let original = reports.iter().find(|r| r.tag == "receptor-A/job-3").expect("original report");
     assert_eq!(rerun_report.result.sites.len(), original.result.sites.len());
     for (a, b) in rerun_report.result.sites.iter().zip(&original.result.sites) {

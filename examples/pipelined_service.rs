@@ -15,7 +15,6 @@
 //! Run with: `cargo run --release --example pipelined_service`
 
 use ftmap::prelude::*;
-use ftmap::serve::SubmitError;
 use std::sync::Arc;
 
 fn main() {
@@ -52,16 +51,15 @@ fn main() {
     }));
 
     let pool = Arc::new(DevicePool::tesla(4));
-    let service = BatchMappingService::new(
-        Arc::clone(&pool),
-        ServeConfig {
+    let service = BatchMappingService::builder(Arc::clone(&pool))
+        .batch(BatchConfig {
             dispatch: DispatchMode::Pipelined,
             max_batch_jobs: 2,
             pose_block: 2,
             bulk_aging: 4,
-            ..ServeConfig::default()
-        },
-    );
+            ..BatchConfig::default()
+        })
+        .build();
     println!(
         "pipelined service up: {} devices, {} jobs ({} bulk + 3 interactive)\n",
         pool.len(),
@@ -69,15 +67,8 @@ fn main() {
         jobs.len() - 3
     );
 
-    let handles: Vec<JobHandle> = jobs
-        .into_iter()
-        .map(|job| match service.submit(job) {
-            Ok(handle) => handle,
-            Err(SubmitError::Full(req) | SubmitError::Closed(req)) => {
-                panic!("job {} refused", req.tag)
-            }
-        })
-        .collect();
+    let handles: Vec<JobHandle> =
+        jobs.into_iter().map(|job| service.submit(job).expect_admitted("job refused")).collect();
     let reports: Vec<_> = handles.iter().map(JobHandle::wait).collect();
 
     println!(

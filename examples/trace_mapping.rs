@@ -31,14 +31,11 @@ fn main() {
 
     let recorder = Arc::new(Recorder::new());
     let pool = Arc::new(DevicePool::tesla(2));
-    let service = BatchMappingService::with_observability(
-        Arc::clone(&pool),
-        ServeConfig { max_batch_jobs: 2, ..ServeConfig::default() },
-        Observability::trace(Arc::clone(&recorder) as Arc<dyn TraceSink>).with_slos(vec![
-            SloSpec::new("interactive", 0.1, 0.99),
-            SloSpec::new("bulk", 1.0, 0.95),
-        ]),
-    );
+    let service = BatchMappingService::builder(Arc::clone(&pool))
+        .batch(BatchConfig { max_batch_jobs: 2, ..BatchConfig::default() })
+        .trace(Arc::clone(&recorder) as Arc<dyn TraceSink>)
+        .slos(vec![SloSpec::new("interactive", 0.1, 0.99), SloSpec::new("bulk", 1.0, 0.95)])
+        .build();
 
     // A warm stream: several bulk jobs against one receptor (grids upload
     // once per device, everything after hits residency) plus an interactive
@@ -51,7 +48,7 @@ fn main() {
         .map(|i| {
             service
                 .submit(request(&format!("bulk-{i}"), &[ProbeType::Ethanol, ProbeType::Acetone]))
-                .expect("admitted")
+                .expect_admitted("admitted")
         })
         .collect();
     handles.push(
@@ -59,7 +56,7 @@ fn main() {
             .submit(
                 request("interactive-0", &[ProbeType::Urea]).with_class(LatencyClass::Interactive),
             )
-            .expect("admitted"),
+            .expect_admitted("admitted"),
     );
     for handle in &handles {
         handle.wait();

@@ -56,8 +56,9 @@ pub mod prelude {
         SyntheticProtein,
     };
     pub use ftmap_serve::{
-        BatchMappingService, DispatchMode, JobHandle, JobStatus, LatencyClass, MappingRequest,
-        Observability, ServeConfig,
+        AdmissionConfig, AdmissionVerdict, BatchConfig, BatchMappingService, DispatchMode,
+        JobHandle, JobStatus, LatencyClass, MappingRequest, Observability, QueueConfig,
+        RejectReason, ServeConfig, ServiceBuilder, TenantQuota,
     };
     pub use ftmap_trace::{
         analyze, analyze_all, build_request_trees, export_chrome_trace,

@@ -59,17 +59,16 @@ fn dedicated_reference(jobs: &[MappingRequest]) -> HashMap<String, MappingResult
 /// Runs the job set through a pipelined service on an `n`-device pool.
 fn run_pipelined(jobs: Vec<MappingRequest>, devices: usize) -> HashMap<String, MappingResult> {
     let pool = Arc::new(DevicePool::tesla(devices));
-    let service = BatchMappingService::new(
-        pool,
-        ServeConfig {
+    let service = BatchMappingService::builder(pool)
+        .batch(BatchConfig {
             dispatch: DispatchMode::Pipelined,
             max_batch_jobs: 3,
             pose_block: 1,
-            ..ServeConfig::default()
-        },
-    );
+            ..BatchConfig::default()
+        })
+        .build();
     let handles: Vec<_> =
-        jobs.into_iter().map(|job| service.submit(job).expect("admitted")).collect();
+        jobs.into_iter().map(|job| service.submit(job).expect_admitted("admitted")).collect();
     let mut results = HashMap::new();
     for handle in handles {
         let report = handle.wait();

@@ -25,21 +25,22 @@ fn traced_run() -> Vec<TraceEvent> {
     config.conformations_per_probe = 2;
 
     let recorder = Arc::new(Recorder::new());
-    let service = BatchMappingService::with_observability(
-        Arc::new(DevicePool::tesla(2)),
-        ServeConfig { max_batch_jobs: 2, ..ServeConfig::default() },
-        Observability::trace(Arc::clone(&recorder) as Arc<dyn TraceSink>),
-    );
+    let service = BatchMappingService::builder(Arc::new(DevicePool::tesla(2)))
+        .batch(BatchConfig { max_batch_jobs: 2, ..BatchConfig::default() })
+        .trace(Arc::clone(&recorder) as Arc<dyn TraceSink>)
+        .build();
     let request = |tag: &str, probes: &[ProbeType]| {
         MappingRequest::new(protein.clone(), ff.clone(), probes.to_vec(), config.clone())
             .with_tag(tag)
     };
     let handles = vec![
-        service.submit(request("bulk-0", &[ProbeType::Ethanol, ProbeType::Acetone])).unwrap(),
-        service.submit(request("bulk-1", &[ProbeType::Urea])).unwrap(),
+        service
+            .submit(request("bulk-0", &[ProbeType::Ethanol, ProbeType::Acetone]))
+            .expect_admitted("admitted"),
+        service.submit(request("bulk-1", &[ProbeType::Urea])).expect_admitted("admitted"),
         service
             .submit(request("fast-0", &[ProbeType::Benzene]).with_class(LatencyClass::Interactive))
-            .unwrap(),
+            .expect_admitted("admitted"),
     ];
     for handle in &handles {
         handle.wait();

@@ -34,11 +34,10 @@ proptest! {
         class_mask in 0u8..4,
     ) {
         let recorder = Arc::new(Recorder::new());
-        let service = BatchMappingService::with_trace(
-            Arc::new(DevicePool::tesla(pool_size)),
-            ServeConfig { pose_block, max_batch_jobs: 2, ..ServeConfig::default() },
-            Arc::clone(&recorder) as Arc<dyn TraceSink>,
-        );
+        let service = BatchMappingService::builder(Arc::new(DevicePool::tesla(pool_size)))
+            .batch(BatchConfig { pose_block, max_batch_jobs: 2, ..BatchConfig::default() })
+            .trace(Arc::clone(&recorder) as Arc<dyn TraceSink>)
+            .build();
         let handles: Vec<JobHandle> = (0..n_jobs)
             .map(|i| {
                 let class = if (class_mask >> (i % 2)) & 1 == 1 {
@@ -47,7 +46,7 @@ proptest! {
                     LatencyClass::Bulk
                 };
                 let probes = &PROBE_MENU[..1 + i % PROBE_MENU.len()];
-                service.submit(request(probes, &format!("j{i}"), class)).expect("admitted")
+                service.submit(request(probes, &format!("j{i}"), class)).expect_admitted("admitted")
             })
             .collect();
         let reports: Vec<_> = handles.iter().map(|h| h.wait()).collect();
@@ -95,14 +94,13 @@ proptest! {
 #[test]
 fn single_chain_critical_path_reproduces_the_batch_span() {
     let recorder = Arc::new(Recorder::new());
-    let service = BatchMappingService::with_trace(
-        Arc::new(DevicePool::tesla(1)),
-        ServeConfig { pose_block: 0, ..ServeConfig::default() },
-        Arc::clone(&recorder) as Arc<dyn TraceSink>,
-    );
+    let service = BatchMappingService::builder(Arc::new(DevicePool::tesla(1)))
+        .batch(BatchConfig { pose_block: 0, ..BatchConfig::default() })
+        .trace(Arc::clone(&recorder) as Arc<dyn TraceSink>)
+        .build();
     let report = service
         .submit(request(&[ProbeType::Ethanol], "solo", LatencyClass::Bulk))
-        .expect("ok")
+        .expect_admitted("ok")
         .wait();
     service.shutdown();
 

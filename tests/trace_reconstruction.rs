@@ -206,11 +206,10 @@ fn serve_metrics_snapshot_matches_serve_stats() {
     let ff = ForceField::charmm_like();
     let protein = SyntheticProtein::generate(&ProteinSpec::small_test(), &ff);
     let recorder = Arc::new(Recorder::new());
-    let service = BatchMappingService::with_trace(
-        Arc::new(DevicePool::tesla(2)),
-        ServeConfig { max_batch_jobs: 2, ..ServeConfig::default() },
-        Arc::clone(&recorder) as _,
-    );
+    let service = BatchMappingService::builder(Arc::new(DevicePool::tesla(2)))
+        .batch(BatchConfig { max_batch_jobs: 2, ..BatchConfig::default() })
+        .trace(Arc::clone(&recorder) as _)
+        .build();
     let request = |tag: &str, class: LatencyClass| {
         MappingRequest::new(
             protein.clone(),
@@ -222,9 +221,9 @@ fn serve_metrics_snapshot_matches_serve_stats() {
         .with_class(class)
     };
     let handles = vec![
-        service.submit(request("bulk-0", LatencyClass::Bulk)).expect("admitted"),
-        service.submit(request("bulk-1", LatencyClass::Bulk)).expect("admitted"),
-        service.submit(request("inter-0", LatencyClass::Interactive)).expect("admitted"),
+        service.submit(request("bulk-0", LatencyClass::Bulk)).expect_admitted("admitted"),
+        service.submit(request("bulk-1", LatencyClass::Bulk)).expect_admitted("admitted"),
+        service.submit(request("inter-0", LatencyClass::Interactive)).expect_admitted("admitted"),
     ];
     for handle in &handles {
         handle.wait();
